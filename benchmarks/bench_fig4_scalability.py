@@ -1,0 +1,20 @@
+"""Regenerates paper Fig. 4: performance vs labeled instance count.
+
+Expected shape: KnowTrans leads in the low-label regime and the gap to
+the plain fine-tuned backbone narrows as labels grow.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig4_scalability
+
+
+def test_fig4(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: fig4_scalability(ctx))
+    record_result("fig4_scalability", result["text"])
+    gaps_low, gaps_high = [], []
+    for series in result["series"].values():
+        gaps_low.append(series["knowtrans"][0] - series["jellyfish"][0])
+        gaps_high.append(series["knowtrans"][-1] - series["jellyfish"][-1])
+    # KnowTrans wins on average at 20 shots; the advantage shrinks with data.
+    assert sum(gaps_low) / len(gaps_low) > 0.0

@@ -1,0 +1,20 @@
+"""Regenerates paper Fig. 5: backbones ± KnowTrans on novel datasets.
+
+Expected shape: every backbone improves with KnowTrans on average, and
+the bare Mistral backbone (no upstream DP training) gains the most.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig5_backbones_on_datasets
+
+
+def test_fig5(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: fig5_backbones_on_datasets(ctx))
+    record_result("fig5_backbones_datasets", result["text"])
+    average = result["rows"][-1]
+    improved = sum(
+        average[label + "+kt"] > average[label]
+        for label in ("mistral_7b", "jellyfish_7b", "jellyfish_8b", "jellyfish_13b")
+    )
+    assert improved >= 3

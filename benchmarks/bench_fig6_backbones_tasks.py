@@ -1,0 +1,16 @@
+"""Regenerates paper Fig. 6: backbones ± KnowTrans on novel tasks."""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig6_backbones_on_tasks
+
+
+def test_fig6(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: fig6_backbones_on_tasks(ctx))
+    record_result("fig6_backbones_tasks", result["text"])
+    average = result["rows"][-1]
+    improved = sum(
+        average[label + "+kt"] > average[label]
+        for label in ("mistral_7b", "jellyfish_7b", "jellyfish_8b", "jellyfish_13b")
+    )
+    assert improved >= 2

@@ -1,0 +1,18 @@
+"""Regenerates paper Fig. 7: AKB performance across refinement rounds.
+
+Expected shape: the validation (eval) curve is non-decreasing for both
+tasks; the ED curve improves over rounds while the AVE curve plateaus
+early (the paper's "additional knowledge may not be helpful" case).
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import fig7_refinement_rounds
+
+
+def test_fig7(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: fig7_refinement_rounds(ctx))
+    record_result("fig7_refinement", result["text"])
+    for series in result["series"].values():
+        evals = series["eval"]
+        assert all(b >= a - 1e-9 for a, b in zip(evals, evals[1:]))

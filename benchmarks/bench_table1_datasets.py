@@ -1,0 +1,13 @@
+"""Regenerates paper Table I: downstream dataset statistics."""
+
+from conftest import run_once
+
+from repro.eval.experiments import table1_dataset_statistics
+
+
+def test_table1(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: table1_dataset_statistics(ctx))
+    record_result("table1_datasets", result["text"])
+    assert len(result["rows"]) == 13
+    for row in result["rows"]:
+        assert row["few_shot"] == ctx.few_shot

@@ -1,0 +1,31 @@
+"""Regenerates paper Table II: open-source DP-LLMs and non-LLM methods.
+
+Expected shape (paper): KnowTrans posts the best average, beating the
+Jellyfish backbone by several points; non-LLM methods trail overall;
+Jellyfish-ICL is the weakest LLM row.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import table2_open_source_comparison
+from repro.eval.paper_reference import TABLE2, sign_agreement
+
+
+def test_table2(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: table2_open_source_comparison(ctx))
+    agreement = sign_agreement(
+        TABLE2, result["rows"][:-1], "jellyfish", "knowtrans"
+    )
+    record_result(
+        "table2_main",
+        result["text"]
+        + f"\n\nper-dataset sign agreement with paper "
+        f"(knowtrans vs jellyfish gaps): {agreement:.0%}",
+    )
+    average = result["rows"][-1]
+    assert average["dataset"] == "average"
+    # Headline claim: KnowTrans beats the plain fine-tuned backbone and
+    # every other open-source method on average.
+    competitors = ("non_llm", "mistral", "tablellama", "meld", "jellyfish",
+                   "jellyfish_icl")
+    assert all(average["knowtrans"] > average[c] for c in competitors)

@@ -1,0 +1,19 @@
+"""Regenerates paper Table III: per-instance tokens and USD cost.
+
+Expected shape: KnowTrans needs far fewer input tokens than the ICL
+prompts of the GPT baselines (demonstrations live in parameters, not in
+context) and costs the least per instance; GPT-4 is the priciest.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import table3_cost_analysis
+
+
+def test_table3(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: table3_cost_analysis(ctx))
+    record_result("table3_cost", result["text"])
+    rows = {row["dataset"]: row for row in result["rows"]}
+    assert rows["knowtrans"]["input_tokens"] < rows["gpt-4"]["input_tokens"] / 5
+    assert rows["knowtrans"]["cost_per_instance"] < rows["gpt-3.5"]["cost_per_instance"] * 5
+    assert rows["gpt-4"]["cost_per_instance"] > rows["gpt-4o"]["cost_per_instance"]

@@ -1,0 +1,18 @@
+"""Regenerates paper Table VI: patch weighting strategies.
+
+Expected shape: single < uniform ≤ adaptive ≤ full KnowTrans on
+average — dynamically weighted upstream knowledge beats both no
+upstream knowledge and fixed uniform mixing.
+"""
+
+from conftest import run_once
+
+from repro.eval.experiments import table6_weight_strategies
+
+
+def test_table6(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: table6_weight_strategies(ctx))
+    record_result("table6_strategies", result["text"])
+    average = result["rows"][-1]
+    assert average["knowtrans"] > average["single"]
+    assert average["adaptive"] > average["single"] - 2.0

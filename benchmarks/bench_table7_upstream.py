@@ -1,0 +1,11 @@
+"""Regenerates paper Table VII: upstream dataset statistics."""
+
+from conftest import run_once
+
+from repro.eval.experiments import table7_upstream_statistics
+
+
+def test_table7(benchmark, ctx, record_result):
+    result = run_once(benchmark, lambda: table7_upstream_statistics(ctx))
+    record_result("table7_upstream", result["text"])
+    assert len(result["rows"]) == 12

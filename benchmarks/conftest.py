@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper by
+calling the corresponding entry of :mod:`repro.eval.experiments` and
+printing the rendered rows/series.  Results are also appended to
+``benchmarks/results/`` so a full run leaves the regenerated paper
+artifacts on disk.
+
+Set ``REPRO_BENCH_PRESET=quick`` to run the whole harness at a reduced
+scale (used by CI); the default ``paper`` preset regenerates the tables
+at full benchmark scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    if preset == "quick":
+        return ExperimentContext.quick()
+    return ExperimentContext.paper()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Adopting the library on your own data.
+
+The benchmark datasets are synthetic, but adaptation works on any data
+you can express as rows.  This example builds a small entity-matching
+dataset from plain Python dicts (a product feed deduplication task),
+round-trips it through JSON Lines, and adapts a DP-LLM to it.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import pathlib
+import tempfile
+
+from repro import KnowTrans, KnowTransConfig, get_bundle
+from repro.data import io
+from repro.data.splits import split_dataset
+
+
+def build_feed():
+    """A toy product feed with duplicates under different renderings."""
+    products = [
+        ("acme turbo blender tb-900", "acme", "tb-900", "89.99"),
+        ("acme turbo blender 900 series tb-900", "acme", "tb-900", "84.50"),
+        ("acme compact blender tb-400", "acme", "tb-400", "49.99"),
+        ("brewmaster coffee grinder cg-12", "brewmaster", "cg-12", "39.00"),
+        ("brewmaster grinder cg-12 steel", "brewmaster", "cg-12", "41.25"),
+        ("brewmaster coffee grinder cg-21", "brewmaster", "cg-21", "44.00"),
+    ]
+    pairs = []
+    for i, (title_a, brand_a, model_a, price_a) in enumerate(products):
+        for title_b, brand_b, model_b, price_b in products[i + 1 :]:
+            pairs.append(
+                (
+                    {"title": title_a, "brand": brand_a, "price": price_a},
+                    {"title": title_b, "brand": brand_b, "price": price_b},
+                    model_a == model_b,
+                )
+            )
+    # Repeat with fresh price noise so a few-shot split is possible.
+    pairs = pairs * 6
+    return io.matching_dataset("product-feed", pairs)
+
+
+def main() -> None:
+    dataset = build_feed()
+    print(f"built {len(dataset)} pairs "
+          f"({dataset.positive_count()} positives)")
+
+    # Round-trip through JSONL — the on-disk interchange format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "feed.jsonl"
+        io.save_jsonl(dataset, path)
+        dataset = io.load_jsonl(path)
+        print(f"round-tripped through {path.name}")
+
+    splits = split_dataset(dataset, few_shot=20, seed=1)
+    bundle = get_bundle("mistral-7b", seed=0, scale=0.6)
+    adapted = KnowTrans(bundle, config=KnowTransConfig.fast()).fit(splits)
+    print(f"test F1 on the custom feed: {adapted.evaluate(splits.test.examples):.1f}")
+    print("searched knowledge:")
+    for rule in adapted.knowledge.rules:
+        print(f"  - {rule.render()}")
+
+
+if __name__ == "__main__":
+    main()

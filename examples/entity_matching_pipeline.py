@@ -1,0 +1,51 @@
+"""Entity matching across two marketplaces with knowledge augmentation.
+
+The scenario from the paper's introduction (Fig. 1): Walmart-Amazon
+offers where model numbers and capacities decide matches, descriptions
+are frequently NaN, and prices differ between stores.  The example
+shows how the AKB-searched knowledge turns those conventions into
+derived comparison markers, and inspects individual predictions.
+
+Run:  python examples/entity_matching_pipeline.py
+"""
+
+from repro import KnowTrans, KnowTransConfig, get_bundle, load_splits
+from repro.knowledge.apply import pair_markers
+from repro.tasks.base import get_task
+
+
+def main() -> None:
+    bundle = get_bundle("mistral-7b", seed=0, scale=0.6)
+    splits = load_splits("em/walmart_amazon", count=240, seed=3)
+    task = get_task("em")
+
+    adapted = KnowTrans(bundle, config=KnowTransConfig.fast()).fit(splits)
+    plain = KnowTrans(
+        bundle, config=KnowTransConfig.fast(), use_skc=False, use_akb=False
+    ).fit(splits)
+
+    print("Walmart-Amazon entity matching (20 labeled examples)")
+    print(f"  plain few-shot F1 : {plain.evaluate(splits.test.examples):5.1f}")
+    print(f"  KnowTrans F1      : {adapted.evaluate(splits.test.examples):5.1f}")
+    print()
+    print("searched knowledge:")
+    for rule in adapted.knowledge.rules:
+        print(f"  - {rule.render()}")
+
+    print()
+    print("inspecting three test pairs:")
+    for example in splits.test.examples[:3]:
+        left, right = example.inputs["left"], example.inputs["right"]
+        markers = pair_markers(left, right, adapted.knowledge)
+        prediction = adapted.predict(example)
+        print(f"  A: {left.get('title')} | modelno={left.get('modelno')}")
+        print(f"  B: {right.get('title')} | modelno={right.get('modelno')}")
+        print(
+            f"  derived: {markers or ['(none)']} -> predicted "
+            f"{prediction!r} (gold {example.answer!r})"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Detect dirty cells, then repair them — the ED → DC workflow.
+
+Uses the Beer catalogue, whose latent conventions ("ABV is a decimal in
+[0,1], never with a percent sign"; "styles and cities come from known
+vocabularies") are exactly what AKB is supposed to discover.  The same
+adapted models are then applied record by record: detection flags the
+dirty cell, cleaning proposes the repair.
+
+Run:  python examples/error_detection_cleaning.py
+"""
+
+from repro import KnowTrans, KnowTransConfig, get_bundle, load_splits
+
+
+def main() -> None:
+    bundle = get_bundle("mistral-7b", seed=0, scale=0.6)
+    config = KnowTransConfig.fast()
+
+    detection_splits = load_splits("ed/beer", count=200, seed=5)
+    cleaning_splits = load_splits("dc/beer", count=200, seed=5)
+
+    print("adapting the error detector (ED) ...")
+    detector = KnowTrans(bundle, config=config).fit(detection_splits)
+    print(f"  test F1: {detector.evaluate(detection_splits.test.examples):5.1f}")
+    print("adapting the cleaner (DC) ...")
+    cleaner = KnowTrans(bundle, config=config).fit(cleaning_splits)
+    print(f"  test repair-F1: {cleaner.evaluate(cleaning_splits.test.examples):5.1f}")
+
+    print()
+    print("knowledge searched for detection:")
+    for rule in detector.knowledge.rules[:6]:
+        print(f"  - {rule.render()}")
+
+    print()
+    print("end-to-end on five dirty records:")
+    for example in cleaning_splits.test.examples[:5]:
+        record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        dirty_value = record.get(attribute)
+        detected = detector.predict(
+            type(example)(
+                task="ed",
+                inputs={"record": record, "attribute": attribute},
+                answer="yes",
+            )
+        )
+        repair = cleaner.predict(example)
+        status = "flagged" if detected == "yes" else "MISSED"
+        verdict = "ok" if repair == example.answer else f"expected {example.answer!r}"
+        print(
+            f"  {attribute}={dirty_value!r}: {status}; "
+            f"repaired to {repair!r} ({verdict})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Baselines: upstream pipeline, DP-LLM peers, closed models, non-LLMs."""
+
+from .closed import CLOSED_MODELS, ClosedSourceLLM, make_closed_model
+from .jellyfish import UpstreamBundle, clear_bundles, get_bundle
+from .meld import MELDModel, fit_meld
+from .non_llm import NON_LLM_NAMES, fit_non_llm
+
+__all__ = [
+    "UpstreamBundle",
+    "get_bundle",
+    "clear_bundles",
+    "fit_meld",
+    "MELDModel",
+    "fit_non_llm",
+    "NON_LLM_NAMES",
+    "make_closed_model",
+    "ClosedSourceLLM",
+    "CLOSED_MODELS",
+]

@@ -1,0 +1,135 @@
+"""MELD — Mixture-of-Experts over adapters (paper baseline).
+
+MELD routes each *instance* to a combination of experts: the router
+scores the example's features against per-expert dataset centroids and
+sets the mixture weights per query.  The paper's critique — an
+"instance-level expert combination approach that fails to utilize
+dataset-level knowledge" — is exactly what this implementation does:
+the λ vector changes per example instead of being learned once for the
+downstream dataset the way SKC learns it.
+
+The experts are the same upstream LoRA patches SKC uses (trained once,
+shared through the bundle), plus one fresh patch fine-tuned on the
+few-shot data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import SKCConfig
+from ..core.skc.finetune import few_shot_finetune
+from ..core.skc.fusion import attach_fusion
+from ..data.schema import Dataset, Example
+from ..data.splits import DatasetSplits
+from ..knowledge.rules import Knowledge
+from ..knowledge.seed import seed_knowledge
+from ..tasks.base import get_task
+from ..core.skc.patches import dataset_training_examples
+from ..tinylm.linalg import softmax
+from .jellyfish import UpstreamBundle
+
+__all__ = ["MELDModel", "fit_meld"]
+
+
+class MELDModel:
+    """Instance-routed mixture of upstream knowledge patches."""
+
+    def __init__(
+        self,
+        model,
+        fusion,
+        centroids: np.ndarray,
+        task,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        top_k: int = 3,
+        router_temperature: float = 0.05,
+    ):
+        self.model = model
+        self.fusion = fusion
+        self.centroids = centroids
+        self.task = task
+        self.knowledge = knowledge
+        self.dataset = dataset
+        self.top_k = top_k
+        self.router_temperature = router_temperature
+
+    def _route(self, prompt_features: np.ndarray) -> np.ndarray:
+        """Per-instance mixture weights from centroid similarity."""
+        similarities = self.centroids @ prompt_features
+        weights = softmax(similarities / self.router_temperature)
+        if self.top_k < len(weights):
+            cutoff = np.sort(weights)[-self.top_k]
+            weights = np.where(weights >= cutoff, weights, 0.0)
+            weights = weights / weights.sum()
+        return weights
+
+    def predict(self, example: Example) -> str:
+        prompt = self.task.prompt(example, self.knowledge)
+        features = self.model.encode_prompt(prompt)
+        self.fusion.lambdas[:] = 0.3 * self._route(features)
+        pool = self.task.candidates(example, self.knowledge, self.dataset)
+        return pool[self.model.predict(prompt, pool)]
+
+    def evaluate(self, examples: Sequence[Example]) -> float:
+        golds = [ex.answer for ex in examples]
+        preds = [self.predict(ex) for ex in examples]
+        from ..tasks import metrics
+
+        originals = None
+        if self.task.name == "dc":
+            originals = [
+                ex.inputs["record"].get(ex.inputs["attribute"])
+                for ex in examples
+            ]
+        return metrics.score(self.task.name, golds, preds, originals)
+
+
+def _expert_centroids(
+    model, upstream_datasets: List[Dataset]
+) -> np.ndarray:
+    """Mean prompt-feature vector per upstream dataset (router keys)."""
+    rows = []
+    for dataset in upstream_datasets:
+        examples = dataset_training_examples(dataset)[:32]
+        features = np.stack(
+            [model.encode_prompt(ex.prompt) for ex in examples]
+        )
+        centroid = features.mean(axis=0)
+        norm = np.linalg.norm(centroid)
+        rows.append(centroid / norm if norm else centroid)
+    return np.stack(rows)
+
+
+def fit_meld(
+    bundle: UpstreamBundle,
+    splits: DatasetSplits,
+    config: Optional[SKCConfig] = None,
+) -> MELDModel:
+    """Adapt MELD to one downstream dataset from its few-shot data."""
+    config = config or bundle.skc_config
+    few_shot = splits.few_shot
+    task = get_task(few_shot.task)
+    knowledge = seed_knowledge(few_shot.task)
+    # Uniform fusion for fine-tuning the fresh expert; routing replaces
+    # the λ values per instance afterwards.
+    model, fusion = attach_fusion(
+        bundle.upstream_model,
+        bundle.patches,
+        config,
+        strategy="uniform",
+        name=f"meld-{few_shot.name}",
+    )
+    few_shot_finetune(model, few_shot, config, knowledge)
+    centroids = _expert_centroids(model, bundle.upstream_datasets)
+    return MELDModel(
+        model=model,
+        fusion=fusion,
+        centroids=centroids,
+        task=task,
+        knowledge=knowledge,
+        dataset=few_shot,
+    )

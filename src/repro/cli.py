@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available downstream datasets, model tiers and tasks.
+``adapt``
+    Run the full KnowTrans adaptation on one dataset and print scores,
+    the searched knowledge and the learned patch weights.
+``experiment``
+    Run one entry of the experiment registry (``table2``, ``fig4``, …)
+    and print the regenerated rows/series.
+``conflict``
+    Print the upstream gradient-conflict diagnostic (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .baselines.jellyfish import get_bundle
+from .core.config import KnowTransConfig
+from .core.knowtrans import KnowTrans
+from .data import generators
+from .eval import experiments
+from .eval.harness import load_splits
+from .tinylm.registry import TIERS
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": experiments.table1_dataset_statistics,
+    "table2": experiments.table2_open_source_comparison,
+    "table3": experiments.table3_cost_analysis,
+    "table4": experiments.table4_closed_source_comparison,
+    "table5": experiments.table5_ablation,
+    "table6": experiments.table6_weight_strategies,
+    "table7": experiments.table7_upstream_statistics,
+    "fig4": experiments.fig4_scalability,
+    "fig5": experiments.fig5_backbones_on_datasets,
+    "fig6": experiments.fig6_backbones_on_tasks,
+    "fig7": experiments.fig7_refinement_rounds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KnowTrans reproduction (ICDE 2025) command line",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list datasets, tiers and experiments")
+
+    adapt = commands.add_parser("adapt", help="adapt a DP-LLM to one dataset")
+    adapt.add_argument("dataset", help="dataset id, e.g. ed/beer")
+    adapt.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
+    adapt.add_argument("--seed", type=int, default=0)
+    adapt.add_argument("--count", type=int, default=200, help="dataset size")
+    adapt.add_argument("--scale", type=float, default=0.6, help="upstream scale")
+    adapt.add_argument("--no-skc", action="store_true", help="ablate SKC")
+    adapt.add_argument("--no-akb", action="store_true", help="ablate AKB")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--preset", default="quick", choices=("quick", "paper")
+    )
+
+    conflict = commands.add_parser(
+        "conflict", help="gradient tug-of-war diagnostic (paper Fig. 1)"
+    )
+    conflict.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
+    conflict.add_argument("--scale", type=float, default=0.4)
+    conflict.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("downstream datasets:")
+    for dataset_id in generators.downstream_ids():
+        print(f"  {dataset_id}")
+    print("model tiers:")
+    for tier in sorted(TIERS):
+        print(f"  {tier}")
+    print("experiments:")
+    for name in sorted(_EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    print(f"building upstream bundle ({args.tier}) ...")
+    bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
+    splits = load_splits(args.dataset, count=args.count, seed=args.seed)
+    adapter = KnowTrans(
+        bundle,
+        config=KnowTransConfig.fast(),
+        use_skc=not args.no_skc,
+        use_akb=not args.no_akb,
+    )
+    print(f"adapting to {args.dataset} ...")
+    adapted = adapter.fit(splits)
+    score = adapted.evaluate(splits.test.examples)
+    print(f"test score: {score:.2f}")
+    if adapted.knowledge:
+        print("searched knowledge:")
+        for rule in adapted.knowledge.rules:
+            print(f"  - {rule.render()}")
+    if adapted.fusion_weights:
+        top = sorted(adapted.fusion_weights.items(), key=lambda kv: -kv[1])[:5]
+        print("top patch weights:")
+        for name, weight in top:
+            print(f"  {name}: {weight:.3f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ctx = (
+        experiments.ExperimentContext.paper()
+        if args.preset == "paper"
+        else experiments.ExperimentContext.quick()
+    )
+    result = _EXPERIMENTS[args.name](ctx)
+    print(result["text"])
+    return 0
+
+
+def _cmd_conflict(args: argparse.Namespace) -> int:
+    from .eval.diagnostics import summarize_conflict
+
+    bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
+    report = summarize_conflict(bundle.base_model, bundle.upstream_datasets)
+    matrix = report["matrix"]
+    names = report["names"]
+    print("pairwise gradient cosine (upstream datasets at shared weights):")
+    width = max(len(n) for n in names)
+    for i, name in enumerate(names):
+        row = " ".join(f"{matrix[i, j]:+.2f}" for j in range(len(names)))
+        print(f"  {name.ljust(width)} {row}")
+    print(f"conflict rate (obtuse pairs): {report['conflict_rate']:.2%}")
+    print(f"mean off-diagonal cosine:     {report['mean_cosine']:+.3f}")
+    print(
+        f"worst tug-of-war pair:        {report['worst_pair'][0]} vs "
+        f"{report['worst_pair'][1]} ({report['worst_cosine']:+.3f})"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "adapt":
+        return _cmd_adapt(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "conflict":
+        return _cmd_conflict(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""AKB evaluation step (paper Eq. 8).
+
+Each knowledge candidate ρ is inserted into the task prompt and the
+fine-tuned DP-LLM is scored on the validation set with the task's own
+metric — "the metric is a suitable measure since our goal is to improve
+the performance of the target task".  Alongside the score we collect
+the error set E (Alg. 2 line 6) for the feedback step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ...data.schema import Dataset, Example
+from ...knowledge.rules import Knowledge
+from ...llm.mockgpt import ErrorCase
+from ...tasks import metrics
+from ...tasks.base import Task
+from ...tinylm.model import ScoringLM
+
+__all__ = ["score_knowledge"]
+
+
+def predict_detailed(
+    model: ScoringLM,
+    task: Task,
+    knowledge: Knowledge,
+    examples: Sequence[Example],
+    dataset: Optional[Dataset] = None,
+) -> Tuple[List[str], List[str], List[float], List[ErrorCase]]:
+    """Predictions plus gold-probability margins and error cases.
+
+    The margin (likelihood assigned to the reference answer) lets the
+    AKB scorer break ties between candidates whose hard metric is
+    identical on a tiny validation set.
+    """
+    golds: List[str] = []
+    preds: List[str] = []
+    margins: List[float] = []
+    errors: List[ErrorCase] = []
+    for example in examples:
+        pool = task.candidates(example, knowledge, dataset)
+        prompt = task.prompt(example, knowledge)
+        probabilities = model.probabilities(prompt, pool)
+        prediction = pool[int(probabilities.argmax())]
+        if example.answer in pool:
+            margins.append(float(probabilities[pool.index(example.answer)]))
+        else:
+            margins.append(0.0)
+        golds.append(example.answer)
+        preds.append(prediction)
+        if prediction != example.answer:
+            errors.append(ErrorCase(example=example, prediction=prediction))
+    return golds, preds, margins, errors
+
+
+def task_metric(
+    task: Task, golds: Sequence[str], preds: Sequence[str],
+    examples: Sequence[Example],
+) -> float:
+    """The task's paper metric over aligned gold/pred lists."""
+    originals = None
+    if task.name == "dc":
+        originals = [
+            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
+        ]
+    return metrics.score(task.name, golds, preds, originals)
+
+
+def score_knowledge(
+    model: ScoringLM,
+    task: Task,
+    knowledge: Knowledge,
+    examples: Sequence[Example],
+    dataset: Optional[Dataset] = None,
+) -> Tuple[float, List[ErrorCase]]:
+    """Score one candidate and collect its error cases (Eq. 8)."""
+    golds, preds, __margins, errors = predict_detailed(
+        model, task, knowledge, examples, dataset
+    )
+    return task_metric(task, golds, preds, examples), errors

@@ -1,0 +1,41 @@
+"""AKB feedback step (paper Eq. 9).
+
+Samples an error subset X_errors ⊂ E and asks the closed-source LLM
+for error feedback — why the current knowledge led the model astray and
+which aspects of the prompt could improve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...knowledge.rules import Knowledge
+from ...llm.mockgpt import ErrorCase, Feedback, MockGPT
+from ...tinylm.linalg import rng_for
+from ..config import AKBConfig
+
+__all__ = ["sample_errors", "make_feedback"]
+
+
+def sample_errors(
+    errors: Sequence[ErrorCase], count: int, seed: int, round_index: int
+) -> List[ErrorCase]:
+    """A random error subset; a fresh draw every refinement round."""
+    rng = rng_for(seed, "akb-errors", str(round_index))
+    if len(errors) <= count:
+        return list(errors)
+    indices = rng.choice(len(errors), size=count, replace=False)
+    return [errors[int(i)] for i in indices]
+
+
+def make_feedback(
+    mockgpt: MockGPT,
+    task_name: str,
+    knowledge: Knowledge,
+    errors: Sequence[ErrorCase],
+    config: AKBConfig,
+    round_index: int,
+) -> Feedback:
+    """Generate error feedback for the sampled subset."""
+    subset = sample_errors(errors, config.error_samples, config.seed, round_index)
+    return mockgpt.feedback(task_name, knowledge, subset)

@@ -1,0 +1,52 @@
+"""AKB generation step (paper Eq. 7).
+
+A subset of the few-shot data is rendered into demonstrations and the
+closed-source LLM produces the initial pool of knowledge candidates.
+The seed knowledge always remains a member of the pool so the search
+can never end below the handcrafted starting point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ...data.schema import Example
+from ...knowledge.rules import Knowledge
+from ...llm.mockgpt import MockGPT
+from ...tinylm.linalg import rng_for
+from ..config import AKBConfig
+
+__all__ = ["sample_demonstrations", "generate_pool"]
+
+
+def sample_demonstrations(
+    examples: Sequence[Example], count: int, seed: int
+) -> List[Example]:
+    """Random X_examples ⊂ D' for the generation prompt (Alg. 2 line 1)."""
+    rng = rng_for(seed, "akb-demos")
+    if len(examples) <= count:
+        return list(examples)
+    indices = rng.choice(len(examples), size=count, replace=False)
+    return [examples[int(i)] for i in indices]
+
+
+def generate_pool(
+    mockgpt: MockGPT,
+    task_name: str,
+    examples: Sequence[Example],
+    seed_knowledge: Knowledge,
+    config: AKBConfig,
+) -> List[Knowledge]:
+    """Initial candidate pool K, seed knowledge included."""
+    demonstrations = sample_demonstrations(
+        examples, config.generation_examples, config.seed
+    )
+    pool: List[Knowledge] = [seed_knowledge]
+    for candidate in mockgpt.generate_knowledge(
+        task_name, demonstrations, seed_knowledge, count=config.pool_size
+    ):
+        if candidate not in pool:
+            pool.append(candidate)
+    return pool

@@ -1,0 +1,139 @@
+"""The AKB optimisation loop (paper Algorithm 2).
+
+Generation seeds a candidate pool; each iteration scores every pool
+member on the validation data with the fine-tuned DP-LLM, collects the
+best candidate's error set, and grows the pool with feedback-driven
+refinements.  The loop stops at the configured iteration budget, when
+the best candidate makes no validation errors, or when the best score
+stops improving (patience).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...data.schema import Dataset, Example
+from ...knowledge.rules import Knowledge
+from ...knowledge.seed import seed_knowledge
+from ...llm.mockgpt import MockGPT
+from ...tasks.base import get_task
+from ...tinylm.model import ScoringLM
+from ..config import AKBConfig
+from .evaluation import score_knowledge
+from .feedback import make_feedback
+from .generation import generate_pool
+from .refinement import refine_knowledge
+
+__all__ = ["AKBRound", "AKBResult", "search_knowledge"]
+
+
+@dataclass(frozen=True)
+class AKBRound:
+    """Bookkeeping for one optimisation iteration."""
+
+    iteration: int
+    best_score: float
+    pool_size: int
+    error_count: int
+
+
+@dataclass
+class AKBResult:
+    """The searched knowledge plus its optimisation history."""
+
+    knowledge: Knowledge
+    best_score: float
+    rounds: List[AKBRound] = field(default_factory=list)
+    trajectory: List[Knowledge] = field(default_factory=list)
+
+    @property
+    def iterations_run(self) -> int:
+        return len(self.rounds)
+
+
+def search_knowledge(
+    model: ScoringLM,
+    dataset: Dataset,
+    validation: Sequence[Example],
+    mockgpt: Optional[MockGPT] = None,
+    config: Optional[AKBConfig] = None,
+    initial_knowledge: Optional[Knowledge] = None,
+    scorer=None,
+) -> AKBResult:
+    """Run Algorithm 2 and return the optimised dataset knowledge.
+
+    ``model`` is the SKC fine-tuned DP-LLM; ``validation`` is the
+    few-shot data (the paper uses D_valid = D'_i).  ``scorer`` overrides
+    the Eq. 8 evaluation — :class:`~repro.core.knowtrans.KnowTrans`
+    passes a cross-fitted scorer so a model that interpolates its 20
+    training examples still yields an informative ranking.
+    """
+    config = config or AKBConfig()
+    mockgpt = mockgpt or MockGPT(temperature=config.temperature, seed=config.seed)
+    task = get_task(dataset.task)
+    seed = initial_knowledge if initial_knowledge is not None else seed_knowledge(dataset.task)
+
+    if scorer is None:
+        def scorer(candidate: Knowledge):
+            return score_knowledge(model, task, candidate, validation, dataset)
+
+    pool = generate_pool(mockgpt, dataset.task, validation, seed, config)
+    scores: Dict[Knowledge, float] = {}
+    errors_by_candidate: Dict[Knowledge, list] = {}
+
+    def ensure_scored(candidate: Knowledge) -> float:
+        if candidate not in scores:
+            value, errors = scorer(candidate)
+            scores[candidate] = value
+            errors_by_candidate[candidate] = errors
+        return scores[candidate]
+
+    result = AKBResult(knowledge=seed, best_score=float("-inf"))
+    stale_rounds = 0
+    for iteration in range(config.iterations):
+        for candidate in pool:
+            ensure_scored(candidate)
+        best = max(pool, key=lambda candidate: scores[candidate])
+        best_score = scores[best]
+        errors = errors_by_candidate[best]
+        result.rounds.append(
+            AKBRound(
+                iteration=iteration,
+                best_score=best_score,
+                pool_size=len(pool),
+                error_count=len(errors),
+            )
+        )
+        if best_score > result.best_score + config.min_improvement:
+            result.knowledge = best
+            result.best_score = best_score
+            stale_rounds = 0
+        else:
+            stale_rounds += 1
+        result.trajectory.append(best)
+        if not errors:
+            break  # perfect on validation — nothing left to refine
+        if stale_rounds > config.patience:
+            break
+        for refinement_round in range(config.refinements_per_iteration):
+            feedback = make_feedback(
+                mockgpt,
+                dataset.task,
+                best,
+                errors,
+                config,
+                round_index=iteration * 100 + refinement_round,
+            )
+            refined = refine_knowledge(
+                mockgpt, dataset.task, best, errors, feedback, result.trajectory
+            )
+            if refined not in pool:
+                pool.append(refined)
+    # Final selection over everything ever scored (Alg. 2 line 15).
+    for candidate in pool:
+        ensure_scored(candidate)
+    final = max(pool, key=lambda candidate: scores[candidate])
+    result.knowledge = final
+    result.best_score = scores[final]
+    return result

@@ -1,0 +1,30 @@
+"""AKB refinement step (paper Eq. 10-11).
+
+The selected knowledge evolves under the generated feedback, with the
+full optimisation trajectory ρ₀..ρ_{t-1} in view so past candidates are
+not re-proposed ("implicitly summarizes the common mistakes from past
+solutions and avoids repeating them").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...knowledge.rules import Knowledge
+from ...llm.mockgpt import ErrorCase, Feedback, MockGPT
+
+__all__ = ["refine_knowledge"]
+
+
+def refine_knowledge(
+    mockgpt: MockGPT,
+    task_name: str,
+    knowledge: Knowledge,
+    errors: Sequence[ErrorCase],
+    feedback: Feedback,
+    trajectory: Sequence[Knowledge],
+) -> Knowledge:
+    """One refinement call ρ̂ₜ = M_gpt(P_refine ∥ X_errors ∥ fb ∥ ρ₀..ₜ₋₁)."""
+    return mockgpt.refine(
+        task_name, knowledge, errors, feedback, trajectory
+    )

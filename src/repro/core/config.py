@@ -1,0 +1,81 @@
+"""KnowTrans hyperparameters (paper Section VII-A analogues).
+
+The paper: LoRA rank 32, lr 6e-5, batch 4, grad-accum 4, 3 epochs for
+patch training; AKB with GPT-4o at temperature 0.9, 10 generation
+examples, 4 error examples per refinement, 3 iterations, 5 error
+samples per iteration; DP-LLM inference at temperature 0.35 / top-k 10
+/ top-p 0.9.  The substrate keeps every knob, rescaled to its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tinylm.trainer import TrainConfig
+
+__all__ = ["SKCConfig", "AKBConfig", "KnowTransConfig"]
+
+
+@dataclass(frozen=True)
+class SKCConfig:
+    """Selective Knowledge Concentration settings."""
+
+    lora_rank: int = 4
+    lora_alpha: float = 2.0
+    patch_epochs: int = 3
+    patch_learning_rate: float = 6e-3
+    finetune_epochs: int = 10
+    finetune_learning_rate: float = 6e-3
+    batch_size: int = 4
+    initial_lambda: float = 0.03
+    train_lambdas: bool = True
+    train_patches: bool = True
+    seed: int = 0
+
+    def patch_train_config(self) -> TrainConfig:
+        return TrainConfig(
+            learning_rate=self.patch_learning_rate,
+            batch_size=self.batch_size,
+            epochs=self.patch_epochs,
+            seed=self.seed,
+        )
+
+    def finetune_train_config(self) -> TrainConfig:
+        return TrainConfig(
+            learning_rate=self.finetune_learning_rate,
+            batch_size=self.batch_size,
+            epochs=self.finetune_epochs,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class AKBConfig:
+    """Automatic Knowledge Bridging settings."""
+
+    generation_examples: int = 10
+    pool_size: int = 5
+    iterations: int = 3
+    refinements_per_iteration: int = 2
+    error_samples: int = 5
+    temperature: float = 0.9
+    min_improvement: float = 1e-6
+    patience: int = 2
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class KnowTransConfig:
+    """Bundle of both component configurations."""
+
+    skc: SKCConfig = field(default_factory=SKCConfig)
+    akb: AKBConfig = field(default_factory=AKBConfig)
+    seed: int = 0
+
+    @staticmethod
+    def fast() -> "KnowTransConfig":
+        """A lighter setting for tests and quick examples."""
+        return KnowTransConfig(
+            skc=SKCConfig(finetune_epochs=6, patch_epochs=2),
+            akb=AKBConfig(pool_size=3, iterations=2, refinements_per_iteration=1),
+        )

@@ -1,0 +1,35 @@
+"""SKC stage 2 — dynamic knowledge patch fusion (Alg. 1 lines 7-10).
+
+Attaches the λ-weighted stack of upstream knowledge patches plus a
+fresh shared patch to a clone of the upstream DP-LLM (paper Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ...tinylm.fusion import PatchFusion
+from ...tinylm.lora import LoRAPatch
+from ...tinylm.model import ScoringLM
+from ..config import SKCConfig
+from .strategies import build_adapter
+
+__all__ = ["attach_fusion"]
+
+
+def attach_fusion(
+    upstream_model: ScoringLM,
+    upstream_patches: Sequence[LoRAPatch],
+    config: SKCConfig,
+    strategy: str = "adaptive",
+    name: str = "downstream",
+) -> Tuple[ScoringLM, PatchFusion]:
+    """Clone the upstream model and attach the fused adapter stack.
+
+    The clone keeps the upstream weights θ̂₀ frozen; all subsequent
+    training flows through the fusion parameters only.
+    """
+    model = upstream_model.clone()
+    fusion = build_adapter(strategy, model, upstream_patches, config, name)
+    model.attach(fusion)
+    return model, fusion

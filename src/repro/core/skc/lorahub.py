@@ -1,0 +1,104 @@
+"""LoRAHub-style black-box λ search — a related-work ablation.
+
+The paper's Related Work contrasts SKC with LoRAHub [94], which fuses
+LoRA modules by *black-box coefficient search* instead of gradient
+descent: the patches stay frozen and only the mixing weights λ are
+optimised against few-shot performance with a derivative-free method.
+This module implements that alternative — a (1+1) evolution strategy
+over λ — so the design choice "gradient-learned λ + trainable patches"
+(SKC) can be ablated against "search-only λ, frozen patches" (LoRAHub)
+on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...data.schema import Dataset
+from ...knowledge.rules import Knowledge
+from ...knowledge.seed import seed_knowledge
+from ...tasks.base import get_task
+from ...tinylm.fusion import PatchFusion
+from ...tinylm.linalg import rng_for
+from ...tinylm.lora import LoRAPatch
+from ...tinylm.model import ScoringLM
+from ..config import SKCConfig
+
+__all__ = ["LoRAHubConfig", "lorahub_search"]
+
+
+@dataclass(frozen=True)
+class LoRAHubConfig:
+    """Black-box search budget and mutation scale."""
+
+    iterations: int = 40
+    mutation_scale: float = 0.05
+    initial_lambda: float = 0.05
+    lambda_bounds: Tuple[float, float] = (-0.3, 0.8)
+    seed: int = 0
+
+
+def _few_shot_score(
+    model: ScoringLM, few_shot: Dataset, knowledge: Knowledge
+) -> float:
+    task = get_task(few_shot.task)
+    return task.evaluate(model, few_shot.examples, knowledge, few_shot)
+
+
+def lorahub_search(
+    upstream_model: ScoringLM,
+    patches: Sequence[LoRAPatch],
+    few_shot: Dataset,
+    config: Optional[LoRAHubConfig] = None,
+    skc_config: Optional[SKCConfig] = None,
+) -> Tuple[ScoringLM, PatchFusion, float]:
+    """Search mixing weights for frozen patches with a (1+1)-ES.
+
+    Returns ``(model, fusion, best_score)`` where the model carries the
+    fused adapter with the best λ found.  No gradients flow anywhere —
+    faithful to LoRAHub's black-box setting, and the reason it trails
+    SKC when the few-shot signal could also improve the patches
+    themselves.
+    """
+    config = config or LoRAHubConfig()
+    skc_config = skc_config or SKCConfig()
+    if not patches:
+        raise ValueError("lorahub search needs at least one upstream patch")
+    model = upstream_model.clone()
+    # The fresh patch stays at zero (untrained): LoRAHub composes
+    # existing modules rather than learning new parameters.
+    fusion = PatchFusion(
+        [patch.clone() for patch in patches],
+        LoRAPatch(
+            "lorahub-null",
+            model.config.target_shapes(),
+            rank=skc_config.lora_rank,
+            alpha=skc_config.lora_alpha,
+            seed=config.seed,
+        ),
+        initial_weight=config.initial_lambda,
+        train_lambdas=False,
+        train_patches=False,
+    )
+    model.attach(fusion)
+    knowledge = seed_knowledge(few_shot.task)
+    rng = rng_for(config.seed, "lorahub", few_shot.name)
+
+    low, high = config.lambda_bounds
+    best_lambdas = fusion.lambdas.copy()
+    best_score = _few_shot_score(model, few_shot, knowledge)
+    for __ in range(config.iterations):
+        candidate = best_lambdas + rng.normal(
+            0.0, config.mutation_scale, size=best_lambdas.shape
+        )
+        np.clip(candidate, low, high, out=candidate)
+        fusion.lambdas[:] = candidate
+        score = _few_shot_score(model, few_shot, knowledge)
+        if score >= best_score:
+            best_score = score
+            best_lambdas = candidate.copy()
+    fusion.lambdas[:] = best_lambdas
+    return model, fusion, best_score

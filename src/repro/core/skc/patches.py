@@ -1,0 +1,78 @@
+"""SKC stage 1 — upstream knowledge patch extraction (Alg. 1 lines 1-6).
+
+For every upstream dataset, a fresh LoRA module is fine-tuned *on the
+base model* (cross-model low-rank parameterisation, paper Eq. 2-3): the
+upstream DP-LLM has already absorbed the upstream data, so further
+fine-tuning it would extract nothing, while the analogous base model
+shares architecture and pretraining and therefore yields patches that
+transfer onto the upstream model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...data.schema import Dataset
+from ...knowledge.rules import Knowledge
+from ...knowledge.seed import ORACLES
+from ...tasks.base import get_task
+from ...tinylm.lora import LoRAPatch
+from ...tinylm.model import ScoringLM
+from ...tinylm.trainer import Trainer, TrainingExample
+from ..config import SKCConfig
+
+__all__ = ["dataset_training_examples", "extract_patch", "extract_knowledge_patches"]
+
+
+def dataset_training_examples(
+    dataset: Dataset, knowledge: Optional[Knowledge] = None
+) -> List[TrainingExample]:
+    """Convert a dataset into supervised instances for Eq. 3 training.
+
+    Upstream datasets train with their oracle knowledge in the prompt —
+    the instruction-tuning convention that grounds the canonical marker
+    vocabulary in the model.
+    """
+    if knowledge is None:
+        knowledge = ORACLES.get("up/" + dataset.name, Knowledge.empty())
+    task = get_task(dataset.task)
+    return [
+        task.training_example(example, knowledge, dataset)
+        for example in dataset.examples
+    ]
+
+
+def extract_patch(
+    base_model: ScoringLM,
+    dataset: Dataset,
+    config: SKCConfig,
+    knowledge: Optional[Knowledge] = None,
+) -> LoRAPatch:
+    """Train one isolated knowledge patch for ``dataset`` on the base model."""
+    patch = LoRAPatch(
+        name=f"{dataset.task}-{dataset.name}",
+        target_shapes=base_model.config.target_shapes(),
+        rank=config.lora_rank,
+        alpha=config.lora_alpha,
+        seed=config.seed,
+    )
+    # Work on a clone so the caller's base model never carries state.
+    worker = base_model.clone()
+    worker.attach(patch)
+    trainer = Trainer(worker, config.patch_train_config(), train_base=False)
+    trainer.fit(dataset_training_examples(dataset, knowledge))
+    worker.detach()
+    return patch
+
+
+def extract_knowledge_patches(
+    base_model: ScoringLM,
+    upstream_datasets: Sequence[Dataset],
+    config: Optional[SKCConfig] = None,
+) -> List[LoRAPatch]:
+    """Alg. 1 stage 1: one patch per upstream dataset, mutually isolated."""
+    config = config or SKCConfig()
+    return [
+        extract_patch(base_model, dataset, config)
+        for dataset in upstream_datasets
+    ]

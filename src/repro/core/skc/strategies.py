@@ -1,0 +1,67 @@
+"""Patch weighting strategies (paper Table VI).
+
+* ``single``   — no upstream patches; only the fresh patch trains
+  (equivalently: plain few-shot LoRA fine-tuning of the upstream model).
+* ``uniform``  — upstream patches fused with fixed equal weights.
+* ``adaptive`` — learnable λ (the full SKC behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ...tinylm.fusion import PatchFusion
+from ...tinylm.lora import LoRAPatch
+from ...tinylm.model import ScoringLM
+from ..config import SKCConfig
+
+__all__ = ["STRATEGIES", "build_adapter"]
+
+STRATEGIES: Tuple[str, ...] = ("single", "uniform", "adaptive")
+
+
+def build_adapter(
+    strategy: str,
+    model: ScoringLM,
+    upstream_patches: Sequence[LoRAPatch],
+    config: SKCConfig,
+    name: str = "downstream",
+) -> PatchFusion:
+    """Assemble the fusion adapter for a weighting strategy.
+
+    ``single`` still returns a :class:`PatchFusion` (with zero upstream
+    patches) so the fine-tuning stage is identical across strategies.
+    """
+    if strategy not in STRATEGIES:
+        raise KeyError(f"unknown strategy {strategy!r}; known: {STRATEGIES}")
+    new_patch = LoRAPatch(
+        name=name,
+        target_shapes=model.config.target_shapes(),
+        rank=config.lora_rank,
+        alpha=config.lora_alpha,
+        seed=config.seed,
+    )
+    if strategy == "single":
+        return PatchFusion(
+            upstream_patches=[],
+            new_patch=new_patch,
+            train_lambdas=False,
+            train_patches=False,
+        )
+    patches = [patch.clone() for patch in upstream_patches]
+    if strategy == "uniform":
+        weight = 1.0 / max(len(patches), 1)
+        return PatchFusion(
+            upstream_patches=patches,
+            new_patch=new_patch,
+            initial_weight=weight,
+            train_lambdas=False,
+            train_patches=config.train_patches,
+        )
+    return PatchFusion(
+        upstream_patches=patches,
+        new_patch=new_patch,
+        initial_weight=config.initial_lambda,
+        train_lambdas=config.train_lambdas,
+        train_patches=config.train_patches,
+    )

@@ -1,0 +1,18 @@
+"""Data substrate: schemas, vocab banks, splits, generators, and IO."""
+
+from . import io, profiling
+from .schema import Dataset, Example, Profile, Record, Table
+from .splits import DatasetSplits, few_shot_slice, split_dataset
+
+__all__ = [
+    "io",
+    "profiling",
+    "Dataset",
+    "Example",
+    "Profile",
+    "Record",
+    "Table",
+    "DatasetSplits",
+    "few_shot_slice",
+    "split_dataset",
+]

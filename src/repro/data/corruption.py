@@ -1,0 +1,116 @@
+"""Error-injection machinery for the ED and DC datasets.
+
+Each injector takes a clean value and returns ``(corrupted, error_type)``.
+The injectors mirror the error families the paper's Appendix knowledge
+talks about: typos, missing markers, format violations (percent signs on
+ABV, 24-hour times in a 12-hour feed, slashed dates in an ISO feed),
+and out-of-range numerics.  Error detection asks "is this cell wrong";
+data cleaning asks "what should it be" — the DC generators therefore
+keep the clean value alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "typo",
+    "missing_marker",
+    "add_percent_sign",
+    "slash_date",
+    "out_of_range",
+    "Corruption",
+    "CorruptionPlan",
+]
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(rng: np.random.Generator, value: str) -> Tuple[str, str]:
+    """Introduce a single character-level typo (swap/drop/duplicate/replace)."""
+    letters = [i for i, ch in enumerate(value) if ch.isalpha()]
+    if len(letters) < 2:
+        return value + "x", "typo"
+    kind = int(rng.integers(4))
+    chars = list(value)
+    if kind == 0:  # swap two adjacent letters
+        pos = letters[int(rng.integers(len(letters) - 1))]
+        nxt = min(pos + 1, len(chars) - 1)
+        chars[pos], chars[nxt] = chars[nxt], chars[pos]
+    elif kind == 1:  # drop a letter
+        pos = letters[int(rng.integers(len(letters)))]
+        del chars[pos]
+    elif kind == 2:  # duplicate a letter
+        pos = letters[int(rng.integers(len(letters)))]
+        chars.insert(pos, chars[pos])
+    else:  # replace a letter
+        pos = letters[int(rng.integers(len(letters)))]
+        chars[pos] = _ALPHABET[int(rng.integers(26))]
+    corrupted = "".join(chars)
+    if corrupted == value:  # rare no-op swap; force a visible change
+        corrupted = value + "x"
+    return corrupted, "typo"
+
+
+def missing_marker(rng: np.random.Generator, value: str) -> Tuple[str, str]:
+    """Replace the value with a missing-data marker."""
+    marker = ("nan", "n/a", "")[int(rng.integers(3))]
+    del value  # unused; signature kept uniform
+    return marker, "missing"
+
+
+def add_percent_sign(rng: np.random.Generator, value: str) -> Tuple[str, str]:
+    """Append a percent sign — the Beer-dataset ABV format violation."""
+    del rng
+    return value + "%", "format"
+
+
+def slash_date(rng: np.random.Generator, value: str) -> Tuple[str, str]:
+    """Convert an ISO ``YYYY-MM-DD`` date to sloppy ``M/D/YY`` form."""
+    del rng
+    parts = value.split("-")
+    if len(parts) != 3:
+        return value + "/", "format"
+    year, month, day = parts
+    return f"{int(month)}/{int(day)}/{year[-2:]}", "format"
+
+
+def out_of_range(rng: np.random.Generator, value: str) -> Tuple[str, str]:
+    """Scale a numeric value far outside its plausible range."""
+    try:
+        number = float(value)
+    except ValueError:
+        return "9999", "range"
+    factor = 100.0 if rng.integers(2) else 0.0
+    scaled = number * factor if factor else number + 9000.0
+    formatted = f"{scaled:g}"
+    return formatted, "range"
+
+
+Corruption = Callable[[np.random.Generator, str], Tuple[str, str]]
+
+
+class CorruptionPlan:
+    """A weighted menu of injectors applied to chosen cells.
+
+    ``inject`` corrupts a value with one sampled injector; generators use
+    it to decide *which* error family a given dirty cell exhibits, which
+    is exactly the structure AKB's feedback loop needs to discover.
+    """
+
+    def __init__(self, menu: List[Tuple[Corruption, float]]):
+        if not menu:
+            raise ValueError("corruption menu must not be empty")
+        self._injectors = [fn for fn, __ in menu]
+        weights = np.array([w for __, w in menu], dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("corruption weights must be non-negative, sum > 0")
+        self._probs = weights / weights.sum()
+
+    def inject(
+        self, rng: np.random.Generator, value: str
+    ) -> Tuple[str, str]:
+        index = int(rng.choice(len(self._injectors), p=self._probs))
+        return self._injectors[index](rng, value)

@@ -1,0 +1,69 @@
+"""Synthetic dataset generators for the full paper benchmark suite.
+
+``DOWNSTREAM_SPECS`` enumerates the 13 downstream datasets of paper
+Table I; :func:`build` constructs one by id (``"task/name"``), and
+:mod:`repro.data.generators.upstream` provides the 12 upstream datasets
+of Table VII.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..schema import Dataset
+from . import (
+    abt_buy,
+    ae110k,
+    beer,
+    cms,
+    flights,
+    flipkart,
+    oa_mine,
+    phone,
+    rayyan,
+    sotab,
+    upstream,
+    walmart_amazon,
+)
+
+__all__ = ["DOWNSTREAM_SPECS", "build", "downstream_ids", "upstream"]
+
+#: dataset id -> (builder, base example count at scale 1.0)
+DOWNSTREAM_SPECS: Dict[str, Tuple[Callable[[int, int], Dataset], int]] = {
+    "ed/flights": (flights.generate, 300),
+    "ed/rayyan": (rayyan.generate, 300),
+    "ed/beer": (beer.generate, 300),
+    "di/flipkart": (flipkart.generate, 280),
+    "di/phone": (phone.generate, 280),
+    "sm/cms": (cms.generate, 320),
+    "em/abt_buy": (abt_buy.generate, 300),
+    "em/walmart_amazon": (walmart_amazon.generate, 300),
+    "cta/sotab": (sotab.generate, 260),
+    "ave/ae110k": (ae110k.generate, 280),
+    "ave/oa_mine": (oa_mine.generate, 280),
+    "dc/rayyan": (rayyan.generate_cleaning, 280),
+    "dc/beer": (beer.generate_cleaning, 280),
+}
+
+
+def downstream_ids() -> Tuple[str, ...]:
+    """All downstream dataset ids in paper Table I/II order."""
+    return tuple(DOWNSTREAM_SPECS)
+
+
+def build(dataset_id: str, count: int | None = None, seed: int = 0,
+          scale: float = 1.0) -> Dataset:
+    """Construct a downstream dataset.
+
+    ``count`` overrides the spec's base size; otherwise the base size is
+    multiplied by ``scale``.
+    """
+    if dataset_id not in DOWNSTREAM_SPECS:
+        raise KeyError(
+            f"unknown dataset id {dataset_id!r}; "
+            f"known: {sorted(DOWNSTREAM_SPECS)}"
+        )
+    builder, base = DOWNSTREAM_SPECS[dataset_id]
+    if count is None:
+        count = max(40, int(round(base * scale)))
+    return builder(count, seed)

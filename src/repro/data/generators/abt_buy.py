@@ -1,0 +1,109 @@
+"""Abt-Buy — entity matching (paper: EM / Abt-Buy).
+
+Consumer-electronics offers from two stores.  A latent product is
+identified by its *model number*; the two renderers disagree on word
+order, abbreviations, verbosity and — crucially — price (a deliberate
+distractor the searched knowledge says to disregard).  Hard negatives
+share brand and product family but differ in model number, so surface
+similarity alone misclassifies them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Record
+from .common import (
+    build_matching_examples,
+    make_rng,
+    maybe,
+    model_number,
+    perturb_title,
+    price_string,
+)
+
+__all__ = ["generate"]
+
+
+def _entity(rng: np.random.Generator) -> Dict[str, str]:
+    brand = vocab.choice(rng, vocab.ELECTRONICS_BRANDS)
+    product = vocab.choice(rng, vocab.ELECTRONICS_PRODUCTS[brand])
+    return {
+        "brand": brand,
+        "product": product,
+        "model": model_number(rng),
+        "color": vocab.choice(rng, vocab.COLORS),
+        "base_price": price_string(rng, 30, 900),
+    }
+
+
+def _hard_negative(
+    rng: np.random.Generator, entity: Dict[str, str]
+) -> Dict[str, str]:
+    other = dict(entity)
+    other["model"] = model_number(rng)
+    if maybe(rng, 0.4):
+        other["color"] = vocab.choice(rng, vocab.COLORS)
+    if maybe(rng, 0.3):
+        other["product"] = vocab.choice(
+            rng, vocab.ELECTRONICS_PRODUCTS[entity["brand"]]
+        )
+    return other
+
+
+def _render_abt(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    name = f"{entity['brand']} {entity['color']} {entity['product']} {entity['model']}"
+    description = (
+        f"{entity['brand']} {entity['product']} model {entity['model']} "
+        f"in {entity['color']} finish with full manufacturer warranty"
+    )
+    return Record.from_dict(
+        {
+            "name": name,
+            "description": description,
+            "price": entity["base_price"],
+        }
+    )
+
+
+def _render_buy(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    name = perturb_title(
+        rng, f"{entity['brand']} {entity['product']} {entity['model']}"
+    )
+    description = "nan" if maybe(rng, 0.5) else (
+        f"{entity['product']} by {entity['brand']} {entity['model']}"
+    )
+    # Prices differ across stores — a distractor, not a signal.
+    price = price_string(rng, 30, 900)
+    return Record.from_dict(
+        {"name": name, "description": description, "price": price}
+    )
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the Abt-Buy entity-matching dataset."""
+    rng = make_rng(seed, "em/abt_buy")
+    examples = build_matching_examples(
+        task="em",
+        count=count,
+        rng=rng,
+        entity_factory=_entity,
+        render_left=_render_abt,
+        render_right=_render_buy,
+        hard_negative=_hard_negative,
+        positive_rate=0.4,
+    )
+    return Dataset(
+        name="abt_buy",
+        task="em",
+        examples=examples,
+        label_set=("yes", "no"),
+        latent_rules=(
+            "model numbers are the primary identifiers",
+            "prices differ across stores and should be disregarded",
+            "nan descriptions mean: compare the other attributes",
+        ),
+    )

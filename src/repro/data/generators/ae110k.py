@@ -1,0 +1,83 @@
+"""AE-110k — attribute value extraction (paper: AVE / AE-110k, novel task).
+
+Sports/apparel listing titles paired with a target attribute; the answer
+is the value span inside the title, or ``n/a`` when the title does not
+carry the attribute.  Encodes the searched AE knowledge: extract a
+*single* value, prefer the first occurrence, default to ``n/a`` when the
+attribute is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Example
+from .common import make_rng, maybe
+
+__all__ = ["generate", "ATTRIBUTES"]
+
+ATTRIBUTES = ("sport type", "feature", "gender", "color", "material")
+
+_ITEMS = ("shoes", "shorts", "jersey", "jacket", "socks", "gloves", "cap", "backpack")
+
+
+def _listing(rng: np.random.Generator) -> Dict[str, str]:
+    """Draw a latent listing; some attributes are intentionally absent."""
+    slots = {
+        "gender": vocab.choice(rng, vocab.GENDERS) if maybe(rng, 0.8) else "",
+        "feature": vocab.choice(rng, vocab.FEATURES) if maybe(rng, 0.75) else "",
+        "sport type": vocab.choice(rng, vocab.SPORT_TYPES) if maybe(rng, 0.8) else "",
+        "color": vocab.choice(rng, vocab.COLORS) if maybe(rng, 0.7) else "",
+        "material": vocab.choice(rng, vocab.MATERIALS) if maybe(rng, 0.5) else "",
+    }
+    # A second feature may trail the title only when a primary feature
+    # exists — the "first occurrence wins" convention; a lone trailing
+    # feature would contradict the n/a label.
+    extra_feature = ""
+    if slots["feature"] and maybe(rng, 0.3):
+        extra_feature = vocab.choice(
+            rng, [f for f in vocab.FEATURES if f != slots["feature"]]
+        )
+    fillers = ("new", "hot sale", "2024", "premium", "classic", "outdoor")
+    parts = [
+        vocab.choice(rng, fillers) if maybe(rng, 0.45) else "",
+        slots["gender"],
+        slots["feature"],
+        slots["sport type"],
+        vocab.choice(rng, _ITEMS),
+        slots["color"],
+        slots["material"],
+        extra_feature,
+        "sportswear" if maybe(rng, 0.3) else "",
+    ]
+    slots["title"] = " ".join(p for p in parts if p)
+    return slots
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the AE-110k attribute-value-extraction dataset."""
+    rng = make_rng(seed, "ave/ae110k")
+    examples: List[Example] = []
+    for __ in range(count):
+        listing = _listing(rng)
+        attribute = ATTRIBUTES[int(rng.integers(len(ATTRIBUTES)))]
+        answer = listing[attribute] or "n/a"
+        examples.append(
+            Example(
+                task="ave",
+                inputs={"text": listing["title"], "attribute": attribute},
+                answer=answer,
+            )
+        )
+    return Dataset(
+        name="ae110k",
+        task="ave",
+        examples=examples,
+        latent_rules=(
+            "extract one value; when two features occur the first wins",
+            "answer n/a when the title does not mention the attribute",
+        ),
+    )

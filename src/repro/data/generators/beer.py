@@ -1,0 +1,170 @@
+"""Beer — craft-beer catalogue for error detection *and* cleaning.
+
+Encodes the paper's signature Beer quirks: ABV is a decimal in ``[0, 1]``
+and a trailing ``%`` is always an error (the "no-percent rule" the
+searched knowledge emphasises), IBU is an integer where ``nan`` is an
+error, and categorical fields (style, city, brewery) suffer recoverable
+spelling errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...data import vocab
+from ..corruption import typo
+from ..schema import Dataset, Example, Record
+from .common import make_rng, maybe
+
+__all__ = ["generate", "generate_cleaning", "clean_record", "ATTRIBUTES"]
+
+ATTRIBUTES = (
+    "beer_name",
+    "brewery_name",
+    "style",
+    "abv",
+    "ibu",
+    "city",
+    "state",
+    "ounces",
+)
+
+_OUNCES = ("12", "16", "19.2", "24", "32")
+
+
+def brewery_name(rng: np.random.Generator) -> str:
+    return " ".join(
+        (
+            vocab.choice(rng, vocab.BEER_ADJECTIVES),
+            vocab.choice(rng, vocab.BEER_NOUNS),
+            vocab.choice(rng, vocab.BREWERY_SUFFIXES),
+        )
+    )
+
+
+def beer_name(rng: np.random.Generator) -> str:
+    return " ".join(
+        (
+            vocab.choice(rng, vocab.BEER_ADJECTIVES),
+            vocab.choice(rng, vocab.BEER_NOUNS),
+            vocab.choice(rng, vocab.BEER_STYLES).split()[-1],
+        )
+    )
+
+
+def clean_record(rng: np.random.Generator) -> Record:
+    """A clean craft-beer catalogue row."""
+    abv = round(float(rng.uniform(0.03, 0.12)), 3)
+    return Record.from_dict(
+        {
+            "beer_name": beer_name(rng),
+            "brewery_name": brewery_name(rng),
+            "style": vocab.choice(rng, vocab.BEER_STYLES),
+            "abv": f"{abv}",
+            "ibu": str(int(rng.integers(5, 120))),
+            "city": vocab.choice(rng, vocab.CITIES),
+            "state": vocab.choice(rng, vocab.STATES),
+            "ounces": vocab.choice(rng, _OUNCES),
+        }
+    )
+
+
+def _corrupt(
+    rng: np.random.Generator, record: Record, attribute: str
+) -> Tuple[Record, str, str]:
+    value = record.get(attribute)
+    if attribute == "abv":
+        # The signature violation: percent sign (sometimes scaled ×100).
+        if maybe(rng, 0.6):
+            return record.replace(attribute, value + "%"), "format", value
+        scaled = f"{float(value) * 100:.1f}"
+        return record.replace(attribute, scaled), "range", value
+    if attribute == "ibu":
+        if maybe(rng, 0.7):
+            return record.replace(attribute, "nan"), "missing", value
+        return record.replace(attribute, f"{value}.5x"), "format", value
+    if attribute in ("ounces",):
+        return record.replace(attribute, "nan"), "missing", value
+    if attribute == "state":
+        return record.replace(attribute, "nan"), "missing", value
+    corrupted, kind = typo(rng, value)
+    return record.replace(attribute, corrupted), kind, value
+
+
+_DC_ATTRIBUTES = ("beer_name", "brewery_name", "style", "abv", "city")
+
+
+def _corrupt_for_cleaning(
+    rng: np.random.Generator, record: Record, attribute: str
+) -> Tuple[Record, str, str]:
+    """Recoverable corruptions only (clean value inferable from context)."""
+    value = record.get(attribute)
+    if attribute == "abv":
+        return record.replace(attribute, value + "%"), "format", value
+    corrupted, kind = typo(rng, value)
+    return record.replace(attribute, corrupted), kind, value
+
+
+def _build(count: int, seed: int, task: str) -> List[Example]:
+    rng = make_rng(seed, f"{task}/beer")
+    examples: List[Example] = []
+    for __ in range(count):
+        record = clean_record(rng)
+        if task == "ed":
+            attribute = ATTRIBUTES[int(rng.integers(len(ATTRIBUTES)))]
+            is_error = maybe(rng, 0.4)
+            error_type = "clean"
+            if is_error:
+                record, error_type, __clean = _corrupt(rng, record, attribute)
+            examples.append(
+                Example(
+                    task="ed",
+                    inputs={"record": record, "attribute": attribute},
+                    answer="yes" if is_error else "no",
+                    meta={"error_type": error_type},
+                )
+            )
+        else:
+            attribute = _DC_ATTRIBUTES[int(rng.integers(len(_DC_ATTRIBUTES)))]
+            record, error_type, clean_value = _corrupt_for_cleaning(
+                rng, record, attribute
+            )
+            examples.append(
+                Example(
+                    task="dc",
+                    inputs={"record": record, "attribute": attribute},
+                    answer=clean_value,
+                    meta={"error_type": error_type},
+                )
+            )
+    return examples
+
+
+_LATENT_RULES = (
+    "abv is a decimal in [0, 1]; a percent sign is always an error",
+    "ibu is an integer; nan is an error",
+    "style, city and brewery names come from fixed vocabularies",
+)
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Beer error-detection dataset."""
+    return Dataset(
+        name="beer",
+        task="ed",
+        examples=_build(count, seed, "ed"),
+        label_set=("yes", "no"),
+        latent_rules=_LATENT_RULES,
+    )
+
+
+def generate_cleaning(count: int, seed: int = 0) -> Dataset:
+    """Beer data-cleaning dataset."""
+    return Dataset(
+        name="beer",
+        task="dc",
+        examples=_build(count, seed, "dc"),
+        latent_rules=_LATENT_RULES,
+    )

@@ -1,0 +1,158 @@
+"""CMS — schema matching (paper: SM / CMS).
+
+Medicare-claims column pairs: decide whether two ``(name, description)``
+attributes denote the same concept.  Concepts come in surface-form
+clusters (spelled-out names vs. vowel-stripped coded names); hard
+negatives pair *related but distinct* concepts (claim start vs. end
+dates, diagnosis vs. procedure codes, race vs. ethnicity codes) with
+high lexical overlap — which is why schema matching stays the hardest
+task for every method in the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..schema import Dataset, Example
+from .common import make_rng, maybe
+
+__all__ = ["generate", "CONCEPTS"]
+
+# Each concept: tuple of (column_name, description) surface variants.
+CONCEPTS: Tuple[Tuple[Tuple[str, str], ...], ...] = (
+    (
+        ("prvdr_state_cd", "code of the state of the provider"),
+        ("provider_state", "state where the provider practices"),
+        ("prv_st", "two letter state for the billing provider"),
+    ),
+    (
+        ("clm_from_dt", "date when the claim period begins"),
+        ("claim_start_date", "start date of the claim"),
+    ),
+    (
+        ("clm_thru_dt", "date when the claim period ends"),
+        ("claim_end_date", "end date of the claim"),
+    ),
+    (
+        ("bene_birth_dt", "date of birth of the beneficiary"),
+        ("dob", "birth date of the insured person"),
+    ),
+    (
+        ("icd9_dgns_cd", "icd9 code of the diagnosis"),
+        ("diagnosis_code", "code identifying the diagnosis"),
+    ),
+    (
+        ("icd9_prcdr_cd", "icd9 code of the procedure performed"),
+        ("procedure_code", "code identifying the clinical procedure"),
+    ),
+    (
+        ("prvdr_npi", "national provider identifier number"),
+        ("provider_npi_num", "npi number of the rendering provider"),
+    ),
+    (
+        ("clm_pmt_amt", "amount paid for the claim"),
+        ("claim_payment_amount", "payment amount of the claim"),
+    ),
+    (
+        ("bene_sex_ident_cd", "code identifying the sex of the beneficiary"),
+        ("patient_gender", "gender of the patient"),
+    ),
+    (
+        ("bene_race_cd", "code for the race of the beneficiary"),
+        ("race_code", "coded race category"),
+    ),
+    (
+        ("ethnicity_cd", "code for the ethnicity of the beneficiary"),
+        ("ethnic_group", "ethnic group classification"),
+    ),
+    (
+        ("admsn_dt", "date the patient was admitted"),
+        ("admission_date", "hospital admission date"),
+    ),
+    (
+        ("dschrg_dt", "date the patient was discharged"),
+        ("discharge_date", "hospital discharge date"),
+    ),
+    (
+        ("hcpcs_cd", "hcpcs code of the billed service"),
+        ("service_code", "code of the healthcare service billed"),
+    ),
+    (
+        ("clm_drg_cd", "diagnosis related group code of the claim"),
+        ("drg_code", "drg classification code"),
+    ),
+    (
+        ("bene_cnty_cd", "county code of the beneficiary residence"),
+        ("county_code", "code of the county of residence"),
+    ),
+    (
+        ("bene_zip_cd", "zip code of the beneficiary"),
+        ("zip", "postal zip code of the insured"),
+    ),
+    (
+        ("prvdr_spclty", "specialty code of the provider"),
+        ("provider_specialty", "clinical specialty of the provider"),
+    ),
+)
+
+# Pairs of concept indices that are deliberately confusable.
+_HARD_NEGATIVES: Tuple[Tuple[int, int], ...] = (
+    (1, 2),    # claim start vs end date
+    (4, 5),    # diagnosis vs procedure code
+    (9, 10),   # race vs ethnicity code
+    (11, 12),  # admission vs discharge date
+    (1, 11),   # claim start vs admission date
+    (13, 14),  # hcpcs vs drg code
+)
+
+
+def _pick_variant(
+    rng: np.random.Generator, concept: Tuple[Tuple[str, str], ...]
+) -> Tuple[str, str]:
+    return concept[int(rng.integers(len(concept)))]
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the CMS schema-matching dataset (positive rate ≈ 0.25)."""
+    rng = make_rng(seed, "sm/cms")
+    examples: List[Example] = []
+    for __ in range(count):
+        is_match = maybe(rng, 0.25)
+        if is_match:
+            concept = CONCEPTS[int(rng.integers(len(CONCEPTS)))]
+            idx = rng.choice(len(concept), size=2, replace=False)
+            left, right = concept[int(idx[0])], concept[int(idx[1])]
+        elif maybe(rng, 0.55):
+            i, j = _HARD_NEGATIVES[int(rng.integers(len(_HARD_NEGATIVES)))]
+            if maybe(rng, 0.5):
+                i, j = j, i
+            left = _pick_variant(rng, CONCEPTS[i])
+            right = _pick_variant(rng, CONCEPTS[j])
+        else:
+            i, j = rng.choice(len(CONCEPTS), size=2, replace=False)
+            left = _pick_variant(rng, CONCEPTS[int(i)])
+            right = _pick_variant(rng, CONCEPTS[int(j)])
+        examples.append(
+            Example(
+                task="sm",
+                inputs={
+                    "left_name": left[0],
+                    "left_desc": left[1],
+                    "right_name": right[0],
+                    "right_desc": right[1],
+                },
+                answer="yes" if is_match else "no",
+            )
+        )
+    return Dataset(
+        name="cms",
+        task="sm",
+        examples=examples,
+        label_set=("yes", "no"),
+        latent_rules=(
+            "descriptions carry the semantics; names may be vowel-stripped codes",
+            "start/end dates and diagnosis/procedure codes are distinct concepts",
+        ),
+    )

@@ -1,0 +1,134 @@
+"""Shared machinery for the synthetic dataset generators.
+
+Every generator exposes ``generate(count, seed) -> Dataset`` and is fully
+deterministic given ``(count, seed)``.  This module holds the helpers
+that recur across datasets: model numbers, prices, surface-form
+perturbation for entity matching, and balanced pair assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..schema import Example, Record
+
+__all__ = [
+    "make_rng",
+    "maybe",
+    "model_number",
+    "price_string",
+    "abbreviate",
+    "drop_words",
+    "shuffle_words",
+    "perturb_title",
+    "build_matching_examples",
+]
+
+
+def make_rng(seed: int, name: str) -> np.random.Generator:
+    """Deterministic per-dataset RNG derived from a root seed."""
+    acc = 2166136261
+    for byte in name.encode("utf-8"):
+        acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+    return np.random.default_rng([seed & 0xFFFFFFFF, acc])
+
+
+def maybe(rng: np.random.Generator, probability: float) -> bool:
+    return float(rng.random()) < probability
+
+
+def model_number(rng: np.random.Generator, prefix_len: int = 2) -> str:
+    """A product model number such as ``sx-4412`` — the EM key identifier."""
+    letters = "abcdefghjkmnpqrstuvwxyz"
+    prefix = "".join(
+        letters[int(rng.integers(len(letters)))] for __ in range(prefix_len)
+    )
+    return f"{prefix}-{int(rng.integers(1000, 9999))}"
+
+
+def price_string(rng: np.random.Generator, low: float, high: float) -> str:
+    """A retail price with realistic cents."""
+    dollars = float(rng.uniform(low, high))
+    cents = (0.99, 0.95, 0.49, 0.0)[int(rng.integers(4))]
+    return f"{int(dollars) + cents:.2f}"
+
+
+def abbreviate(word: str) -> str:
+    """Drop interior vowels — a common catalogue abbreviation style."""
+    if len(word) <= 3:
+        return word
+    head, tail = word[0], word[1:]
+    return head + "".join(ch for ch in tail if ch not in "aeiou") or word
+
+
+def drop_words(rng: np.random.Generator, text: str, keep_min: int = 2) -> str:
+    words = text.split()
+    if len(words) <= keep_min:
+        return text
+    drop = int(rng.integers(len(words)))
+    return " ".join(w for i, w in enumerate(words) if i != drop)
+
+
+def shuffle_words(rng: np.random.Generator, text: str) -> str:
+    words = text.split()
+    if len(words) < 3:
+        return text
+    middle = words[1:]
+    rng.shuffle(middle)
+    return " ".join([words[0]] + middle)
+
+
+def perturb_title(rng: np.random.Generator, title: str) -> str:
+    """Re-render a product title the way a second marketplace would."""
+    result = title
+    if maybe(rng, 0.4):
+        result = drop_words(rng, result)
+    if maybe(rng, 0.3):
+        words = result.split()
+        pos = int(rng.integers(len(words)))
+        words[pos] = abbreviate(words[pos])
+        result = " ".join(words)
+    if maybe(rng, 0.25):
+        result = shuffle_words(rng, result)
+    return result
+
+
+def build_matching_examples(
+    task: str,
+    count: int,
+    rng: np.random.Generator,
+    entity_factory: Callable[[np.random.Generator], Dict[str, str]],
+    render_left: Callable[[np.random.Generator, Dict[str, str]], Record],
+    render_right: Callable[[np.random.Generator, Dict[str, str]], Record],
+    hard_negative: Callable[[np.random.Generator, Dict[str, str]], Dict[str, str]],
+    positive_rate: float = 0.4,
+    meta: Dict[str, str] | None = None,
+) -> List[Example]:
+    """Assemble a balanced entity-matching dataset.
+
+    Positives render the *same* latent entity twice through independent
+    marketplace renderers; hard negatives derive a near-duplicate entity
+    (same brand/family, different key identifier) so that superficial
+    similarity is not sufficient — the structure that makes key-attribute
+    knowledge valuable.
+    """
+    examples: List[Example] = []
+    for __ in range(count):
+        entity = entity_factory(rng)
+        is_match = maybe(rng, positive_rate)
+        left = render_left(rng, entity)
+        if is_match:
+            right = render_right(rng, entity)
+        else:
+            right = render_right(rng, hard_negative(rng, entity))
+        examples.append(
+            Example(
+                task=task,
+                inputs={"left": left, "right": right},
+                answer="yes" if is_match else "no",
+                meta=dict(meta or {}),
+            )
+        )
+    return examples

@@ -1,0 +1,123 @@
+"""Flights — error detection (paper: ED / Flights).
+
+Flight status records whose clean cells follow strict conventions:
+12-hour times with month-day suffixes (``7:10 a.m. dec 1``), dashed
+flight codes (``aa-1007-ord-phx``).  Injected errors: 24-hour time
+strings, missing markers, typos in the flight code / datasource —
+exactly the error families the paper's searched Flights knowledge
+enumerates (format consistency, missing values, contextual errors).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Example, Record
+from .common import make_rng, maybe
+
+__all__ = ["generate", "clean_record", "TIME_ATTRIBUTES"]
+
+_MONTHS = ("jan", "feb", "mar", "apr", "may", "jun",
+           "jul", "aug", "sep", "oct", "nov", "dec")
+_SOURCES = ("flightview", "flightaware", "flightstats", "airtravelcenter",
+            "myrateplan", "orbitz", "travelocity")
+
+TIME_ATTRIBUTES = (
+    "scheduled_departure",
+    "actual_departure",
+    "scheduled_arrival",
+    "actual_arrival",
+)
+
+
+def _time_string(rng: np.random.Generator, month: str, day: int) -> str:
+    hour = int(rng.integers(1, 13))
+    minute = int(rng.integers(0, 60))
+    half = "a.m." if maybe(rng, 0.5) else "p.m."
+    return f"{hour}:{minute:02d} {half} {month} {day}"
+
+
+def _twenty_four_hour(rng: np.random.Generator, month: str, day: int) -> str:
+    hour = int(rng.integers(0, 24))
+    minute = int(rng.integers(0, 60))
+    return f"{hour:02d}:{minute:02d} {month} {day}"
+
+
+def clean_record(rng: np.random.Generator) -> Record:
+    """A fully clean flight-status record."""
+    airline = vocab.choice(rng, vocab.AIRLINES)
+    origin, destination = vocab.sample_distinct(rng, vocab.AIRPORTS, 2)
+    month = _MONTHS[int(rng.integers(12))]
+    day = int(rng.integers(1, 29))
+    return Record.from_dict(
+        {
+            "datasource": vocab.choice(rng, _SOURCES),
+            "flight": f"{airline}-{int(rng.integers(100, 9999))}-{origin}-{destination}",
+            "scheduled_departure": _time_string(rng, month, day),
+            "actual_departure": _time_string(rng, month, day),
+            "scheduled_arrival": _time_string(rng, month, day),
+            "actual_arrival": _time_string(rng, month, day),
+        }
+    )
+
+
+def _corrupt(
+    rng: np.random.Generator, record: Record, attribute: str
+) -> Tuple[Record, str]:
+    value = record.get(attribute)
+    if attribute in TIME_ATTRIBUTES:
+        roll = rng.random()
+        if roll < 0.45:  # 24-hour format violation
+            month = value.split()[-2]
+            day = int(value.split()[-1])
+            return record.replace(
+                attribute, _twenty_four_hour(rng, month, day)
+            ), "format"
+        if roll < 0.8:
+            return record.replace(attribute, "nan"), "missing"
+        # strip the a.m./p.m. marker — still a format violation
+        stripped = value.replace(" a.m.", "").replace(" p.m.", "")
+        return record.replace(attribute, stripped), "format"
+    if attribute == "flight":
+        mangled = value.replace("-", " ", 1)
+        return record.replace(attribute, mangled), "format"
+    # datasource: missing or typo
+    if maybe(rng, 0.5):
+        return record.replace(attribute, "n/a"), "missing"
+    return record.replace(attribute, value[:-1] + "x"), "typo"
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the Flights error-detection dataset with ``count`` examples."""
+    rng = make_rng(seed, "ed/flights")
+    examples: List[Example] = []
+    attributes = ("datasource", "flight") + TIME_ATTRIBUTES
+    for __ in range(count):
+        record = clean_record(rng)
+        attribute = attributes[int(rng.integers(len(attributes)))]
+        is_error = maybe(rng, 0.4)
+        error_type = "clean"
+        if is_error:
+            record, error_type = _corrupt(rng, record, attribute)
+        examples.append(
+            Example(
+                task="ed",
+                inputs={"record": record, "attribute": attribute},
+                answer="yes" if is_error else "no",
+                meta={"error_type": error_type},
+            )
+        )
+    return Dataset(
+        name="flights",
+        task="ed",
+        examples=examples,
+        label_set=("yes", "no"),
+        latent_rules=(
+            "times follow the 12-hour 'h:mm a.m./p.m. mon d' format",
+            "nan and n/a always indicate errors",
+            "flight codes are dash-separated airline-number-origin-destination",
+        ),
+    )

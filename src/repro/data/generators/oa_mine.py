@@ -1,0 +1,82 @@
+"""OA-mine — attribute value extraction (paper: AVE / OA-mine, novel task).
+
+Grocery product titles with flavor/scent/brand attributes.  The searched
+OA knowledge is baked in as generative structure: descriptive terms
+(flavors, scents) take precedence over brand names, brand names are
+valid answers only for the ``brand`` attribute, and absent attributes
+map to ``n/a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Example
+from .common import make_rng, maybe
+
+__all__ = ["generate", "ATTRIBUTES"]
+
+ATTRIBUTES = ("flavor", "scent", "brand", "item form")
+
+_FORMS = vocab.ITEM_FORMS
+_PRODUCTS = ("coffee", "tea", "candle", "soap", "creamer", "syrup", "lotion")
+_COUNTS = ("12 count", "24 pack", "6 oz", "16 oz", "2 pound bag")
+
+
+def _listing(rng: np.random.Generator) -> Dict[str, str]:
+    product = vocab.choice(rng, _PRODUCTS)
+    scented = product in ("candle", "soap", "lotion")
+    slots = {
+        "brand": vocab.choice(rng, vocab.GROCERY_BRANDS),
+        "flavor": "" if scented else (
+            vocab.choice(rng, vocab.FLAVORS) if maybe(rng, 0.8) else ""
+        ),
+        "scent": (
+            vocab.choice(rng, vocab.SCENTS) if scented and maybe(rng, 0.85) else ""
+        ),
+        "item form": vocab.choice(rng, _FORMS) if maybe(rng, 0.6) else "",
+    }
+    decaf = "decaf" if product == "coffee" and maybe(rng, 0.3) else ""
+    fillers = ("premium", "organic", "family size", "value pack", "gourmet")
+    parts = [
+        vocab.choice(rng, fillers) if maybe(rng, 0.45) else "",
+        slots["brand"],
+        slots["flavor"],
+        slots["scent"],
+        decaf,
+        product,
+        slots["item form"],
+        vocab.choice(rng, _COUNTS) if maybe(rng, 0.6) else "",
+    ]
+    slots["title"] = " ".join(p for p in parts if p)
+    return slots
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the OA-mine attribute-value-extraction dataset."""
+    rng = make_rng(seed, "ave/oa_mine")
+    examples: List[Example] = []
+    for __ in range(count):
+        listing = _listing(rng)
+        attribute = ATTRIBUTES[int(rng.integers(len(ATTRIBUTES)))]
+        answer = listing[attribute] or "n/a"
+        examples.append(
+            Example(
+                task="ave",
+                inputs={"text": listing["title"], "attribute": attribute},
+                answer=answer,
+            )
+        )
+    return Dataset(
+        name="oa_mine",
+        task="ave",
+        examples=examples,
+        latent_rules=(
+            "descriptive terms (flavors, scents) outrank brand names",
+            "brand names answer only the brand attribute",
+            "absent attributes map to n/a",
+        ),
+    )

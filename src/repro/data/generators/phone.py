@@ -1,0 +1,73 @@
+"""Phone — data imputation (paper: DI / Phone).
+
+Unlocked-mobile listings whose ``brand`` cell is missing.  The brand is
+the first recognisable manufacturer inside the product name (the paper's
+searched Phone knowledge verbatim: "look for the first recognizable and
+distinct brand name within the product name").  Some names lead with
+marketing noise, which is what makes position-only heuristics imperfect
+and the vocabulary prior valuable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Example, Record
+from .common import make_rng, maybe, price_string
+
+__all__ = ["generate"]
+
+_STORAGES = ("16gb", "32gb", "64gb", "128gb", "256gb")
+_CONDITIONS = ("unlocked", "refurbished", "certified pre owned", "new")
+_NOISE_PREFIXES = ("brand new", "hot sale", "original", "us version")
+
+
+def _listing(rng: np.random.Generator) -> Record:
+    brand = vocab.choice(rng, vocab.PHONE_BRANDS)
+    line = vocab.choice(rng, vocab.PHONE_LINES[brand])
+    storage = vocab.choice(rng, _STORAGES)
+    color = vocab.choice(rng, vocab.COLORS)
+    condition = vocab.choice(rng, _CONDITIONS)
+    name = f"{brand} {line} {int(rng.integers(3, 23))} {storage} {color} {condition} smartphone"
+    if maybe(rng, 0.25):
+        name = vocab.choice(rng, _NOISE_PREFIXES) + " " + name
+    return Record.from_dict(
+        {
+            "product_name": name,
+            "price": price_string(rng, 79, 999),
+            "rating": f"{float(rng.uniform(2.5, 5.0)):.1f}",
+            "review_votes": str(int(rng.integers(0, 4000))),
+            "brand": brand,
+        }
+    )
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the Phone brand-imputation dataset."""
+    rng = make_rng(seed, "di/phone")
+    examples: List[Example] = []
+    for __ in range(count):
+        record = _listing(rng)
+        brand = record.get("brand")
+        examples.append(
+            Example(
+                task="di",
+                inputs={
+                    "record": record.replace("brand", "nan"),
+                    "attribute": "brand",
+                },
+                answer=brand,
+            )
+        )
+    return Dataset(
+        name="phone",
+        task="di",
+        examples=examples,
+        latent_rules=(
+            "the brand is the first recognizable manufacturer in the name",
+            "a quarter of names lead with marketing noise",
+        ),
+    )

@@ -1,0 +1,180 @@
+"""Rayyan — bibliographic records for error detection *and* cleaning.
+
+Mirrors the paper's Rayyan quirks: ISO ``YYYY-MM-DD`` creation dates
+(slashed dates are errors), ``dddd-dddd`` ISSNs, journal abbreviations
+derived from titles (typos are errors), and — the trap the searched
+knowledge calls out — ``0`` is a *valid* value for issue/volume, while
+``nan`` pagination is genuinely missing.
+
+The DC variant reuses the same corruption machinery but keeps the clean
+value as the reference answer, so error detection and cleaning stay
+consistent views of one underlying dirty table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...data import vocab
+from ..corruption import slash_date, typo
+from ..schema import Dataset, Example, Record
+from .common import make_rng, maybe
+
+__all__ = ["generate", "generate_cleaning", "clean_record", "ATTRIBUTES"]
+
+ATTRIBUTES = (
+    "journal_title",
+    "journal_abbreviation",
+    "journal_issn",
+    "article_title",
+    "article_pagination",
+    "article_jvolumn",
+    "article_jissue",
+    "article_jcreated_at",
+)
+
+
+def _article_title(rng: np.random.Generator) -> str:
+    words = vocab.sample_distinct(rng, vocab.ACADEMIC_WORDS, 5)
+    return " ".join(words)
+
+
+def clean_record(rng: np.random.Generator) -> Record:
+    """A clean bibliographic record."""
+    title, abbreviation = vocab.JOURNALS[int(rng.integers(len(vocab.JOURNALS)))]
+    year = int(rng.integers(1998, 2024))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    start_page = int(rng.integers(1, 900))
+    issue = int(rng.integers(0, 13))  # 0 is legitimate (no traditional issue)
+    volume = int(rng.integers(0, 80))
+    return Record.from_dict(
+        {
+            "journal_title": title,
+            "journal_abbreviation": abbreviation,
+            "journal_issn": f"{int(rng.integers(1000, 9999))}-{int(rng.integers(1000, 9999))}",
+            "article_title": _article_title(rng),
+            "article_pagination": f"{start_page}-{start_page + int(rng.integers(2, 20))}",
+            "article_jvolumn": str(volume),
+            "article_jissue": str(issue),
+            "article_jcreated_at": f"{year}-{month:02d}-{day:02d}",
+        }
+    )
+
+
+def _corrupt(
+    rng: np.random.Generator, record: Record, attribute: str
+) -> Tuple[Record, str, str]:
+    """Corrupt one cell; returns (record, error_type, clean_value)."""
+    value = record.get(attribute)
+    if attribute == "article_jcreated_at":
+        corrupted, kind = slash_date(rng, value)
+        return record.replace(attribute, corrupted), kind, value
+    if attribute == "journal_issn":
+        if maybe(rng, 0.5):
+            return record.replace(attribute, value.replace("-", "")), "format", value
+        return record.replace(attribute, "nan"), "missing", value
+    if attribute in ("journal_abbreviation", "journal_title", "article_title"):
+        if maybe(rng, 0.3):
+            return record.replace(attribute, "nan"), "missing", value
+        corrupted, kind = typo(rng, value)
+        return record.replace(attribute, corrupted), kind, value
+    # numeric-ish fields: pagination / volume / issue
+    if maybe(rng, 0.6):
+        return record.replace(attribute, "nan"), "missing", value
+    return record.replace(attribute, value + "??"), "format", value
+
+
+#: Attributes whose corruptions are recoverable from context — the only
+#: ones the cleaning variant targets (you cannot "correct" a missing
+#: volume number that carries no signal elsewhere in the record).
+_DC_ATTRIBUTES = (
+    "journal_title",
+    "journal_abbreviation",
+    "journal_issn",
+    "article_title",
+    "article_jcreated_at",
+)
+
+
+def _corrupt_for_cleaning(
+    rng: np.random.Generator, record: Record, attribute: str
+) -> Tuple[Record, str, str]:
+    """Corrupt one cell such that the clean value is recoverable."""
+    value = record.get(attribute)
+    if attribute == "article_jcreated_at":
+        corrupted, kind = slash_date(rng, value)
+        return record.replace(attribute, corrupted), kind, value
+    if attribute == "journal_issn":
+        return record.replace(attribute, value.replace("-", "")), "format", value
+    if attribute == "journal_abbreviation" and maybe(rng, 0.4):
+        # Derivable from journal_title via the journal registry.
+        return record.replace(attribute, "nan"), "missing", value
+    corrupted, kind = typo(rng, value)
+    return record.replace(attribute, corrupted), kind, value
+
+
+def _build(count: int, seed: int, task: str) -> List[Example]:
+    rng = make_rng(seed, f"{task}/rayyan")
+    examples: List[Example] = []
+    for __ in range(count):
+        record = clean_record(rng)
+        if task == "ed":
+            attribute = ATTRIBUTES[int(rng.integers(len(ATTRIBUTES)))]
+            is_error = maybe(rng, 0.4)
+            error_type = "clean"
+            if is_error:
+                record, error_type, __clean = _corrupt(rng, record, attribute)
+            examples.append(
+                Example(
+                    task="ed",
+                    inputs={"record": record, "attribute": attribute},
+                    answer="yes" if is_error else "no",
+                    meta={"error_type": error_type},
+                )
+            )
+        else:
+            attribute = _DC_ATTRIBUTES[int(rng.integers(len(_DC_ATTRIBUTES)))]
+            record, error_type, clean_value = _corrupt_for_cleaning(
+                rng, record, attribute
+            )
+            examples.append(
+                Example(
+                    task="dc",
+                    inputs={"record": record, "attribute": attribute},
+                    answer=clean_value,
+                    meta={"error_type": error_type},
+                )
+            )
+    return examples
+
+
+_LATENT_RULES = (
+    "article_jcreated_at must be an ISO YYYY-MM-DD date",
+    "journal_issn must match dddd-dddd",
+    "0 is a valid article_jissue/article_jvolumn value",
+    "journal_abbreviation is derived from journal_title",
+)
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Rayyan error-detection dataset."""
+    return Dataset(
+        name="rayyan",
+        task="ed",
+        examples=_build(count, seed, "ed"),
+        label_set=("yes", "no"),
+        latent_rules=_LATENT_RULES,
+    )
+
+
+def generate_cleaning(count: int, seed: int = 0) -> Dataset:
+    """Rayyan data-cleaning dataset (every example has a dirty target cell)."""
+    return Dataset(
+        name="rayyan",
+        task="dc",
+        examples=_build(count, seed, "dc"),
+        latent_rules=_LATENT_RULES,
+    )

@@ -1,0 +1,536 @@
+"""Upstream datasets (paper Table VII — the Jellyfish-Instruct suite).
+
+Twelve datasets across four upstream tasks train the upstream DP-LLM and
+yield one SKC knowledge patch each.  Their domains deliberately overlap
+the downstream suite the way the real benchmarks do — beer entities,
+product model numbers, medical schemata, brand-bearing product names —
+because that shared structure is precisely what makes upstream knowledge
+patches transferable:
+
+* ED:  Adult (census), Hospital (provider records)
+* DI:  Buy (manufacturer), Restaurant (city from area code)
+* SM:  MIMIC, Synthea (clinical schemata)
+* EM:  Amazon-Google, Beer, DBLP-ACM, DBLP-GoogleScholar,
+       Fodors-Zagats, iTunes-Amazon
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ...data import vocab
+from ..corruption import typo
+from ..schema import Dataset, Example, Record
+from . import beer as beer_mod
+from .common import (
+    build_matching_examples,
+    make_rng,
+    maybe,
+    model_number,
+    perturb_title,
+    price_string,
+)
+
+__all__ = ["UPSTREAM_SPECS", "generate", "generate_all"]
+
+# ---------------------------------------------------------------------------
+# ED / Adult
+# ---------------------------------------------------------------------------
+_WORKCLASSES = ("private", "self employed", "federal gov", "state gov", "local gov")
+_EDUCATIONS = ("bachelors", "masters", "doctorate", "hs grad", "some college", "assoc")
+_OCCUPATIONS = (
+    "tech support", "craft repair", "sales", "exec managerial",
+    "prof specialty", "machine op", "adm clerical", "farming fishing",
+)
+
+
+def _adult(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/ed/adult")
+    attributes = ("age", "workclass", "education", "occupation", "hours_per_week")
+    examples: List[Example] = []
+    for __ in range(count):
+        record = Record.from_dict(
+            {
+                "age": str(int(rng.integers(17, 80))),
+                "workclass": vocab.choice(rng, _WORKCLASSES),
+                "education": vocab.choice(rng, _EDUCATIONS),
+                "occupation": vocab.choice(rng, _OCCUPATIONS),
+                "hours_per_week": str(int(rng.integers(10, 70))),
+            }
+        )
+        attribute = attributes[int(rng.integers(len(attributes)))]
+        is_error = maybe(rng, 0.4)
+        if is_error:
+            value = record.get(attribute)
+            if attribute in ("age", "hours_per_week"):
+                record = record.replace(
+                    attribute, "nan" if maybe(rng, 0.5) else str(int(value) * 10 + 900)
+                )
+            else:
+                record = record.replace(
+                    attribute, "nan" if maybe(rng, 0.4) else typo(rng, value)[0]
+                )
+        examples.append(
+            Example(
+                task="ed",
+                inputs={"record": record, "attribute": attribute},
+                answer="yes" if is_error else "no",
+            )
+        )
+    return Dataset("adult", "ed", examples, label_set=("yes", "no"))
+
+
+# ---------------------------------------------------------------------------
+# ED / Hospital
+# ---------------------------------------------------------------------------
+_MEASURES = (
+    "heart attack mortality", "pneumonia care", "surgical infection prevention",
+    "heart failure readmission", "emergency wait time", "stroke care",
+)
+
+
+def _hospital(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/ed/hospital")
+    attributes = ("hospital_name", "city", "state", "measure_name", "phone")
+    examples: List[Example] = []
+    for __ in range(count):
+        record = Record.from_dict(
+            {
+                "hospital_name": vocab.choice(rng, vocab.CITIES)
+                + " "
+                + ("general hospital", "medical center", "regional clinic")[
+                    int(rng.integers(3))
+                ],
+                "city": vocab.choice(rng, vocab.CITIES),
+                "state": vocab.choice(rng, vocab.STATES),
+                "measure_name": vocab.choice(rng, _MEASURES),
+                "phone": f"{int(rng.integers(200, 999))} {int(rng.integers(200, 999))} {int(rng.integers(1000, 9999))}",
+            }
+        )
+        attribute = attributes[int(rng.integers(len(attributes)))]
+        is_error = maybe(rng, 0.4)
+        if is_error:
+            value = record.get(attribute)
+            if attribute == "phone":
+                # Reformat violations ground the [fmt_violation] marker.
+                mangled = value.replace(" ", "-") if maybe(rng, 0.6) else "nan"
+                record = record.replace(attribute, mangled)
+            elif maybe(rng, 0.4):
+                record = record.replace(attribute, "nan")
+            else:
+                record = record.replace(attribute, typo(rng, value)[0])
+        examples.append(
+            Example(
+                task="ed",
+                inputs={"record": record, "attribute": attribute},
+                answer="yes" if is_error else "no",
+            )
+        )
+    return Dataset("hospital", "ed", examples, label_set=("yes", "no"))
+
+
+# ---------------------------------------------------------------------------
+# DI / Buy (impute manufacturer) and Restaurant (impute city)
+# ---------------------------------------------------------------------------
+def _buy(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/di/buy")
+    examples: List[Example] = []
+    for __ in range(count):
+        brand = vocab.choice(rng, vocab.ELECTRONICS_BRANDS)
+        product = vocab.choice(rng, vocab.ELECTRONICS_PRODUCTS[brand])
+        name = f"{brand} {product} {model_number(rng)}"
+        record = Record.from_dict(
+            {
+                "name": name,
+                "description": f"{product} by {brand} with warranty",
+                "price": price_string(rng, 40, 800),
+                "manufacturer": "nan",
+            }
+        )
+        examples.append(
+            Example(
+                task="di",
+                inputs={"record": record, "attribute": "manufacturer"},
+                answer=brand,
+            )
+        )
+    return Dataset("buy", "di", examples)
+
+
+def _area_code(city: str) -> str:
+    """Deterministic city → area code mapping (the latent DI rule)."""
+    acc = 7
+    for ch in city:
+        acc = (acc * 31 + ord(ch)) % 800
+    return str(200 + acc)
+
+
+def _restaurant(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/di/restaurant")
+    examples: List[Example] = []
+    for __ in range(count):
+        city = vocab.choice(rng, vocab.CITIES)
+        name = (
+            vocab.choice(rng, vocab.LAST_NAMES)
+            + " "
+            + vocab.choice(rng, vocab.RESTAURANT_WORDS)
+        )
+        record = Record.from_dict(
+            {
+                "name": name,
+                "address": f"{int(rng.integers(10, 9999))} "
+                + vocab.choice(rng, vocab.BEER_NOUNS)
+                + " street "
+                + city,
+                "cuisine": vocab.choice(rng, vocab.CUISINES),
+                "phone": f"{_area_code(city)}-{int(rng.integers(200, 999))}-{int(rng.integers(1000, 9999))}",
+                "city": "nan",
+            }
+        )
+        examples.append(
+            Example(
+                task="di",
+                inputs={"record": record, "attribute": "city"},
+                answer=city,
+            )
+        )
+    return Dataset("restaurant", "di", examples)
+
+
+# ---------------------------------------------------------------------------
+# SM / MIMIC and Synthea
+# ---------------------------------------------------------------------------
+_MIMIC_CONCEPTS: Tuple[Tuple[Tuple[str, str], ...], ...] = (
+    (("subject_id", "unique identifier of the patient"),
+     ("patient_id", "identifier assigned to the patient")),
+    (("hadm_id", "identifier of the hospital admission"),
+     ("admission_id", "id of the admission event")),
+    (("icustay_id", "identifier of the icu stay"),
+     ("icu_stay", "id of the intensive care stay")),
+    (("charttime", "time at which the observation was charted"),
+     ("observation_time", "timestamp of the recorded observation")),
+    (("itemid", "identifier of the measured item"),
+     ("measurement_code", "code of the measurement taken")),
+    (("valuenum", "numeric value of the measurement"),
+     ("measurement_value", "recorded numeric result")),
+    (("dob", "date of birth of the patient"),
+     ("birth_date", "patient date of birth")),
+    (("dod", "date of death of the patient"),
+     ("death_date", "patient date of death")),
+    (("admittime", "time the patient was admitted"),
+     ("admission_time", "timestamp of hospital admission")),
+    (("dischtime", "time the patient was discharged"),
+     ("discharge_time", "timestamp of hospital discharge")),
+)
+
+_SYNTHEA_CONCEPTS: Tuple[Tuple[Tuple[str, str], ...], ...] = (
+    (("encounter_id", "identifier of the clinical encounter"),
+     ("visit_id", "id of the patient visit")),
+    (("payer_name", "name of the insurance payer"),
+     ("insurance_company", "company providing the insurance")),
+    (("med_code", "rxnorm code of the medication"),
+     ("medication_code", "code of the prescribed medication")),
+    (("proc_start", "start timestamp of the procedure"),
+     ("procedure_start_time", "when the procedure began")),
+    (("proc_stop", "stop timestamp of the procedure"),
+     ("procedure_end_time", "when the procedure finished")),
+    (("total_cost", "total claim cost of the encounter"),
+     ("encounter_cost", "overall cost billed for the visit")),
+    (("provider_id", "identifier of the care provider"),
+     ("practitioner_id", "id of the attending practitioner")),
+    (("condition_code", "snomed code of the condition"),
+     ("diagnosis_snomed", "snomed identifier of the diagnosis")),
+)
+
+_SM_HARD: Dict[str, Tuple[Tuple[int, int], ...]] = {
+    "mimic": ((6, 7), (8, 9), (3, 8)),
+    "synthea": ((3, 4), (0, 6)),
+}
+
+
+def _schema_matching(
+    name: str,
+    concepts: Tuple[Tuple[Tuple[str, str], ...], ...],
+    count: int,
+    seed: int,
+) -> Dataset:
+    rng = make_rng(seed, f"up/sm/{name}")
+    hard_pairs = _SM_HARD.get(name, ())
+    examples: List[Example] = []
+    for __ in range(count):
+        is_match = maybe(rng, 0.3)
+        if is_match:
+            cluster = concepts[int(rng.integers(len(concepts)))]
+            idx = rng.choice(len(cluster), size=2, replace=False)
+            left, right = cluster[int(idx[0])], cluster[int(idx[1])]
+        elif hard_pairs and maybe(rng, 0.5):
+            i, j = hard_pairs[int(rng.integers(len(hard_pairs)))]
+            left = concepts[i][int(rng.integers(len(concepts[i])))]
+            right = concepts[j][int(rng.integers(len(concepts[j])))]
+        else:
+            i, j = rng.choice(len(concepts), size=2, replace=False)
+            left = concepts[int(i)][int(rng.integers(len(concepts[int(i)])))]
+            right = concepts[int(j)][int(rng.integers(len(concepts[int(j)])))]
+        examples.append(
+            Example(
+                task="sm",
+                inputs={
+                    "left_name": left[0],
+                    "left_desc": left[1],
+                    "right_name": right[0],
+                    "right_desc": right[1],
+                },
+                answer="yes" if is_match else "no",
+            )
+        )
+    return Dataset(name, "sm", examples, label_set=("yes", "no"))
+
+
+# ---------------------------------------------------------------------------
+# EM suite
+# ---------------------------------------------------------------------------
+def _software_entity(rng: np.random.Generator) -> Dict[str, str]:
+    brand = vocab.choice(rng, vocab.ELECTRONICS_BRANDS)
+    product = vocab.choice(rng, vocab.ELECTRONICS_PRODUCTS[brand])
+    return {
+        "brand": brand,
+        "product": product,
+        "model": model_number(rng),
+        "base_price": price_string(rng, 20, 600),
+    }
+
+
+def _software_negative(rng, entity):
+    other = dict(entity)
+    other["model"] = model_number(rng)
+    return other
+
+
+def _render_store(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    title = perturb_title(
+        rng, f"{entity['brand']} {entity['product']} {entity['model']}"
+    )
+    return Record.from_dict(
+        {
+            "title": title,
+            "manufacturer": entity["brand"],
+            "price": price_string(rng, 20, 600),
+        }
+    )
+
+
+def _amazon_google(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/amazon_google")
+    examples = build_matching_examples(
+        "em", count, rng, _software_entity, _render_store, _render_store,
+        _software_negative, positive_rate=0.35,
+    )
+    return Dataset("amazon_google", "em", examples, label_set=("yes", "no"))
+
+
+def _beer_em(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/beer")
+
+    def entity(rng_):
+        return {
+            "beer_name": beer_mod.beer_name(rng_),
+            "brewery": beer_mod.brewery_name(rng_),
+            "style": vocab.choice(rng_, vocab.BEER_STYLES),
+        }
+
+    def negative(rng_, ent):
+        other = dict(ent)
+        other["beer_name"] = beer_mod.beer_name(rng_)
+        return other
+
+    def render(rng_, ent):
+        name = ent["beer_name"]
+        if maybe(rng_, 0.3):
+            name = perturb_title(rng_, name)
+        return Record.from_dict(
+            {"beer_name": name, "brewery_name": ent["brewery"], "style": ent["style"]}
+        )
+
+    examples = build_matching_examples(
+        "em", count, rng, entity, render, render, negative, positive_rate=0.35,
+    )
+    return Dataset("beer_em", "em", examples, label_set=("yes", "no"))
+
+
+def _citation_entity(rng: np.random.Generator) -> Dict[str, str]:
+    title = " ".join(vocab.sample_distinct(rng, vocab.ACADEMIC_WORDS, 6))
+    authors = ", ".join(
+        vocab.choice(rng, vocab.FIRST_NAMES) + " " + vocab.choice(rng, vocab.LAST_NAMES)
+        for __ in range(2)
+    )
+    return {
+        "title": title,
+        "authors": authors,
+        "venue": vocab.choice(rng, ("sigmod", "vldb", "icde", "kdd", "www", "cikm")),
+        "year": str(int(rng.integers(1995, 2024))),
+    }
+
+
+def _citation_negative(rng, entity):
+    other = dict(entity)
+    other["title"] = " ".join(vocab.sample_distinct(rng, vocab.ACADEMIC_WORDS, 6))
+    return other
+
+
+def _render_citation(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    title = entity["title"]
+    authors = entity["authors"]
+    if maybe(rng, 0.4):
+        title = perturb_title(rng, title)
+    if maybe(rng, 0.3):  # swap author order
+        parts = authors.split(", ")
+        authors = ", ".join(reversed(parts))
+    return Record.from_dict(
+        {
+            "title": title,
+            "authors": authors,
+            "venue": entity["venue"],
+            "year": entity["year"],
+        }
+    )
+
+
+def _dblp_acm(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/dblp_acm")
+    examples = build_matching_examples(
+        "em", count, rng, _citation_entity, _render_citation, _render_citation,
+        _citation_negative, positive_rate=0.35,
+    )
+    return Dataset("dblp_acm", "em", examples, label_set=("yes", "no"))
+
+
+def _dblp_scholar(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/dblp_scholar")
+    examples = build_matching_examples(
+        "em", count, rng, _citation_entity, _render_citation, _render_citation,
+        _citation_negative, positive_rate=0.35,
+    )
+    return Dataset("dblp_scholar", "em", examples, label_set=("yes", "no"))
+
+
+def _restaurant_entity(rng: np.random.Generator) -> Dict[str, str]:
+    return {
+        "name": vocab.choice(rng, vocab.LAST_NAMES)
+        + " "
+        + vocab.choice(rng, vocab.RESTAURANT_WORDS),
+        "city": vocab.choice(rng, vocab.CITIES),
+        "cuisine": vocab.choice(rng, vocab.CUISINES),
+        "street_no": str(int(rng.integers(10, 9999))),
+    }
+
+
+def _restaurant_negative(rng, entity):
+    other = dict(entity)
+    other["name"] = (
+        vocab.choice(rng, vocab.LAST_NAMES)
+        + " "
+        + vocab.choice(rng, vocab.RESTAURANT_WORDS)
+    )
+    return other
+
+
+def _render_restaurant(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    name = entity["name"]
+    if maybe(rng, 0.3):
+        name = perturb_title(rng, name)
+    return Record.from_dict(
+        {
+            "name": name,
+            "address": entity["street_no"] + " main street " + entity["city"],
+            "cuisine": entity["cuisine"],
+        }
+    )
+
+
+def _fodors_zagats(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/fodors_zagats")
+    examples = build_matching_examples(
+        "em", count, rng, _restaurant_entity, _render_restaurant,
+        _render_restaurant, _restaurant_negative, positive_rate=0.35,
+    )
+    return Dataset("fodors_zagats", "em", examples, label_set=("yes", "no"))
+
+
+def _song_entity(rng: np.random.Generator) -> Dict[str, str]:
+    return {
+        "song": " ".join(vocab.sample_distinct(rng, vocab.BEER_ADJECTIVES, 2)),
+        "artist": vocab.choice(rng, vocab.FIRST_NAMES)
+        + " "
+        + vocab.choice(rng, vocab.LAST_NAMES),
+        "album": vocab.choice(rng, vocab.BEER_NOUNS) + " sessions",
+        "genre": vocab.choice(rng, vocab.MUSIC_GENRES),
+        "time": f"{int(rng.integers(2, 6))}:{int(rng.integers(0, 60)):02d}",
+    }
+
+
+def _song_negative(rng, entity):
+    other = dict(entity)
+    other["song"] = " ".join(vocab.sample_distinct(rng, vocab.BEER_ADJECTIVES, 2))
+    other["time"] = f"{int(rng.integers(2, 6))}:{int(rng.integers(0, 60)):02d}"
+    return other
+
+
+def _render_song(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+    return Record.from_dict(
+        {
+            "song_name": entity["song"],
+            "artist_name": entity["artist"],
+            "album_name": entity["album"],
+            "genre": entity["genre"],
+            "time": entity["time"],
+            "price": price_string(rng, 0.5, 2),
+        }
+    )
+
+
+def _itunes_amazon(count: int, seed: int) -> Dataset:
+    rng = make_rng(seed, "up/em/itunes_amazon")
+    examples = build_matching_examples(
+        "em", count, rng, _song_entity, _render_song, _render_song,
+        _song_negative, positive_rate=0.35,
+    )
+    return Dataset("itunes_amazon", "em", examples, label_set=("yes", "no"))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+#: (dataset name, task, builder, base sample count reflecting Table VII)
+UPSTREAM_SPECS: Tuple[Tuple[str, str, Callable[[int, int], Dataset], int], ...] = (
+    ("adult", "ed", _adult, 110),
+    ("hospital", "ed", _hospital, 170),
+    ("buy", "di", _buy, 60),
+    ("restaurant", "di", _restaurant, 80),
+    ("mimic", "sm", lambda c, s: _schema_matching("mimic", _MIMIC_CONCEPTS, c, s), 180),
+    ("synthea", "sm", lambda c, s: _schema_matching("synthea", _SYNTHEA_CONCEPTS, c, s), 140),
+    ("amazon_google", "em", _amazon_google, 170),
+    ("beer_em", "em", _beer_em, 60),
+    ("dblp_acm", "em", _dblp_acm, 130),
+    ("dblp_scholar", "em", _dblp_scholar, 130),
+    ("fodors_zagats", "em", _fodors_zagats, 60),
+    ("itunes_amazon", "em", _itunes_amazon, 60),
+)
+
+
+def generate(name: str, count: int, seed: int = 0) -> Dataset:
+    """Build one upstream dataset by name."""
+    for spec_name, __task, builder, __base in UPSTREAM_SPECS:
+        if spec_name == name:
+            return builder(count, seed)
+    raise KeyError(f"unknown upstream dataset {name!r}")
+
+
+def generate_all(seed: int = 0, scale: float = 1.0) -> List[Dataset]:
+    """Build the full upstream suite at a given scale."""
+    suite = []
+    for name, __task, builder, base in UPSTREAM_SPECS:
+        count = max(24, int(round(base * scale)))
+        suite.append(builder(count, seed))
+    return suite

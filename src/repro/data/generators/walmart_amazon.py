@@ -1,0 +1,104 @@
+"""Walmart-Amazon — entity matching (paper: EM / Walmart-Amazon).
+
+Marketplace offers with explicit ``brand`` / ``modelno`` / ``capacity``
+attributes (the paper's example dataset in Fig. 1).  The searched
+knowledge for this dataset is encoded literally in the generator:
+model numbers and capacities are the deciding identifiers, descriptions
+are frequently ``nan``, and prices vary between marketplaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...data import vocab
+from ..schema import Dataset, Record
+from .common import (
+    build_matching_examples,
+    make_rng,
+    maybe,
+    model_number,
+    perturb_title,
+    price_string,
+)
+
+__all__ = ["generate"]
+
+_CAPACITIES = ("8gb", "16gb", "32gb", "64gb", "128gb", "256gb", "1tb", "2tb")
+
+
+def _entity(rng: np.random.Generator) -> Dict[str, str]:
+    brand = vocab.choice(rng, vocab.ELECTRONICS_BRANDS)
+    product = vocab.choice(rng, vocab.ELECTRONICS_PRODUCTS[brand])
+    return {
+        "brand": brand,
+        "product": product,
+        "model": model_number(rng, prefix_len=3),
+        "capacity": vocab.choice(rng, _CAPACITIES),
+    }
+
+
+def _hard_negative(
+    rng: np.random.Generator, entity: Dict[str, str]
+) -> Dict[str, str]:
+    other = dict(entity)
+    if maybe(rng, 0.5):
+        other["model"] = model_number(rng, prefix_len=3)
+    else:
+        # Same model family, different capacity — the subtlest negative.
+        choices = [c for c in _CAPACITIES if c != entity["capacity"]]
+        other["capacity"] = choices[int(rng.integers(len(choices)))]
+    return other
+
+
+def _render(store: str):
+    def render(rng: np.random.Generator, entity: Dict[str, str]) -> Record:
+        title = f"{entity['brand']} {entity['product']} {entity['capacity']} {entity['model']}"
+        if store == "amazon":
+            title = perturb_title(rng, title)
+        description = "nan"
+        if maybe(rng, 0.35):
+            description = (
+                f"{entity['product']} with {entity['capacity']} storage "
+                f"from {entity['brand']}"
+            )
+        return Record.from_dict(
+            {
+                "title": title,
+                "brand": entity["brand"],
+                "modelno": entity["model"],
+                "capacity": entity["capacity"],
+                "price": price_string(rng, 25, 700),
+                "description": description,
+            }
+        )
+
+    return render
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """Build the Walmart-Amazon entity-matching dataset."""
+    rng = make_rng(seed, "em/walmart_amazon")
+    examples = build_matching_examples(
+        task="em",
+        count=count,
+        rng=rng,
+        entity_factory=_entity,
+        render_left=_render("walmart"),
+        render_right=_render("amazon"),
+        hard_negative=_hard_negative,
+        positive_rate=0.4,
+    )
+    return Dataset(
+        name="walmart_amazon",
+        task="em",
+        examples=examples,
+        label_set=("yes", "no"),
+        latent_rules=(
+            "modelno and capacity are the deciding identifiers",
+            "descriptions are usually nan; compare the other attributes",
+            "prices vary between marketplaces",
+        ),
+    )

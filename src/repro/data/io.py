@@ -1,0 +1,214 @@
+"""Dataset import/export — run KnowTrans on your own data.
+
+The benchmark datasets are synthesised, but the library is meant to be
+pointed at real tables.  This module reads and writes datasets as JSON
+Lines (one example per line) and offers task-specific constructors that
+turn plain dict rows into :class:`~repro.data.schema.Example` payloads:
+
+* :func:`matching_dataset` — EM from (left row, right row, label) triples
+* :func:`cell_dataset` — ED/DC/DI from (row, attribute, answer) triples
+* :func:`column_dataset` — CTA from (values, label) pairs
+* :func:`extraction_dataset` — AVE from (text, attribute, value) triples
+* :func:`schema_dataset` — SM from column-pair descriptions
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .schema import Dataset, Example, Record
+
+__all__ = [
+    "save_jsonl",
+    "load_jsonl",
+    "matching_dataset",
+    "cell_dataset",
+    "column_dataset",
+    "extraction_dataset",
+    "schema_dataset",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _encode_inputs(inputs: Dict) -> Dict:
+    encoded = {}
+    for key, value in inputs.items():
+        if isinstance(value, Record):
+            encoded[key] = {"__record__": value.as_dict()}
+        elif isinstance(value, tuple):
+            encoded[key] = {"__tuple__": list(value)}
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_inputs(inputs: Dict) -> Dict:
+    decoded = {}
+    for key, value in inputs.items():
+        if isinstance(value, dict) and "__record__" in value:
+            decoded[key] = Record.from_dict(value["__record__"])
+        elif isinstance(value, dict) and "__tuple__" in value:
+            decoded[key] = tuple(value["__tuple__"])
+        else:
+            decoded[key] = value
+    return decoded
+
+
+def save_jsonl(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset as JSON Lines with a leading header record."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        header = {
+            "__header__": True,
+            "name": dataset.name,
+            "task": dataset.task,
+            "label_set": list(dataset.label_set),
+            "latent_rules": list(dataset.latent_rules),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for example in dataset.examples:
+            handle.write(
+                json.dumps(
+                    {
+                        "task": example.task,
+                        "inputs": _encode_inputs(example.inputs),
+                        "answer": example.answer,
+                        "meta": example.meta,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_jsonl(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_jsonl`."""
+    path = pathlib.Path(path)
+    examples: List[Example] = []
+    header: Optional[Dict] = None
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("__header__"):
+                header = payload
+                continue
+            examples.append(
+                Example(
+                    task=payload["task"],
+                    inputs=_decode_inputs(payload["inputs"]),
+                    answer=payload["answer"],
+                    meta=payload.get("meta", {}),
+                )
+            )
+    if header is None:
+        raise ValueError(f"{path} has no dataset header line")
+    return Dataset(
+        name=header["name"],
+        task=header["task"],
+        examples=examples,
+        label_set=tuple(header.get("label_set", ())),
+        latent_rules=tuple(header.get("latent_rules", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task-specific constructors over plain Python rows
+# ---------------------------------------------------------------------------
+def matching_dataset(
+    name: str,
+    pairs: Iterable[Tuple[Dict[str, str], Dict[str, str], bool]],
+) -> Dataset:
+    """Entity matching from (left row, right row, is_match) triples."""
+    examples = [
+        Example(
+            task="em",
+            inputs={
+                "left": Record.from_dict(left),
+                "right": Record.from_dict(right),
+            },
+            answer="yes" if is_match else "no",
+        )
+        for left, right, is_match in pairs
+    ]
+    return Dataset(name, "em", examples, label_set=("yes", "no"))
+
+
+def cell_dataset(
+    name: str,
+    task: str,
+    rows: Iterable[Tuple[Dict[str, str], str, str]],
+) -> Dataset:
+    """ED / DC / DI from (row, attribute, answer) triples.
+
+    For ED the answer is ``"yes"``/``"no"``; for DC the corrected value;
+    for DI the value to impute (the cell itself should hold a missing
+    marker).
+    """
+    if task not in ("ed", "dc", "di"):
+        raise ValueError(f"cell_dataset supports ed/dc/di, got {task!r}")
+    examples = [
+        Example(
+            task=task,
+            inputs={"record": Record.from_dict(row), "attribute": attribute},
+            answer=answer,
+        )
+        for row, attribute, answer in rows
+    ]
+    label_set = ("yes", "no") if task == "ed" else ()
+    return Dataset(name, task, examples, label_set=label_set)
+
+
+def column_dataset(
+    name: str,
+    columns: Iterable[Tuple[Sequence[str], str]],
+    label_set: Sequence[str] = (),
+) -> Dataset:
+    """CTA from (cell values, type label) pairs."""
+    examples = [
+        Example(task="cta", inputs={"values": tuple(values)}, answer=label)
+        for values, label in columns
+    ]
+    labels = tuple(label_set) or tuple(
+        sorted({example.answer for example in examples})
+    )
+    return Dataset(name, "cta", examples, label_set=labels)
+
+
+def extraction_dataset(
+    name: str,
+    rows: Iterable[Tuple[str, str, str]],
+) -> Dataset:
+    """AVE from (text, attribute, value-or-'n/a') triples."""
+    examples = [
+        Example(
+            task="ave", inputs={"text": text, "attribute": attribute}, answer=value
+        )
+        for text, attribute, value in rows
+    ]
+    return Dataset(name, "ave", examples)
+
+
+def schema_dataset(
+    name: str,
+    pairs: Iterable[Tuple[Tuple[str, str], Tuple[str, str], bool]],
+) -> Dataset:
+    """SM from ((name, desc), (name, desc), is_match) triples."""
+    examples = [
+        Example(
+            task="sm",
+            inputs={
+                "left_name": left[0],
+                "left_desc": left[1],
+                "right_name": right[0],
+                "right_desc": right[1],
+            },
+            answer="yes" if is_match else "no",
+        )
+        for left, right, is_match in pairs
+    ]
+    return Dataset(name, "sm", examples, label_set=("yes", "no"))

@@ -1,0 +1,160 @@
+"""Dataset profiling: per-attribute statistics over record datasets.
+
+Data preparation work starts with looking at the data; this module
+computes the profile a practitioner (or an example script) would want
+before running adaptation: per-attribute missing rates, distinct
+counts, dominant format validators, and candidate vocabulary banks.
+The profile is also a readable cross-check of what the rule-induction
+engine will be able to discover — `dominant_validator` and
+`covering_bank` mirror the evidence `repro.llm.induction` uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..knowledge import validators
+from .schema import Dataset, Example, Record
+
+__all__ = ["AttributeProfile", "DatasetProfile", "profile_dataset"]
+
+_FORMAT_VALIDATORS = (
+    "time_12h", "iso_date", "issn", "flight_code", "pagination",
+    "phone_spaced", "unit_decimal", "integer", "numeric",
+)
+
+
+@dataclass
+class AttributeProfile:
+    """Statistics for one attribute across the profiled records."""
+
+    attribute: str
+    count: int = 0
+    missing: int = 0
+    values: Counter = field(default_factory=Counter)
+    dominant_validator: Optional[str] = None
+    validator_coverage: float = 0.0
+    covering_bank: Optional[str] = None
+
+    @property
+    def missing_rate(self) -> float:
+        return self.missing / self.count if self.count else 0.0
+
+    @property
+    def distinct(self) -> int:
+        return len(self.values)
+
+    def top_values(self, k: int = 5) -> List[Tuple[str, int]]:
+        return self.values.most_common(k)
+
+
+@dataclass
+class DatasetProfile:
+    """The full per-attribute profile of a record dataset."""
+
+    dataset_name: str
+    task: str
+    examples_profiled: int
+    attributes: Dict[str, AttributeProfile]
+
+    def render(self) -> str:
+        lines = [
+            f"profile of {self.dataset_name} ({self.task}, "
+            f"{self.examples_profiled} examples)"
+        ]
+        width = max((len(a) for a in self.attributes), default=4)
+        for name, prof in self.attributes.items():
+            fmt = prof.dominant_validator or "-"
+            bank = prof.covering_bank or "-"
+            lines.append(
+                f"  {name.ljust(width)}  missing={prof.missing_rate:5.1%}  "
+                f"distinct={prof.distinct:4d}  format={fmt} "
+                f"({prof.validator_coverage:.0%})  bank={bank}"
+            )
+        return "\n".join(lines)
+
+
+def _records_of(example: Example) -> List[Record]:
+    records = []
+    for key in ("record", "left", "right"):
+        value = example.inputs.get(key)
+        if isinstance(value, Record):
+            records.append(value)
+    return records
+
+
+def _dominant_validator(values: Sequence[str]) -> Tuple[Optional[str], float]:
+    """The most specific validator most of the present values satisfy."""
+    present = [v for v in values if v.strip()]
+    if not present:
+        return None, 0.0
+    best: Tuple[Optional[str], float] = (None, 0.0)
+    for name in _FORMAT_VALIDATORS:
+        coverage = sum(
+            1 for value in present if validators.validate(name, value)
+        ) / len(present)
+        if coverage >= 0.8:
+            return name, coverage  # ordered most-specific-first
+        if coverage > best[1]:
+            best = (name, coverage)
+    return best if best[1] >= 0.5 else (None, best[1])
+
+
+def _covering_bank(
+    values: Sequence[str], threshold: float = 0.8
+) -> Optional[str]:
+    """Smallest bank covering ≥ ``threshold`` of the distinct values.
+
+    A dirty column still *has* a home vocabulary; requiring full
+    coverage would let a single typo hide it.
+    """
+    present = [v.strip().lower() for v in values if v.strip()]
+    if not present:
+        return None
+    covering = []
+    for bank in validators.BANKS:
+        coverage = sum(
+            1 for value in present if validators.bank_contains(bank, value)
+        ) / len(present)
+        if coverage >= threshold:
+            covering.append((len(validators.BANKS[bank]), bank))
+    if not covering:
+        return None
+    return min(covering)[1]
+
+
+def profile_dataset(
+    dataset: Dataset, sample: Optional[int] = None
+) -> DatasetProfile:
+    """Profile the record-bearing attributes of a dataset.
+
+    Non-record tasks (CTA, AVE, SM) have no row structure to profile
+    and yield an empty attribute map.
+    """
+    examples = dataset.examples[: sample or len(dataset.examples)]
+    profiles: Dict[str, AttributeProfile] = {}
+    for example in examples:
+        for record in _records_of(example):
+            for attribute, value in record:
+                prof = profiles.setdefault(
+                    attribute, AttributeProfile(attribute=attribute)
+                )
+                prof.count += 1
+                if record.is_missing(attribute):
+                    prof.missing += 1
+                else:
+                    prof.values[value.strip().lower()] += 1
+    for prof in profiles.values():
+        non_missing = list(prof.values.elements())
+        prof.dominant_validator, prof.validator_coverage = _dominant_validator(
+            non_missing
+        )
+        prof.covering_bank = _covering_bank(non_missing)
+    return DatasetProfile(
+        dataset_name=dataset.name,
+        task=dataset.task,
+        examples_profiled=len(examples),
+        attributes=profiles,
+    )

@@ -1,0 +1,177 @@
+"""Core data types shared by every dataset and task.
+
+The paper unifies all seven data preparation tasks into a text-to-text
+form over tabular inputs; these types are the pre-serialisation
+representation.  An :class:`Example` carries a task-specific ``inputs``
+payload (records, attribute names, column values, free text) plus the
+reference ``answer`` string; :mod:`repro.tasks` turns it into a prompt
+and candidate responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Record", "Table", "Example", "Dataset", "MISSING_MARKERS"]
+
+#: Surface forms that denote a missing value in raw data.
+MISSING_MARKERS: Tuple[str, ...] = ("nan", "n/a", "", "null", "none", "missing")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One table row: an ordered attribute → value mapping."""
+
+    values: Tuple[Tuple[str, str], ...]
+
+    @staticmethod
+    def from_dict(mapping: Dict[str, str]) -> "Record":
+        return Record(tuple((str(k), str(v)) for k, v in mapping.items()))
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(attr for attr, __ in self.values)
+
+    def get(self, attribute: str, default: str = "") -> str:
+        for attr, value in self.values:
+            if attr == attribute:
+                return value
+        return default
+
+    def __contains__(self, attribute: str) -> bool:
+        return any(attr == attribute for attr, __ in self.values)
+
+    def replace(self, attribute: str, new_value: str) -> "Record":
+        """Return a copy with one attribute's value replaced."""
+        if attribute not in self:
+            raise KeyError(f"record has no attribute {attribute!r}")
+        return Record(
+            tuple(
+                (attr, new_value if attr == attribute else value)
+                for attr, value in self.values
+            )
+        )
+
+    def without(self, attributes: Sequence[str]) -> "Record":
+        """Return a copy that drops the given attributes."""
+        dropped = set(attributes)
+        return Record(
+            tuple((a, v) for a, v in self.values if a not in dropped)
+        )
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.values)
+
+    def is_missing(self, attribute: str) -> bool:
+        return self.get(attribute).strip().lower() in MISSING_MARKERS
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self.values)
+
+
+@dataclass
+class Table:
+    """A named collection of homogeneous records."""
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: List[Record] = field(default_factory=list)
+
+    def column_values(self, column: str) -> List[str]:
+        return [row.get(column) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class Example:
+    """One supervised instance of a data preparation task.
+
+    ``inputs`` payloads per task:
+
+    * EM:  ``{"left": Record, "right": Record}``
+    * DI:  ``{"record": Record, "attribute": str}``
+    * SM:  ``{"left_name", "left_desc", "right_name", "right_desc"}``
+    * ED:  ``{"record": Record, "attribute": str}``
+    * DC:  ``{"record": Record, "attribute": str}``
+    * CTA: ``{"values": tuple of cell strings}``
+    * AVE: ``{"text": str, "attribute": str}``
+    """
+
+    task: str
+    inputs: Dict[str, Any]
+    answer: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # inputs is a dict → identity hash is fine
+        return id(self)
+
+
+@dataclass
+class Dataset:
+    """A named dataset bound to one task.
+
+    ``latent_rules`` documents the generative quirks the synthesiser
+    injected (the "dataset-informed knowledge" AKB is supposed to
+    rediscover) — used by tests and never shown to models.
+    """
+
+    name: str
+    task: str
+    examples: List[Example]
+    label_set: Tuple[str, ...] = ()
+    latent_rules: Tuple[str, ...] = ()
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self.examples)
+
+    def subset(self, indices: Sequence[int], suffix: str = "") -> "Dataset":
+        return Dataset(
+            name=self.name + suffix,
+            task=self.task,
+            examples=[self.examples[i] for i in indices],
+            label_set=self.label_set,
+            latent_rules=self.latent_rules,
+            meta=dict(self.meta),
+        )
+
+    def head(self, count: int, suffix: str = "") -> "Dataset":
+        return self.subset(range(min(count, len(self.examples))), suffix)
+
+    def positive_count(self, positive: str = "yes") -> int:
+        """Number of positive-class examples (binary tasks)."""
+        return sum(1 for ex in self.examples if ex.answer == positive)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scale profile: how large generated datasets and training runs are.
+
+    ``ci`` keeps the test suite fast; ``paper`` is used by the benchmark
+    harness to regenerate the tables.  ``scale`` multiplies per-dataset
+    base sizes.
+    """
+
+    name: str = "ci"
+    scale: float = 1.0
+    few_shot: int = 20
+    upstream_epochs: int = 3
+    patch_epochs: int = 3
+    finetune_epochs: int = 8
+
+    @staticmethod
+    def ci() -> "Profile":
+        return Profile(name="ci", scale=0.5, finetune_epochs=6)
+
+    @staticmethod
+    def paper() -> "Profile":
+        return Profile(name="paper", scale=2.0, finetune_epochs=10)
+
+    def sized(self, base: int, minimum: int = 8) -> int:
+        return max(minimum, int(round(base * self.scale)))

@@ -1,0 +1,97 @@
+"""Record → text serialisation.
+
+Follows the Jellyfish/paper convention of attribute-value linearisation:
+``record [ attribute: value ; attribute: value ... ]``.  The knowledge
+application layer (:mod:`repro.knowledge.apply`) transforms records
+*before* serialisation (dropping ignored attributes, emphasising key
+attributes, canonicalising missing markers, adding derived violation
+markers), so this module stays a dumb formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .schema import MISSING_MARKERS, Record
+
+__all__ = ["serialize_record", "serialize_pair", "serialize_values", "MISSING_TOKEN"]
+
+#: Canonical prompt marker for a missing value (groundable by upstream SFT).
+MISSING_TOKEN = "[missing]"
+
+
+def serialize_record(
+    record: Record,
+    highlight: str = "",
+    canonical_missing: bool = False,
+) -> str:
+    """Linearise one record.
+
+    ``highlight`` names an attribute to flag inline (used by ED/DC/DI to
+    point at the cell under question).  When ``canonical_missing`` is set
+    every raw missing marker is rendered as :data:`MISSING_TOKEN`.
+    """
+    parts = []
+    for attribute, value in record:
+        rendered = value
+        if canonical_missing and value.strip().lower() in MISSING_MARKERS:
+            rendered = MISSING_TOKEN
+        if attribute == highlight:
+            parts.append(f"{attribute}: << {rendered} >>")
+        else:
+            parts.append(f"{attribute}: {rendered}")
+    return "record [ " + " ; ".join(parts) + " ]"
+
+
+def similarity_bucket(left: str, right: str) -> str:
+    """Coarse lexical similarity: ``equal`` / ``similar`` / ``different``.
+
+    A bag-of-features encoder cannot compare two segments of its own
+    prompt the way transformer attention does, so matching-task
+    serialisation includes these derived comparison tokens.  They are
+    knowledge-independent (every baseline sees them); knowledge rules
+    refine *which* comparisons matter.
+    """
+    left, right = left.strip().lower(), right.strip().lower()
+    if left == right:
+        return "equal"
+    left_tokens, right_tokens = set(left.split()), set(right.split())
+    if not left_tokens or not right_tokens:
+        return "different"
+    overlap = len(left_tokens & right_tokens) / len(left_tokens | right_tokens)
+    if overlap >= 0.5 or left in right or right in left:
+        return "similar"
+    if overlap >= 0.2:
+        return "related"
+    return "different"
+
+
+def serialize_comparisons(left: Record, right: Record) -> str:
+    """Per-attribute comparison tokens for an entity pair."""
+    parts = []
+    for attribute in left.attributes:
+        if attribute not in right:
+            continue
+        bucket = similarity_bucket(left.get(attribute), right.get(attribute))
+        parts.append(f"{attribute} {bucket}")
+    if not parts:
+        return ""
+    return "comparison [ " + " ; ".join(parts) + " ]"
+
+
+def serialize_pair(left: Record, right: Record, **kwargs) -> str:
+    """Linearise an entity pair for matching tasks."""
+    return (
+        "entity a "
+        + serialize_record(left, **kwargs)
+        + " entity b "
+        + serialize_record(right, **kwargs)
+        + " "
+        + serialize_comparisons(left, right)
+    )
+
+
+def serialize_values(values: Sequence[str], limit: int = 8) -> str:
+    """Linearise a column sample for column type annotation."""
+    shown: Iterable[str] = list(values)[:limit]
+    return "column values [ " + " ; ".join(shown) + " ]"

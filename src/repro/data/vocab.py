@@ -1,0 +1,320 @@
+"""Vocabulary banks used by the synthetic dataset generators.
+
+The paper evaluates on public datasets (product catalogues, flight
+status feeds, bibliographic records, brewery lists, medical schemata).
+These banks give the generators realistic surface forms so that the
+tasks have genuine lexical structure: brands really co-occur with their
+product lines, journals have plausible abbreviations, breweries have
+styles, etc.  The same banks feed the world-knowledge pretraining corpus
+(:mod:`repro.tinylm.pretrain`), which is how the "base LLM" acquires the
+brand/product associations the paper attributes to pretraining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PHONE_BRANDS",
+    "PHONE_LINES",
+    "ELECTRONICS_BRANDS",
+    "ELECTRONICS_PRODUCTS",
+    "RETAIL_BRANDS",
+    "RETAIL_PRODUCTS",
+    "GROCERY_BRANDS",
+    "FLAVORS",
+    "SCENTS",
+    "COLORS",
+    "MATERIALS",
+    "GENDERS",
+    "SPORT_TYPES",
+    "FEATURES",
+    "AIRLINES",
+    "AIRPORTS",
+    "JOURNALS",
+    "BEER_STYLES",
+    "BREWERY_SUFFIXES",
+    "BEER_ADJECTIVES",
+    "BEER_NOUNS",
+    "CITIES",
+    "STATES",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "RESTAURANT_WORDS",
+    "CUISINES",
+    "MUSIC_GENRES",
+    "ACADEMIC_WORDS",
+    "choice",
+    "sample_distinct",
+]
+
+# --------------------------------------------------------------------------
+# Consumer electronics
+# --------------------------------------------------------------------------
+PHONE_BRANDS: Tuple[str, ...] = (
+    "samsung", "apple", "nokia", "motorola", "huawei", "xiaomi", "oneplus",
+    "sony", "lg", "htc", "blackberry", "google", "oppo", "vivo", "zte",
+    "alcatel", "asus", "lenovo", "honor", "realme",
+)
+
+# Product lines keyed by brand — gives the imputation tasks real signal.
+PHONE_LINES: Dict[str, Tuple[str, ...]] = {
+    "samsung": ("galaxy s", "galaxy note", "galaxy a", "galaxy z"),
+    "apple": ("iphone", "iphone pro", "iphone mini", "iphone plus"),
+    "nokia": ("lumia", "xpress", "asha", "pureview"),
+    "motorola": ("moto g", "moto e", "razr", "edge"),
+    "huawei": ("p series", "mate", "nova", "y series"),
+    "xiaomi": ("redmi", "mi", "poco", "redmi note"),
+    "oneplus": ("oneplus nord", "oneplus t", "oneplus r", "oneplus pro"),
+    "sony": ("xperia z", "xperia x", "xperia 1", "xperia compact"),
+    "lg": ("optimus", "g series", "v series", "velvet"),
+    "htc": ("one m", "desire", "u ultra", "wildfire"),
+    "blackberry": ("curve", "bold", "passport", "key"),
+    "google": ("pixel", "pixel a", "pixel pro", "nexus"),
+    "oppo": ("find x", "reno", "a series", "f series"),
+    "vivo": ("v series", "y series", "x fold", "iqoo"),
+    "zte": ("axon", "blade", "nubia", "grand"),
+    "alcatel": ("idol", "pixi", "pop", "one touch"),
+    "asus": ("zenfone", "rog phone", "padfone", "live"),
+    "lenovo": ("vibe", "k series", "legion", "zuk"),
+    "honor": ("magic", "x series", "play", "view"),
+    "realme": ("gt", "narzo", "c series", "number series"),
+}
+
+ELECTRONICS_BRANDS: Tuple[str, ...] = (
+    "sony", "panasonic", "canon", "nikon", "bose", "jbl", "logitech",
+    "netgear", "linksys", "garmin", "tomtom", "sandisk", "kingston",
+    "seagate", "toshiba", "philips", "sharp", "epson", "brother", "belkin",
+    "dlink", "kensington", "plantronics", "jabra", "polk",
+)
+
+ELECTRONICS_PRODUCTS: Dict[str, Tuple[str, ...]] = {
+    "sony": ("bravia lcd tv", "cybershot camera", "walkman player", "handycam camcorder"),
+    "panasonic": ("viera plasma tv", "lumix camera", "cordless phone", "blu ray player"),
+    "canon": ("powershot camera", "eos dslr", "pixma printer", "imageclass copier"),
+    "nikon": ("coolpix camera", "dslr body", "binoculars", "speedlight flash"),
+    "bose": ("wave radio", "companion speakers", "quietcomfort headphones", "soundlink speaker"),
+    "jbl": ("flip speaker", "charge speaker", "tune headphones", "soundbar"),
+    "logitech": ("wireless mouse", "gaming keyboard", "webcam", "speaker system"),
+    "netgear": ("wireless router", "range extender", "network switch", "cable modem"),
+    "linksys": ("wifi router", "mesh system", "access point", "usb adapter"),
+    "garmin": ("gps navigator", "fitness watch", "dash cam", "fishfinder"),
+    "tomtom": ("car gps", "traffic receiver", "sport watch", "mount kit"),
+    "sandisk": ("sd memory card", "usb flash drive", "microsd card", "portable ssd"),
+    "kingston": ("ram module", "usb drive", "ssd drive", "compactflash card"),
+    "seagate": ("external hard drive", "portable drive", "nas drive", "backup plus"),
+    "toshiba": ("laptop", "external drive", "led tv", "dvd recorder"),
+    "philips": ("led monitor", "home theater", "electric shaver", "hue bulb"),
+    "sharp": ("aquos tv", "microwave oven", "air purifier", "calculator"),
+    "epson": ("stylus printer", "ecotank printer", "projector", "scanner"),
+    "brother": ("laser printer", "label maker", "sewing machine", "fax machine"),
+    "belkin": ("surge protector", "usb hub", "charging pad", "cable kit"),
+    "dlink": ("router", "ip camera", "switch", "powerline adapter"),
+    "kensington": ("laptop lock", "trackball", "docking station", "privacy screen"),
+    "plantronics": ("bluetooth headset", "office headset", "gaming headset", "speakerphone"),
+    "jabra": ("wireless earbuds", "speakerphone", "mono headset", "sport earbuds"),
+    "polk": ("bookshelf speakers", "subwoofer", "soundbar", "in ceiling speakers"),
+}
+
+RETAIL_BRANDS: Tuple[str, ...] = (
+    "trinketbag", "allure auto", "naisha", "gift studios", "frenemy",
+    "shopmania", "urban hub", "craftline", "decor villa", "style nest",
+    "fab street", "zenly", "homely", "glowberry", "artzone",
+    "maxcart", "trendify", "casa bella", "silverline", "petal crafts",
+)
+
+RETAIL_PRODUCTS: Tuple[str, ...] = (
+    "alloy necklace", "car mat", "canvas shoes", "stone showpiece",
+    "mousepad", "cotton kurta", "wall clock", "ceramic vase", "photo frame",
+    "leather wallet", "analog watch", "printed bedsheet", "table lamp",
+    "yoga mat", "steel bottle", "laptop sleeve", "cushion cover",
+    "wooden tray", "scented candle", "desk organizer",
+)
+
+GROCERY_BRANDS: Tuple[str, ...] = (
+    "folgers", "maxwell house", "starbucks", "twinings", "lipton",
+    "celestial", "nescafe", "peets", "dunkin", "bigelow",
+    "ghirardelli", "hersheys", "lindt", "nutella", "skippy",
+    "heinz", "frenchs", "tabasco", "mccormick", "kikkoman",
+)
+
+FLAVORS: Tuple[str, ...] = (
+    "vanilla", "hazelnut", "caramel", "mocha", "french roast",
+    "colombian", "chai", "earl grey", "peppermint", "chamomile",
+    "dark chocolate", "sea salt", "honey", "lemon", "raspberry",
+    "cinnamon", "pumpkin spice", "green tea", "espresso", "toffee",
+)
+
+SCENTS: Tuple[str, ...] = (
+    "lavender", "eucalyptus", "sandalwood", "jasmine", "rose",
+    "citrus", "ocean breeze", "fresh linen", "coconut", "vanilla bean",
+)
+
+COLORS: Tuple[str, ...] = (
+    "black", "white", "red", "blue", "green", "silver", "gold",
+    "gray", "pink", "purple", "orange", "brown", "navy", "teal", "beige",
+)
+
+MATERIALS: Tuple[str, ...] = (
+    "cotton", "leather", "steel", "wood", "ceramic", "alloy",
+    "polyester", "silk", "canvas", "rubber", "glass", "bamboo",
+)
+
+GENDERS: Tuple[str, ...] = ("men", "women", "unisex", "kids")
+
+SPORT_TYPES: Tuple[str, ...] = (
+    "running", "basketball", "soccer", "tennis", "cycling",
+    "hiking", "swimming", "yoga", "golf", "skateboarding",
+)
+
+ITEM_FORMS: Tuple[str, ...] = (
+    "ground", "whole bean", "pods", "tea bags", "instant", "liquid", "powder",
+)
+
+FEATURES: Tuple[str, ...] = (
+    "breathable", "waterproof", "lightweight", "anti slip",
+    "quick dry", "wear resistant", "shockproof", "foldable",
+    "adjustable", "reflective",
+)
+
+# --------------------------------------------------------------------------
+# Flights
+# --------------------------------------------------------------------------
+AIRLINES: Tuple[str, ...] = (
+    "aa", "ua", "dl", "wn", "b6", "as", "nk", "f9", "ha", "vx",
+)
+
+AIRPORTS: Tuple[str, ...] = (
+    "jfk", "lax", "ord", "dfw", "den", "sfo", "sea", "atl", "mia", "bos",
+    "phx", "iah", "mco", "ewr", "msp", "dtw", "phl", "lga", "slc", "bwi",
+)
+
+# --------------------------------------------------------------------------
+# Bibliographic (Rayyan)
+# --------------------------------------------------------------------------
+JOURNALS: Tuple[Tuple[str, str], ...] = (
+    ("journal of clinical epidemiology", "j clin epidemiol"),
+    ("annals of internal medicine", "ann intern med"),
+    ("british medical journal", "bmj"),
+    ("the lancet", "lancet"),
+    ("new england journal of medicine", "n engl j med"),
+    ("journal of the american medical association", "jama"),
+    ("cochrane database of systematic reviews", "cochrane db syst rev"),
+    ("american journal of public health", "am j public health"),
+    ("journal of epidemiology and community health", "j epidemiol community health"),
+    ("international journal of epidemiology", "int j epidemiol"),
+    ("bmc medical research methodology", "bmc med res methodol"),
+    ("plos medicine", "plos med"),
+    ("journal of health economics", "j health econ"),
+    ("health services research", "health serv res"),
+    ("medical care", "med care"),
+    ("journal of general internal medicine", "j gen intern med"),
+)
+
+ACADEMIC_WORDS: Tuple[str, ...] = (
+    "randomized", "controlled", "trial", "systematic", "review",
+    "cohort", "study", "effect", "analysis", "outcomes", "intervention",
+    "screening", "treatment", "risk", "factors", "prevalence",
+    "mortality", "chronic", "disease", "patients", "clinical", "evidence",
+    "association", "population", "longitudinal", "meta",
+)
+
+# --------------------------------------------------------------------------
+# Beer
+# --------------------------------------------------------------------------
+BEER_STYLES: Tuple[str, ...] = (
+    "american ipa", "pale ale", "amber ale", "stout", "porter",
+    "pilsner", "hefeweizen", "saison", "lager", "brown ale",
+    "double ipa", "wheat ale", "kolsch", "scotch ale", "cream ale",
+    "fruit beer", "oatmeal stout", "red ale", "blonde ale", "barleywine",
+)
+
+BREWERY_SUFFIXES: Tuple[str, ...] = (
+    "brewing company", "brewery", "brewing co", "beer company",
+    "ales", "brewhouse", "craft brewery", "brewing works",
+)
+
+BEER_ADJECTIVES: Tuple[str, ...] = (
+    "hoppy", "golden", "wild", "iron", "copper", "rustic", "lucky",
+    "twisted", "broken", "raging", "silent", "burning", "frozen",
+    "crooked", "velvet", "midnight", "roaring", "drifting",
+)
+
+BEER_NOUNS: Tuple[str, ...] = (
+    "trail", "river", "anchor", "bear", "fox", "summit", "canyon",
+    "harvest", "barrel", "wagon", "lantern", "prairie", "raven",
+    "meadow", "boulder", "compass", "orchard", "falls",
+)
+
+# --------------------------------------------------------------------------
+# Geography & people
+# --------------------------------------------------------------------------
+CITIES: Tuple[str, ...] = (
+    "portland", "austin", "denver", "seattle", "chicago", "boston",
+    "san diego", "nashville", "asheville", "boulder", "madison",
+    "minneapolis", "tampa", "tucson", "omaha", "richmond", "savannah",
+    "columbus", "louisville", "albuquerque", "san francisco",
+    "new york city", "grand rapids", "fort collins", "bend",
+)
+
+STATES: Tuple[str, ...] = (
+    "or", "tx", "co", "wa", "il", "ma", "ca", "tn", "nc", "wi",
+    "mn", "fl", "az", "ne", "va", "ga", "oh", "ky", "nm", "mi",
+)
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "james", "mary", "robert", "patricia", "john", "jennifer",
+    "michael", "linda", "david", "elizabeth", "william", "barbara",
+    "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "carlos", "maria", "wei", "yuki", "ahmed", "fatima", "olga",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia",
+    "miller", "davis", "rodriguez", "martinez", "hernandez", "lopez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+    "chen", "wang", "kim", "nguyen", "patel", "ivanov", "tanaka",
+)
+
+RESTAURANT_WORDS: Tuple[str, ...] = (
+    "grill", "bistro", "kitchen", "cafe", "diner", "tavern",
+    "trattoria", "cantina", "steakhouse", "noodle house", "pizzeria",
+    "bakery", "brasserie", "chophouse", "eatery",
+)
+
+CUISINES: Tuple[str, ...] = (
+    "italian", "mexican", "thai", "japanese", "indian", "french",
+    "american", "chinese", "mediterranean", "korean", "vietnamese",
+    "spanish", "greek", "ethiopian", "peruvian",
+)
+
+MUSIC_GENRES: Tuple[str, ...] = (
+    "rock", "pop", "jazz", "country", "hip hop", "electronic",
+    "classical", "folk", "blues", "reggae", "metal", "soul",
+)
+
+ORGANIZATIONS: Tuple[str, ...] = (
+    "hoppy trail inc", "iron anchor group", "velvet fox ltd",
+    "summit harvest association", "copper lantern inc", "wild meadow group",
+    "roaring canyon ltd", "silent prairie inc", "lucky compass group",
+    "crooked barrel association", "golden falls inc", "twisted orchard ltd",
+    "burning raven group", "frozen boulder inc", "rustic wagon association",
+    "drifting river ltd", "midnight bear group", "broken summit inc",
+)
+
+
+def choice(rng: np.random.Generator, bank: Sequence[str]) -> str:
+    """Uniformly pick one entry from a bank."""
+    return bank[int(rng.integers(len(bank)))]
+
+
+def sample_distinct(
+    rng: np.random.Generator, bank: Sequence[str], count: int
+) -> List[str]:
+    """Pick ``count`` distinct entries (without replacement)."""
+    if count > len(bank):
+        raise ValueError(f"cannot sample {count} from bank of {len(bank)}")
+    idx = rng.choice(len(bank), size=count, replace=False)
+    return [bank[int(i)] for i in idx]

@@ -1,0 +1,15 @@
+"""Evaluation harness, experiment registry and reporting."""
+
+from . import diagnostics, experiments, harness, plots, reporting, repeats, significance
+from .experiments import ExperimentContext
+
+__all__ = [
+    "experiments",
+    "harness",
+    "reporting",
+    "plots",
+    "repeats",
+    "diagnostics",
+    "significance",
+    "ExperimentContext",
+]

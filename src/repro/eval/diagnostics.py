@@ -1,0 +1,124 @@
+"""Diagnostics for the paper's motivating phenomena.
+
+Paper Fig. 1 (left) motivates SKC with the "tug-of-war" effect: during
+multi-task upstream SFT, different datasets push the shared parameters
+in conflicting directions (obtuse gradient angles).  SKC's isolated
+patches remove the conflict by construction.  This module *measures*
+both claims on the substrate:
+
+* :func:`gradient_conflict_matrix` — pairwise cosine similarity of
+  per-dataset gradients evaluated at the shared upstream parameters.
+* :func:`conflict_rate` — the fraction of dataset pairs with negative
+  cosine (the "obtuse angle" of the paper's figure).
+* :func:`patch_interference_matrix` — cosine similarity between the
+  *updates* carried by extracted knowledge patches; isolated patches
+  may still point in similar directions (that is transferable shared
+  structure), but they never fight over the same optimisation step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.skc.patches import dataset_training_examples
+from ..data.schema import Dataset
+from ..tinylm.lora import LoRAPatch
+from ..tinylm.model import ScoringLM
+
+__all__ = [
+    "dataset_gradient",
+    "gradient_conflict_matrix",
+    "conflict_rate",
+    "patch_interference_matrix",
+]
+
+_SHARED_WEIGHTS = ("encoder.W1", "encoder.W2", "answer.V")
+
+
+def dataset_gradient(
+    model: ScoringLM, dataset: Dataset, sample: int = 32
+) -> np.ndarray:
+    """Flattened gradient of the dataset's loss at the model's weights."""
+    examples = dataset_training_examples(dataset)[:sample]
+    encoded = [
+        model.encode_example(ex.prompt, ex.candidates, ex.target)
+        for ex in examples
+    ]
+    __, grads, __ = model.loss_and_gradients(encoded, train_base=True)
+    return np.concatenate([grads[name].ravel() for name in _SHARED_WEIGHTS])
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    if denominator == 0.0:
+        return 0.0
+    return float(a @ b / denominator)
+
+
+def gradient_conflict_matrix(
+    model: ScoringLM, datasets: Sequence[Dataset], sample: int = 32
+) -> Tuple[np.ndarray, List[str]]:
+    """Pairwise gradient cosine similarities across datasets.
+
+    Returns ``(matrix, names)`` where ``matrix[i, j]`` is the cosine of
+    dataset *i*'s and dataset *j*'s gradients at the shared weights.
+    Negative entries are the paper's tug-of-war pairs.
+    """
+    gradients = [dataset_gradient(model, dataset, sample) for dataset in datasets]
+    n = len(gradients)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = _cosine(gradients[i], gradients[j])
+    return matrix, [dataset.name for dataset in datasets]
+
+
+def conflict_rate(matrix: np.ndarray) -> float:
+    """Fraction of dataset pairs whose gradients point obtusely."""
+    n = matrix.shape[0]
+    if n < 2:
+        return 0.0
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    negative = sum(1 for i, j in pairs if matrix[i, j] < 0.0)
+    return negative / len(pairs)
+
+
+def patch_interference_matrix(
+    patches: Sequence[LoRAPatch],
+) -> Tuple[np.ndarray, List[str]]:
+    """Pairwise cosine similarity of extracted patch updates."""
+    updates = []
+    for patch in patches:
+        parts = [patch.delta(name) for name in patch.target_names]
+        updates.append(
+            np.concatenate([part.ravel() for part in parts if part is not None])
+        )
+    n = len(updates)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = _cosine(updates[i], updates[j])
+    return matrix, [patch.name for patch in patches]
+
+
+def summarize_conflict(
+    model: ScoringLM, datasets: Sequence[Dataset], sample: int = 32
+) -> Dict[str, object]:
+    """A compact report used by the Fig. 1 benchmark."""
+    matrix, names = gradient_conflict_matrix(model, datasets, sample)
+    off_diagonal = matrix[~np.eye(len(names), dtype=bool)]
+    worst_value = float(off_diagonal.min()) if len(names) > 1 else 0.0
+    worst_pair = ("", "")
+    if len(names) > 1:
+        flat_index = int(np.argmin(matrix + 2.0 * np.eye(len(names))))
+        worst_pair = (names[flat_index // len(names)], names[flat_index % len(names)])
+    return {
+        "names": names,
+        "matrix": matrix,
+        "conflict_rate": conflict_rate(matrix),
+        "mean_cosine": float(off_diagonal.mean()) if len(names) > 1 else 1.0,
+        "worst_pair": worst_pair,
+        "worst_cosine": worst_value,
+    }

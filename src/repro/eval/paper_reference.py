@@ -1,0 +1,170 @@
+"""The paper's reported numbers, as data.
+
+Transcribed from the evaluation section (Tables II–VI) of
+*KnowTrans: Boosting Transferability of Data Preparation LLMs via
+Knowledge Augmentation* (ICDE 2025).  EXPERIMENTS.md and the shape
+checks compare measured results against these — on *shape* (signs of
+gaps, orderings), never on absolute values, since the substrate is a
+simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "TABLE2",
+    "TABLE3",
+    "TABLE4_AVERAGES",
+    "TABLE5",
+    "TABLE6",
+    "shape_deltas",
+    "sign_agreement",
+]
+
+#: Table II (per-dataset scores, 100-point scale).  Columns:
+#: non_llm, mistral, tablellama, meld, jellyfish, jellyfish_icl, knowtrans
+TABLE2: Dict[str, Dict[str, float]] = {
+    "ed/flights": {
+        "non_llm": 44.00, "mistral": 45.67, "tablellama": 53.02,
+        "meld": 66.48, "jellyfish": 68.65, "jellyfish_icl": 64.67,
+        "knowtrans": 74.38,
+    },
+    "ed/rayyan": {
+        "non_llm": 62.00, "mistral": 45.00, "tablellama": 36.99,
+        "meld": 79.79, "jellyfish": 78.89, "jellyfish_icl": 74.17,
+        "knowtrans": 89.40,
+    },
+    "ed/beer": {
+        "non_llm": 70.00, "mistral": 12.99, "tablellama": 38.06,
+        "meld": 77.84, "jellyfish": 78.62, "jellyfish_icl": 45.27,
+        "knowtrans": 92.33,
+    },
+    "di/flipkart": {
+        "non_llm": 2.54, "mistral": 81.27, "tablellama": 42.59,
+        "meld": 79.74, "jellyfish": 78.09, "jellyfish_icl": 82.47,
+        "knowtrans": 82.88,
+    },
+    "di/phone": {
+        "non_llm": 8.20, "mistral": 84.09, "tablellama": 70.35,
+        "meld": 85.09, "jellyfish": 83.17, "jellyfish_icl": 83.92,
+        "knowtrans": 85.68,
+    },
+    "sm/cms": {
+        "non_llm": 2.10, "mistral": 18.75, "tablellama": 1.86,
+        "meld": 26.67, "jellyfish": 27.59, "jellyfish_icl": 30.30,
+        "knowtrans": 27.69,
+    },
+    "em/abt_buy": {
+        "non_llm": 57.14, "mistral": 20.09, "tablellama": 42.58,
+        "meld": 85.52, "jellyfish": 77.62, "jellyfish_icl": 74.56,
+        "knowtrans": 87.86,
+    },
+    "em/walmart_amazon": {
+        "non_llm": 80.00, "mistral": 39.83, "tablellama": 34.70,
+        "meld": 78.31, "jellyfish": 82.74, "jellyfish_icl": 79.08,
+        "knowtrans": 83.89,
+    },
+    "cta/sotab": {
+        "non_llm": 25.13, "mistral": 80.08, "tablellama": 20.31,
+        "meld": 58.78, "jellyfish": 79.22, "jellyfish_icl": 42.75,
+        "knowtrans": 83.61,
+    },
+    "ave/ae110k": {
+        "non_llm": 3.91, "mistral": 65.08, "tablellama": 18.93,
+        "meld": 60.54, "jellyfish": 59.27, "jellyfish_icl": 59.51,
+        "knowtrans": 67.86,
+    },
+    "ave/oa_mine": {
+        "non_llm": 1.63, "mistral": 60.22, "tablellama": 17.01,
+        "meld": 57.16, "jellyfish": 57.57, "jellyfish_icl": 42.76,
+        "knowtrans": 59.93,
+    },
+    "dc/rayyan": {
+        "non_llm": 63.00, "mistral": 96.82, "tablellama": 84.23,
+        "meld": 91.57, "jellyfish": 96.37, "jellyfish_icl": 92.69,
+        "knowtrans": 96.27,
+    },
+    "dc/beer": {
+        "non_llm": 87.00, "mistral": 95.83, "tablellama": 99.68,
+        "meld": 99.72, "jellyfish": 98.54, "jellyfish_icl": 95.10,
+        "knowtrans": 98.54,
+    },
+}
+
+#: Table III: mean input tokens, output tokens, USD per instance.
+TABLE3: Dict[str, Tuple[float, float, float]] = {
+    "gpt-3.5": (751.08, 2.86, 0.0004),
+    "gpt-4o": (751.08, 2.86, 0.0038),
+    "gpt-4": (751.08, 2.86, 0.0227),
+    "knowtrans": (20.41, 8.21, 0.0002),
+}
+
+#: Table IV bottom row (averages over the 13 datasets).
+TABLE4_AVERAGES: Dict[str, float] = {
+    "gpt_3_5": 67.85,
+    "gpt_4": 74.76,
+    "gpt_4o": 75.32,
+    "knowtrans_7b": 79.40,
+    "knowtrans_8b": 77.87,
+    "knowtrans_13b": 81.39,
+}
+
+#: Table V ablation averages (7 datasets).
+TABLE5: Dict[str, float] = {
+    "wo_skc_akb": 76.64,
+    "wo_skc": 79.88,
+    "wo_akb": 80.74,
+    "knowtrans": 83.94,
+}
+
+#: Table VI weighting-strategy averages (4 datasets).
+TABLE6: Dict[str, float] = {
+    "single": 69.00,
+    "uniform": 73.60,
+    "adaptive": 76.49,
+    "knowtrans": 79.90,
+}
+
+
+def shape_deltas(
+    reference: Dict[str, float], measured: Dict[str, float],
+    baseline: str, target: str,
+) -> Tuple[float, float]:
+    """(paper gap, measured gap) between two methods."""
+    return (
+        reference[target] - reference[baseline],
+        measured[target] - measured[baseline],
+    )
+
+
+def sign_agreement(
+    reference_rows: Dict[str, Dict[str, float]],
+    measured_rows: Sequence[Dict[str, object]],
+    baseline: str,
+    target: str,
+    key_column: str = "dataset",
+) -> float:
+    """Fraction of datasets where the measured gap's sign matches paper.
+
+    Only datasets present in both are compared; ties (paper gap of
+    exactly zero) count as agreement when the measured gap is within
+    ±2 points.
+    """
+    matches = 0
+    compared = 0
+    measured_by_dataset = {
+        str(row.get(key_column)): row for row in measured_rows
+    }
+    for dataset_id, reference in reference_rows.items():
+        row = measured_by_dataset.get(dataset_id)
+        if row is None or target not in row or baseline not in row:
+            continue
+        paper_gap = reference[target] - reference[baseline]
+        measured_gap = float(row[target]) - float(row[baseline])
+        compared += 1
+        if paper_gap == 0.0:
+            matches += abs(measured_gap) <= 2.0
+        else:
+            matches += (paper_gap > 0) == (measured_gap > 0)
+    return matches / compared if compared else 0.0

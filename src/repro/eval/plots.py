@@ -1,0 +1,96 @@
+"""ASCII line plots for the figure experiments (no plotting deps).
+
+Offline environments have no matplotlib; the figure benchmarks still
+want a visual of the curves next to the raw series.  :func:`line_plot`
+renders one or more series into a fixed-size character grid with a
+y-axis, legend markers, and x tick labels — enough to see who wins,
+by how much, and where curves cross (the three things the figures are
+read for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["line_plot", "sparkline"]
+
+_MARKERS = "ox+*#@"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character sketch of a series."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[3] * len(values)
+    cells = []
+    for value in values:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        cells.append(_BLOCKS[index])
+    return "".join(cells)
+
+
+def line_plot(
+    title: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render series as an ASCII chart with axis labels and a legend."""
+    values: List[float] = [v for ys in series.values() for v in ys]
+    if not values or not xs:
+        return title + "\n(no data)"
+    low, high = min(values), max(values)
+    if high - low < 1e-9:
+        high = low + 1.0
+    grid = [[" "] * width for __ in range(height)]
+
+    def to_row(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return int(round((height - 1) * (1.0 - fraction)))
+
+    def to_col(index: int) -> int:
+        if len(xs) == 1:
+            return 0
+        return int(round(index * (width - 1) / (len(xs) - 1)))
+
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        previous = None
+        for index, value in enumerate(ys):
+            row, col = to_row(value), to_col(index)
+            grid[row][col] = marker
+            if previous is not None:
+                # Linear interpolation between points with faint dots.
+                prev_row, prev_col = previous
+                steps = max(abs(col - prev_col), 1)
+                for step in range(1, steps):
+                    interp_col = prev_col + step * (col - prev_col) // steps
+                    interp_row = prev_row + step * (row - prev_row) // steps
+                    if grid[interp_row][interp_col] == " ":
+                        grid[interp_row][interp_col] = "."
+            previous = (row, col)
+
+    label_width = max(len(f"{high:.1f}"), len(f"{low:.1f}"))
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:.1f}"
+        elif row_index == height - 1:
+            label = f"{low:.1f}"
+        else:
+            label = ""
+        lines.append(label.rjust(label_width) + " |" + "".join(row))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    first, last = str(xs[0]), str(xs[-1])
+    padding = max(width - len(first) - len(last), 1)
+    lines.append(" " * (label_width + 2) + first + " " * padding + last)
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Multi-seed repetition — the paper's "averaged over 3 runs" protocol.
+
+Section VII-A: "All experiments are conducted 3 times and the averaged
+performances are reported."  :func:`repeat_experiment` reruns any
+registry entry under different seeds and aggregates the numeric columns
+into mean ± std rows.  Because seeds flow through dataset generation,
+splits, model init and MockGPT sampling, this measures the full
+pipeline variance, not just training noise.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence
+
+from . import reporting
+from .experiments import ExperimentContext
+from .harness import clear_split_cache
+
+__all__ = ["repeat_experiment", "aggregate_rows"]
+
+
+def aggregate_rows(
+    runs: Sequence[Sequence[Dict]], key_column: str = "dataset"
+) -> List[Dict]:
+    """Merge aligned row lists into mean±std cells.
+
+    Numeric cells become ``"mean ± std"`` strings; non-numeric cells are
+    taken from the first run.
+    """
+    if not runs:
+        return []
+    first = runs[0]
+    merged: List[Dict] = []
+    for row_index, base_row in enumerate(first):
+        merged_row: Dict = {key_column: base_row.get(key_column, "")}
+        for column, value in base_row.items():
+            if column == key_column:
+                continue
+            if isinstance(value, (int, float)):
+                values = [
+                    float(run[row_index][column])
+                    for run in runs
+                    if column in run[row_index]
+                ]
+                mean = statistics.fmean(values)
+                std = statistics.pstdev(values) if len(values) > 1 else 0.0
+                merged_row[column] = f"{mean:.2f} ± {std:.2f}"
+            else:
+                merged_row[column] = value
+        merged.append(merged_row)
+    return merged
+
+
+def repeat_experiment(
+    experiment: Callable[[ExperimentContext], Dict],
+    ctx: ExperimentContext,
+    seeds: Sequence[int] = (0, 1, 2),
+    title: str = "",
+) -> Dict:
+    """Run ``experiment`` once per seed and aggregate its rows.
+
+    Only row-shaped experiments (the tables) can be aggregated; figure
+    experiments return series and should be repeated manually.
+    """
+    runs: List[Sequence[Dict]] = []
+    for seed in seeds:
+        clear_split_cache()
+        seeded = replace(ctx) if hasattr(ctx, "__dataclass_fields__") else ctx
+        seeded.seed = seed
+        result = experiment(seeded)
+        if "rows" not in result:
+            raise ValueError(
+                "repeat_experiment only aggregates row-shaped experiments"
+            )
+        runs.append(result["rows"])
+    merged = aggregate_rows(runs)
+    columns = [c for c in merged[0] if c != "dataset"] if merged else []
+    text = reporting.render_table(
+        title or f"{experiment.__name__} over seeds {list(seeds)}",
+        columns,
+        merged,
+    )
+    return {"rows": merged, "runs": runs, "text": text, "seeds": list(seeds)}

@@ -1,0 +1,86 @@
+"""Plain-text table and series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "averages_row"]
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    key_column: str = "dataset",
+) -> str:
+    """Render rows (dicts) into an aligned monospace table."""
+    header = [key_column] + [c for c in columns if c != key_column]
+    widths = {c: len(c) for c in header}
+    formatted: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in header:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        formatted.append(cells)
+    lines = [title]
+    lines.append(
+        "  ".join(column.ljust(widths[column]) for column in header)
+    )
+    lines.append("  ".join("-" * widths[column] for column in header))
+    for cells in formatted:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[column])
+                for cell, column in zip(cells, header)
+            )
+        )
+    return "\n".join(lines)
+
+
+def averages_row(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str],
+    key_column: str = "dataset", label: str = "average",
+) -> Dict[str, object]:
+    """Append-ready row of per-column means over numeric cells."""
+    result: Dict[str, object] = {key_column: label}
+    for column in columns:
+        values = [
+            float(row[column])
+            for row in rows
+            if column in row and isinstance(row[column], (int, float))
+        ]
+        if values:
+            result[column] = sum(values) / len(values)
+    return result
+
+
+def render_series(
+    title: str, x_label: str, xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render figure series (one line per method) as aligned text."""
+    lines = [title]
+    x_cells = [str(x) for x in xs]
+    width = max([len(x_label)] + [len(name) for name in series])
+    value_width = max(
+        [max(len(c) for c in x_cells)]
+        + [len(f"{v:.2f}") for values in series.values() for v in values]
+    )
+    lines.append(
+        x_label.ljust(width)
+        + "  "
+        + "  ".join(c.rjust(value_width) for c in x_cells)
+    )
+    for name, values in series.items():
+        lines.append(
+            name.ljust(width)
+            + "  "
+            + "  ".join(f"{v:.2f}".rjust(value_width) for v in values)
+        )
+    return "\n".join(lines)

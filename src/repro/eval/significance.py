@@ -1,0 +1,117 @@
+"""Paired bootstrap significance testing for method comparisons.
+
+Benchmarks report point scores; a 20-example few-shot pipeline is noisy
+enough that "A beats B by 2 points" deserves an uncertainty statement.
+:func:`paired_bootstrap` resamples the *test set* with replacement and
+recomputes both methods' metrics on each resample — the standard paired
+bootstrap for system comparison — returning the win rate and a
+confidence interval on the score difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.schema import Example
+from ..tasks import metrics
+from ..tinylm.linalg import rng_for
+
+__all__ = ["BootstrapReport", "paired_bootstrap", "compare_methods"]
+
+
+@dataclass(frozen=True)
+class BootstrapReport:
+    """Outcome of a paired bootstrap comparison of methods A and B."""
+
+    score_a: float
+    score_b: float
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    win_rate_a: float
+    resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of (A - B) excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def summary(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"A={self.score_a:.2f} B={self.score_b:.2f} "
+            f"Δ={self.mean_difference:+.2f} "
+            f"[{self.ci_low:+.2f}, {self.ci_high:+.2f}] "
+            f"win-rate(A)={self.win_rate_a:.2%} ({verdict})"
+        )
+
+
+def paired_bootstrap(
+    task: str,
+    golds: Sequence[str],
+    preds_a: Sequence[str],
+    preds_b: Sequence[str],
+    originals: Optional[Sequence[str]] = None,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> BootstrapReport:
+    """Bootstrap the metric difference between two aligned prediction lists."""
+    n = len(golds)
+    if not (n and len(preds_a) == n and len(preds_b) == n):
+        raise ValueError("golds and both prediction lists must align")
+    rng = rng_for(seed, "bootstrap", task)
+
+    def metric(indices: Sequence[int], preds: Sequence[str]) -> float:
+        sub_golds = [golds[i] for i in indices]
+        sub_preds = [preds[i] for i in indices]
+        sub_originals = (
+            [originals[i] for i in indices] if originals is not None else None
+        )
+        return metrics.score(task, sub_golds, sub_preds, sub_originals)
+
+    full = list(range(n))
+    score_a = metric(full, preds_a)
+    score_b = metric(full, preds_b)
+    differences: List[float] = []
+    wins = 0
+    for __ in range(resamples):
+        indices = rng.integers(0, n, size=n)
+        resampled_a = metric(indices, preds_a)
+        resampled_b = metric(indices, preds_b)
+        differences.append(resampled_a - resampled_b)
+        wins += resampled_a > resampled_b
+    sorted_diffs = np.sort(differences)
+    return BootstrapReport(
+        score_a=score_a,
+        score_b=score_b,
+        mean_difference=float(np.mean(differences)),
+        ci_low=float(sorted_diffs[int(0.025 * resamples)]),
+        ci_high=float(sorted_diffs[min(int(0.975 * resamples), resamples - 1)]),
+        win_rate_a=wins / resamples,
+        resamples=resamples,
+    )
+
+
+def compare_methods(
+    method_a,
+    method_b,
+    examples: Sequence[Example],
+    task: str,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> BootstrapReport:
+    """Run both methods on the examples and bootstrap the difference."""
+    golds = [ex.answer for ex in examples]
+    preds_a = [method_a.predict(ex) for ex in examples]
+    preds_b = [method_b.predict(ex) for ex in examples]
+    originals = None
+    if task == "dc":
+        originals = [
+            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
+        ]
+    return paired_bootstrap(
+        task, golds, preds_a, preds_b, originals, resamples, seed
+    )

@@ -1,0 +1,37 @@
+"""Knowledge representation: typed rules, application, seeds and oracles."""
+
+from .apply import cell_markers, column_hints, pair_markers, transform_record
+from .rules import (
+    CandidateHint,
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    Knowledge,
+    MissingValuePolicy,
+    PatternLabelHint,
+    Rule,
+    ValueRange,
+    VocabConstraint,
+)
+from .seed import oracle_knowledge, seed_knowledge
+
+__all__ = [
+    "Knowledge",
+    "Rule",
+    "KeyAttribute",
+    "KeyPattern",
+    "IgnoreAttribute",
+    "MissingValuePolicy",
+    "FormatConstraint",
+    "VocabConstraint",
+    "ValueRange",
+    "CandidateHint",
+    "PatternLabelHint",
+    "cell_markers",
+    "column_hints",
+    "pair_markers",
+    "transform_record",
+    "seed_knowledge",
+    "oracle_knowledge",
+]

@@ -1,0 +1,267 @@
+"""Applying knowledge to prompts — how the DP-LLM *uses* knowledge.
+
+In the paper, knowledge is text prepended to the prompt and the LLM's
+reasoning turns it into behaviour.  In this substrate the same causal
+chain is made explicit: each rule both contributes prompt text
+(:meth:`Knowledge.render`) and deterministically derives canonical
+marker tokens (``[missing]``, ``[fmt_violation]``, ``[key_match]`` …)
+from the record under that rule.  The upstream DP-LLM is instruction-
+tuned on prompts containing the same canonical markers, so a correct
+downstream rule immediately speaks a language the model already
+grounds — the mechanism behind AKB's inference-time gains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import re
+
+from ..data.schema import Record
+from . import validators
+from .rules import (
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    Knowledge,
+    MissingValuePolicy,
+    PatternLabelHint,
+    ValueRange,
+    VocabConstraint,
+)
+
+__all__ = [
+    "MARKER_MISSING",
+    "MARKER_FORMAT",
+    "MARKER_VOCAB",
+    "MARKER_RANGE",
+    "MARKER_OK",
+    "MARKER_KEY_MATCH",
+    "MARKER_KEY_MISMATCH",
+    "transform_record",
+    "cell_markers",
+    "pair_markers",
+    "column_hints",
+]
+
+MARKER_MISSING = "[missing]"
+MARKER_FORMAT = "[fmt_violation]"
+MARKER_VOCAB = "[vocab_violation]"
+MARKER_RANGE = "[range_violation]"
+MARKER_OK = "[checks_pass]"
+MARKER_KEY_MATCH = "[key_match]"
+MARKER_KEY_MISMATCH = "[key_mismatch]"
+
+
+def transform_record(record: Record, knowledge: Knowledge) -> Record:
+    """Drop ignored attributes prior to serialisation."""
+    ignored = [
+        rule.attribute for rule in knowledge.rules_of(IgnoreAttribute)
+    ]
+    return record.without(ignored) if ignored else record
+
+
+def _violates(value: str, rule) -> bool:
+    """Does ``value`` violate a single cell-level rule?"""
+    lowered = value.strip().lower()
+    if isinstance(rule, FormatConstraint):
+        return not validators.validate(rule.validator, lowered)
+    if isinstance(rule, VocabConstraint):
+        return not validators.bank_contains(rule.bank, lowered)
+    if isinstance(rule, ValueRange):
+        try:
+            number = float(lowered)
+        except ValueError:
+            return True
+        return not rule.low <= number <= rule.high
+    return False
+
+
+def cell_markers(
+    record: Record, attribute: str, knowledge: Knowledge
+) -> List[str]:
+    """Derived markers for one cell under the given knowledge.
+
+    Used by ED/DC/DI prompts: rules that target ``attribute`` are
+    checked against its value; a :class:`MissingValuePolicy` flags raw
+    missing markers.  When at least one applicable check exists and all
+    pass, :data:`MARKER_OK` is emitted — grounded negative evidence is
+    as valuable as violations.
+    """
+    value = record.get(attribute)
+    markers: List[str] = []
+    if knowledge.first_of(MissingValuePolicy) and record.is_missing(attribute):
+        markers.append(MARKER_MISSING)
+    checked = False
+    for rule in knowledge.rules:
+        target = getattr(rule, "attribute", None)
+        if target != attribute:
+            continue
+        if isinstance(rule, (FormatConstraint, VocabConstraint, ValueRange)):
+            if record.is_missing(attribute):
+                # A missing value cannot satisfy any constraint.
+                if MARKER_MISSING not in markers:
+                    markers.append(MARKER_MISSING)
+                continue
+            checked = True
+            if _violates(value, rule):
+                markers.append(
+                    {
+                        FormatConstraint: MARKER_FORMAT,
+                        VocabConstraint: MARKER_VOCAB,
+                        ValueRange: MARKER_RANGE,
+                    }[type(rule)]
+                )
+    if checked and not any(
+        m in markers for m in (MARKER_FORMAT, MARKER_VOCAB, MARKER_RANGE)
+    ):
+        markers.append(MARKER_OK)
+    return markers
+
+
+def _token_overlap(left: str, right: str) -> float:
+    left_tokens = set(left.split())
+    right_tokens = set(right.split())
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return len(left_tokens & right_tokens) / len(left_tokens | right_tokens)
+
+
+def _values_agree(left: str, right: str) -> bool:
+    left, right = left.strip().lower(), right.strip().lower()
+    if left == right:
+        return True
+    if left in right or right in left:
+        return True
+    return _token_overlap(left, right) >= 0.6
+
+
+_KEY_PATTERNS = {
+    "model_number": re.compile(r"\b[a-z]{2,3}-\d{3,4}\b"),
+    "capacity": re.compile(r"\b\d+(?:gb|tb)\b"),
+}
+
+
+def _extract_keys(record: Record, pattern: str) -> set:
+    text = " ".join(value.lower() for __, value in record)
+    return set(_KEY_PATTERNS[pattern].findall(text))
+
+
+def pair_markers(
+    left: Record, right: Record, knowledge: Knowledge
+) -> List[str]:
+    """Derived markers for a matching pair (EM).
+
+    Each :class:`KeyAttribute` rule compares the key value across the
+    two records — the substrate analogue of "check whether the model
+    numbers agree".  :class:`KeyPattern` rules extract identifier-shaped
+    tokens from the full record text instead, covering datasets whose
+    keys are embedded in titles.
+    """
+    markers: List[str] = []
+    skip_missing = knowledge.first_of(MissingValuePolicy) is not None
+    for rule in knowledge.rules_of(KeyAttribute):
+        attribute = rule.attribute
+        left_value, right_value = left.get(attribute), right.get(attribute)
+        left_missing = left.is_missing(attribute) or not left_value
+        right_missing = right.is_missing(attribute) or not right_value
+        if left_missing or right_missing:
+            if skip_missing:
+                continue
+            markers.append(MARKER_MISSING)
+            continue
+        if _values_agree(left_value, right_value):
+            markers.append(MARKER_KEY_MATCH)
+        else:
+            markers.append(MARKER_KEY_MISMATCH)
+    for rule in knowledge.rules_of(KeyPattern):
+        left_keys = _extract_keys(left, rule.pattern)
+        right_keys = _extract_keys(right, rule.pattern)
+        if not left_keys or not right_keys:
+            continue
+        if left_keys & right_keys:
+            markers.append(MARKER_KEY_MATCH)
+        else:
+            markers.append(MARKER_KEY_MISMATCH)
+    return markers
+
+
+# ---------------------------------------------------------------------------
+# Column-type pattern hints (CTA)
+# ---------------------------------------------------------------------------
+def _matches_pattern(pattern: str, value: str) -> bool:
+    value = value.strip().lower()
+    if pattern == "two_letter_code":
+        return len(value) == 2 and value.isalpha()
+    if pattern == "schema_org_url":
+        return value.startswith("https://schema.org/")
+    if pattern == "dollar_run":
+        return bool(value) and set(value) == {"$"}
+    if pattern == "numeric_pair":
+        parts = [p.strip() for p in value.split(",")]
+        if len(parts) != 2:
+            return False
+        try:
+            float(parts[0]), float(parts[1])
+        except ValueError:
+            return False
+        return True
+    if pattern == "long_text":
+        return len(value.split()) >= 6
+    if pattern == "iso_date":
+        return validators.validate("iso_date", value)
+    if pattern == "phone_like":
+        digits = sum(ch.isdigit() for ch in value)
+        return value.startswith("+") and digits >= 8
+    if pattern == "five_digits":
+        return len(value) == 5 and value.isdigit()
+    if pattern == "org_suffix":
+        return value.split()[-1] in ("inc", "ltd", "group", "association") if value else False
+    if pattern == "locality_words":
+        words = value.split()
+        return bool(words) and all(w.isalpha() for w in words) and 1 <= len(words) <= 4
+    raise ValueError(f"unknown column pattern {pattern!r}")
+
+
+def column_observations(
+    values: Sequence[str], threshold: float = 0.8
+) -> List[str]:
+    """Knowledge-independent pattern observations over a column sample.
+
+    Emits one discrete token per generic surface pattern the values
+    match ("pattern two letter code") — the substrate analogue of an
+    LLM simply *seeing* what the cells look like.  All models receive
+    these; :func:`column_hints` adds label suggestions on top when
+    knowledge provides them.
+    """
+    observations: List[str] = []
+    if not values:
+        return observations
+    for pattern in PatternLabelHint._PATTERNS:
+        matching = sum(1 for v in values if _matches_pattern(pattern, v))
+        if matching / len(values) >= threshold:
+            observations.append("pattern " + pattern.replace("_", " "))
+    return observations
+
+
+def column_hints(
+    values: Sequence[str], knowledge: Knowledge, threshold: float = 0.8
+) -> List[str]:
+    """Label hints fired by the column's value sample.
+
+    A :class:`PatternLabelHint` fires when at least ``threshold`` of the
+    sampled values match its pattern; the hint injects the suggested
+    label into the prompt, which the copy-biased model can then align
+    with the matching candidate label.
+    """
+    hints: List[str] = []
+    if not values:
+        return hints
+    for rule in knowledge.rules_of(PatternLabelHint):
+        matching = sum(
+            1 for value in values if _matches_pattern(rule.pattern, value)
+        )
+        if matching / len(values) >= threshold:
+            hints.append(f"these values look like {rule.label}")
+    return hints

@@ -1,0 +1,311 @@
+"""Typed dataset-informed knowledge.
+
+A :class:`Knowledge` object is the machine-readable form of the "prompt
+knowledge" AKB searches for: a bag of typed rules plus free-text notes.
+Every rule renders to natural-language text (what gets inserted into the
+prompt and counted for token costs, paper Table III) and drives a
+concrete prompt transformation in :mod:`repro.knowledge.apply` (how a
+real LLM would *use* that text).
+
+Serialisation round-trips through plain dicts so knowledge candidates
+can be pooled, compared and logged by the AKB optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from . import validators
+
+__all__ = [
+    "Rule",
+    "KeyAttribute",
+    "KeyPattern",
+    "IgnoreAttribute",
+    "MissingValuePolicy",
+    "FormatConstraint",
+    "VocabConstraint",
+    "ValueRange",
+    "CandidateHint",
+    "PatternLabelHint",
+    "Knowledge",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Base class for all knowledge rules."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {"kind": type(self).__name__}
+        data.update(self.__dict__)
+        return data
+
+
+@dataclass(frozen=True)
+class KeyAttribute(Rule):
+    """The attribute that decides matching tasks (model numbers etc.)."""
+
+    attribute: str
+
+    def render(self) -> str:
+        return f"the primary identifier is the {self.attribute} attribute"
+
+
+@dataclass(frozen=True)
+class IgnoreAttribute(Rule):
+    """An attribute that should be disregarded (prices across stores)."""
+
+    attribute: str
+
+    def render(self) -> str:
+        return f"the {self.attribute} attribute can be disregarded"
+
+
+@dataclass(frozen=True)
+class MissingValuePolicy(Rule):
+    """Canonicalise missing markers; matching tasks skip missing cells."""
+
+    def render(self) -> str:
+        return (
+            "values like nan or n/a are missing; focus on comparing the "
+            "other attributes"
+        )
+
+
+@dataclass(frozen=True)
+class FormatConstraint(Rule):
+    """A named format validator the attribute's clean values satisfy."""
+
+    attribute: str
+    validator: str
+
+    def __post_init__(self) -> None:
+        validators.describe(self.validator)  # raises on unknown names
+
+    def render(self) -> str:
+        return (
+            f"the {self.attribute} attribute must be "
+            f"{validators.describe(self.validator)}"
+        )
+
+
+@dataclass(frozen=True)
+class VocabConstraint(Rule):
+    """Clean values of the attribute draw from a known vocabulary bank."""
+
+    attribute: str
+    bank: str
+
+    def __post_init__(self) -> None:
+        if self.bank not in validators.BANKS:
+            raise KeyError(f"unknown vocabulary bank {self.bank!r}")
+
+    def render(self) -> str:
+        return (
+            f"the {self.attribute} attribute uses known "
+            f"{self.bank.replace('_', ' ')}; check its spelling"
+        )
+
+
+@dataclass(frozen=True)
+class ValueRange(Rule):
+    """Numeric plausibility range for an attribute."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def render(self) -> str:
+        return (
+            f"the {self.attribute} attribute should be between "
+            f"{self.low:g} and {self.high:g}"
+        )
+
+
+@dataclass(frozen=True)
+class KeyPattern(Rule):
+    """Key identifiers matched by pattern anywhere in the record text.
+
+    Covers datasets whose deciding identifier is embedded inside a title
+    rather than stored in its own attribute (Abt-Buy model numbers).
+    Known patterns: ``model_number`` and ``capacity``.
+    """
+
+    pattern: str
+
+    _KNOWN = ("model_number", "capacity")
+
+    def __post_init__(self) -> None:
+        if self.pattern not in self._KNOWN:
+            raise ValueError(f"unknown key pattern {self.pattern!r}")
+
+    def render(self) -> str:
+        return (
+            f"the primary identifiers are the "
+            f"{self.pattern.replace('_', ' ')}s found in the text"
+        )
+
+
+@dataclass(frozen=True)
+class CandidateHint(Rule):
+    """Where the answer of a generation task lives.
+
+    Strategies understood by the task candidate generators:
+
+    * ``title_prefix`` — the answer opens the product name (Flipkart)
+    * ``known_brand``  — the answer is the first bank-recognised brand
+    * ``derive``       — derive the value from related attributes (DC)
+    * ``descriptive_first`` — descriptive terms outrank brand names (OA)
+    """
+
+    strategy: str
+    bank: str = ""
+
+    _KNOWN = ("title_prefix", "known_brand", "derive", "descriptive_first")
+
+    def __post_init__(self) -> None:
+        if self.strategy not in self._KNOWN:
+            raise ValueError(f"unknown candidate strategy {self.strategy!r}")
+        if self.bank and self.bank not in validators.BANKS:
+            raise KeyError(f"unknown vocabulary bank {self.bank!r}")
+
+    def render(self) -> str:
+        texts = {
+            "title_prefix": "the value usually opens the product name",
+            "known_brand": "look for the first recognizable brand name",
+            "derive": "derive missing values from the related attributes",
+            "descriptive_first": (
+                "prioritize descriptive terms such as flavors or scents "
+                "over brand names"
+            ),
+        }
+        text = texts[self.strategy]
+        if self.bank:
+            text += f" (known {self.bank.replace('_', ' ')})"
+        return text
+
+
+@dataclass(frozen=True)
+class PatternLabelHint(Rule):
+    """Column-type tell: when values match a pattern, suggest a label."""
+
+    pattern: str
+    label: str
+
+    _PATTERNS = (
+        "two_letter_code", "schema_org_url", "dollar_run", "numeric_pair",
+        "long_text", "iso_date", "phone_like", "five_digits", "org_suffix",
+        "locality_words",
+    )
+
+    def __post_init__(self) -> None:
+        if self.pattern not in self._PATTERNS:
+            raise ValueError(f"unknown column pattern {self.pattern!r}")
+
+    def render(self) -> str:
+        return (
+            f"columns whose values look like {self.pattern.replace('_', ' ')} "
+            f"are usually {self.label}"
+        )
+
+
+_RULE_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        KeyAttribute,
+        KeyPattern,
+        IgnoreAttribute,
+        MissingValuePolicy,
+        FormatConstraint,
+        VocabConstraint,
+        ValueRange,
+        CandidateHint,
+        PatternLabelHint,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Knowledge:
+    """A knowledge candidate ρ: typed rules plus optional free text."""
+
+    rules: Tuple[Rule, ...] = ()
+    notes: str = ""
+
+    @staticmethod
+    def empty() -> "Knowledge":
+        return Knowledge()
+
+    def render(self) -> str:
+        """The prompt text this knowledge contributes."""
+        parts = [rule.render() for rule in self.rules]
+        if self.notes:
+            parts.append(self.notes)
+        if not parts:
+            return ""
+        return "knowledge: " + ". ".join(parts) + "."
+
+    def with_rule(self, rule: Rule) -> "Knowledge":
+        if rule in self.rules:
+            return self
+        return Knowledge(rules=self.rules + (rule,), notes=self.notes)
+
+    def without_rule(self, rule: Rule) -> "Knowledge":
+        return Knowledge(
+            rules=tuple(r for r in self.rules if r != rule), notes=self.notes
+        )
+
+    def merged(self, other: "Knowledge") -> "Knowledge":
+        combined = list(self.rules)
+        for rule in other.rules:
+            if rule not in combined:
+                combined.append(rule)
+        notes = self.notes
+        if other.notes and other.notes not in notes:
+            notes = (notes + " " + other.notes).strip()
+        return Knowledge(rules=tuple(combined), notes=notes)
+
+    def rules_of(self, rule_type: type) -> List[Rule]:
+        return [rule for rule in self.rules if isinstance(rule, rule_type)]
+
+    def first_of(self, rule_type: type) -> Optional[Rule]:
+        found = self.rules_of(rule_type)
+        return found[0] if found else None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules) or bool(self.notes)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "notes": self.notes,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Knowledge":
+        rules = []
+        for item in data.get("rules", ()):
+            payload = dict(item)
+            kind = payload.pop("kind")
+            if kind not in _RULE_TYPES:
+                raise KeyError(f"unknown rule kind {kind!r}")
+            rules.append(_RULE_TYPES[kind](**payload))
+        return Knowledge(rules=tuple(rules), notes=data.get("notes", ""))
+
+    @staticmethod
+    def combine(pieces: Iterable["Knowledge"]) -> "Knowledge":
+        result = Knowledge.empty()
+        for piece in pieces:
+            result = result.merged(piece)
+        return result

@@ -1,0 +1,243 @@
+"""Seed and oracle knowledge.
+
+*Seed* knowledge is the generic, handcrafted starting point that the
+task prompt templates already contain (paper Listing 1: "errors may
+include spelling errors, missing values, …").  *Oracle* knowledge is
+the complete set of latent rules a generator injected — the ceiling AKB
+searches toward.  Oracle knowledge is used three ways:
+
+1. grounding: upstream SFT prompts are built with each upstream
+   dataset's oracle knowledge, which teaches the model the canonical
+   marker vocabulary;
+2. tests: AKB's searched knowledge is compared against the oracle;
+3. an upper-bound ablation bench.
+
+It is never given to a model being *evaluated* on a downstream dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .rules import (
+    CandidateHint,
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    Knowledge,
+    MissingValuePolicy,
+    PatternLabelHint,
+    ValueRange,
+    VocabConstraint,
+)
+
+__all__ = ["seed_knowledge", "oracle_knowledge", "ORACLES"]
+
+_TASK_SEEDS: Dict[str, Knowledge] = {
+    "ed": Knowledge(rules=(MissingValuePolicy(),)),
+    "dc": Knowledge(rules=(MissingValuePolicy(),)),
+    "em": Knowledge(rules=(MissingValuePolicy(),)),
+    "sm": Knowledge(),
+    "di": Knowledge(),
+    "cta": Knowledge(),
+    "ave": Knowledge(),
+}
+
+
+def seed_knowledge(task: str) -> Knowledge:
+    """Generic handcrafted knowledge for a task (paper seed prompts)."""
+    if task not in _TASK_SEEDS:
+        raise KeyError(f"unknown task {task!r}")
+    return _TASK_SEEDS[task]
+
+
+_FLIGHTS = Knowledge(
+    rules=(
+        MissingValuePolicy(),
+        FormatConstraint("scheduled_departure", "time_12h"),
+        FormatConstraint("actual_departure", "time_12h"),
+        FormatConstraint("scheduled_arrival", "time_12h"),
+        FormatConstraint("actual_arrival", "time_12h"),
+        FormatConstraint("flight", "flight_code"),
+    ),
+)
+
+_RAYYAN_ED = Knowledge(
+    rules=(
+        MissingValuePolicy(),
+        FormatConstraint("article_jcreated_at", "iso_date"),
+        FormatConstraint("journal_issn", "issn"),
+        FormatConstraint("article_pagination", "pagination"),
+        FormatConstraint("article_jvolumn", "integer"),
+        FormatConstraint("article_jissue", "integer"),
+        VocabConstraint("journal_title", "journal_titles"),
+        VocabConstraint("journal_abbreviation", "journal_abbreviations"),
+        VocabConstraint("article_title", "academic_words"),
+    ),
+    notes="0 is a valid issue or volume value",
+)
+
+_BEER_ED = Knowledge(
+    rules=(
+        MissingValuePolicy(),
+        FormatConstraint("abv", "unit_decimal"),
+        FormatConstraint("ibu", "integer"),
+        FormatConstraint("ounces", "numeric"),
+        VocabConstraint("style", "beer_styles"),
+        VocabConstraint("city", "cities"),
+        VocabConstraint("beer_name", "beer_words"),
+        VocabConstraint("brewery_name", "brewery_words"),
+    ),
+    notes="abv never carries a percent sign",
+)
+
+ORACLES: Dict[str, Knowledge] = {
+    "ed/flights": _FLIGHTS,
+    "ed/rayyan": _RAYYAN_ED,
+    "ed/beer": _BEER_ED,
+    "di/flipkart": Knowledge(
+        rules=(
+            CandidateHint("title_prefix"),
+            CandidateHint("known_brand", bank="retail_brands"),
+        ),
+    ),
+    "di/phone": Knowledge(
+        rules=(CandidateHint("known_brand", bank="phone_brands"),),
+    ),
+    "sm/cms": Knowledge(
+        notes=(
+            "focus on the semantic meaning of the descriptions; start and "
+            "end dates and different coding systems are not equivalent"
+        ),
+    ),
+    "em/abt_buy": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            KeyPattern("model_number"),
+            IgnoreAttribute("price"),
+        ),
+    ),
+    "em/walmart_amazon": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            KeyAttribute("modelno"),
+            KeyAttribute("capacity"),
+            IgnoreAttribute("price"),
+        ),
+    ),
+    "cta/sotab": Knowledge(
+        rules=(
+            PatternLabelHint("two_letter_code", "country"),
+            PatternLabelHint("schema_org_url", "event_status"),
+            PatternLabelHint("long_text", "description"),
+            PatternLabelHint("numeric_pair", "coordinate"),
+            PatternLabelHint("dollar_run", "price_range"),
+            PatternLabelHint("phone_like", "telephone"),
+            PatternLabelHint("iso_date", "date"),
+            PatternLabelHint("five_digits", "postal_code"),
+            PatternLabelHint("org_suffix", "organization"),
+        ),
+    ),
+    "ave/ae110k": Knowledge(
+        rules=(
+            VocabConstraint("sport type", "sport_types"),
+            VocabConstraint("feature", "features"),
+            VocabConstraint("gender", "genders"),
+            VocabConstraint("color", "colors"),
+            VocabConstraint("material", "materials"),
+        ),
+        notes="default to n/a when the title does not mention the attribute",
+    ),
+    "ave/oa_mine": Knowledge(
+        rules=(
+            CandidateHint("descriptive_first", bank="grocery_brands"),
+            VocabConstraint("flavor", "flavors"),
+            VocabConstraint("scent", "scents"),
+            VocabConstraint("brand", "grocery_brands"),
+            VocabConstraint("item form", "item_forms"),
+        ),
+    ),
+    "dc/rayyan": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            CandidateHint("derive"),
+            FormatConstraint("article_jcreated_at", "iso_date"),
+            FormatConstraint("journal_issn", "issn"),
+            VocabConstraint("journal_title", "journal_titles"),
+            VocabConstraint("journal_abbreviation", "journal_abbreviations"),
+            VocabConstraint("article_title", "academic_words"),
+        ),
+    ),
+    "dc/beer": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            FormatConstraint("abv", "unit_decimal"),
+            VocabConstraint("style", "beer_styles"),
+            VocabConstraint("city", "cities"),
+            VocabConstraint("beer_name", "beer_words"),
+            VocabConstraint("brewery_name", "brewery_words"),
+        ),
+    ),
+    # ---- upstream oracles (ground the canonical marker vocabulary) ----
+    "up/adult": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            ValueRange("age", 17, 80),
+            ValueRange("hours_per_week", 10, 70),
+        ),
+    ),
+    "up/hospital": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            VocabConstraint("city", "cities"),
+            VocabConstraint("state", "states"),
+            FormatConstraint("phone", "phone_spaced"),
+        ),
+    ),
+    "up/buy": Knowledge(
+        rules=(CandidateHint("known_brand", bank="electronics_brands"),),
+    ),
+    "up/restaurant": Knowledge(
+        rules=(
+            CandidateHint("derive"),
+            VocabConstraint("city", "cities"),
+        ),
+    ),
+    "up/mimic": Knowledge(),
+    "up/synthea": Knowledge(),
+    "up/amazon_google": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            KeyPattern("model_number"),
+            IgnoreAttribute("price"),
+        ),
+    ),
+    "up/beer_em": Knowledge(
+        rules=(MissingValuePolicy(), KeyAttribute("beer_name")),
+    ),
+    "up/dblp_acm": Knowledge(
+        rules=(MissingValuePolicy(), KeyAttribute("title")),
+    ),
+    "up/dblp_scholar": Knowledge(
+        rules=(MissingValuePolicy(), KeyAttribute("title")),
+    ),
+    "up/fodors_zagats": Knowledge(
+        rules=(MissingValuePolicy(), KeyAttribute("name")),
+    ),
+    "up/itunes_amazon": Knowledge(
+        rules=(
+            MissingValuePolicy(),
+            KeyAttribute("song_name"),
+            KeyAttribute("time"),
+            IgnoreAttribute("price"),
+        ),
+    ),
+}
+
+
+def oracle_knowledge(dataset_id: str) -> Knowledge:
+    """The latent ground-truth knowledge for a generated dataset."""
+    if dataset_id not in ORACLES:
+        raise KeyError(f"no oracle knowledge for {dataset_id!r}")
+    return ORACLES[dataset_id]

@@ -1,0 +1,20 @@
+"""External-LLM substrate: MockGPT, ICL inference, pricing."""
+
+from .icl import ICLModel, icl_prompt, render_demonstrations
+from .induction import ScoredRule, induce
+from .mockgpt import ErrorCase, Feedback, MockGPT
+from .pricing import PRICES, PriceSheet, UsageMeter
+
+__all__ = [
+    "MockGPT",
+    "Feedback",
+    "ErrorCase",
+    "induce",
+    "ScoredRule",
+    "ICLModel",
+    "icl_prompt",
+    "render_demonstrations",
+    "UsageMeter",
+    "PriceSheet",
+    "PRICES",
+]

@@ -1,0 +1,120 @@
+"""In-context learning: demonstrations placed in the prompt.
+
+The Jellyfish-ICL baseline (and every GPT baseline) receives the
+few-shot examples as in-context demonstrations instead of parameter
+updates.  Mechanistically, transformer ICL behaves like an induction
+head: it retrieves demonstrations similar to the query and copies their
+answers, blended with the model's own zero-shot judgement.
+:class:`ICLModel` implements exactly that — query logits plus a
+similarity-weighted demonstration vote — rather than naively
+concatenating demonstration text into the hashed prompt (which would
+only dilute the query features, an artifact attention does not have).
+
+:func:`icl_prompt` still renders the full transmitted prompt (demos
+included) for token accounting (paper Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.schema import Dataset, Example
+from ..knowledge.rules import Knowledge
+from ..tasks.base import Task
+
+__all__ = ["render_demonstrations", "icl_prompt", "ICLModel"]
+
+
+def render_demonstrations(
+    task: Task,
+    demonstrations: Sequence[Example],
+    knowledge: Knowledge,
+    limit: int = 10,
+) -> str:
+    """Linearise demonstrations the way API prompts carry them."""
+    parts = []
+    for example in list(demonstrations)[:limit]:
+        body = task.prompt(example, knowledge)
+        parts.append(f"example {body} answer {example.answer}")
+    return " ".join(parts)
+
+
+def icl_prompt(
+    task: Task,
+    example: Example,
+    demonstrations: Sequence[Example],
+    knowledge: Knowledge,
+    limit: int = 10,
+) -> str:
+    """The transmitted prompt: demonstrations followed by the query."""
+    demos = render_demonstrations(task, demonstrations, knowledge, limit)
+    query = task.prompt(example, knowledge)
+    return (demos + " " + query).strip()
+
+
+class ICLModel:
+    """Demonstration-conditioned inference over a frozen scoring LM.
+
+    ``vote_weight`` balances the retrieval vote against the model's own
+    zero-shot logits; demonstrations similar to the query contribute
+    their answer with weight proportional to feature cosine similarity.
+    """
+
+    def __init__(
+        self,
+        model,
+        task: Task,
+        demonstrations: Sequence[Example],
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        limit: int = 10,
+        vote_weight: float = 2.0,
+    ):
+        self.model = model
+        self.task = task
+        self.demonstrations = list(demonstrations)[:limit]
+        self.knowledge = knowledge
+        self.dataset = dataset
+        self.limit = limit
+        self.vote_weight = vote_weight
+        self._demo_features = np.stack(
+            [
+                model.encode_prompt(task.prompt(demo, knowledge))
+                for demo in self.demonstrations
+            ]
+        )
+        self._demo_answers = [demo.answer for demo in self.demonstrations]
+
+    #: Retrieval sharpness: only the most similar demonstrations vote,
+    #: with a soft temperature over their similarities.
+    RETRIEVED = 3
+    RETRIEVAL_TEMPERATURE = 0.02
+
+    def _vote(self, query_features: np.ndarray, pool: Sequence[str]) -> np.ndarray:
+        similarities = self._demo_features @ query_features
+        order = np.argsort(similarities)[::-1][: self.RETRIEVED]
+        top = similarities[order]
+        soft = np.exp((top - top.max()) / self.RETRIEVAL_TEMPERATURE)
+        soft /= soft.sum()
+        votes = np.zeros(len(pool))
+        for weight, index in zip(soft, order):
+            answer = self._demo_answers[int(index)]
+            if answer in pool:
+                votes[pool.index(answer)] += float(weight)
+        return votes
+
+    def predict(self, example: Example) -> str:
+        pool = list(self.task.candidates(example, self.knowledge, self.dataset))
+        prompt = self.task.prompt(example, self.knowledge)
+        logits = self.model.logits(prompt, pool)
+        vote = self._vote(self.model.encode_prompt(prompt), pool)
+        combined = logits + self.vote_weight * vote
+        return pool[int(np.argmax(combined))]
+
+    def transmitted_prompt(self, example: Example) -> str:
+        """The full API-style prompt (for token accounting)."""
+        return icl_prompt(
+            self.task, example, self.demonstrations, self.knowledge, self.limit
+        )

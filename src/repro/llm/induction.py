@@ -1,0 +1,412 @@
+"""Rule induction from labeled examples — MockGPT's reasoning core.
+
+Given a handful of labeled instances, these functions induce candidate
+dataset-informed knowledge rules with confidence scores, exactly the
+way a capable LLM reads demonstrations and writes down the governing
+conventions ("ABV never carries a percent sign", "model numbers decide
+matches").  The induction is statistical and therefore *imperfect at
+few-shot sizes* — which is what gives AKB's error-feedback loop real
+work to do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..data.schema import Example, Record
+from ..knowledge import validators
+from ..knowledge.apply import _extract_keys, _values_agree  # substrate-internal
+from ..knowledge.rules import (
+    CandidateHint,
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    MissingValuePolicy,
+    PatternLabelHint,
+    Rule,
+    ValueRange,
+    VocabConstraint,
+)
+
+__all__ = ["ScoredRule", "induce"]
+
+
+@dataclass(frozen=True)
+class ScoredRule:
+    """An induced rule with the inducer's confidence in it."""
+
+    rule: Rule
+    confidence: float
+
+
+#: Validators ordered most-specific first; induction proposes the first
+#: one every clean sample satisfies.
+_VALIDATOR_SPECIFICITY = (
+    "time_12h",
+    "iso_date",
+    "issn",
+    "flight_code",
+    "pagination",
+    "unit_decimal",
+    "integer",
+    "numeric",
+)
+
+_MIN_CLEAN_SAMPLES = 2
+
+
+def _is_missing(value: str) -> bool:
+    return value.strip().lower() in ("nan", "n/a", "", "null", "none")
+
+
+# ---------------------------------------------------------------------------
+# Cell-level conventions (ED / DC)
+# ---------------------------------------------------------------------------
+def _collect_cell_evidence(
+    examples: Sequence[Example],
+) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+    """Split observed cell values into clean and dirty pools per attribute.
+
+    For ED, non-highlighted cells are clean by construction and answer
+    ``no`` confirms the highlighted one; for DC the reference answers
+    are clean and the dirty originals are dirty.
+    """
+    clean: Dict[str, List[str]] = defaultdict(list)
+    dirty: Dict[str, List[str]] = defaultdict(list)
+    for example in examples:
+        record: Record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        if example.task == "ed":
+            for attr, value in record:
+                if attr == attribute:
+                    pool = clean if example.answer == "no" else dirty
+                    pool[attr].append(value)
+                else:
+                    clean[attr].append(value)
+        else:  # dc
+            clean[attribute].append(example.answer)
+            dirty[attribute].append(record.get(attribute))
+            for attr, value in record:
+                if attr != attribute:
+                    clean[attr].append(value)
+    return clean, dirty
+
+
+def _value_words(values: Iterable[str]) -> List[str]:
+    words: List[str] = []
+    for value in values:
+        words.extend(value.strip().lower().split())
+    return words
+
+
+def _induce_cell_rules(
+    examples: Sequence[Example],
+) -> List[ScoredRule]:
+    clean, dirty = _collect_cell_evidence(examples)
+    rules: List[ScoredRule] = []
+
+    dirty_missing = sum(
+        1 for values in dirty.values() for v in values if _is_missing(v)
+    )
+    if dirty_missing:
+        rules.append(ScoredRule(MissingValuePolicy(), 0.95))
+
+    for attribute, values in clean.items():
+        present = [v for v in values if not _is_missing(v)]
+        if len(present) < _MIN_CLEAN_SAMPLES:
+            continue
+        lowered = [v.strip().lower() for v in present]
+        # Format constraints: pick the most specific validator that all
+        # clean samples satisfy, provided it is selective (there exists
+        # a dirty sample or a generic string it rejects).
+        for name in _VALIDATOR_SPECIFICITY:
+            if all(validators.validate(name, v) for v in lowered):
+                dirty_hits = [
+                    v
+                    for v in dirty.get(attribute, ())
+                    if not _is_missing(v)
+                    and not validators.validate(name, v.strip().lower())
+                ]
+                confidence = 0.6 + 0.1 * min(len(present), 3)
+                if dirty_hits:
+                    confidence = min(0.97, confidence + 0.15)
+                rules.append(
+                    ScoredRule(FormatConstraint(attribute, name), confidence)
+                )
+                break
+        # Vocabulary constraints: smallest bank whose word set covers all
+        # clean samples of a non-numeric attribute.
+        if any(not v.replace(".", "").replace("-", "").isdigit() for v in lowered):
+            covering = [
+                (len(validators.BANKS[bank]), bank)
+                for bank in validators.BANKS
+                if all(validators.bank_contains(bank, v) for v in lowered)
+            ]
+            if covering:
+                __, bank = min(covering)
+                confidence = 0.5 + 0.1 * min(len(present), 4)
+                rules.append(
+                    ScoredRule(VocabConstraint(attribute, bank), confidence)
+                )
+        # Numeric plausibility ranges need several samples to be credible.
+        numbers = []
+        for v in lowered:
+            try:
+                numbers.append(float(v))
+            except ValueError:
+                break
+        if len(numbers) == len(lowered) and len(numbers) >= 4:
+            low, high = min(numbers), max(numbers)
+            margin = 0.5 * (high - low) + 1e-9
+            rules.append(
+                ScoredRule(
+                    ValueRange(attribute, round(low - margin, 3), round(high + margin, 3)),
+                    0.45,
+                )
+            )
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Matching conventions (EM)
+# ---------------------------------------------------------------------------
+def _induce_matching_rules(examples: Sequence[Example]) -> List[ScoredRule]:
+    rules: List[ScoredRule] = []
+    attributes: Dict[str, List[Tuple[bool, bool]]] = defaultdict(list)
+    pattern_stats: Dict[str, List[Tuple[bool, bool]]] = defaultdict(list)
+    saw_missing = False
+    for example in examples:
+        left: Record = example.inputs["left"]
+        right: Record = example.inputs["right"]
+        is_match = example.answer == "yes"
+        for attr in left.attributes:
+            if attr not in right:
+                continue
+            if left.is_missing(attr) or right.is_missing(attr):
+                saw_missing = True
+                continue
+            agree = _values_agree(left.get(attr), right.get(attr))
+            attributes[attr].append((agree, is_match))
+        for pattern in ("model_number", "capacity"):
+            lk, rk = _extract_keys(left, pattern), _extract_keys(right, pattern)
+            if lk and rk:
+                pattern_stats[pattern].append((bool(lk & rk), is_match))
+
+    if saw_missing:
+        rules.append(ScoredRule(MissingValuePolicy(), 0.9))
+
+    def correlation(stats: List[Tuple[bool, bool]]) -> float:
+        matches = [agree for agree, is_match in stats if is_match]
+        non_matches = [agree for agree, is_match in stats if not is_match]
+        if not matches or not non_matches:
+            return 0.0
+        return (sum(matches) / len(matches)) - (
+            sum(non_matches) / len(non_matches)
+        )
+
+    for attr, stats in attributes.items():
+        corr = correlation(stats)
+        if corr >= 0.5:
+            rules.append(
+                ScoredRule(KeyAttribute(attr), min(0.95, 0.5 + corr / 2))
+            )
+        elif abs(corr) <= 0.15 and len(stats) >= 6:
+            rules.append(ScoredRule(IgnoreAttribute(attr), 0.6))
+    for pattern, stats in pattern_stats.items():
+        corr = correlation(stats)
+        if corr >= 0.5 and len(stats) >= 4:
+            rules.append(
+                ScoredRule(KeyPattern(pattern), min(0.95, 0.5 + corr / 2))
+            )
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Imputation conventions (DI)
+# ---------------------------------------------------------------------------
+def _induce_imputation_rules(examples: Sequence[Example]) -> List[ScoredRule]:
+    rules: List[ScoredRule] = []
+    answers = [ex.answer.strip().lower() for ex in examples]
+    if not answers:
+        return rules
+    coverage = []
+    for bank in validators.BANKS:
+        entries = set(validators.BANKS[bank])
+        covered = sum(1 for a in answers if a in entries)
+        coverage.append((covered / len(answers), -len(entries), bank))
+    best_cover, __, best_bank = max(coverage)
+    if best_cover >= 0.7:
+        rules.append(
+            ScoredRule(
+                CandidateHint("known_brand", bank=best_bank),
+                min(0.95, best_cover),
+            )
+        )
+    prefix_hits = 0
+    for example, answer in zip(examples, answers):
+        record: Record = example.inputs["record"]
+        first_value = record.values[0][1].strip().lower()
+        if answer and answer in " ".join(first_value.split()[:3]):
+            prefix_hits += 1
+    prefix_rate = prefix_hits / len(answers)
+    if prefix_rate >= 0.6:
+        rules.append(
+            ScoredRule(CandidateHint("title_prefix"), min(0.9, prefix_rate))
+        )
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Extraction conventions (AVE)
+# ---------------------------------------------------------------------------
+def _induce_extraction_rules(examples: Sequence[Example]) -> List[ScoredRule]:
+    rules: List[ScoredRule] = []
+    by_attribute: Dict[str, List[str]] = defaultdict(list)
+    titles: List[str] = []
+    for example in examples:
+        titles.append(example.inputs["text"].strip().lower())
+        if example.answer != "n/a":
+            by_attribute[example.inputs["attribute"]].append(
+                example.answer.strip().lower()
+            )
+    brand_banks = ("grocery_brands", "retail_brands", "phone_brands",
+                   "electronics_brands")
+    for attribute, answers in by_attribute.items():
+        if len(answers) < 2:
+            continue
+        covering = [
+            (len(validators.BANKS[bank]), bank)
+            for bank in validators.BANKS
+            if all(a in validators.BANKS[bank] for a in answers)
+        ]
+        if covering:
+            __, bank = min(covering)
+            rules.append(
+                ScoredRule(
+                    VocabConstraint(attribute, bank),
+                    min(0.95, 0.55 + 0.1 * len(answers)),
+                )
+            )
+    # Brand words appear in titles but never answer non-brand queries →
+    # descriptive terms outrank brand names (the OA-mine convention).
+    non_brand_answers = {
+        a
+        for attr, answers in by_attribute.items()
+        if attr != "brand"
+        for a in answers
+    }
+    for bank in brand_banks:
+        entries = set(validators.BANKS[bank])
+        occurrences = sum(
+            1 for title in titles if any(w in entries for w in title.split())
+        )
+        if occurrences >= max(2, len(titles) // 2) and not (
+            non_brand_answers & entries
+        ):
+            rules.append(
+                ScoredRule(CandidateHint("descriptive_first", bank=bank), 0.7)
+            )
+            break
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Column-type conventions (CTA)
+# ---------------------------------------------------------------------------
+def _induce_column_rules(examples: Sequence[Example]) -> List[ScoredRule]:
+    rules: List[ScoredRule] = []
+    by_label: Dict[str, List[Sequence[str]]] = defaultdict(list)
+    for example in examples:
+        by_label[example.answer].append(example.inputs["values"])
+
+    def match_rate(pattern: str, columns: List[Sequence[str]]) -> float:
+        if not columns:
+            return 0.0
+        hits = 0
+        for values in columns:
+            matching = sum(
+                1
+                for v in values
+                if _pattern_match(pattern, v)
+            )
+            if values and matching / len(values) >= 0.8:
+                hits += 1
+        return hits / len(columns)
+
+    from ..knowledge.apply import _matches_pattern as _pattern_match
+
+    patterns = PatternLabelHint._PATTERNS
+    for label, columns in by_label.items():
+        if len(columns) < 1:
+            continue
+        for pattern in patterns:
+            own = match_rate(pattern, columns)
+            if own < 0.8:
+                continue
+            others = [
+                col
+                for other, cols in by_label.items()
+                if other != label
+                for col in cols
+            ]
+            other_rate = match_rate(pattern, others) if others else 0.0
+            if other_rate <= 0.2:
+                rules.append(
+                    ScoredRule(
+                        PatternLabelHint(pattern, label),
+                        min(0.95, 0.5 + 0.15 * len(columns)) * (1 - other_rate),
+                    )
+                )
+                break
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Cleaning conventions (DC) — cell rules plus derivation detection
+# ---------------------------------------------------------------------------
+def _induce_cleaning_rules(examples: Sequence[Example]) -> List[ScoredRule]:
+    rules = _induce_cell_rules(examples)
+    derivable = 0
+    considered = 0
+    for example in examples:
+        record: Record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        if not record.is_missing(attribute):
+            continue
+        considered += 1
+        from ..tasks.candidates import _derivation_proposals
+
+        if example.answer.strip().lower() in _derivation_proposals(
+            record, attribute
+        ):
+            derivable += 1
+    if considered and derivable / considered >= 0.5:
+        rules.append(ScoredRule(CandidateHint("derive"), 0.8))
+    return rules
+
+
+_INDUCERS = {
+    "ed": _induce_cell_rules,
+    "dc": _induce_cleaning_rules,
+    "em": _induce_matching_rules,
+    "di": _induce_imputation_rules,
+    "ave": _induce_extraction_rules,
+    "cta": _induce_column_rules,
+    "sm": lambda examples: [],  # schema semantics resist rule induction
+}
+
+
+def induce(task: str, examples: Sequence[Example]) -> List[ScoredRule]:
+    """Induce scored knowledge rules for a task from labeled examples."""
+    if task not in _INDUCERS:
+        raise KeyError(f"unknown task {task!r}")
+    if not examples:
+        return []
+    deduped: Dict[Rule, float] = {}
+    for scored in _INDUCERS[task](list(examples)):
+        previous = deduped.get(scored.rule, 0.0)
+        deduped[scored.rule] = max(previous, scored.confidence)
+    return [ScoredRule(rule, conf) for rule, conf in deduped.items()]

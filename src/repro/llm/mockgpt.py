@@ -1,0 +1,198 @@
+"""MockGPT — the simulated closed-source LLM behind AKB.
+
+The paper uses GPT-4o as a black box mapping prompts to knowledge text
+(Eq. 7), error feedback (Eq. 9) and refined knowledge (Eq. 10-11).
+MockGPT implements the same three calls on top of the rule-induction
+engine (:mod:`repro.llm.induction`):
+
+* :meth:`generate_knowledge` — induce rules from the sampled examples
+  and emit a diverse candidate pool by temperature-sampling rule
+  subsets (higher temperature → more varied, riskier candidates).
+* :meth:`feedback` — re-induce on the *error* subset and diff against
+  the current knowledge, yielding suggested additions/removals with a
+  textual rationale (the substrate's "error feedback information").
+* :meth:`refine` — apply the feedback to evolve the knowledge while
+  avoiding candidates already present in the optimisation trajectory.
+
+``capability`` scales induction fidelity: below 1.0 the engine
+randomly drops induced rules and occasionally hallucinates a spurious
+one — which is how the weaker GPT-3.5 analogue behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.schema import Example
+from ..knowledge.rules import Knowledge, Rule, VocabConstraint
+from ..knowledge import validators
+from ..tinylm.linalg import rng_for
+from .induction import ScoredRule, induce
+
+__all__ = ["MockGPT", "Feedback", "ErrorCase"]
+
+
+@dataclass(frozen=True)
+class ErrorCase:
+    """One validation mistake: the example and the model's wrong output."""
+
+    example: Example
+    prediction: str
+
+
+@dataclass
+class Feedback:
+    """Eq. 9 output: structured suggestions plus a textual summary."""
+
+    add: List[ScoredRule] = field(default_factory=list)
+    remove: List[Rule] = field(default_factory=list)
+    text: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.add or self.remove)
+
+
+class MockGPT:
+    """A deterministic, seeded stand-in for the knowledge-writing LLM."""
+
+    def __init__(
+        self,
+        capability: float = 1.0,
+        temperature: float = 0.9,
+        seed: int = 0,
+        name: str = "mockgpt-4o",
+    ):
+        if not 0.0 < capability <= 1.0:
+            raise ValueError(f"capability must be in (0, 1], got {capability}")
+        if temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+        self.capability = capability
+        self.temperature = temperature
+        self.name = name
+        self._rng = rng_for(seed, "mockgpt", name)
+
+    # ------------------------------------------------------------------
+    # Generation (Eq. 7)
+    # ------------------------------------------------------------------
+    def _keep_probability(self, confidence: float) -> float:
+        """How likely an induced rule survives into one candidate."""
+        base = confidence * self.capability
+        if self.temperature <= 0:
+            return 1.0 if base >= 0.5 else 0.0
+        # Higher temperature flattens toward 50/50 inclusion.
+        flattened = base ** (1.0 / max(self.temperature, 1e-6))
+        return float(np.clip(0.3 * flattened + 0.7 * base, 0.05, 0.98))
+
+    def _sample_candidate(
+        self, scored: Sequence[ScoredRule], seed_knowledge: Knowledge
+    ) -> Knowledge:
+        knowledge = seed_knowledge
+        for item in scored:
+            if self._rng.random() < self._keep_probability(item.confidence):
+                knowledge = knowledge.with_rule(item.rule)
+        if self.capability < 0.9 and self._rng.random() < (
+            0.25 * (1.0 - self.capability)
+        ):
+            knowledge = knowledge.with_rule(self._spurious_rule())
+        return knowledge
+
+    def _spurious_rule(self) -> Rule:
+        """A plausible-but-wrong rule a weaker model might hallucinate."""
+        banks = sorted(validators.BANKS)
+        bank = banks[int(self._rng.integers(len(banks)))]
+        return VocabConstraint("description", bank)
+
+    def generate_knowledge(
+        self,
+        task: str,
+        examples: Sequence[Example],
+        seed_knowledge: Knowledge,
+        count: int = 5,
+    ) -> List[Knowledge]:
+        """Produce an initial candidate pool K from demonstrations."""
+        scored = induce(task, examples)
+        pool: List[Knowledge] = [seed_knowledge]
+        attempts = 0
+        while len(pool) < count + 1 and attempts < count * 6:
+            attempts += 1
+            candidate = self._sample_candidate(scored, seed_knowledge)
+            if candidate not in pool:
+                pool.append(candidate)
+        return pool[1 : count + 1] or [seed_knowledge]
+
+    # ------------------------------------------------------------------
+    # Feedback (Eq. 9)
+    # ------------------------------------------------------------------
+    def feedback(
+        self,
+        task: str,
+        knowledge: Knowledge,
+        errors: Sequence[ErrorCase],
+    ) -> Feedback:
+        """Analyse error cases against the current knowledge."""
+        if not errors:
+            return Feedback(text="no errors to analyse")
+        error_examples = [case.example for case in errors]
+        induced = induce(task, error_examples)
+        additions = [
+            item for item in induced if item.rule not in knowledge.rules
+        ]
+        removals: List[Rule] = []
+        # A rule contradicted by the error slice (it would have been
+        # induced with opposite evidence) is a removal candidate: here we
+        # flag rules whose attribute shows up in errors but whose check
+        # disagrees with the labels.
+        for rule in knowledge.rules:
+            attribute = getattr(rule, "attribute", None)
+            if attribute is None:
+                continue
+            implicated = [
+                case
+                for case in errors
+                if case.example.inputs.get("attribute") == attribute
+            ]
+            if len(implicated) >= 2 and not any(
+                item.rule == rule for item in induced
+            ):
+                removals.append(rule)
+        lines = [
+            f"examined {len(errors)} wrong examples for the {task} task"
+        ]
+        for item in additions[:5]:
+            lines.append(f"the prompt misses: {item.rule.render()}")
+        for rule in removals[:3]:
+            lines.append(f"the prompt misleads with: {rule.render()}")
+        return Feedback(add=additions, remove=removals, text="; ".join(lines))
+
+    # ------------------------------------------------------------------
+    # Refinement (Eq. 10-11)
+    # ------------------------------------------------------------------
+    def refine(
+        self,
+        task: str,
+        knowledge: Knowledge,
+        errors: Sequence[ErrorCase],
+        feedback: Feedback,
+        trajectory: Sequence[Knowledge] = (),
+    ) -> Knowledge:
+        """Evolve the knowledge using the feedback and past trajectory."""
+        del task, errors  # both already distilled into the feedback
+        refined = knowledge
+        for item in sorted(feedback.add, key=lambda s: -s.confidence):
+            if self._rng.random() < self._keep_probability(item.confidence):
+                refined = refined.with_rule(item.rule)
+        for rule in feedback.remove:
+            if self._rng.random() < 0.5 * self.capability:
+                refined = refined.without_rule(rule)
+        # Trajectory awareness: if the evolved knowledge repeats a past
+        # candidate, force in the strongest unused suggestion instead of
+        # re-submitting it (the paper's "avoid repeating past mistakes").
+        if any(refined == previous for previous in trajectory):
+            for item in sorted(feedback.add, key=lambda s: -s.confidence):
+                if item.rule not in refined.rules:
+                    refined = refined.with_rule(item.rule)
+                    break
+        return refined

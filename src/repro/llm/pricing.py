@@ -1,0 +1,90 @@
+"""Token accounting and API cost model (paper Table III).
+
+Closed-source baselines pay per token and must carry few-shot
+demonstrations in context; a locally fine-tuned DP-LLM bakes the
+demonstrations into parameters, so its prompts stay tiny.  This module
+reproduces that accounting: prices follow the OpenAI list prices the
+paper used, and the local model's cost is amortised GPU time per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..tinylm.tokenizer import count_tokens
+
+__all__ = ["PriceSheet", "PRICES", "UsageRecord", "UsageMeter"]
+
+
+@dataclass(frozen=True)
+class PriceSheet:
+    """Per-million-token prices in USD (input / output)."""
+
+    model: str
+    input_per_million: float
+    output_per_million: float
+
+    def cost(self, input_tokens: float, output_tokens: float) -> float:
+        return (
+            input_tokens * self.input_per_million
+            + output_tokens * self.output_per_million
+        ) / 1_000_000
+
+
+#: List prices at the paper's evaluation time (2024).
+PRICES: Dict[str, PriceSheet] = {
+    "gpt-3.5": PriceSheet("gpt-3.5-turbo-1106", 1.0, 2.0),
+    "gpt-4": PriceSheet("gpt-4-0613", 30.0, 60.0),
+    "gpt-4o": PriceSheet("gpt-4o-2024-08-06", 2.5, 10.0),
+    # Local 7B serving cost amortised per token (A40 rental / throughput).
+    "knowtrans": PriceSheet("knowtrans-7b-local", 5.0, 5.0),
+}
+
+
+@dataclass
+class UsageRecord:
+    """Token tallies for one inference call."""
+
+    input_tokens: int
+    output_tokens: int
+
+
+class UsageMeter:
+    """Accumulates per-instance token usage for a method."""
+
+    def __init__(self, model: str):
+        if model not in PRICES:
+            raise KeyError(f"unknown model {model!r}; known: {sorted(PRICES)}")
+        self.model = model
+        self.records: list = []
+
+    def log_call(self, prompt: str, response: str) -> UsageRecord:
+        record = UsageRecord(count_tokens(prompt), count_tokens(response))
+        self.records.append(record)
+        return record
+
+    @property
+    def mean_input_tokens(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.input_tokens for r in self.records) / len(self.records)
+
+    @property
+    def mean_output_tokens(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.output_tokens for r in self.records) / len(self.records)
+
+    def mean_cost(self) -> float:
+        """Average USD cost per instance."""
+        return PRICES[self.model].cost(
+            self.mean_input_tokens, self.mean_output_tokens
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "input_tokens": round(self.mean_input_tokens, 2),
+            "output_tokens": round(self.mean_output_tokens, 2),
+            "cost_per_instance": self.mean_cost(),
+        }

@@ -1,0 +1,7 @@
+"""Task definitions: the seven data preparation tasks of the paper."""
+
+from . import ave, cta, dc, di, ed, em, sm  # noqa: F401 - registration
+from .base import Task, get_task, task_names
+from .metrics import METRIC_NAMES, score
+
+__all__ = ["Task", "get_task", "task_names", "score", "METRIC_NAMES"]

@@ -1,0 +1,47 @@
+"""Attribute value extraction task (open generation over text spans)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..knowledge.rules import Knowledge
+from .base import Task, register_task
+from .candidates import extraction_candidates
+from .prompts import compose
+
+__all__ = ["AttributeValueExtraction"]
+
+
+class AttributeValueExtraction(Task):
+    """AVE (paper Section III): ``f(s, c_j) -> v_j`` (or ``n/a``)."""
+
+    name = "ave"
+    metric = "extraction-F1"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        body = "text [ " + example.inputs["text"] + " ]"
+        return compose(
+            "ave",
+            knowledge.render(),
+            (),
+            body,
+            f"question what is the {example.inputs['attribute']} of this product",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return extraction_candidates(
+            example.inputs["text"],
+            example.inputs["attribute"],
+            knowledge,
+            gold=gold,
+        )
+
+
+register_task(AttributeValueExtraction())

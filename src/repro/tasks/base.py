@@ -1,0 +1,120 @@
+"""The task protocol: prompt assembly, candidates, prediction, scoring.
+
+A :class:`Task` turns generic :class:`~repro.data.schema.Example`
+payloads into ``(prompt, candidates, target)`` triples for training and
+drives prediction at inference.  Knowledge enters through both paths —
+prompt text + derived markers, and candidate-pool shaping — matching
+how the paper's knowledge operates purely through the prompt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.schema import Dataset, Example
+from ..knowledge.rules import Knowledge
+from ..tinylm.model import ScoringLM
+from ..tinylm.trainer import TrainingExample
+from . import metrics
+
+__all__ = ["Task", "register_task", "get_task", "task_names"]
+
+
+class Task:
+    """Base class for the seven data preparation tasks."""
+
+    name: str = ""
+    metric: str = ""
+    answer_prefix: str = "answer"
+
+    # ------------------------------------------------------------------
+    # To be implemented per task
+    # ------------------------------------------------------------------
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        """The model-facing prompt for one example."""
+        raise NotImplementedError
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        """Candidate responses; training passes ``gold`` to guarantee
+        the reference answer is scoreable."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def training_example(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+    ) -> TrainingExample:
+        """Build the supervised instance for Eq. 3 / Eq. 5 training."""
+        pool = self.candidates(example, knowledge, dataset, gold=example.answer)
+        target = pool.index(example.answer)
+        return TrainingExample(
+            prompt=self.prompt(example, knowledge),
+            candidates=pool,
+            target=target,
+        )
+
+    def predict(
+        self,
+        model: ScoringLM,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+    ) -> str:
+        """Greedy prediction: the highest-likelihood candidate string."""
+        pool = self.candidates(example, knowledge, dataset)
+        index = model.predict(self.prompt(example, knowledge), pool)
+        return pool[index]
+
+    def evaluate(
+        self,
+        model: ScoringLM,
+        examples: Sequence[Example],
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+    ) -> float:
+        """Score the model on examples with the task's paper metric."""
+        golds = [ex.answer for ex in examples]
+        preds = [self.predict(model, ex, knowledge, dataset) for ex in examples]
+        originals = None
+        if self.name == "dc":
+            originals = [
+                ex.inputs["record"].get(ex.inputs["attribute"])
+                for ex in examples
+            ]
+        return metrics.score(self.name, golds, preds, originals)
+
+
+_REGISTRY: Dict[str, Task] = {}
+
+
+def register_task(task: Task) -> Task:
+    """Register a task singleton under its name."""
+    if not task.name:
+        raise ValueError("task must define a name")
+    _REGISTRY[task.name] = task
+    return task
+
+
+def get_task(name: str) -> Task:
+    """Look up a task by name (imports the task package on demand)."""
+    if not _REGISTRY:  # pragma: no cover - defensive import ordering
+        from . import ave, cta, dc, di, ed, em, sm  # noqa: F401
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown task {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def task_names() -> List[str]:
+    if not _REGISTRY:  # pragma: no cover
+        from . import ave, cta, dc, di, ed, em, sm  # noqa: F401
+    return sorted(_REGISTRY)

@@ -1,0 +1,311 @@
+"""Candidate generation for the open-generation tasks (DI, AVE, DC).
+
+A decoder LLM can emit any string; a scoring LM needs an explicit
+candidate pool.  These generators are the substrate's decoding
+vocabulary: spans of the input (the "copy" path a real LLM uses for
+extraction/imputation) plus corrector proposals for cleaning (the
+Baran-style repair candidates).  Knowledge rules shape the pool —
+that is precisely how inference-time knowledge helps generation tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.schema import Record
+from ..knowledge import validators
+from ..knowledge.rules import (
+    CandidateHint,
+    FormatConstraint,
+    Knowledge,
+    VocabConstraint,
+)
+
+__all__ = [
+    "edit_distance",
+    "nearest_bank_entry",
+    "text_spans",
+    "record_spans",
+    "imputation_candidates",
+    "extraction_candidates",
+    "correction_candidates",
+    "NULL_ANSWER",
+]
+
+NULL_ANSWER = "n/a"
+_MAX_CANDIDATES = 24
+
+
+def edit_distance(left: str, right: str, limit: int = 6) -> int:
+    """Levenshtein distance with an early-exit band of ``limit``."""
+    if left == right:
+        return 0
+    if abs(len(left) - len(right)) > limit:
+        return limit + 1
+    previous = list(range(len(right) + 1))
+    for i, lch in enumerate(left, start=1):
+        current = [i]
+        best = i
+        for j, rch in enumerate(right, start=1):
+            cost = 0 if lch == rch else 1
+            value = min(
+                previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost
+            )
+            current.append(value)
+            best = min(best, value)
+        if best > limit:
+            return limit + 1
+        previous = current
+    # Distances beyond the band are all reported as limit+1, keeping the
+    # function symmetric regardless of which operand triggers the exit.
+    return min(previous[-1], limit + 1)
+
+
+def nearest_bank_entry(
+    value: str, bank: Sequence[str], max_distance: int = 3
+) -> Optional[str]:
+    """The closest bank entry within ``max_distance`` edits, if any."""
+    best_entry: Optional[str] = None
+    best_distance = max_distance + 1
+    for entry in bank:
+        distance = edit_distance(value, entry, limit=max_distance)
+        if distance < best_distance:
+            best_entry, best_distance = entry, distance
+            if distance == 0:
+                break
+    return best_entry
+
+
+def text_spans(text: str, max_len: int = 2) -> List[str]:
+    """Word n-gram spans (n ≤ ``max_len``) in order of appearance."""
+    words = text.lower().split()
+    spans: List[str] = []
+    seen = set()
+    for size in range(1, max_len + 1):
+        for start in range(len(words) - size + 1):
+            span = " ".join(words[start : start + size])
+            if span not in seen:
+                seen.add(span)
+                spans.append(span)
+    return spans
+
+
+def record_spans(record: Record, max_len: int = 2) -> List[str]:
+    """Spans across all textual attribute values of a record."""
+    spans: List[str] = []
+    seen = set()
+    for __, value in record:
+        for span in text_spans(value, max_len):
+            if span not in seen and not span.replace(" ", "").isdigit():
+                seen.add(span)
+                spans.append(span)
+    return spans
+
+
+def _cap(candidates: List[str], gold: Optional[str]) -> Tuple[str, ...]:
+    capped = candidates[:_MAX_CANDIDATES]
+    if gold is not None and gold not in capped:
+        capped = capped[: _MAX_CANDIDATES - 1] + [gold]
+    return tuple(capped)
+
+
+#: Distractors kept behind knowledge-promoted candidates — knowledge
+#: narrows the pool, the model still has to choose.
+_DISTRACTORS_KEPT = 7
+
+
+def _promote(spans: List[str], keep) -> List[str]:
+    """Move matching spans to the front, keep a few distractors behind."""
+    matching = [span for span in spans if keep(span)]
+    if not matching:
+        return spans
+    rest = [span for span in spans if not keep(span)]
+    return matching + rest[:_DISTRACTORS_KEPT]
+
+
+def imputation_candidates(
+    record: Record,
+    attribute: str,
+    knowledge: Knowledge,
+    gold: Optional[str] = None,
+) -> Tuple[str, ...]:
+    """Candidate values for a missing cell (DI).
+
+    Knowledge effects: ``known_brand`` restricts the pool to spans drawn
+    from the named vocabulary bank; ``title_prefix`` promotes spans that
+    open the first attribute.  ``gold`` (training only) is appended when
+    absent so the objective stays well-defined.
+    """
+    spans = record_spans(record.without([attribute]))
+    for hint in knowledge.rules_of(CandidateHint):
+        if hint.strategy == "known_brand" and hint.bank:
+            bank = set(validators.BANKS[hint.bank])
+            spans = _promote(spans, lambda s: s in bank)
+        elif hint.strategy == "title_prefix":
+            first_attr_value = record.values[0][1].lower()
+            prefix = " ".join(first_attr_value.split()[:3])
+            spans = _promote(spans, lambda s: s in prefix)
+    return _cap(spans, gold)
+
+
+def extraction_candidates(
+    text: str,
+    attribute: str,
+    knowledge: Knowledge,
+    gold: Optional[str] = None,
+) -> Tuple[str, ...]:
+    """Candidate values for attribute extraction (AVE), plus ``n/a``.
+
+    Knowledge effects: a :class:`VocabConstraint` on the queried
+    attribute restricts spans to that bank; ``descriptive_first`` with a
+    brand bank removes brand spans for non-brand attributes (the OA-mine
+    rule).
+    """
+    spans = text_spans(text)
+    constraint = next(
+        (
+            rule
+            for rule in knowledge.rules_of(VocabConstraint)
+            if rule.attribute == attribute
+        ),
+        None,
+    )
+    if constraint is not None:
+        bank = set(validators.BANKS[constraint.bank])
+        matching = [span for span in spans if span in bank]
+        if matching:
+            # The paper's AE knowledge: extract a single value and,
+            # when several qualify, the first occurrence wins — so the
+            # constraint keeps only the earliest bank match in the pool
+            # (plus non-bank distractors and the null answer).
+            rest = [span for span in spans if span not in bank]
+            spans = matching[:1] + rest[:_DISTRACTORS_KEPT]
+    for hint in knowledge.rules_of(CandidateHint):
+        if (
+            hint.strategy == "descriptive_first"
+            and hint.bank
+            and attribute != "brand"
+        ):
+            brand_bank = set(validators.BANKS[hint.bank])
+            spans = [span for span in spans if span not in brand_bank]
+    candidates = spans[: _MAX_CANDIDATES - 1] + [NULL_ANSWER]
+    if gold is not None and gold not in candidates:
+        candidates = candidates[: _MAX_CANDIDATES - 2] + [gold, NULL_ANSWER]
+    return tuple(dict.fromkeys(candidates))
+
+
+# ---------------------------------------------------------------------------
+# Cleaning correctors
+# ---------------------------------------------------------------------------
+def _derivation_proposals(record: Record, attribute: str) -> List[str]:
+    """Cross-attribute derivations (journal title ↔ abbreviation)."""
+    proposals: List[str] = []
+    titles = dict(
+        zip(validators.BANKS["journal_titles"], validators.BANKS["journal_abbreviations"])
+    )
+    abbreviations = {abbr: title for title, abbr in titles.items()}
+    if attribute == "journal_abbreviation":
+        title = record.get("journal_title").strip().lower()
+        if title in titles:
+            proposals.append(titles[title])
+        else:
+            repaired = nearest_bank_entry(title, validators.BANKS["journal_titles"])
+            if repaired is not None:
+                proposals.append(titles[repaired])
+    if attribute == "journal_title":
+        abbr = record.get("journal_abbreviation").strip().lower()
+        if abbr in abbreviations:
+            proposals.append(abbreviations[abbr])
+        else:
+            repaired = nearest_bank_entry(
+                abbr, validators.BANKS["journal_abbreviations"]
+            )
+            if repaired is not None:
+                proposals.append(abbreviations[repaired])
+    return proposals
+
+
+def _word_repair(value: str, bank_names: Sequence[str]) -> List[str]:
+    """Fix each out-of-vocabulary word to its nearest bank word."""
+    words = set()
+    for bank_name in bank_names:
+        for entry in validators.BANKS[bank_name]:
+            words.update(entry.split())
+    repaired: List[str] = []
+    changed = False
+    for word in value.lower().split():
+        if word in words:
+            repaired.append(word)
+            continue
+        nearest = nearest_bank_entry(word, tuple(words), max_distance=2)
+        if nearest is None:
+            repaired.append(word)
+        else:
+            repaired.append(nearest)
+            changed = True
+    return [" ".join(repaired)] if changed else []
+
+
+def _iso_from_slash(value: str) -> List[str]:
+    parts = value.split("/")
+    if len(parts) != 3:
+        return []
+    try:
+        month, day, year = (int(p) for p in parts)
+    except ValueError:
+        return []
+    century = 1900 if year >= 90 else 2000
+    return [f"{century + year:04d}-{month:02d}-{day:02d}"]
+
+
+_GENERIC_REPAIR_BANKS = (
+    "beer_styles", "cities", "states", "journal_titles",
+    "journal_abbreviations", "academic_words", "brewery_words", "beer_words",
+)
+
+
+def correction_candidates(
+    record: Record,
+    attribute: str,
+    knowledge: Knowledge,
+    gold: Optional[str] = None,
+) -> Tuple[str, ...]:
+    """Repair proposals for a dirty cell (DC).
+
+    Proposals come from generic correctors (strip ``%``, re-ISO-ify
+    slashed dates, re-dash 8-digit ISSNs, nearest-vocabulary word
+    repair) plus knowledge-directed ones: a :class:`VocabConstraint`
+    narrows the repair bank, ``derive`` unlocks cross-attribute
+    derivations.  The dirty value itself is always a candidate ("no
+    repair"), mirroring how correction systems can abstain.
+    """
+    value = record.get(attribute).strip().lower()
+    proposals: List[str] = [value]
+    if "%" in value:
+        proposals.append(value.replace("%", ""))
+    if "/" in value:
+        proposals.extend(_iso_from_slash(value))
+    digits = value.replace("-", "")
+    if digits.isdigit() and len(digits) == 8 and "-" not in value:
+        proposals.append(f"{digits[:4]}-{digits[4:]}")
+    constraint_banks = [
+        rule.bank
+        for rule in knowledge.rules_of(VocabConstraint)
+        if rule.attribute == attribute
+    ]
+    if constraint_banks:
+        proposals.extend(_word_repair(value, constraint_banks))
+    else:
+        proposals.extend(_word_repair(value, _GENERIC_REPAIR_BANKS))
+    # Cross-attribute derivations are generic correctors: a ``derive``
+    # hint (or a missing value) promotes them to the front of the pool.
+    derivations = _derivation_proposals(record, attribute)
+    derive_hint = any(
+        hint.strategy == "derive" for hint in knowledge.rules_of(CandidateHint)
+    )
+    if derive_hint or record.is_missing(attribute):
+        proposals = derivations + proposals
+    else:
+        proposals.extend(derivations)
+    unique = list(dict.fromkeys(proposals))
+    return _cap(unique, gold)

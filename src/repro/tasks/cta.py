@@ -1,0 +1,55 @@
+"""Column type annotation task (multi-class over a label vocabulary)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.generators.sotab import LABELS as SOTAB_LABELS
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_values
+from ..knowledge.apply import column_hints, column_observations
+from ..knowledge.rules import Knowledge
+from .base import Task, register_task
+from .prompts import compose
+
+__all__ = ["ColumnTypeAnnotation"]
+
+
+class ColumnTypeAnnotation(Task):
+    """CTA (paper Section III): ``f(c_j) -> C`` over the dataset label set."""
+
+    name = "cta"
+    metric = "micro-F1"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        values = example.inputs["values"]
+        observations = column_observations(values)
+        hints = column_hints(values, knowledge)
+        body = serialize_values(values)
+        if observations:
+            body += " observations [ " + " ; ".join(observations) + " ]"
+        return compose(
+            "cta",
+            knowledge.render(),
+            hints,
+            body,
+            "question what kind of values are these and what is the semantic type",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        if dataset is not None and dataset.label_set:
+            labels = dataset.label_set
+        else:
+            labels = SOTAB_LABELS
+        if gold is not None and gold not in labels:
+            labels = labels + (gold,)
+        return tuple(labels)
+
+
+register_task(ColumnTypeAnnotation())

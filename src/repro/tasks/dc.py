@@ -1,0 +1,56 @@
+"""Data cleaning task (open generation: correct a dirty cell)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_record
+from ..knowledge.apply import cell_markers, transform_record
+from ..knowledge.rules import Knowledge
+from .base import Task, register_task
+from .candidates import correction_candidates
+from .prompts import compose
+
+__all__ = ["DataCleaning"]
+
+
+class DataCleaning(Task):
+    """DC (paper Section III): ``f(v_ij, r) -> v̂_ij`` via repair proposals."""
+
+    name = "dc"
+    metric = "repair-F1"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        markers = cell_markers(record, attribute, knowledge)
+        body = serialize_record(
+            transform_record(record, knowledge),
+            highlight=attribute,
+            canonical_missing=True,
+        )
+        return compose(
+            "dc",
+            knowledge.render(),
+            markers,
+            body,
+            f"question what is the corrected value of the {attribute} attribute",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return correction_candidates(
+            example.inputs["record"],
+            example.inputs["attribute"],
+            knowledge,
+            gold=gold,
+        )
+
+
+register_task(DataCleaning())

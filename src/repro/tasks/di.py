@@ -1,0 +1,55 @@
+"""Data imputation task (open generation: fill in a missing cell)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_record
+from ..knowledge.apply import transform_record
+from ..knowledge.rules import Knowledge
+from .base import Task, register_task
+from .candidates import imputation_candidates
+from .prompts import compose
+
+__all__ = ["DataImputation"]
+
+
+class DataImputation(Task):
+    """DI (paper Section III): ``f(v_ij, r) -> v̂_ij`` via candidate scoring."""
+
+    name = "di"
+    metric = "accuracy"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        body = serialize_record(
+            transform_record(record, knowledge),
+            highlight=attribute,
+            canonical_missing=True,
+        )
+        return compose(
+            "di",
+            knowledge.render(),
+            (),
+            body,
+            f"question what is the value of the {attribute} attribute",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return imputation_candidates(
+            example.inputs["record"],
+            example.inputs["attribute"],
+            knowledge,
+            gold=gold,
+        )
+
+
+register_task(DataImputation())

@@ -1,0 +1,51 @@
+"""Error detection task (binary: is the highlighted cell erroneous?)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_record
+from ..knowledge.apply import cell_markers, transform_record
+from ..knowledge.rules import Knowledge, MissingValuePolicy
+from .base import Task, register_task
+from .prompts import compose
+
+__all__ = ["ErrorDetection"]
+
+
+class ErrorDetection(Task):
+    """ED (paper Section III): ``f(v_ij, r) -> {yes, no}``."""
+
+    name = "ed"
+    metric = "F1"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        markers = cell_markers(record, attribute, knowledge)
+        canonical = knowledge.first_of(MissingValuePolicy) is not None
+        body = serialize_record(
+            transform_record(record, knowledge),
+            highlight=attribute,
+            canonical_missing=canonical,
+        )
+        return compose(
+            "ed",
+            knowledge.render(),
+            markers,
+            body,
+            f"question is there an error in the value of the {attribute} attribute",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return ("yes", "no")
+
+
+register_task(ErrorDetection())

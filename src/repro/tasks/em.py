@@ -1,0 +1,49 @@
+"""Entity matching task (binary: do two records denote one entity?)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_pair
+from ..knowledge.apply import pair_markers, transform_record
+from ..knowledge.rules import Knowledge, MissingValuePolicy
+from .base import Task, register_task
+from .prompts import compose
+
+__all__ = ["EntityMatching"]
+
+
+class EntityMatching(Task):
+    """EM (paper Section III): ``f(r1, r2) -> {yes, no}``."""
+
+    name = "em"
+    metric = "F1"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        left = transform_record(example.inputs["left"], knowledge)
+        right = transform_record(example.inputs["right"], knowledge)
+        markers = pair_markers(
+            example.inputs["left"], example.inputs["right"], knowledge
+        )
+        canonical = knowledge.first_of(MissingValuePolicy) is not None
+        body = serialize_pair(left, right, canonical_missing=canonical)
+        return compose(
+            "em",
+            knowledge.render(),
+            markers,
+            body,
+            "question do entity a and entity b refer to the same entity",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return ("yes", "no")
+
+
+register_task(EntityMatching())

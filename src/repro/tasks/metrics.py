@@ -1,0 +1,141 @@
+"""Evaluation metrics (paper Section VII-A, 100-point scale).
+
+* EM / ED / SM: binary F1 with ``yes`` as the positive class.
+* DI: accuracy.
+* CTA: micro-F1 over the label set (single-label, so equal to accuracy
+  — implemented from the confusion counts for clarity and reuse).
+* DC: repair F1 — precision over attempted repairs (prediction differs
+  from the dirty value), recall over all cells needing repair.
+* AVE: extraction F1 — ``n/a`` is the null class; precision over
+  non-null predictions, recall over non-null references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "accuracy",
+    "binary_f1",
+    "micro_f1",
+    "repair_f1",
+    "extraction_f1",
+    "score",
+    "METRIC_NAMES",
+]
+
+
+def _check_lengths(golds: Sequence[str], preds: Sequence[str]) -> None:
+    if len(golds) != len(preds):
+        raise ValueError(f"length mismatch: {len(golds)} golds, {len(preds)} preds")
+    if not golds:
+        raise ValueError("cannot score an empty evaluation")
+
+
+def _f1(tp: int, fp: int, fn: int) -> float:
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 200.0 * precision * recall / (precision + recall)
+
+
+def accuracy(golds: Sequence[str], preds: Sequence[str]) -> float:
+    """Exact-match accuracy on the 100-point scale."""
+    _check_lengths(golds, preds)
+    hits = sum(1 for g, p in zip(golds, preds) if g == p)
+    return 100.0 * hits / len(golds)
+
+
+def binary_f1(
+    golds: Sequence[str], preds: Sequence[str], positive: str = "yes"
+) -> float:
+    """F1 of the positive class for binary classification tasks."""
+    _check_lengths(golds, preds)
+    tp = sum(1 for g, p in zip(golds, preds) if g == positive and p == positive)
+    fp = sum(1 for g, p in zip(golds, preds) if g != positive and p == positive)
+    fn = sum(1 for g, p in zip(golds, preds) if g == positive and p != positive)
+    return _f1(tp, fp, fn)
+
+
+def micro_f1(golds: Sequence[str], preds: Sequence[str]) -> float:
+    """Micro-averaged F1 over all classes (CTA metric)."""
+    _check_lengths(golds, preds)
+    tp = sum(1 for g, p in zip(golds, preds) if g == p)
+    fp = len(golds) - tp  # every wrong single-label prediction is one FP...
+    fn = len(golds) - tp  # ...for the predicted class and one FN for the gold
+    return _f1(tp, fp, fn)
+
+
+def repair_f1(
+    golds: Sequence[str],
+    preds: Sequence[str],
+    originals: Sequence[str],
+) -> float:
+    """Data-cleaning F1.
+
+    ``originals`` are the dirty values; a prediction equal to the dirty
+    value counts as "no repair attempted" (hurts recall, not precision).
+    """
+    _check_lengths(golds, preds)
+    if len(originals) != len(golds):
+        raise ValueError("originals must align with golds")
+    attempted = correct = 0
+    for gold, pred, original in zip(golds, preds, originals):
+        if pred != original:
+            attempted += 1
+            if pred == gold:
+                correct += 1
+    needed = len(golds)
+    if correct == 0:
+        return 0.0
+    precision = correct / attempted
+    recall = correct / needed
+    return 200.0 * precision * recall / (precision + recall)
+
+
+def extraction_f1(
+    golds: Sequence[str], preds: Sequence[str], null: str = "n/a"
+) -> float:
+    """Attribute-value-extraction F1 with ``n/a`` as the null class."""
+    _check_lengths(golds, preds)
+    tp = sum(
+        1 for g, p in zip(golds, preds) if g != null and p == g
+    )
+    fp = sum(1 for g, p in zip(golds, preds) if p != null and p != g)
+    fn = sum(1 for g, p in zip(golds, preds) if g != null and p != g)
+    return _f1(tp, fp, fn)
+
+
+#: task -> metric label used in reports
+METRIC_NAMES: Dict[str, str] = {
+    "em": "F1",
+    "ed": "F1",
+    "sm": "F1",
+    "di": "accuracy",
+    "cta": "micro-F1",
+    "dc": "repair-F1",
+    "ave": "extraction-F1",
+}
+
+
+def score(
+    task: str,
+    golds: Sequence[str],
+    preds: Sequence[str],
+    originals: Optional[Sequence[str]] = None,
+) -> float:
+    """Dispatch to the task's paper metric."""
+    if task in ("em", "ed", "sm"):
+        return binary_f1(golds, preds)
+    if task == "di":
+        return accuracy(golds, preds)
+    if task == "cta":
+        return micro_f1(golds, preds)
+    if task == "ave":
+        return extraction_f1(golds, preds)
+    if task == "dc":
+        if originals is None:
+            raise ValueError("dc scoring requires the dirty original values")
+        return repair_f1(golds, preds, originals)
+    raise KeyError(f"unknown task {task!r}")

@@ -1,0 +1,86 @@
+"""Task prompt templates (paper Appendix B style, compact form).
+
+Each template concatenates: a task instruction, the knowledge text
+(seed knowledge and/or AKB-searched knowledge), the derived knowledge
+markers, the serialized input, and the question.  The marker tokens are
+the substrate's stand-in for the reasoning a real LLM performs over the
+knowledge text — see :mod:`repro.knowledge.apply`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["compose", "TASK_INSTRUCTIONS"]
+
+TASK_INSTRUCTIONS = {
+    "em": (
+        "task entity matching. determine whether the two entity "
+        "records refer to the same real world entity."
+    ),
+    "di": (
+        "task data imputation. infer the value of the missing "
+        "attribute from the other values of the record."
+    ),
+    "sm": (
+        "task schema matching. determine whether the two attributes "
+        "refer to the same concept."
+    ),
+    "ed": (
+        "task error detection. determine whether the value of the "
+        "highlighted attribute is erroneous."
+    ),
+    "dc": (
+        "task data cleaning. produce the corrected value of the "
+        "highlighted erroneous attribute."
+    ),
+    "cta": (
+        "task column type annotation. assign a semantic type to the "
+        "column given sampled values."
+    ),
+    "ave": (
+        "task attribute value extraction. extract the value of the "
+        "target attribute from the text."
+    ),
+}
+
+
+def compose(
+    task: str,
+    knowledge_text: str,
+    markers: Sequence[str],
+    body: str,
+    question: str,
+) -> str:
+    """Assemble the model-facing prompt string.
+
+    ``knowledge_text`` is deliberately *not* embedded: in this substrate
+    the model "reads" knowledge through its operational effects — the
+    derived ``markers``, column hints, and candidate-pool shaping — the
+    stand-in for a transformer reasoning over the knowledge paragraph.
+    Embedding the raw paragraph into a bag-of-features encoding would
+    only dilute the L2-normalised record features (an artifact real
+    attention does not have).  Token accounting uses
+    :func:`full_prompt`, which does include the text.
+    """
+    del knowledge_text
+    if task not in TASK_INSTRUCTIONS:
+        raise KeyError(f"unknown task {task!r}")
+    parts = [TASK_INSTRUCTIONS[task]]
+    if markers:
+        parts.append("derived observations: " + " ".join(markers))
+    parts.append(body)
+    parts.append(question)
+    return " ".join(parts)
+
+
+def full_prompt(model_prompt: str, knowledge) -> str:
+    """The complete transmitted prompt (knowledge text included).
+
+    Used for token/cost accounting (paper Table III) and display; the
+    encoder consumes :func:`compose` output instead.
+    """
+    text = knowledge.render() if knowledge else ""
+    if not text:
+        return model_prompt
+    return text + " " + model_prompt

@@ -1,0 +1,80 @@
+"""Schema matching task (binary: do two attributes denote one concept?)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import similarity_bucket
+from ..knowledge.rules import Knowledge
+from .base import Task, register_task
+from .prompts import compose
+
+__all__ = ["SchemaMatching"]
+
+
+class SchemaMatching(Task):
+    """SM (paper Section III): ``f((c_j,d_j),(c_k,d_k)) -> {yes, no}``."""
+
+    name = "sm"
+    metric = "F1"
+
+    @staticmethod
+    def _name_bucket(left_name: str, right_name: str) -> str:
+        """Compare column names, tolerating vowel-stripped code styles.
+
+        ``prvdr_state_cd`` vs ``provider_state`` should read as similar:
+        schema codes commonly drop interior vowels, so the comparison is
+        taken over devoweled word sets as well as raw ones.
+        """
+
+        def devowel(name: str) -> str:
+            words = name.replace("_", " ").split()
+            stripped = [
+                w[0] + "".join(ch for ch in w[1:] if ch not in "aeiou")
+                if len(w) > 3
+                else w
+                for w in words
+            ]
+            return " ".join(stripped)
+
+        raw = similarity_bucket(
+            left_name.replace("_", " "), right_name.replace("_", " ")
+        )
+        coded = similarity_bucket(devowel(left_name), devowel(right_name))
+        order = ("equal", "similar", "related", "different")
+        return min(raw, coded, key=order.index)
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        left_name = example.inputs["left_name"]
+        left_desc = example.inputs["left_desc"]
+        right_name = example.inputs["right_name"]
+        right_desc = example.inputs["right_desc"]
+        body = (
+            f"attribute a [ name: {left_name} ; description: {left_desc} ] "
+            f"attribute b [ name: {right_name} ; description: {right_desc} ] "
+            "comparison [ name "
+            + self._name_bucket(left_name, right_name)
+            + " ; description "
+            + similarity_bucket(left_desc, right_desc)
+            + " ]"
+        )
+        return compose(
+            "sm",
+            knowledge.render(),
+            (),
+            body,
+            "question do attribute a and attribute b refer to the same concept",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        return ("yes", "no")
+
+
+register_task(SchemaMatching())

@@ -1,0 +1,23 @@
+"""Neural LM substrate: scoring model, LoRA patches, fusion, training."""
+
+from .fusion import PatchFusion
+from .lora import LoRAPatch
+from .model import LORA_TARGETS, ModelConfig, ScoringLM
+from .registry import TIERS, create_base_model
+from .tokenizer import HashedFeaturizer, count_tokens
+from .trainer import TrainConfig, Trainer, TrainingExample
+
+__all__ = [
+    "ScoringLM",
+    "ModelConfig",
+    "LORA_TARGETS",
+    "LoRAPatch",
+    "PatchFusion",
+    "Trainer",
+    "TrainConfig",
+    "TrainingExample",
+    "HashedFeaturizer",
+    "count_tokens",
+    "TIERS",
+    "create_base_model",
+]

@@ -1,0 +1,79 @@
+"""Small numerical helpers shared across the tiny-LM substrate.
+
+Everything here is deterministic given an explicit seed; no global RNG
+state is ever consulted.  All arrays are float64 numpy arrays — at the
+scale of this substrate (feature dims of a few thousand) double precision
+costs nothing and removes a whole class of flaky-test headaches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rng_for",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "relu",
+    "relu_grad",
+    "xavier_init",
+    "gaussian_init",
+]
+
+
+def rng_for(seed: int, *streams: str) -> np.random.Generator:
+    """Return a Generator for ``seed`` refined by named sub-streams.
+
+    Deriving independent streams from a root seed keeps every component
+    reproducible while letting them draw without interfering, e.g.
+    ``rng_for(7, "lora", "em-abt_buy")``.
+    """
+    words = [seed & 0xFFFFFFFF]
+    for stream in streams:
+        acc = 2166136261
+        for byte in stream.encode("utf-8"):
+            acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+        words.append(acc)
+    return np.random.default_rng(words)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def cross_entropy(logits: np.ndarray, target_index: int) -> float:
+    """Negative log-likelihood of ``target_index`` under softmax(logits)."""
+    return float(-log_softmax(logits)[target_index])
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(pre_activation: np.ndarray) -> np.ndarray:
+    """Derivative of relu evaluated at the pre-activation values."""
+    return (pre_activation > 0.0).astype(pre_activation.dtype)
+
+
+def xavier_init(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    """Glorot-uniform initialisation for a weight of ``shape``(out, in)."""
+    fan_out, fan_in = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def gaussian_init(
+    rng: np.random.Generator, shape: tuple, scale: float = 0.02
+) -> np.ndarray:
+    """Scaled Gaussian initialisation (used for LoRA ``B`` per the paper)."""
+    return rng.normal(0.0, scale, size=shape)

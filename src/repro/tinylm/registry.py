@@ -1,0 +1,82 @@
+"""Model zoo: the base-model tiers the paper's backbones build on.
+
+Tiers are analogues, not replicas: capability scales through feature
+width, hidden width and pretraining budget.  ``tablellama`` shares the
+7B geometry but a different featurizer family and a lighter pretraining
+mix — a generalist table model whose prompt conventions do not line up
+with the DP suite (the paper finds it weak on these benchmarks).
+
+Base models are memoised per ``(tier, seed)`` because pretraining is
+the most expensive step of the pipeline and every experiment reuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .model import ModelConfig, ScoringLM
+from .pretrain import pretrain
+
+__all__ = ["Tier", "TIERS", "create_base_model", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One base-model family."""
+
+    name: str
+    feature_dim: int
+    hidden_dim: int
+    pretrain_size: int
+    pretrain_epochs: int = 2
+    featurizer_salt: str = "repro"
+
+
+TIERS: Dict[str, Tier] = {
+    "mistral-7b": Tier("mistral-7b", 2048, 96, 5000, pretrain_epochs=3),
+    "llama-8b": Tier("llama-8b", 2048, 112, 5600, pretrain_epochs=3),
+    "llama-13b": Tier("llama-13b", 3072, 144, 8000, pretrain_epochs=3),
+    "tablellama": Tier(
+        "tablellama", 2048, 96, 1200, featurizer_salt="tablellama"
+    ),
+    # A large closed-model analogue used by the simulated GPT baselines
+    # when they need an actual scorer (ICL path).
+    "closed-xl": Tier("closed-xl", 4096, 192, 9000, pretrain_epochs=3),
+}
+
+_CACHE: Dict[Tuple[str, int], ScoringLM] = {}
+
+
+def create_base_model(tier_name: str, seed: int = 0) -> ScoringLM:
+    """A pretrained base model for the tier; cached and returned as a clone.
+
+    The returned model is a private copy — mutating it (fine-tuning)
+    does not poison the cache.
+    """
+    if tier_name not in TIERS:
+        raise KeyError(f"unknown tier {tier_name!r}; known: {sorted(TIERS)}")
+    key = (tier_name, seed)
+    if key not in _CACHE:
+        tier = TIERS[tier_name]
+        config = ModelConfig(
+            name=tier.name,
+            feature_dim=tier.feature_dim,
+            hidden_dim=tier.hidden_dim,
+            seed=seed,
+            featurizer_salt=tier.featurizer_salt,
+        )
+        model = ScoringLM(config)
+        pretrain(
+            model,
+            corpus_size=tier.pretrain_size,
+            epochs=tier.pretrain_epochs,
+            seed=seed,
+        )
+        _CACHE[key] = model
+    return _CACHE[key].clone()
+
+
+def clear_cache() -> None:
+    """Drop all memoised base models (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,153 @@
+"""Persistence for models, patches and adapted checkpoints.
+
+Everything serialises to a single ``.npz`` per artifact: base weights
+plus config for :class:`ScoringLM`, the ``(B, A)`` pairs plus metadata
+for :class:`LoRAPatch`, and the patch stack plus λ for
+:class:`PatchFusion`.  Knowledge is JSON (it is already dict-shaped).
+A downstream user can therefore ship an adapted model as
+``model.npz + fusion.npz + knowledge.json`` — the exact artifact set
+the paper's method produces (frozen backbone, patches, prompt
+knowledge).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..knowledge.rules import Knowledge
+from .fusion import PatchFusion
+from .lora import LoRAPatch
+from .model import ModelConfig, ScoringLM
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_patch",
+    "load_patch",
+    "save_fusion",
+    "load_fusion",
+    "save_knowledge",
+    "load_knowledge",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_model(model: ScoringLM, path: PathLike) -> None:
+    """Write a model's config and base weights to ``path`` (.npz)."""
+    payload = {f"weight::{name}": value for name, value in model.weights.items()}
+    payload["config"] = np.array(
+        json.dumps(
+            {
+                "name": model.config.name,
+                "feature_dim": model.config.feature_dim,
+                "hidden_dim": model.config.hidden_dim,
+                "seed": model.config.seed,
+                "featurizer_salt": model.config.featurizer_salt,
+            }
+        )
+    )
+    np.savez(path, **payload)
+
+
+def load_model(path: PathLike) -> ScoringLM:
+    """Restore a model saved with :func:`save_model`."""
+    with np.load(path, allow_pickle=False) as data:
+        config = ModelConfig(**json.loads(str(data["config"])))
+        model = ScoringLM(config)
+        for key in data.files:
+            if key.startswith("weight::"):
+                name = key[len("weight::"):]
+                if name not in model.weights:
+                    raise KeyError(f"unknown weight {name!r} in checkpoint")
+                if model.weights[name].shape != data[key].shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{model.weights[name].shape} vs {data[key].shape}"
+                    )
+                model.weights[name] = data[key].astype(float)
+    return model
+
+
+def save_patch(patch: LoRAPatch, path: PathLike) -> None:
+    """Write one knowledge patch to ``path`` (.npz)."""
+    payload = {}
+    for weight_name in patch.B:
+        payload[f"B::{weight_name}"] = patch.B[weight_name]
+        payload[f"A::{weight_name}"] = patch.A[weight_name]
+    payload["meta"] = np.array(
+        json.dumps({"name": patch.name, "rank": patch.rank, "alpha": patch.alpha})
+    )
+    np.savez(path, **payload)
+
+
+def load_patch(path: PathLike) -> LoRAPatch:
+    """Restore a knowledge patch saved with :func:`save_patch`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        shapes = {}
+        state = {}
+        for key in data.files:
+            if key == "meta":
+                continue
+            kind, __, weight_name = key.partition("::")
+            state[key] = data[key]
+            if kind == "B":
+                shapes.setdefault(weight_name, [0, 0])[0] = data[key].shape[0]
+            else:
+                shapes.setdefault(weight_name, [0, 0])[1] = data[key].shape[1]
+        patch = LoRAPatch(
+            meta["name"],
+            {name: tuple(shape) for name, shape in shapes.items()},
+            rank=meta["rank"],
+            alpha=meta["alpha"],
+        )
+        patch.load_state_dict(state)
+    return patch
+
+
+def save_fusion(fusion: PatchFusion, directory: PathLike) -> None:
+    """Write a fusion stack (patches, new patch, λ) into ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for index, patch in enumerate(fusion.patches):
+        save_patch(patch, directory / f"patch_{index:02d}.npz")
+    save_patch(fusion.new_patch, directory / "new_patch.npz")
+    np.savez(
+        directory / "fusion.npz",
+        lambdas=fusion.lambdas,
+        flags=np.array(
+            [int(fusion.train_lambdas), int(fusion.train_patches)]
+        ),
+    )
+
+
+def load_fusion(directory: PathLike) -> PatchFusion:
+    """Restore a fusion stack saved with :func:`save_fusion`."""
+    directory = pathlib.Path(directory)
+    patch_paths = sorted(directory.glob("patch_*.npz"))
+    patches = [load_patch(path) for path in patch_paths]
+    new_patch = load_patch(directory / "new_patch.npz")
+    with np.load(directory / "fusion.npz", allow_pickle=False) as data:
+        fusion = PatchFusion(
+            patches,
+            new_patch,
+            train_lambdas=bool(data["flags"][0]),
+            train_patches=bool(data["flags"][1]),
+        )
+        fusion.lambdas[:] = data["lambdas"]
+    return fusion
+
+
+def save_knowledge(knowledge: Knowledge, path: PathLike) -> None:
+    """Write knowledge to ``path`` as JSON."""
+    pathlib.Path(path).write_text(json.dumps(knowledge.to_dict(), indent=2))
+
+
+def load_knowledge(path: PathLike) -> Knowledge:
+    """Restore knowledge saved with :func:`save_knowledge`."""
+    return Knowledge.from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,134 @@
+"""Text normalisation and the hashed n-gram featurizer.
+
+The featurizer stands in for an LLM tokenizer + embedding table: it maps a
+prompt string to a fixed-dimension dense feature vector by hashing word
+unigrams, word bigrams and character trigrams into signed buckets
+(feature hashing, a.k.a. the hashing trick).  Hashing is based on
+blake2b so it is stable across processes and Python versions —
+``hash()`` randomisation would make models irreproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["normalize", "tokenize", "count_tokens", "HashedFeaturizer"]
+
+_TOKEN_RE = re.compile(r"\[[a-z0-9_]+\]|[a-z0-9]+(?:\.[0-9]+)?|[%$#@&]")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase and collapse whitespace; keep ``[special]`` markers intact."""
+    return _WS_RE.sub(" ", text.lower()).strip()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split normalised text into word tokens.
+
+    ``[special_markers]`` (e.g. ``[missing]`` or ``[fmt_violation_abv]``)
+    survive as single tokens so that derived knowledge features hash to a
+    single stable bucket.
+    """
+    return _TOKEN_RE.findall(normalize(text))
+
+
+def count_tokens(text: str) -> int:
+    """Token count used by the pricing model (Table III accounting)."""
+    return len(tokenize(text))
+
+
+def _stable_hash(data: str) -> int:
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashedFeaturizer:
+    """Map text to a dense, L2-normalised feature vector of size ``dim``.
+
+    Parameters
+    ----------
+    dim:
+        Number of hash buckets (the model's "embedding width" analogue).
+    use_bigrams:
+        Include word bigram features (order sensitivity).
+    use_char_ngrams:
+        Include character trigram features inside each token (robustness
+        to typos — important for error-detection style tasks).
+    salt:
+        Distinguishes featurizer families so that two models with the same
+        ``dim`` need not share a feature space.
+    """
+
+    #: Weight multiplier for ``[special]`` marker tokens.  A transformer
+    #: can attend sharply to one decisive token; a bag-of-features
+    #: encoder cannot, so markers get elevated mass instead.
+    MARKER_WEIGHT = 4.0
+
+    def __init__(
+        self,
+        dim: int = 2048,
+        use_bigrams: bool = True,
+        use_char_ngrams: bool = True,
+        salt: str = "repro",
+    ):
+        if dim <= 1:
+            raise ValueError(f"featurizer dim must be > 1, got {dim}")
+        self.dim = dim
+        self.use_bigrams = use_bigrams
+        self.use_char_ngrams = use_char_ngrams
+        self.salt = salt
+        self._cache: Dict[str, Tuple[int, float]] = {}
+
+    def _bucket(self, feature: str) -> Tuple[int, float]:
+        """Return (index, sign) for a feature string, memoised."""
+        hit = self._cache.get(feature)
+        if hit is not None:
+            return hit
+        h = _stable_hash(self.salt + "\x00" + feature)
+        index = h % self.dim
+        sign = 1.0 if (h >> 63) & 1 else -1.0
+        self._cache[feature] = (index, sign)
+        return index, sign
+
+    def _features(self, tokens: List[str]) -> Iterable[str]:
+        for tok in tokens:
+            yield "w:" + tok
+        if self.use_bigrams:
+            for left, right in zip(tokens, tokens[1:]):
+                yield "b:" + left + "_" + right
+        if self.use_char_ngrams:
+            for tok in tokens:
+                if tok.startswith("["):
+                    continue  # markers are atomic
+                padded = "^" + tok + "$"
+                for i in range(len(padded) - 2):
+                    yield "c:" + padded[i : i + 3]
+
+    def encode(self, text: str) -> np.ndarray:
+        """Featurize one string into a unit-norm dense vector."""
+        vec = np.zeros(self.dim)
+        tokens = tokenize(text)
+        for feature in self._features(tokens):
+            index, sign = self._bucket(feature)
+            weight = (
+                self.MARKER_WEIGHT
+                if feature.startswith("w:[")
+                else 1.0
+            )
+            vec[index] += sign * weight
+        norm = np.linalg.norm(vec)
+        if norm > 0.0:
+            vec /= norm
+        return vec
+
+    def encode_batch(self, texts: Iterable[str]) -> np.ndarray:
+        """Featurize a batch; returns an ``(n, dim)`` matrix."""
+        rows = [self.encode(t) for t in texts]
+        if not rows:
+            return np.zeros((0, self.dim))
+        return np.stack(rows)

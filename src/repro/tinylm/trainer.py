@@ -1,0 +1,156 @@
+"""Adam-based trainer for :class:`~repro.tinylm.model.ScoringLM`.
+
+Implements the conditional maximum-likelihood objective of paper Eq. 3
+(patch extraction and few-shot fine-tuning alike) with mini-batching,
+gradient clipping, and selective parameter groups:
+
+* ``train_base=True`` updates the frozen-by-default backbone — used for
+  upstream multi-task supervised fine-tuning (building "Jellyfish").
+* Attaching an adapter and ``train_base=False`` updates only the LoRA
+  patch / fusion parameters — used by SKC stages 1 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .linalg import rng_for
+from .model import EncodedExample, ScoringLM
+
+__all__ = ["TrainConfig", "TrainingExample", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One text-level supervised instance before featurization."""
+
+    prompt: str
+    candidates: Tuple[str, ...]
+    target: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.target < len(self.candidates):
+            raise ValueError(
+                f"target {self.target} out of range for "
+                f"{len(self.candidates)} candidates"
+            )
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimisation hyperparameters (paper Section VII-A analogues)."""
+
+    learning_rate: float = 6e-3
+    batch_size: int = 4
+    epochs: int = 3
+    grad_clip: float = 5.0
+    weight_decay: float = 0.0
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    seed: int = 0
+    shuffle: bool = True
+
+
+@dataclass
+class _AdamSlot:
+    m: np.ndarray
+    v: np.ndarray
+    step: int = 0
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory returned by :meth:`Trainer.fit`."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class Trainer:
+    """Stateful optimiser bound to one model (and its current adapter)."""
+
+    def __init__(
+        self,
+        model: ScoringLM,
+        config: Optional[TrainConfig] = None,
+        train_base: bool = True,
+    ):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.train_base = train_base
+        self._slots: Dict[str, _AdamSlot] = {}
+
+    # ------------------------------------------------------------------
+    def _encode(self, examples: Sequence[TrainingExample]) -> List[EncodedExample]:
+        encoded = []
+        for ex in examples:
+            item = self.model.encode_example(ex.prompt, ex.candidates, ex.target)
+            item.weight = ex.weight
+            encoded.append(item)
+        return encoded
+
+    def _adam_update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        cfg = self.config
+        slot = self._slots.get(key)
+        if slot is None or slot.m.shape != param.shape:
+            slot = _AdamSlot(m=np.zeros_like(param), v=np.zeros_like(param))
+            self._slots[key] = slot
+        if cfg.weight_decay:
+            grad = grad + cfg.weight_decay * param
+        norm = np.linalg.norm(grad)
+        if cfg.grad_clip and norm > cfg.grad_clip:
+            grad = grad * (cfg.grad_clip / norm)
+        slot.step += 1
+        slot.m = cfg.beta1 * slot.m + (1 - cfg.beta1) * grad
+        slot.v = cfg.beta2 * slot.v + (1 - cfg.beta2) * grad * grad
+        m_hat = slot.m / (1 - cfg.beta1**slot.step)
+        v_hat = slot.v / (1 - cfg.beta2**slot.step)
+        param -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + cfg.eps)
+
+    def step(self, batch: Sequence[EncodedExample]) -> float:
+        """One optimisation step over an encoded mini-batch."""
+        loss, base_grads, adapter_grads = self.model.loss_and_gradients(
+            batch, train_base=self.train_base
+        )
+        for name, grad in base_grads.items():
+            self._adam_update("base/" + name, self.model.weights[name], grad)
+        if adapter_grads and self.model.adapter is not None:
+            params = self.model.adapter.parameters()
+            for key, grad in adapter_grads.items():
+                if key in params:
+                    self._adam_update("adapter/" + key, params[key], grad)
+        return loss
+
+    def fit(self, examples: Sequence[TrainingExample]) -> TrainReport:
+        """Run the configured number of epochs over ``examples``."""
+        if not examples:
+            raise ValueError("cannot fit on an empty example list")
+        encoded = self._encode(examples)
+        rng = rng_for(self.config.seed, "trainer")
+        report = TrainReport()
+        order = np.arange(len(encoded))
+        for __epoch in range(self.config.epochs):
+            if self.config.shuffle:
+                rng.shuffle(order)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(order), self.config.batch_size):
+                batch = [encoded[i] for i in order[start : start + self.config.batch_size]]
+                epoch_loss += self.step(batch)
+                batches += 1
+            report.epoch_losses.append(epoch_loss / max(batches, 1))
+        return report
+
+    def evaluate_loss(self, examples: Sequence[TrainingExample]) -> float:
+        """Mean CE loss without updating parameters."""
+        encoded = self._encode(examples)
+        loss, __, __ = self.model.loss_and_gradients(encoded, train_base=False)
+        return loss

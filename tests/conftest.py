@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (pretrained base model, upstream bundle) are
+session-scoped; tests must not mutate them in place — clone first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.jellyfish import get_bundle
+from repro.core.config import AKBConfig, KnowTransConfig, SKCConfig
+from repro.data import generators
+from repro.data.splits import split_dataset
+from repro.tinylm.model import ModelConfig, ScoringLM
+from repro.tinylm.registry import create_base_model
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> ScoringLM:
+    """A small untrained model for unit tests (do not mutate)."""
+    return ScoringLM(ModelConfig(name="test-tiny", feature_dim=256, hidden_dim=24, seed=3))
+
+
+@pytest.fixture()
+def fresh_tiny_model() -> ScoringLM:
+    """A small untrained model safe to train in a test."""
+    return ScoringLM(ModelConfig(name="test-tiny", feature_dim=256, hidden_dim=24, seed=3))
+
+
+@pytest.fixture(scope="session")
+def base_model() -> ScoringLM:
+    """The pretrained 7B-analogue base model (session cache)."""
+    return create_base_model("mistral-7b", seed=0)
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    """A small upstream bundle shared across integration tests."""
+    return get_bundle("mistral-7b", seed=0, scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> KnowTransConfig:
+    return KnowTransConfig(
+        skc=SKCConfig(finetune_epochs=4, patch_epochs=2),
+        akb=AKBConfig(pool_size=3, iterations=1, refinements_per_iteration=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def beer_splits():
+    dataset = generators.build("ed/beer", count=90, seed=11)
+    return split_dataset(dataset, few_shot=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def abt_splits():
+    dataset = generators.build("em/abt_buy", count=90, seed=11)
+    return split_dataset(dataset, few_shot=20, seed=11)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,146 @@
+"""Tests for the AKB component (paper Algorithm 2)."""
+
+import pytest
+
+from repro.core.akb.evaluation import predict_detailed, score_knowledge, task_metric
+from repro.core.akb.feedback import sample_errors
+from repro.core.akb.generation import generate_pool, sample_demonstrations
+from repro.core.akb.optimizer import search_knowledge
+from repro.core.config import AKBConfig
+from repro.data import generators
+from repro.knowledge.rules import Knowledge
+from repro.knowledge.seed import seed_knowledge
+from repro.llm.mockgpt import ErrorCase, MockGPT
+from repro.tasks.base import get_task
+
+
+@pytest.fixture(scope="module")
+def beer_dataset():
+    return generators.build("ed/beer", count=60, seed=13)
+
+
+class TestEvaluation:
+    def test_score_and_errors_consistent(self, tiny_model, beer_dataset):
+        task = get_task("ed")
+        score, errors = score_knowledge(
+            tiny_model, task, seed_knowledge("ed"), beer_dataset.examples[:20],
+            beer_dataset,
+        )
+        assert 0.0 <= score <= 100.0
+        wrong = sum(
+            task.predict(tiny_model, ex, seed_knowledge("ed"), beer_dataset)
+            != ex.answer
+            for ex in beer_dataset.examples[:20]
+        )
+        assert len(errors) == wrong
+
+    def test_predict_detailed_margins(self, tiny_model, beer_dataset):
+        task = get_task("ed")
+        golds, preds, margins, errors = predict_detailed(
+            tiny_model, task, seed_knowledge("ed"), beer_dataset.examples[:10],
+            beer_dataset,
+        )
+        assert len(golds) == len(preds) == len(margins) == 10
+        assert all(0.0 <= m <= 1.0 for m in margins)
+
+    def test_task_metric_dispatch(self, beer_dataset):
+        task = get_task("ed")
+        examples = beer_dataset.examples[:4]
+        golds = [ex.answer for ex in examples]
+        assert task_metric(task, golds, golds, examples) == 100.0
+
+
+class TestSampling:
+    def test_demonstration_sampling_bounded(self, beer_dataset):
+        demos = sample_demonstrations(beer_dataset.examples, 5, seed=1)
+        assert len(demos) == 5
+        assert sample_demonstrations(beer_dataset.examples[:3], 10, seed=1) == list(
+            beer_dataset.examples[:3]
+        )
+
+    def test_error_sampling_varies_by_round(self, beer_dataset):
+        errors = [ErrorCase(ex, "no") for ex in beer_dataset.examples[:30]]
+        first = sample_errors(errors, 5, seed=1, round_index=0)
+        second = sample_errors(errors, 5, seed=1, round_index=1)
+        assert first != second
+
+    def test_pool_contains_seed(self, beer_dataset):
+        config = AKBConfig(pool_size=3)
+        seed = seed_knowledge("ed")
+        pool = generate_pool(
+            MockGPT(seed=1), "ed", beer_dataset.examples[:20], seed, config
+        )
+        assert pool[0] == seed
+
+
+class TestOptimizer:
+    def test_search_returns_best_scored(self, bundle, beer_dataset):
+        config = AKBConfig(pool_size=3, iterations=2, refinements_per_iteration=1)
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:20],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+        )
+        assert result.rounds
+        assert result.best_score >= result.rounds[0].best_score - 1e-9
+
+    def test_search_respects_iteration_budget(self, bundle, beer_dataset):
+        config = AKBConfig(
+            pool_size=2, iterations=2, refinements_per_iteration=1, patience=10
+        )
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:20],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+        )
+        assert result.iterations_run <= 2
+
+    def test_custom_scorer_is_used(self, bundle, beer_dataset):
+        calls = []
+
+        def scorer(candidate: Knowledge):
+            calls.append(candidate)
+            return float(len(candidate.rules)), []
+
+        config = AKBConfig(pool_size=3, iterations=1)
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:10],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+            scorer=scorer,
+        )
+        assert calls
+        # With the rule-count scorer the richest candidate must win.
+        assert len(result.knowledge.rules) == max(len(c.rules) for c in calls)
+
+    def test_zero_error_convergence_stops_early(self, bundle, beer_dataset):
+        def scorer(candidate: Knowledge):
+            return 100.0, []  # perfect on validation
+
+        config = AKBConfig(pool_size=2, iterations=5)
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:10],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+            scorer=scorer,
+        )
+        assert result.iterations_run == 1
+
+    def test_trajectory_records_best_per_round(self, bundle, beer_dataset):
+        config = AKBConfig(pool_size=2, iterations=2, refinements_per_iteration=1)
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:16],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+        )
+        assert len(result.trajectory) == result.iterations_run

@@ -1,0 +1,162 @@
+"""Tests for the baseline methods (Table II / IV comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.closed import CLOSED_MODELS, make_closed_model
+from repro.baselines.jellyfish import get_bundle, upstream_sft
+from repro.baselines.meld import fit_meld
+from repro.baselines.non_llm import NON_LLM_NAMES, fit_non_llm
+from repro.data import generators
+from repro.data.splits import split_dataset
+
+ALL_IDS = list(generators.downstream_ids())
+
+
+class TestJellyfishBundle:
+    def test_bundle_contents(self, bundle):
+        assert bundle.tier == "mistral-7b"
+        assert len(bundle.upstream_datasets) == 12
+        assert len(bundle.patches) == 12
+
+    def test_bundle_cached(self, bundle):
+        again = get_bundle("mistral-7b", seed=0, scale=0.3)
+        assert again is bundle
+
+    def test_fresh_models_are_copies(self, bundle):
+        fresh = bundle.fresh_upstream()
+        fresh.weights["encoder.b1"][0] = 1234.0
+        assert bundle.upstream_model.weights["encoder.b1"][0] != 1234.0
+
+    def test_upstream_sft_changes_weights(self, base_model):
+        datasets = [generators.upstream.generate("buy", count=12, seed=1)]
+        tuned = upstream_sft(base_model, datasets, epochs=1, seed=0)
+        assert not np.allclose(
+            tuned.weights["encoder.W1"], base_model.weights["encoder.W1"]
+        )
+
+    def test_no_sft_bundle_keeps_base(self):
+        raw = get_bundle("mistral-7b", seed=0, scale=0.3, with_upstream_sft=False)
+        np.testing.assert_array_equal(
+            raw.upstream_model.weights["encoder.W1"],
+            raw.base_model.weights["encoder.W1"],
+        )
+
+    def test_upstream_learns_upstream_data(self, bundle):
+        from repro.core.skc.patches import dataset_training_examples
+
+        dataset = bundle.upstream_datasets[0]
+        examples = dataset_training_examples(dataset)[:30]
+        hits = sum(
+            bundle.upstream_model.predict(ex.prompt, ex.candidates) == ex.target
+            for ex in examples
+        )
+        base_hits = sum(
+            bundle.base_model.predict(ex.prompt, ex.candidates) == ex.target
+            for ex in examples
+        )
+        assert hits >= base_hits
+
+
+class TestMELD:
+    def test_fit_and_predict(self, bundle, fast_config, beer_splits):
+        meld = fit_meld(bundle, beer_splits, fast_config.skc)
+        example = beer_splits.test.examples[0]
+        assert meld.predict(example) in ("yes", "no")
+        assert 0.0 <= meld.evaluate(beer_splits.test.examples[:20]) <= 100.0
+
+    def test_router_weights_instance_level(self, bundle, fast_config, beer_splits):
+        meld = fit_meld(bundle, beer_splits, fast_config.skc)
+        meld.predict(beer_splits.test.examples[0])
+        first = meld.fusion.lambdas.copy()
+        meld.predict(beer_splits.test.examples[1])
+        second = meld.fusion.lambdas.copy()
+        assert not np.array_equal(first, second)
+
+    def test_router_top_k_sparsity(self, bundle, fast_config, beer_splits):
+        meld = fit_meld(bundle, beer_splits, fast_config.skc)
+        meld.predict(beer_splits.test.examples[0])
+        active = np.count_nonzero(meld.fusion.lambdas)
+        assert active <= meld.top_k
+
+
+class TestNonLLM:
+    def test_name_registry_covers_tasks(self):
+        assert set(NON_LLM_NAMES) == {"ed", "di", "sm", "em", "cta", "ave", "dc"}
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_fit_predict_evaluate(self, dataset_id):
+        dataset = generators.build(dataset_id, count=70, seed=21)
+        splits = split_dataset(dataset, few_shot=20, seed=21)
+        baseline = fit_non_llm(splits.task, splits.few_shot.examples)
+        prediction = baseline.predict(splits.test.examples[0])
+        assert isinstance(prediction, str)
+        assert 0.0 <= baseline.evaluate(splits.test.examples) <= 100.0
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            fit_non_llm("xx", [])
+
+    def test_raha_learns_missing_signal(self):
+        dataset = generators.build("ed/beer", count=120, seed=3)
+        splits = split_dataset(dataset, few_shot=20, seed=3)
+        baseline = fit_non_llm("ed", splits.train.examples)  # generous data
+        missing_cases = [
+            ex
+            for ex in splits.test.examples
+            if ex.inputs["record"].is_missing(ex.inputs["attribute"])
+        ]
+        if missing_cases:
+            hits = sum(baseline.predict(ex) == "yes" for ex in missing_cases)
+            assert hits / len(missing_cases) > 0.5
+
+
+class TestClosedModels:
+    def test_model_registry(self):
+        assert set(CLOSED_MODELS) == {"gpt-3.5", "gpt-4", "gpt-4o"}
+
+    def test_unknown_model(self, beer_splits):
+        with pytest.raises(KeyError):
+            make_closed_model("gpt-99", "ed", beer_splits.few_shot.examples)
+
+    @pytest.mark.parametrize("dataset_id", ["ed/beer", "em/abt_buy", "dc/beer",
+                                            "di/phone", "cta/sotab", "ave/ae110k",
+                                            "sm/cms"])
+    def test_predict_and_evaluate(self, dataset_id):
+        dataset = generators.build(dataset_id, count=60, seed=17)
+        splits = split_dataset(dataset, few_shot=20, seed=17)
+        model = make_closed_model(
+            "gpt-4o", splits.task, splits.few_shot.examples, splits.few_shot
+        )
+        assert 0.0 <= model.evaluate(splits.test.examples[:24]) <= 100.0
+
+    def test_meter_accumulates_icl_tokens(self, beer_splits):
+        model = make_closed_model(
+            "gpt-4", "ed", beer_splits.few_shot.examples, beer_splits.few_shot
+        )
+        model.predict(beer_splits.test.examples[0])
+        summary = model.meter.summary()
+        # ICL prompts carry ten demonstrations → hundreds of tokens.
+        assert summary["input_tokens"] > 200
+        assert summary["cost_per_instance"] > 0
+
+    def test_stronger_model_beats_weaker_on_em(self):
+        dataset = generators.build("em/abt_buy", count=160, seed=19)
+        splits = split_dataset(dataset, few_shot=20, seed=19)
+        weak = make_closed_model(
+            "gpt-3.5", "em", splits.few_shot.examples, splits.few_shot
+        ).evaluate(splits.test.examples)
+        strong = make_closed_model(
+            "gpt-4", "em", splits.few_shot.examples, splits.few_shot
+        ).evaluate(splits.test.examples)
+        assert strong > weak
+
+    def test_deterministic_given_seed(self, beer_splits):
+        scores = []
+        for __ in range(2):
+            model = make_closed_model(
+                "gpt-4o", "ed", beer_splits.few_shot.examples,
+                beer_splits.few_shot, seed=5,
+            )
+            scores.append(model.evaluate(beer_splits.test.examples[:20]))
+        assert scores[0] == scores[1]

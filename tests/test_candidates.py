@@ -1,0 +1,189 @@
+"""Unit tests for repro.tasks.candidates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Record
+from repro.knowledge.rules import CandidateHint, FormatConstraint, Knowledge, VocabConstraint
+from repro.tasks import candidates as C
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=8)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("abc", "abcd", 1),
+            ("kitten", "sitting", 3),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert C.edit_distance(left, right) == expected
+
+    def test_limit_early_exit(self):
+        assert C.edit_distance("aaaaaaaaaa", "bbbbbbbbbb", limit=3) == 4
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert C.edit_distance(a, b) == C.edit_distance(b, a)
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, a):
+        assert C.edit_distance(a, a) == 0
+
+    @given(words, words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        limit = 20
+        ab = C.edit_distance(a, b, limit)
+        bc = C.edit_distance(b, c, limit)
+        ac = C.edit_distance(a, c, limit)
+        if ab <= limit and bc <= limit and ac <= limit:
+            assert ac <= ab + bc
+
+
+class TestNearestBankEntry:
+    def test_exact_match(self):
+        assert C.nearest_bank_entry("portland", ("portland", "austin")) == "portland"
+
+    def test_typo_repair(self):
+        assert C.nearest_bank_entry("portlnad", ("portland", "austin")) == "portland"
+
+    def test_none_when_too_far(self):
+        assert C.nearest_bank_entry("zzzzzz", ("portland",), max_distance=2) is None
+
+
+class TestSpans:
+    def test_text_spans_order_and_dedup(self):
+        spans = C.text_spans("red red shoes")
+        assert spans.index("red") < spans.index("shoes")
+        assert spans.count("red") == 1
+        assert "red shoes" in spans
+
+    def test_record_spans_skip_pure_numbers(self):
+        record = Record.from_dict({"a": "100", "b": "blue shoes"})
+        spans = C.record_spans(record)
+        assert "100" not in spans
+        assert "blue" in spans and "blue shoes" in spans
+
+
+class TestImputationCandidates:
+    def test_gold_appended_when_absent(self):
+        record = Record.from_dict({"name": "x y z", "brand": "nan"})
+        pool = C.imputation_candidates(record, "brand", Knowledge.empty(), gold="acme")
+        assert "acme" in pool
+
+    def test_known_brand_promotes_bank_members(self):
+        record = Record.from_dict(
+            {"product_name": "zzz filler samsung galaxy phone", "brand": "nan"}
+        )
+        knowledge = Knowledge(
+            rules=(CandidateHint("known_brand", bank="phone_brands"),)
+        )
+        pool = C.imputation_candidates(record, "brand", knowledge)
+        assert pool[0] == "samsung"
+        assert len(pool) > 1  # distractors retained
+
+    def test_title_prefix_promotes_leading_spans(self):
+        record = Record.from_dict(
+            {"product_name": "acme widget deluxe edition thing", "brand": "nan"}
+        )
+        knowledge = Knowledge(rules=(CandidateHint("title_prefix"),))
+        pool = C.imputation_candidates(record, "brand", knowledge)
+        assert pool[0] in ("acme", "acme widget", "widget")
+
+    def test_excludes_target_attribute_text(self):
+        record = Record.from_dict({"brand": "leakyvalue", "name": "x y"})
+        pool = C.imputation_candidates(record, "brand", Knowledge.empty())
+        assert "leakyvalue" not in pool
+
+
+class TestExtractionCandidates:
+    def test_always_includes_null(self):
+        pool = C.extraction_candidates("red shoes", "color", Knowledge.empty())
+        assert C.NULL_ANSWER in pool
+
+    def test_vocab_constraint_promotes(self):
+        knowledge = Knowledge(rules=(VocabConstraint("color", "colors"),))
+        pool = C.extraction_candidates(
+            "mens waterproof red sneakers", "color", knowledge
+        )
+        assert pool[0] == "red"
+
+    def test_descriptive_first_drops_brands_for_non_brand(self):
+        knowledge = Knowledge(
+            rules=(CandidateHint("descriptive_first", bank="grocery_brands"),)
+        )
+        pool = C.extraction_candidates(
+            "folgers vanilla coffee", "flavor", knowledge
+        )
+        assert "folgers" not in pool
+
+    def test_descriptive_first_keeps_brands_for_brand_query(self):
+        knowledge = Knowledge(
+            rules=(CandidateHint("descriptive_first", bank="grocery_brands"),)
+        )
+        pool = C.extraction_candidates(
+            "folgers vanilla coffee", "brand", knowledge
+        )
+        assert "folgers" in pool
+
+    def test_gold_guaranteed_for_training(self):
+        pool = C.extraction_candidates("a b", "x", Knowledge.empty(), gold="zq")
+        assert "zq" in pool
+
+
+class TestCorrectionCandidates:
+    def test_original_always_included(self):
+        record = Record.from_dict({"style": "american ipaa"})
+        pool = C.correction_candidates(record, "style", Knowledge.empty())
+        assert "american ipaa" in pool
+
+    def test_percent_strip(self):
+        record = Record.from_dict({"abv": "0.05%"})
+        pool = C.correction_candidates(record, "abv", Knowledge.empty())
+        assert "0.05" in pool
+
+    def test_slash_date_to_iso(self):
+        record = Record.from_dict({"created": "4/3/15"})
+        pool = C.correction_candidates(record, "created", Knowledge.empty())
+        assert "2015-04-03" in pool
+
+    def test_slash_date_century_rule(self):
+        record = Record.from_dict({"created": "4/3/97"})
+        pool = C.correction_candidates(record, "created", Knowledge.empty())
+        assert "1997-04-03" in pool
+
+    def test_issn_dash_insertion(self):
+        record = Record.from_dict({"issn": "12345678"})
+        pool = C.correction_candidates(record, "issn", Knowledge.empty())
+        assert "1234-5678" in pool
+
+    def test_vocab_repair_with_constraint(self):
+        record = Record.from_dict({"city": "portlnad"})
+        knowledge = Knowledge(rules=(VocabConstraint("city", "cities"),))
+        pool = C.correction_candidates(record, "city", knowledge)
+        assert "portland" in pool
+
+    def test_derivation_for_missing_abbreviation(self):
+        record = Record.from_dict(
+            {"journal_title": "the lancet", "journal_abbreviation": "nan"}
+        )
+        pool = C.correction_candidates(record, "journal_abbreviation", Knowledge.empty())
+        assert pool[0] == "lancet"  # derivation promoted for missing cells
+
+    def test_derive_hint_promotes_derivation(self):
+        record = Record.from_dict(
+            {"journal_title": "the lancet", "journal_abbreviation": "lancett"}
+        )
+        knowledge = Knowledge(rules=(CandidateHint("derive"),))
+        pool = C.correction_candidates(record, "journal_abbreviation", knowledge)
+        assert pool[0] == "lancet"

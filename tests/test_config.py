@@ -1,0 +1,51 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import AKBConfig, KnowTransConfig, SKCConfig
+from repro.core.skc.lorahub import LoRAHubConfig
+
+
+class TestSKCConfig:
+    def test_train_config_factories(self):
+        config = SKCConfig(patch_epochs=7, finetune_epochs=9, batch_size=2)
+        assert config.patch_train_config().epochs == 7
+        assert config.finetune_train_config().epochs == 9
+        assert config.patch_train_config().batch_size == 2
+
+    def test_defaults_match_paper_analogues(self):
+        config = SKCConfig()
+        assert config.lora_rank >= 1
+        assert config.train_lambdas and config.train_patches
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SKCConfig().lora_rank = 99  # frozen dataclass
+
+
+class TestAKBConfig:
+    def test_paper_knob_analogues(self):
+        config = AKBConfig()
+        assert config.generation_examples == 10  # paper: 10 gen examples
+        assert config.iterations == 3  # paper: 3 iterations
+        assert config.error_samples == 5  # paper: 5 error samples
+        assert config.temperature == pytest.approx(0.9)  # paper GPT temp
+
+
+class TestKnowTransConfig:
+    def test_fast_preset_lighter_than_default(self):
+        fast, default = KnowTransConfig.fast(), KnowTransConfig()
+        assert fast.skc.finetune_epochs <= default.skc.finetune_epochs
+        assert fast.akb.pool_size <= default.akb.pool_size
+
+    def test_composition(self):
+        config = KnowTransConfig(skc=SKCConfig(lora_rank=2))
+        assert config.skc.lora_rank == 2
+        assert isinstance(config.akb, AKBConfig)
+
+
+class TestLoRAHubConfig:
+    def test_defaults(self):
+        config = LoRAHubConfig()
+        assert config.iterations > 0
+        assert config.lambda_bounds[0] < config.lambda_bounds[1]

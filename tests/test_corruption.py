@@ -1,0 +1,81 @@
+"""Unit tests for repro.data.corruption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import corruption
+
+word_strategy = st.text(alphabet="abcdefghijklmnop", min_size=2, max_size=15)
+
+
+class TestTypo:
+    @given(word_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_typo_changes_value(self, value):
+        rng = np.random.default_rng(0)
+        corrupted, kind = corruption.typo(rng, value)
+        assert kind == "typo"
+        assert corrupted != value
+
+    def test_typo_deterministic_given_rng(self):
+        a = corruption.typo(np.random.default_rng(5), "portland")
+        b = corruption.typo(np.random.default_rng(5), "portland")
+        assert a == b
+
+    def test_typo_short_value(self):
+        corrupted, __ = corruption.typo(np.random.default_rng(0), "a")
+        assert corrupted != "a"
+
+
+class TestMissingMarker:
+    def test_returns_missing_forms(self, rng):
+        for __ in range(10):
+            value, kind = corruption.missing_marker(rng, "whatever")
+            assert kind == "missing"
+            assert value in ("nan", "n/a", "")
+
+
+class TestFormatInjectors:
+    def test_percent_sign(self, rng):
+        assert corruption.add_percent_sign(rng, "0.05") == ("0.05%", "format")
+
+    def test_slash_date(self, rng):
+        corrupted, kind = corruption.slash_date(rng, "2015-04-03")
+        assert (corrupted, kind) == ("4/3/15", "format")
+
+    def test_slash_date_malformed_input(self, rng):
+        corrupted, kind = corruption.slash_date(rng, "not-a-date-at-all")
+        assert kind == "format"
+
+    def test_out_of_range_numeric(self):
+        rng = np.random.default_rng(0)
+        corrupted, kind = corruption.out_of_range(rng, "42")
+        assert kind == "range"
+        assert float(corrupted) != 42.0
+
+    def test_out_of_range_non_numeric(self, rng):
+        assert corruption.out_of_range(rng, "abc") == ("9999", "range")
+
+
+class TestCorruptionPlan:
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ValueError):
+            corruption.CorruptionPlan([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            corruption.CorruptionPlan([(corruption.typo, -1.0)])
+
+    def test_inject_uses_menu(self, rng):
+        plan = corruption.CorruptionPlan([(corruption.add_percent_sign, 1.0)])
+        assert plan.inject(rng, "0.05") == ("0.05%", "format")
+
+    def test_inject_respects_weights(self):
+        rng = np.random.default_rng(0)
+        plan = corruption.CorruptionPlan(
+            [(corruption.add_percent_sign, 1.0), (corruption.missing_marker, 0.0)]
+        )
+        kinds = {plan.inject(rng, "1.0")[1] for __ in range(20)}
+        assert kinds == {"format"}

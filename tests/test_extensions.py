@@ -1,0 +1,177 @@
+"""Tests for the extension modules: persistence, diagnostics, LoRAHub, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SKCConfig
+from repro.core.skc.lorahub import LoRAHubConfig, lorahub_search
+from repro.data.generators import upstream
+from repro.eval.diagnostics import (
+    conflict_rate,
+    dataset_gradient,
+    gradient_conflict_matrix,
+    patch_interference_matrix,
+    summarize_conflict,
+)
+from repro.knowledge.seed import oracle_knowledge
+from repro.tinylm import serialization as ser
+from repro.tinylm.fusion import PatchFusion
+from repro.tinylm.lora import LoRAPatch
+from repro.tinylm.model import ModelConfig, ScoringLM
+
+
+class TestModelPersistence:
+    def test_model_roundtrip(self, tmp_path, tiny_model):
+        path = tmp_path / "model.npz"
+        ser.save_model(tiny_model, path)
+        restored = ser.load_model(path)
+        assert restored.config == tiny_model.config
+        for name, value in tiny_model.weights.items():
+            np.testing.assert_array_equal(restored.weights[name], value)
+
+    def test_restored_model_predicts_identically(self, tmp_path, tiny_model):
+        path = tmp_path / "model.npz"
+        ser.save_model(tiny_model, path)
+        restored = ser.load_model(path)
+        prompt, pool = "some prompt text", ("a", "b", "c")
+        np.testing.assert_allclose(
+            restored.logits(prompt, pool), tiny_model.logits(prompt, pool)
+        )
+
+    def test_patch_roundtrip(self, tmp_path):
+        shapes = {"encoder.W1": (8, 32), "answer.V": (8, 32)}
+        patch = LoRAPatch("p", shapes, rank=3, alpha=2.0, seed=7)
+        patch.A["encoder.W1"] = np.random.default_rng(0).normal(0, 1, (3, 32))
+        path = tmp_path / "patch.npz"
+        ser.save_patch(patch, path)
+        restored = ser.load_patch(path)
+        assert restored.name == "p"
+        assert restored.rank == 3 and restored.alpha == 2.0
+        for name in shapes:
+            np.testing.assert_array_equal(
+                restored.delta(name), patch.delta(name)
+            )
+
+    def test_fusion_roundtrip(self, tmp_path):
+        shapes = {"encoder.W1": (6, 20)}
+        patches = [LoRAPatch(f"p{i}", shapes, rank=2, seed=i) for i in range(3)]
+        fusion = PatchFusion(
+            patches, LoRAPatch("new", shapes, rank=2, seed=9),
+            train_lambdas=False,
+        )
+        fusion.lambdas[:] = [0.1, 0.2, 0.3]
+        ser.save_fusion(fusion, tmp_path / "fusion")
+        restored = ser.load_fusion(tmp_path / "fusion")
+        np.testing.assert_allclose(restored.lambdas, [0.1, 0.2, 0.3])
+        assert not restored.train_lambdas
+        assert [p.name for p in restored.patches] == ["p0", "p1", "p2"]
+
+    def test_knowledge_roundtrip(self, tmp_path):
+        knowledge = oracle_knowledge("ed/beer")
+        path = tmp_path / "knowledge.json"
+        ser.save_knowledge(knowledge, path)
+        assert ser.load_knowledge(path) == knowledge
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        return [
+            upstream.generate("adult", count=16, seed=1),
+            upstream.generate("buy", count=16, seed=1),
+            upstream.generate("beer_em", count=16, seed=1),
+        ]
+
+    def test_dataset_gradient_shape(self, base_model, small_suite):
+        gradient = dataset_gradient(base_model, small_suite[0], sample=8)
+        assert gradient.ndim == 1 and gradient.size > 0
+
+    def test_conflict_matrix_symmetric_unit_diagonal(self, base_model, small_suite):
+        matrix, names = gradient_conflict_matrix(base_model, small_suite, sample=8)
+        assert names == ["adult", "buy", "beer_em"]
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert np.abs(matrix).max() <= 1.0 + 1e-9
+
+    def test_conflict_rate_bounds(self):
+        matrix = np.array([[1.0, -0.5], [-0.5, 1.0]])
+        assert conflict_rate(matrix) == 1.0
+        assert conflict_rate(np.eye(1)) == 0.0
+
+    def test_patch_interference(self, bundle):
+        matrix, names = patch_interference_matrix(bundle.patches[:3])
+        assert len(names) == 3
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_summary_keys(self, base_model, small_suite):
+        report = summarize_conflict(base_model, small_suite, sample=8)
+        assert set(report) == {
+            "names", "matrix", "conflict_rate", "mean_cosine",
+            "worst_pair", "worst_cosine",
+        }
+
+
+class TestLoRAHub:
+    def test_search_improves_or_matches_start(self, bundle, beer_splits):
+        model, fusion, best = lorahub_search(
+            bundle.upstream_model,
+            bundle.patches[:4],
+            beer_splits.few_shot,
+            LoRAHubConfig(iterations=10, seed=1),
+            SKCConfig(),
+        )
+        assert 0.0 <= best <= 100.0
+        assert model.adapter is fusion
+
+    def test_patches_stay_frozen(self, bundle, beer_splits):
+        originals = [p.frobenius_norm() for p in bundle.patches[:3]]
+        lorahub_search(
+            bundle.upstream_model,
+            bundle.patches[:3],
+            beer_splits.few_shot,
+            LoRAHubConfig(iterations=5, seed=1),
+        )
+        assert [p.frobenius_norm() for p in bundle.patches[:3]] == originals
+
+    def test_lambda_bounds_respected(self, bundle, beer_splits):
+        config = LoRAHubConfig(iterations=15, seed=2, lambda_bounds=(-0.1, 0.2))
+        __, fusion, __ = lorahub_search(
+            bundle.upstream_model, bundle.patches[:3], beer_splits.few_shot, config
+        )
+        assert fusion.lambdas.min() >= -0.1 - 1e-9
+        assert fusion.lambdas.max() <= 0.2 + 1e-9
+
+    def test_requires_patches(self, bundle, beer_splits):
+        with pytest.raises(ValueError):
+            lorahub_search(bundle.upstream_model, [], beer_splits.few_shot)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ed/beer" in out and "mistral-7b" in out and "table2" in out
+
+    def test_parser_rejects_unknown_experiment(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestCLIExperiment:
+    def test_experiment_command_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table1", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "ed/flights" in out

@@ -1,0 +1,150 @@
+"""Failure-injection tests: graceful behaviour at the edges.
+
+A library is judged by what happens when a component misbehaves: a
+scorer that throws, a knowledge writer that returns nothing, corrupted
+checkpoints, degenerate candidate pools.  These tests pin the intended
+behaviour for each failure.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.akb.optimizer import search_knowledge
+from repro.core.config import AKBConfig
+from repro.data import generators
+from repro.data.schema import Example, Record
+from repro.knowledge.rules import Knowledge
+from repro.knowledge.seed import seed_knowledge
+from repro.llm.mockgpt import MockGPT
+from repro.tasks.base import get_task
+from repro.tinylm import serialization as ser
+from repro.tinylm.model import ModelConfig, ScoringLM
+from repro.tinylm.trainer import TrainConfig, Trainer, TrainingExample
+
+
+@pytest.fixture(scope="module")
+def beer_dataset():
+    return generators.build("ed/beer", count=40, seed=23)
+
+
+class _SilentGPT(MockGPT):
+    """A knowledge writer that never proposes anything."""
+
+    def generate_knowledge(self, task, examples, seed_knowledge, count=5):
+        return []
+
+    def feedback(self, task, knowledge, errors):
+        from repro.llm.mockgpt import Feedback
+
+        return Feedback(text="nothing to say")
+
+    def refine(self, task, knowledge, errors, feedback, trajectory=()):
+        return knowledge
+
+
+class TestAKBFailures:
+    def test_silent_gpt_falls_back_to_seed(self, tiny_model, beer_dataset):
+        result = search_knowledge(
+            tiny_model,
+            beer_dataset,
+            beer_dataset.examples[:10],
+            mockgpt=_SilentGPT(seed=1),
+            config=AKBConfig(pool_size=3, iterations=2),
+        )
+        assert result.knowledge == seed_knowledge("ed")
+
+    def test_raising_scorer_propagates(self, tiny_model, beer_dataset):
+        def scorer(candidate):
+            raise RuntimeError("validation backend down")
+
+        with pytest.raises(RuntimeError, match="validation backend down"):
+            search_knowledge(
+                tiny_model,
+                beer_dataset,
+                beer_dataset.examples[:10],
+                mockgpt=MockGPT(seed=1),
+                config=AKBConfig(pool_size=2, iterations=1),
+                scorer=scorer,
+            )
+
+    def test_constant_scorer_terminates(self, tiny_model, beer_dataset):
+        """A flat objective must hit the patience stop, not loop."""
+        from repro.llm.mockgpt import ErrorCase
+
+        errors = [ErrorCase(beer_dataset.examples[0], "no")]
+        result = search_knowledge(
+            tiny_model,
+            beer_dataset,
+            beer_dataset.examples[:10],
+            mockgpt=MockGPT(seed=1),
+            config=AKBConfig(pool_size=2, iterations=50, patience=1),
+            scorer=lambda candidate: (50.0, list(errors)),
+        )
+        assert result.iterations_run <= 4
+
+
+class TestCheckpointFailures:
+    def test_model_shape_mismatch_rejected(self, tmp_path, tiny_model):
+        path = tmp_path / "model.npz"
+        ser.save_model(tiny_model, path)
+        # Corrupt: rewrite one weight with a wrong shape.
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["weight::encoder.W1"] = np.zeros((2, 2))
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ser.load_model(path)
+
+    def test_unknown_weight_rejected(self, tmp_path, tiny_model):
+        path = tmp_path / "model.npz"
+        ser.save_model(tiny_model, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["weight::mystery.W"] = np.zeros(3)
+        np.savez(path, **payload)
+        with pytest.raises(KeyError, match="mystery"):
+            ser.load_model(path)
+
+    def test_malformed_knowledge_json(self, tmp_path):
+        path = tmp_path / "knowledge.json"
+        path.write_text(json.dumps({"rules": [{"kind": "NotARule"}]}))
+        with pytest.raises(KeyError):
+            ser.load_knowledge(path)
+
+
+class TestDegenerateInputs:
+    def test_single_candidate_prediction(self, tiny_model):
+        assert tiny_model.predict("prompt", ["only"]) == 0
+
+    def test_single_candidate_training_is_stable(self):
+        model = ScoringLM(ModelConfig(name="deg", feature_dim=64, hidden_dim=8, seed=1))
+        examples = [TrainingExample("p", ("only",), 0)] * 4
+        report = Trainer(model, TrainConfig(epochs=1, seed=0)).fit(examples)
+        assert np.isfinite(report.final_loss)
+
+    def test_evaluate_with_unreachable_gold(self, tiny_model):
+        """Gold outside the candidate pool scores as an error, not a crash."""
+        task = get_task("di")
+        record = Record.from_dict({"name": "x y", "brand": "nan"})
+        example = Example(
+            task="di",
+            inputs={"record": record, "attribute": "brand"},
+            answer="unreachable-gold-value",
+        )
+        score = task.evaluate(tiny_model, [example], Knowledge.empty())
+        assert score == 0.0
+
+    def test_zero_learning_rate_freezes_model(self):
+        model = ScoringLM(ModelConfig(name="deg", feature_dim=64, hidden_dim=8, seed=1))
+        before = model.weights["encoder.W1"].copy()
+        examples = [TrainingExample("p q r", ("a", "b"), 0)] * 4
+        Trainer(model, TrainConfig(epochs=2, learning_rate=0.0, seed=0)).fit(examples)
+        np.testing.assert_array_equal(model.weights["encoder.W1"], before)
+
+    def test_prompt_with_only_symbols(self, tiny_model):
+        assert tiny_model.predict("%%% $$$ @@@", ["a", "b"]) in (0, 1)
+
+    def test_empty_prompt(self, tiny_model):
+        assert tiny_model.predict("", ["a", "b"]) in (0, 1)

@@ -1,0 +1,204 @@
+"""Tests for every synthetic dataset generator (13 downstream + upstream)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generators
+from repro.data.generators import beer, flights, rayyan, upstream
+from repro.data.schema import MISSING_MARKERS
+
+ALL_IDS = list(generators.downstream_ids())
+
+
+class TestRegistry:
+    def test_thirteen_downstream_datasets(self):
+        assert len(ALL_IDS) == 13
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            generators.build("nope/nothing")
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_build_respects_count(self, dataset_id):
+        assert len(generators.build(dataset_id, count=30, seed=0)) == 30
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_deterministic_given_seed(self, dataset_id):
+        a = generators.build(dataset_id, count=20, seed=5)
+        b = generators.build(dataset_id, count=20, seed=5)
+        assert [e.answer for e in a.examples] == [e.answer for e in b.examples]
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_seed_changes_data(self, dataset_id):
+        a = generators.build(dataset_id, count=40, seed=1)
+        b = generators.build(dataset_id, count=40, seed=2)
+        assert [e.inputs for e in a.examples] != [e.inputs for e in b.examples]
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_task_matches_id(self, dataset_id):
+        dataset = generators.build(dataset_id, count=12, seed=0)
+        assert dataset.task == dataset_id.split("/")[0]
+
+    @pytest.mark.parametrize("dataset_id", ALL_IDS)
+    def test_latent_rules_documented(self, dataset_id):
+        assert generators.build(dataset_id, count=12, seed=0).latent_rules
+
+
+class TestBinaryDatasets:
+    @pytest.mark.parametrize(
+        "dataset_id", [d for d in ALL_IDS if d.split("/")[0] in ("ed", "em", "sm")]
+    )
+    def test_labels_are_yes_no(self, dataset_id):
+        dataset = generators.build(dataset_id, count=60, seed=3)
+        assert set(e.answer for e in dataset.examples) <= {"yes", "no"}
+        assert dataset.label_set == ("yes", "no")
+
+    @pytest.mark.parametrize(
+        "dataset_id", [d for d in ALL_IDS if d.split("/")[0] in ("ed", "em", "sm")]
+    )
+    def test_both_classes_present(self, dataset_id):
+        dataset = generators.build(dataset_id, count=120, seed=3)
+        answers = {e.answer for e in dataset.examples}
+        assert answers == {"yes", "no"}
+
+
+class TestFlights:
+    def test_clean_record_passes_time_format(self):
+        from repro.knowledge import validators
+
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            record = flights.clean_record(rng)
+            for attr in flights.TIME_ATTRIBUTES:
+                assert validators.validate("time_12h", record.get(attr))
+            assert validators.validate("flight_code", record.get("flight"))
+
+    def test_error_examples_are_actually_corrupted(self):
+        dataset = flights.generate(120, seed=1)
+        for example in dataset.examples:
+            if example.answer == "yes":
+                assert example.meta["error_type"] != "clean"
+
+
+class TestRayyan:
+    def test_clean_record_fields(self):
+        from repro.knowledge import validators
+
+        rng = np.random.default_rng(0)
+        record = rayyan.clean_record(rng)
+        assert validators.validate("iso_date", record.get("article_jcreated_at"))
+        assert validators.validate("issn", record.get("journal_issn"))
+
+    def test_zero_issue_is_clean(self):
+        """'0 is valid for article_jissue' — the paper's Rayyan trap."""
+        dataset = rayyan.generate(400, seed=2)
+        zero_issue_clean = [
+            e
+            for e in dataset.examples
+            if e.inputs["attribute"] == "article_jissue"
+            and e.inputs["record"].get("article_jissue") == "0"
+            and e.meta["error_type"] == "clean"
+        ]
+        for example in zero_issue_clean:
+            assert example.answer == "no"
+
+    def test_cleaning_answers_recoverable_kind(self):
+        dataset = rayyan.generate_cleaning(100, seed=3)
+        for example in dataset.examples:
+            assert example.answer  # a reference correction always exists
+            dirty = example.inputs["record"].get(example.inputs["attribute"])
+            assert dirty != example.answer
+
+
+class TestBeer:
+    def test_clean_abv_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            record = beer.clean_record(rng)
+            assert 0.0 <= float(record.get("abv")) <= 1.0
+
+    def test_percent_abv_marked_error(self):
+        dataset = beer.generate(400, seed=4)
+        for example in dataset.examples:
+            value = example.inputs["record"].get(example.inputs["attribute"])
+            if example.inputs["attribute"] == "abv" and value.endswith("%"):
+                assert example.answer == "yes"
+
+    def test_cleaning_strips_percent(self):
+        dataset = beer.generate_cleaning(200, seed=4)
+        percent_cases = [
+            e
+            for e in dataset.examples
+            if e.inputs["record"].get(e.inputs["attribute"]).endswith("%")
+        ]
+        assert percent_cases
+        for example in percent_cases:
+            assert not example.answer.endswith("%")
+
+
+class TestImputationDatasets:
+    @pytest.mark.parametrize("dataset_id", ["di/flipkart", "di/phone"])
+    def test_target_cell_is_masked(self, dataset_id):
+        dataset = generators.build(dataset_id, count=40, seed=5)
+        for example in dataset.examples:
+            record = example.inputs["record"]
+            assert record.get(example.inputs["attribute"]).lower() in MISSING_MARKERS
+
+    @pytest.mark.parametrize("dataset_id", ["di/flipkart", "di/phone"])
+    def test_answer_recoverable_from_record(self, dataset_id):
+        dataset = generators.build(dataset_id, count=40, seed=5)
+        for example in dataset.examples:
+            text = " ".join(v for __, v in example.inputs["record"]).lower()
+            assert example.answer in text
+
+
+class TestExtractionDatasets:
+    @pytest.mark.parametrize("dataset_id", ["ave/ae110k", "ave/oa_mine"])
+    def test_answer_in_title_or_na(self, dataset_id):
+        dataset = generators.build(dataset_id, count=80, seed=6)
+        for example in dataset.examples:
+            if example.answer != "n/a":
+                assert example.answer in example.inputs["text"]
+
+    @pytest.mark.parametrize("dataset_id", ["ave/ae110k", "ave/oa_mine"])
+    def test_na_cases_exist(self, dataset_id):
+        dataset = generators.build(dataset_id, count=120, seed=6)
+        assert any(e.answer == "n/a" for e in dataset.examples)
+
+
+class TestCTA:
+    def test_labels_in_label_set(self):
+        dataset = generators.build("cta/sotab", count=80, seed=7)
+        assert set(e.answer for e in dataset.examples) <= set(dataset.label_set)
+
+    def test_values_nonempty(self):
+        dataset = generators.build("cta/sotab", count=40, seed=7)
+        for example in dataset.examples:
+            assert len(example.inputs["values"]) >= 3
+
+
+class TestUpstream:
+    def test_twelve_datasets(self):
+        suite = upstream.generate_all(seed=0, scale=0.2)
+        assert len(suite) == 12
+        assert {d.task for d in suite} == {"ed", "di", "sm", "em"}
+
+    def test_generate_by_name(self):
+        dataset = upstream.generate("adult", count=30, seed=0)
+        assert dataset.name == "adult"
+        assert len(dataset) == 30
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            upstream.generate("nonexistent", count=10)
+
+    def test_restaurant_city_recoverable_via_area_code(self):
+        dataset = upstream.generate("restaurant", count=30, seed=1)
+        for example in dataset.examples:
+            address = example.inputs["record"].get("address")
+            assert example.answer in address
+
+    def test_scale_controls_size(self):
+        small = upstream.generate_all(seed=0, scale=0.2)
+        large = upstream.generate_all(seed=0, scale=0.5)
+        assert sum(len(d) for d in small) < sum(len(d) for d in large)

@@ -1,0 +1,123 @@
+"""Grounding tests: the marker mechanism that makes AKB work.
+
+The substrate's causal chain is: upstream SFT grounds the canonical
+derived-marker vocabulary → downstream knowledge emits the same markers
+→ the fine-tuned model's predictions move in the right direction.
+These tests probe each link with the session bundle.
+"""
+
+import pytest
+
+from repro.data.schema import Example, Record
+from repro.knowledge.rules import (
+    FormatConstraint,
+    KeyAttribute,
+    Knowledge,
+    MissingValuePolicy,
+)
+from repro.tasks.base import get_task
+
+
+def _ed_example(value: str) -> Example:
+    record = Record.from_dict(
+        {"name": "sample row", "amount": value, "city": "portland"}
+    )
+    return Example(
+        task="ed", inputs={"record": record, "attribute": "amount"}, answer="yes"
+    )
+
+
+class TestMarkerGrounding:
+    def test_missing_marker_raises_error_probability(self, bundle):
+        """[missing] must push the upstream model toward 'yes' (error)."""
+        task = get_task("ed")
+        knowledge = Knowledge(rules=(MissingValuePolicy(),))
+        example = _ed_example("nan")
+        with_marker = task.prompt(example, knowledge)
+        without_marker = task.prompt(example, Knowledge.empty())
+        model = bundle.upstream_model
+        p_with = model.probabilities(with_marker, ("yes", "no"))[0]
+        p_without = model.probabilities(without_marker, ("yes", "no"))[0]
+        assert p_with > p_without
+
+    def test_format_violation_marker_raises_error_probability(self, bundle):
+        task = get_task("ed")
+        knowledge = Knowledge(rules=(FormatConstraint("amount", "integer"),))
+        example = _ed_example("12.5x%")
+        model = bundle.upstream_model
+        p_with = model.probabilities(
+            task.prompt(example, knowledge), ("yes", "no")
+        )[0]
+        p_without = model.probabilities(
+            task.prompt(example, Knowledge.empty()), ("yes", "no")
+        )[0]
+        assert p_with > p_without
+
+    def test_checks_pass_marker_lowers_error_probability(self, bundle):
+        task = get_task("ed")
+        knowledge = Knowledge(rules=(FormatConstraint("amount", "integer"),))
+        example = _ed_example("42")  # satisfies the constraint
+        model = bundle.upstream_model
+        p_with = model.probabilities(
+            task.prompt(example, knowledge), ("yes", "no")
+        )[0]
+        p_without = model.probabilities(
+            task.prompt(example, Knowledge.empty()), ("yes", "no")
+        )[0]
+        assert p_with < p_without
+
+    def test_key_match_marker_raises_match_probability(self, bundle):
+        task = get_task("em")
+        left = Record.from_dict({"title": "gadget foo", "modelno": "ab-1234"})
+        right = Record.from_dict({"title": "foo gadget", "modelno": "ab-1234"})
+        example = Example(
+            task="em", inputs={"left": left, "right": right}, answer="yes"
+        )
+        knowledge = Knowledge(rules=(KeyAttribute("modelno"),))
+        model = bundle.upstream_model
+        p_with = model.probabilities(
+            task.prompt(example, knowledge), ("yes", "no")
+        )[0]
+        p_without = model.probabilities(
+            task.prompt(example, Knowledge.empty()), ("yes", "no")
+        )[0]
+        assert p_with > p_without
+
+    def test_key_mismatch_marker_lowers_match_probability(self, bundle):
+        task = get_task("em")
+        left = Record.from_dict({"title": "gadget foo", "modelno": "ab-1234"})
+        right = Record.from_dict({"title": "gadget foo", "modelno": "zz-9999"})
+        example = Example(
+            task="em", inputs={"left": left, "right": right}, answer="no"
+        )
+        knowledge = Knowledge(rules=(KeyAttribute("modelno"),))
+        model = bundle.upstream_model
+        p_with = model.probabilities(
+            task.prompt(example, knowledge), ("yes", "no")
+        )[0]
+        p_without = model.probabilities(
+            task.prompt(example, Knowledge.empty()), ("yes", "no")
+        )[0]
+        assert p_with < p_without
+
+
+class TestGroundingSurvivesAdaptation:
+    """SKC fine-tuning must not erase the marker grounding AKB needs."""
+
+    @pytest.fixture(scope="class")
+    def adapted(self, bundle, fast_config, beer_splits):
+        from repro.core.knowtrans import KnowTrans
+
+        return KnowTrans(bundle, config=fast_config, use_akb=False).fit(beer_splits)
+
+    def test_fmt_violation_still_flips_toward_error(self, adapted):
+        task = get_task("ed")
+        knowledge = Knowledge(rules=(FormatConstraint("amount", "integer"),))
+        example = _ed_example("12.5x%")
+        p_with = adapted.model.probabilities(
+            task.prompt(example, knowledge), ("yes", "no")
+        )[0]
+        p_without = adapted.model.probabilities(
+            task.prompt(example, Knowledge.empty()), ("yes", "no")
+        )[0]
+        assert p_with > p_without

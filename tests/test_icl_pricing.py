@@ -1,0 +1,117 @@
+"""Tests for ICL inference and the pricing/token-accounting model."""
+
+import pytest
+
+from repro.knowledge.seed import seed_knowledge
+from repro.llm.icl import ICLModel, icl_prompt, render_demonstrations
+from repro.llm.pricing import PRICES, PriceSheet, UsageMeter
+from repro.tasks.base import get_task
+
+
+class TestDemonstrationRendering:
+    def test_limit_respected(self, beer_splits):
+        task = get_task("ed")
+        text = render_demonstrations(
+            task, beer_splits.few_shot.examples, seed_knowledge("ed"), limit=2
+        )
+        assert text.count("example ") == 2
+
+    def test_answers_included(self, beer_splits):
+        task = get_task("ed")
+        text = render_demonstrations(
+            task, beer_splits.few_shot.examples[:3], seed_knowledge("ed")
+        )
+        assert "answer yes" in text or "answer no" in text
+
+    def test_icl_prompt_ends_with_query(self, beer_splits):
+        task = get_task("ed")
+        example = beer_splits.test.examples[0]
+        prompt = icl_prompt(
+            task, example, beer_splits.few_shot.examples, seed_knowledge("ed")
+        )
+        assert prompt.endswith(task.prompt(example, seed_knowledge("ed")))
+
+
+class TestICLModel:
+    def test_predicts_valid_candidates(self, bundle, beer_splits):
+        model = ICLModel(
+            bundle.upstream_model,
+            get_task("ed"),
+            beer_splits.few_shot.examples,
+            seed_knowledge("ed"),
+            dataset=beer_splits.few_shot,
+        )
+        for example in beer_splits.test.examples[:10]:
+            assert model.predict(example) in ("yes", "no")
+
+    def test_vote_favours_similar_demo_answers(self, bundle, beer_splits):
+        model = ICLModel(
+            bundle.upstream_model,
+            get_task("ed"),
+            beer_splits.few_shot.examples,
+            seed_knowledge("ed"),
+            dataset=beer_splits.few_shot,
+        )
+        # Querying a demonstration itself retrieves it with sim ≈ 1.
+        demo = beer_splits.few_shot.examples[0]
+        features = model.model.encode_prompt(
+            model.task.prompt(demo, model.knowledge)
+        )
+        vote = model._vote(features, ("yes", "no"))
+        assert vote[("yes", "no").index(demo.answer)] > 0.3
+
+    def test_transmitted_prompt_is_long(self, bundle, beer_splits):
+        from repro.tinylm.tokenizer import count_tokens
+
+        model = ICLModel(
+            bundle.upstream_model,
+            get_task("ed"),
+            beer_splits.few_shot.examples,
+            seed_knowledge("ed"),
+            dataset=beer_splits.few_shot,
+        )
+        example = beer_splits.test.examples[0]
+        transmitted = model.transmitted_prompt(example)
+        bare = model.task.prompt(example, model.knowledge)
+        assert count_tokens(transmitted) > 5 * count_tokens(bare)
+
+
+class TestPricing:
+    def test_price_sheet_math(self):
+        sheet = PriceSheet("m", input_per_million=10.0, output_per_million=20.0)
+        assert sheet.cost(1_000_000, 500_000) == pytest.approx(20.0)
+
+    def test_known_models(self):
+        assert {"gpt-3.5", "gpt-4", "gpt-4o", "knowtrans"} <= set(PRICES)
+
+    def test_gpt4_most_expensive(self):
+        tokens = (751, 3)
+        costs = {
+            name: PRICES[name].cost(*tokens)
+            for name in ("gpt-3.5", "gpt-4", "gpt-4o")
+        }
+        assert costs["gpt-4"] > costs["gpt-4o"] > costs["gpt-3.5"]
+
+    def test_meter_unknown_model(self):
+        with pytest.raises(KeyError):
+            UsageMeter("claude")
+
+    def test_meter_averages(self):
+        meter = UsageMeter("gpt-4")
+        meter.log_call("one two three", "yes")
+        meter.log_call("one two three four five", "no")
+        assert meter.mean_input_tokens == pytest.approx(4.0)
+        assert meter.mean_output_tokens == pytest.approx(1.0)
+        assert meter.mean_cost() > 0
+
+    def test_empty_meter(self):
+        meter = UsageMeter("gpt-4")
+        assert meter.mean_input_tokens == 0.0
+        assert meter.mean_cost() == 0.0
+
+    def test_summary_keys(self):
+        meter = UsageMeter("knowtrans")
+        meter.log_call("a b", "c")
+        assert set(meter.summary()) == {
+            "input_tokens", "output_tokens", "cost_per_instance",
+        }

@@ -1,0 +1,131 @@
+"""Tests for the rule-induction engine (MockGPT's reasoning core)."""
+
+import pytest
+
+from repro.data import generators
+from repro.knowledge.rules import (
+    CandidateHint,
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    MissingValuePolicy,
+    PatternLabelHint,
+    VocabConstraint,
+)
+from repro.llm.induction import induce
+
+
+def _rules_of(scored, rule_type):
+    return [s.rule for s in scored if isinstance(s.rule, rule_type)]
+
+
+class TestEDInduction:
+    def test_beer_recovers_abv_constraint(self):
+        dataset = generators.build("ed/beer", count=60, seed=5)
+        scored = induce("ed", dataset.examples[:24])
+        formats = _rules_of(scored, FormatConstraint)
+        assert FormatConstraint("abv", "unit_decimal") in formats
+
+    def test_flights_recovers_time_format(self):
+        dataset = generators.build("ed/flights", count=60, seed=5)
+        scored = induce("ed", dataset.examples[:24])
+        formats = _rules_of(scored, FormatConstraint)
+        assert any(
+            rule.validator == "time_12h" for rule in formats
+        )
+
+    def test_missing_policy_from_missing_errors(self):
+        dataset = generators.build("ed/rayyan", count=80, seed=5)
+        scored = induce("ed", dataset.examples[:40])
+        assert MissingValuePolicy() in [s.rule for s in scored]
+
+    def test_confidences_in_unit_interval(self):
+        dataset = generators.build("ed/beer", count=40, seed=5)
+        for scored in induce("ed", dataset.examples):
+            assert 0.0 < scored.confidence <= 1.0
+
+
+class TestEMInduction:
+    def test_abt_buy_recovers_model_number_pattern(self):
+        dataset = generators.build("em/abt_buy", count=80, seed=5)
+        scored = induce("em", dataset.examples[:40])
+        assert _rules_of(scored, KeyPattern)
+
+    def test_walmart_recovers_a_key_identifier(self):
+        dataset = generators.build("em/walmart_amazon", count=80, seed=5)
+        scored = induce("em", dataset.examples[:40])
+        keys = _rules_of(scored, KeyAttribute) + _rules_of(scored, KeyPattern)
+        # Half the hard negatives differ by model number, half by
+        # capacity, so either identifier may dominate a 40-shot slice.
+        assert keys
+
+    def test_price_proposed_for_ignoring(self):
+        dataset = generators.build("em/abt_buy", count=120, seed=5)
+        scored = induce("em", dataset.examples[:60])
+        ignores = _rules_of(scored, IgnoreAttribute)
+        assert IgnoreAttribute("price") in ignores
+
+
+class TestDIInduction:
+    def test_phone_recovers_brand_bank(self):
+        dataset = generators.build("di/phone", count=60, seed=5)
+        scored = induce("di", dataset.examples[:20])
+        hints = _rules_of(scored, CandidateHint)
+        assert CandidateHint("known_brand", bank="phone_brands") in hints
+
+    def test_flipkart_recovers_title_prefix(self):
+        dataset = generators.build("di/flipkart", count=60, seed=5)
+        scored = induce("di", dataset.examples[:20])
+        hints = _rules_of(scored, CandidateHint)
+        assert any(h.strategy == "title_prefix" for h in hints)
+
+
+class TestAVEInduction:
+    def test_ae_recovers_attribute_banks(self):
+        dataset = generators.build("ave/ae110k", count=120, seed=5)
+        scored = induce("ave", dataset.examples[:60])
+        vocabs = _rules_of(scored, VocabConstraint)
+        assert any(rule.attribute == "gender" for rule in vocabs)
+
+    def test_oa_recovers_descriptive_first(self):
+        dataset = generators.build("ave/oa_mine", count=160, seed=5)
+        scored = induce("ave", dataset.examples[:80])
+        hints = _rules_of(scored, CandidateHint)
+        assert any(h.strategy == "descriptive_first" for h in hints)
+
+
+class TestCTAInduction:
+    def test_sotab_recovers_pattern_hints(self):
+        dataset = generators.build("cta/sotab", count=120, seed=5)
+        scored = induce("cta", dataset.examples[:60])
+        hints = _rules_of(scored, PatternLabelHint)
+        pairs = {(h.pattern, h.label) for h in hints}
+        assert ("dollar_run", "price_range") in pairs
+
+
+class TestDCInduction:
+    def test_rayyan_recovers_derive_hint(self):
+        dataset = generators.build("dc/rayyan", count=160, seed=5)
+        scored = induce("dc", dataset.examples[:80])
+        hints = _rules_of(scored, CandidateHint)
+        assert any(h.strategy == "derive" for h in hints)
+
+
+class TestGeneralBehaviour:
+    def test_empty_examples(self):
+        assert induce("ed", []) == []
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            induce("xx", [])
+
+    def test_sm_induces_nothing(self):
+        dataset = generators.build("sm/cms", count=40, seed=5)
+        assert induce("sm", dataset.examples) == []
+
+    def test_deduplication_keeps_max_confidence(self):
+        dataset = generators.build("ed/beer", count=60, seed=5)
+        scored = induce("ed", dataset.examples)
+        rules = [s.rule for s in scored]
+        assert len(rules) == len(set(rules))

@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These assertions encode the *shape* results the reproduction is supposed
+to exhibit (see DESIGN.md): KnowTrans beats plain few-shot fine-tuning
+on datasets with discoverable conventions, searched knowledge
+approaches the generator's oracle rules, and the public API composes.
+"""
+
+import pytest
+
+from repro import (
+    AdaptedModel,
+    KnowTrans,
+    Knowledge,
+    get_bundle,
+    get_task,
+    load_splits,
+)
+from repro.knowledge.rules import FormatConstraint
+from repro.knowledge.seed import oracle_knowledge
+
+
+class TestPublicAPI:
+    def test_quickstart_surface(self, bundle, fast_config, beer_splits):
+        adapted = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        assert isinstance(adapted, AdaptedModel)
+        score = adapted.evaluate(beer_splits.test.examples)
+        assert 0.0 <= score <= 100.0
+
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestHeadlineShapes:
+    def test_knowtrans_beats_plain_finetune_on_em(self, bundle, fast_config, abt_splits):
+        knowtrans = KnowTrans(bundle, config=fast_config).fit(abt_splits)
+        plain = KnowTrans(
+            bundle, config=fast_config, use_skc=False, use_akb=False
+        ).fit(abt_splits)
+        kt_score = knowtrans.evaluate(abt_splits.test.examples)
+        plain_score = plain.evaluate(abt_splits.test.examples)
+        assert kt_score > plain_score
+
+    def test_akb_discovers_oracle_like_rules(self, bundle, fast_config, beer_splits):
+        adapted = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        oracle = oracle_knowledge("ed/beer")
+        found = set(adapted.knowledge.rules)
+        # At least one of the generator's latent conventions must have
+        # been rediscovered by the search.
+        assert found & set(oracle.rules)
+
+    def test_searched_knowledge_contains_format_rule(
+        self, bundle, fast_config, beer_splits
+    ):
+        adapted = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        kinds = {type(rule) for rule in adapted.knowledge.rules}
+        assert FormatConstraint in kinds or len(adapted.knowledge.rules) >= 1
+
+    def test_oracle_knowledge_helps_fine_tuned_model(
+        self, bundle, fast_config, beer_splits
+    ):
+        adapted = KnowTrans(bundle, config=fast_config, use_akb=False).fit(beer_splits)
+        task = get_task("ed")
+        bare = task.evaluate(
+            adapted.model, beer_splits.test.examples, Knowledge.empty(),
+            beer_splits.test,
+        )
+        informed = task.evaluate(
+            adapted.model, beer_splits.test.examples, oracle_knowledge("ed/beer"),
+            beer_splits.test,
+        )
+        assert informed >= bare
+
+    def test_load_splits_roundtrip(self):
+        splits = load_splits("em/walmart_amazon", count=70, seed=2)
+        assert splits.task == "em"
+        assert len(splits.few_shot.examples) == 20
+
+
+class TestCrossTier:
+    @pytest.mark.slow
+    def test_bigger_tier_not_worse_on_average(self, fast_config):
+        small = get_bundle("mistral-7b", seed=0, scale=0.3)
+        big = get_bundle("llama-13b", seed=0, scale=0.3)
+        scores = {"small": 0.0, "big": 0.0}
+        for dataset_id in ("ed/beer", "em/abt_buy"):
+            splits = load_splits(dataset_id, count=70, seed=5)
+            scores["small"] += KnowTrans(small, config=fast_config).fit(splits).evaluate(
+                splits.test.examples
+            )
+            scores["big"] += KnowTrans(big, config=fast_config).fit(splits).evaluate(
+                splits.test.examples
+            )
+        # Capacity should not catastrophically hurt; allow modest noise.
+        assert scores["big"] >= scores["small"] - 25.0

@@ -1,0 +1,96 @@
+"""Tests for dataset import/export (repro.data.io)."""
+
+import pytest
+
+from repro.data import generators, io
+from repro.data.splits import split_dataset
+from repro.tasks.base import get_task
+from repro.knowledge.seed import seed_knowledge
+
+
+class TestJsonlRoundtrip:
+    @pytest.mark.parametrize(
+        "dataset_id", ["ed/beer", "em/abt_buy", "cta/sotab", "ave/ae110k",
+                       "di/phone", "sm/cms", "dc/rayyan"]
+    )
+    def test_roundtrip_preserves_everything(self, tmp_path, dataset_id):
+        dataset = generators.build(dataset_id, count=20, seed=2)
+        path = tmp_path / "dataset.jsonl"
+        io.save_jsonl(dataset, path)
+        restored = io.load_jsonl(path)
+        assert restored.name == dataset.name
+        assert restored.task == dataset.task
+        assert restored.label_set == dataset.label_set
+        assert len(restored) == len(dataset)
+        for original, loaded in zip(dataset.examples, restored.examples):
+            assert loaded.answer == original.answer
+            assert loaded.inputs == original.inputs
+
+    def test_restored_dataset_is_trainable(self, tmp_path):
+        dataset = generators.build("ed/beer", count=60, seed=2)
+        path = tmp_path / "dataset.jsonl"
+        io.save_jsonl(dataset, path)
+        restored = io.load_jsonl(path)
+        splits = split_dataset(restored, few_shot=20, seed=2)
+        task = get_task("ed")
+        instance = task.training_example(
+            splits.few_shot.examples[0], seed_knowledge("ed"), splits.few_shot
+        )
+        assert instance.candidates
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"task": "ed", "inputs": {}, "answer": "no"}\n')
+        with pytest.raises(ValueError, match="header"):
+            io.load_jsonl(path)
+
+
+class TestConstructors:
+    def test_matching_dataset(self):
+        dataset = io.matching_dataset(
+            "mine",
+            [({"title": "a"}, {"title": "a"}, True),
+             ({"title": "a"}, {"title": "b"}, False)],
+        )
+        assert dataset.task == "em"
+        assert [e.answer for e in dataset.examples] == ["yes", "no"]
+        assert dataset.examples[0].inputs["left"].get("title") == "a"
+
+    def test_cell_dataset_tasks(self):
+        for task, answer in (("ed", "yes"), ("dc", "fixed"), ("di", "brand")):
+            dataset = io.cell_dataset(
+                "mine", task, [({"col": "x"}, "col", answer)]
+            )
+            assert dataset.task == task
+            assert dataset.examples[0].answer == answer
+
+    def test_cell_dataset_rejects_other_tasks(self):
+        with pytest.raises(ValueError):
+            io.cell_dataset("mine", "em", [])
+
+    def test_column_dataset_label_inference(self):
+        dataset = io.column_dataset(
+            "mine", [(["a", "b"], "letters"), (["1", "2"], "digits")]
+        )
+        assert dataset.label_set == ("digits", "letters")
+
+    def test_extraction_dataset(self):
+        dataset = io.extraction_dataset("mine", [("red shoes", "color", "red")])
+        assert dataset.examples[0].inputs["text"] == "red shoes"
+
+    def test_schema_dataset(self):
+        dataset = io.schema_dataset(
+            "mine", [(("dob", "date of birth"), ("birth_date", "birth"), True)]
+        )
+        assert dataset.examples[0].inputs["left_name"] == "dob"
+
+    def test_constructed_dataset_end_to_end(self, tiny_model):
+        dataset = io.matching_dataset(
+            "mine",
+            [({"title": f"item {i}"}, {"title": f"item {i}"}, True) for i in range(4)],
+        )
+        task = get_task("em")
+        score = task.evaluate(
+            tiny_model, dataset.examples, seed_knowledge("em"), dataset
+        )
+        assert 0.0 <= score <= 100.0

@@ -1,0 +1,181 @@
+"""Unit tests for repro.knowledge.apply — the rule → marker machinery."""
+
+import pytest
+
+from repro.data.schema import Record
+from repro.knowledge.apply import (
+    MARKER_FORMAT,
+    MARKER_KEY_MATCH,
+    MARKER_KEY_MISMATCH,
+    MARKER_MISSING,
+    MARKER_OK,
+    MARKER_RANGE,
+    MARKER_VOCAB,
+    cell_markers,
+    column_hints,
+    column_observations,
+    pair_markers,
+    transform_record,
+)
+from repro.knowledge.rules import (
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    Knowledge,
+    MissingValuePolicy,
+    PatternLabelHint,
+    ValueRange,
+    VocabConstraint,
+)
+
+
+@pytest.fixture()
+def beer_record():
+    return Record.from_dict(
+        {"beer_name": "hoppy trail ipa", "abv": "0.05", "ibu": "40", "city": "portland"}
+    )
+
+
+class TestTransformRecord:
+    def test_ignore_drops_attribute(self, beer_record):
+        knowledge = Knowledge(rules=(IgnoreAttribute("ibu"),))
+        assert "ibu" not in transform_record(beer_record, knowledge)
+
+    def test_no_rules_is_identity(self, beer_record):
+        assert transform_record(beer_record, Knowledge.empty()) == beer_record
+
+
+class TestCellMarkers:
+    def test_format_violation(self, beer_record):
+        knowledge = Knowledge(rules=(FormatConstraint("abv", "unit_decimal"),))
+        dirty = beer_record.replace("abv", "0.05%")
+        assert cell_markers(dirty, "abv", knowledge) == [MARKER_FORMAT]
+
+    def test_checks_pass_on_clean(self, beer_record):
+        knowledge = Knowledge(rules=(FormatConstraint("abv", "unit_decimal"),))
+        assert cell_markers(beer_record, "abv", knowledge) == [MARKER_OK]
+
+    def test_vocab_violation(self, beer_record):
+        knowledge = Knowledge(rules=(VocabConstraint("city", "cities"),))
+        dirty = beer_record.replace("city", "portlnad")
+        assert cell_markers(dirty, "city", knowledge) == [MARKER_VOCAB]
+
+    def test_range_violation(self, beer_record):
+        knowledge = Knowledge(rules=(ValueRange("ibu", 5, 120),))
+        dirty = beer_record.replace("ibu", "4000")
+        assert cell_markers(dirty, "ibu", knowledge) == [MARKER_RANGE]
+
+    def test_missing_marker(self, beer_record):
+        knowledge = Knowledge(rules=(MissingValuePolicy(),))
+        dirty = beer_record.replace("abv", "nan")
+        assert cell_markers(dirty, "abv", knowledge) == [MARKER_MISSING]
+
+    def test_missing_value_under_constraint_reports_missing(self, beer_record):
+        knowledge = Knowledge(rules=(FormatConstraint("abv", "unit_decimal"),))
+        dirty = beer_record.replace("abv", "nan")
+        assert cell_markers(dirty, "abv", knowledge) == [MARKER_MISSING]
+
+    def test_rules_for_other_attributes_ignored(self, beer_record):
+        knowledge = Knowledge(rules=(FormatConstraint("ibu", "integer"),))
+        assert cell_markers(beer_record, "abv", knowledge) == []
+
+    def test_no_knowledge_no_markers(self, beer_record):
+        assert cell_markers(beer_record, "abv", Knowledge.empty()) == []
+
+
+class TestPairMarkers:
+    def test_key_attribute_match(self):
+        left = Record.from_dict({"modelno": "ab-1234", "price": "9"})
+        right = Record.from_dict({"modelno": "ab-1234", "price": "20"})
+        knowledge = Knowledge(rules=(KeyAttribute("modelno"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_KEY_MATCH]
+
+    def test_key_attribute_mismatch(self):
+        left = Record.from_dict({"modelno": "ab-1234"})
+        right = Record.from_dict({"modelno": "zz-9999"})
+        knowledge = Knowledge(rules=(KeyAttribute("modelno"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_KEY_MISMATCH]
+
+    def test_missing_key_skipped_under_policy(self):
+        left = Record.from_dict({"modelno": "nan"})
+        right = Record.from_dict({"modelno": "ab-1234"})
+        knowledge = Knowledge(rules=(MissingValuePolicy(), KeyAttribute("modelno")))
+        assert pair_markers(left, right, knowledge) == []
+
+    def test_missing_key_without_policy_flags_missing(self):
+        left = Record.from_dict({"modelno": "nan"})
+        right = Record.from_dict({"modelno": "ab-1234"})
+        knowledge = Knowledge(rules=(KeyAttribute("modelno"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_MISSING]
+
+    def test_key_pattern_extraction(self):
+        left = Record.from_dict({"title": "canon powershot xs-1234 camera"})
+        right = Record.from_dict({"name": "powershot camera xs-1234 black"})
+        knowledge = Knowledge(rules=(KeyPattern("model_number"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_KEY_MATCH]
+
+    def test_key_pattern_disjoint(self):
+        left = Record.from_dict({"title": "camera xs-1234"})
+        right = Record.from_dict({"title": "camera zz-8888"})
+        knowledge = Knowledge(rules=(KeyPattern("model_number"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_KEY_MISMATCH]
+
+    def test_key_pattern_absent_is_silent(self):
+        left = Record.from_dict({"title": "camera"})
+        right = Record.from_dict({"title": "camera zz-8888"})
+        knowledge = Knowledge(rules=(KeyPattern("model_number"),))
+        assert pair_markers(left, right, knowledge) == []
+
+    def test_fuzzy_value_agreement(self):
+        left = Record.from_dict({"name": "sony bravia lcd tv xs-1234"})
+        right = Record.from_dict({"name": "bravia lcd tv xs-1234 sony black"})
+        knowledge = Knowledge(rules=(KeyAttribute("name"),))
+        assert pair_markers(left, right, knowledge) == [MARKER_KEY_MATCH]
+
+
+class TestColumnHints:
+    def test_hint_fires_on_matching_column(self):
+        knowledge = Knowledge(rules=(PatternLabelHint("dollar_run", "price_range"),))
+        hints = column_hints(["$$", "$$$", "$"], knowledge)
+        assert hints == ["these values look like price_range"]
+
+    def test_hint_respects_threshold(self):
+        knowledge = Knowledge(rules=(PatternLabelHint("dollar_run", "price_range"),))
+        assert column_hints(["$$", "abc", "def"], knowledge) == []
+
+    def test_empty_column(self):
+        knowledge = Knowledge(rules=(PatternLabelHint("dollar_run", "price_range"),))
+        assert column_hints([], knowledge) == []
+
+    @pytest.mark.parametrize(
+        "pattern,values",
+        [
+            ("two_letter_code", ["be", "fr", "de"]),
+            ("schema_org_url", ["https://schema.org/eventscheduled"] * 3),
+            ("numeric_pair", ["45.58, 9.27", "-3.20, 100.00"]),
+            ("iso_date", ["2021-06-05", "1999-01-31"]),
+            ("phone_like", ["+1 303 555 0147", "+44 20 7946 0958"]),
+            ("five_digits", ["80301", "10001"]),
+            ("org_suffix", ["acme inc", "foo group"]),
+            ("long_text", ["the annual jazz festival returns with many performances"]),
+        ],
+    )
+    def test_patterns_match_their_values(self, pattern, values):
+        knowledge = Knowledge(rules=(PatternLabelHint(pattern, "label"),))
+        assert column_hints(values, knowledge) == ["these values look like label"]
+
+
+class TestColumnObservations:
+    def test_observations_are_knowledge_free(self):
+        observations = column_observations(["$$", "$$$"])
+        assert "pattern dollar run" in observations
+
+    def test_no_observation_for_mixed_column(self):
+        assert (
+            "pattern dollar run"
+            not in column_observations(["$$", "plain words here"])
+        )
+
+    def test_empty(self):
+        assert column_observations([]) == []

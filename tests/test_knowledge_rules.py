@@ -1,0 +1,160 @@
+"""Unit tests for repro.knowledge.rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.rules import (
+    CandidateHint,
+    FormatConstraint,
+    IgnoreAttribute,
+    KeyAttribute,
+    KeyPattern,
+    Knowledge,
+    MissingValuePolicy,
+    PatternLabelHint,
+    ValueRange,
+    VocabConstraint,
+)
+
+rule_strategy = st.one_of(
+    st.builds(KeyAttribute, attribute=st.sampled_from(["name", "modelno", "price"])),
+    st.builds(IgnoreAttribute, attribute=st.sampled_from(["price", "description"])),
+    st.just(MissingValuePolicy()),
+    st.builds(
+        FormatConstraint,
+        attribute=st.sampled_from(["abv", "date"]),
+        validator=st.sampled_from(["unit_decimal", "iso_date", "integer"]),
+    ),
+    st.builds(
+        VocabConstraint,
+        attribute=st.sampled_from(["city", "style"]),
+        bank=st.sampled_from(["cities", "beer_styles"]),
+    ),
+    st.builds(
+        ValueRange,
+        attribute=st.just("age"),
+        low=st.integers(0, 10).map(float),
+        high=st.integers(11, 99).map(float),
+    ),
+    st.builds(KeyPattern, pattern=st.sampled_from(["model_number", "capacity"])),
+    st.builds(
+        PatternLabelHint,
+        pattern=st.sampled_from(["two_letter_code", "dollar_run"]),
+        label=st.sampled_from(["country", "price_range"]),
+    ),
+)
+knowledge_strategy = st.lists(rule_strategy, max_size=6).map(
+    lambda rules: Knowledge(rules=tuple(dict.fromkeys(rules)))
+)
+
+
+class TestRuleValidation:
+    def test_format_constraint_rejects_unknown_validator(self):
+        with pytest.raises(KeyError):
+            FormatConstraint("x", "not_a_validator")
+
+    def test_vocab_constraint_rejects_unknown_bank(self):
+        with pytest.raises(KeyError):
+            VocabConstraint("x", "not_a_bank")
+
+    def test_candidate_hint_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            CandidateHint("teleport")
+
+    def test_key_pattern_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            KeyPattern("serial_number")
+
+    def test_pattern_label_hint_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            PatternLabelHint("hexagons", "x")
+
+
+class TestRendering:
+    def test_every_rule_renders_text(self):
+        rules = (
+            KeyAttribute("modelno"),
+            KeyPattern("model_number"),
+            IgnoreAttribute("price"),
+            MissingValuePolicy(),
+            FormatConstraint("abv", "unit_decimal"),
+            VocabConstraint("city", "cities"),
+            ValueRange("age", 17, 80),
+            CandidateHint("known_brand", bank="phone_brands"),
+            PatternLabelHint("dollar_run", "price_range"),
+        )
+        for rule in rules:
+            text = rule.render()
+            assert isinstance(text, str) and len(text) > 10
+
+    def test_knowledge_render_concatenates(self):
+        knowledge = Knowledge(
+            rules=(KeyAttribute("modelno"), IgnoreAttribute("price")),
+            notes="prices vary",
+        )
+        text = knowledge.render()
+        assert text.startswith("knowledge:")
+        assert "modelno" in text and "price" in text and "prices vary" in text
+
+    def test_empty_renders_empty(self):
+        assert Knowledge.empty().render() == ""
+
+
+class TestKnowledgeOps:
+    def test_with_rule_idempotent(self):
+        knowledge = Knowledge().with_rule(MissingValuePolicy())
+        assert knowledge.with_rule(MissingValuePolicy()) == knowledge
+
+    def test_without_rule(self):
+        knowledge = Knowledge(rules=(MissingValuePolicy(), KeyAttribute("x")))
+        trimmed = knowledge.without_rule(MissingValuePolicy())
+        assert MissingValuePolicy() not in trimmed.rules
+        assert KeyAttribute("x") in trimmed.rules
+
+    def test_merged_deduplicates(self):
+        a = Knowledge(rules=(MissingValuePolicy(),))
+        b = Knowledge(rules=(MissingValuePolicy(), KeyAttribute("x")))
+        assert len(a.merged(b).rules) == 2
+
+    def test_rules_of_and_first_of(self):
+        knowledge = Knowledge(
+            rules=(KeyAttribute("a"), KeyAttribute("b"), MissingValuePolicy())
+        )
+        assert len(knowledge.rules_of(KeyAttribute)) == 2
+        assert knowledge.first_of(KeyAttribute) == KeyAttribute("a")
+        assert knowledge.first_of(ValueRange) is None
+
+    def test_bool_and_len(self):
+        assert not Knowledge.empty()
+        assert Knowledge(notes="hi")
+        assert len(Knowledge(rules=(MissingValuePolicy(),))) == 1
+
+    def test_knowledge_hashable(self):
+        a = Knowledge(rules=(MissingValuePolicy(),))
+        b = Knowledge(rules=(MissingValuePolicy(),))
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_combine(self):
+        pieces = [
+            Knowledge(rules=(MissingValuePolicy(),)),
+            Knowledge(rules=(KeyAttribute("x"),), notes="note"),
+        ]
+        combined = Knowledge.combine(pieces)
+        assert len(combined.rules) == 2 and combined.notes == "note"
+
+
+class TestSerialization:
+    @given(knowledge_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, knowledge):
+        assert Knowledge.from_dict(knowledge.to_dict()) == knowledge
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(KeyError):
+            Knowledge.from_dict({"rules": [{"kind": "MagicRule"}]})
+
+    def test_notes_roundtrip(self):
+        knowledge = Knowledge(notes="zero is valid")
+        assert Knowledge.from_dict(knowledge.to_dict()).notes == "zero is valid"

@@ -1,0 +1,71 @@
+"""Integration tests for the KnowTrans facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.knowtrans import AdaptedModel, KnowTrans
+
+
+class TestFit:
+    def test_returns_adapted_model(self, bundle, fast_config, beer_splits):
+        adapted = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        assert isinstance(adapted, AdaptedModel)
+        assert adapted.task.name == "ed"
+        assert adapted.akb_result is not None
+        assert adapted.fusion_weights  # one λ per upstream patch
+
+    def test_prediction_surface(self, bundle, fast_config, beer_splits):
+        adapted = KnowTrans(bundle, config=fast_config, use_akb=False).fit(beer_splits)
+        example = beer_splits.test.examples[0]
+        assert adapted.predict(example) in ("yes", "no")
+        score = adapted.evaluate(beer_splits.test.examples[:20])
+        assert 0.0 <= score <= 100.0
+
+    def test_ablation_without_akb_keeps_seed_knowledge(
+        self, bundle, fast_config, beer_splits
+    ):
+        from repro.knowledge.seed import seed_knowledge
+
+        adapted = KnowTrans(bundle, config=fast_config, use_akb=False).fit(beer_splits)
+        assert adapted.knowledge == seed_knowledge("ed")
+        assert adapted.akb_result is None
+
+    def test_ablation_without_skc_uses_single_strategy(
+        self, bundle, fast_config, beer_splits
+    ):
+        adapter = KnowTrans(bundle, config=fast_config, use_skc=False, use_akb=False)
+        assert adapter.strategy == "single"
+        adapted = adapter.fit(beer_splits)
+        assert adapted.fusion_weights == {}
+
+    def test_akb_knowledge_scores_at_least_seed_on_validation(
+        self, bundle, fast_config, beer_splits
+    ):
+        adapter = KnowTrans(bundle, config=fast_config)
+        adapted = adapter.fit(beer_splits)
+        scorer = adapter.cross_fit_scorer(beer_splits)
+        from repro.knowledge.seed import seed_knowledge
+
+        seed_score, __ = scorer(seed_knowledge("ed"))
+        best_score, __ = scorer(adapted.knowledge)
+        assert best_score >= seed_score - 1e-6
+
+    def test_deterministic_given_seed(self, bundle, fast_config, beer_splits):
+        a = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        b = KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        assert a.knowledge == b.knowledge
+        preds_a = [a.predict(ex) for ex in beer_splits.test.examples[:10]]
+        preds_b = [b.predict(ex) for ex in beer_splits.test.examples[:10]]
+        assert preds_a == preds_b
+
+    def test_bundle_model_not_mutated(self, bundle, fast_config, beer_splits):
+        before = {k: v.copy() for k, v in bundle.upstream_model.weights.items()}
+        KnowTrans(bundle, config=fast_config).fit(beer_splits)
+        for name, value in bundle.upstream_model.weights.items():
+            np.testing.assert_array_equal(value, before[name])
+
+    def test_strategy_option_passthrough(self, bundle, fast_config, beer_splits):
+        adapter = KnowTrans(bundle, config=fast_config, strategy="uniform", use_akb=False)
+        adapted = adapter.fit(beer_splits)
+        lambdas = list(adapted.fusion_weights.values())
+        assert lambdas and all(l == pytest.approx(lambdas[0]) for l in lambdas)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.tinylm.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tinylm import linalg
+
+finite_vectors = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=2, max_size=12
+).map(np.array)
+
+
+class TestRngFor:
+    def test_same_seed_same_stream(self):
+        a = linalg.rng_for(7, "x").integers(1_000_000)
+        b = linalg.rng_for(7, "x").integers(1_000_000)
+        assert a == b
+
+    def test_different_streams_differ(self):
+        a = linalg.rng_for(7, "x").integers(1_000_000)
+        b = linalg.rng_for(7, "y").integers(1_000_000)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = linalg.rng_for(1, "x").integers(1_000_000)
+        b = linalg.rng_for(2, "x").integers(1_000_000)
+        assert a != b
+
+    def test_multiple_stream_parts(self):
+        a = linalg.rng_for(7, "x", "1").integers(1_000_000)
+        b = linalg.rng_for(7, "x", "2").integers(1_000_000)
+        assert a != b
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = linalg.softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_logits(self):
+        probs = linalg.softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_shift_invariance(self):
+        logits = np.array([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(
+            linalg.softmax(logits), linalg.softmax(logits + 100.0)
+        )
+
+    def test_extreme_values_stable(self):
+        probs = linalg.softmax(np.array([1000.0, -1000.0]))
+        assert probs[0] == pytest.approx(1.0)
+        assert np.isfinite(probs).all()
+
+    @given(finite_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_valid_distribution(self, logits):
+        probs = linalg.softmax(logits)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (probs >= 0).all()
+
+    def test_axis_handling(self):
+        matrix = np.array([[1.0, 2.0], [5.0, 1.0]])
+        probs = linalg.softmax(matrix, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+
+
+class TestLogSoftmaxAndCrossEntropy:
+    @given(finite_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_log_softmax_matches_log_of_softmax(self, logits):
+        np.testing.assert_allclose(
+            linalg.log_softmax(logits),
+            np.log(linalg.softmax(logits) + 1e-300),
+            atol=1e-6,
+        )
+
+    def test_cross_entropy_of_certain_prediction_is_small(self):
+        assert linalg.cross_entropy(np.array([50.0, 0.0]), 0) < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        value = linalg.cross_entropy(np.zeros(4), 2)
+        assert value == pytest.approx(np.log(4))
+
+    def test_cross_entropy_nonnegative(self):
+        assert linalg.cross_entropy(np.array([1.0, 3.0, -2.0]), 1) >= 0.0
+
+
+class TestRelu:
+    def test_relu_clamps_negatives(self):
+        np.testing.assert_array_equal(
+            linalg.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_relu_grad_is_indicator(self):
+        np.testing.assert_array_equal(
+            linalg.relu_grad(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 1.0]
+        )
+
+
+class TestInits:
+    def test_xavier_bounds(self, rng):
+        weights = linalg.xavier_init(rng, (20, 30))
+        limit = np.sqrt(6.0 / 50)
+        assert weights.shape == (20, 30)
+        assert np.abs(weights).max() <= limit
+
+    def test_gaussian_scale(self, rng):
+        weights = linalg.gaussian_init(rng, (2000,), scale=0.02)
+        assert abs(float(weights.std()) - 0.02) < 0.005
+
+    def test_inits_deterministic(self):
+        a = linalg.xavier_init(linalg.rng_for(5, "w"), (4, 4))
+        b = linalg.xavier_init(linalg.rng_for(5, "w"), (4, 4))
+        np.testing.assert_array_equal(a, b)

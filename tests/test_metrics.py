@@ -1,0 +1,133 @@
+"""Unit tests for repro.tasks.metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import metrics
+
+labels = st.lists(st.sampled_from(["yes", "no"]), min_size=1, max_size=40)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert metrics.accuracy(["a", "b"], ["a", "b"]) == 100.0
+
+    def test_zero(self):
+        assert metrics.accuracy(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_partial(self):
+        assert metrics.accuracy(["a", "b", "c", "d"], ["a", "b", "x", "y"]) == 50.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy([], [])
+
+
+class TestBinaryF1:
+    def test_perfect(self):
+        assert metrics.binary_f1(["yes", "no"], ["yes", "no"]) == 100.0
+
+    def test_no_true_positives(self):
+        assert metrics.binary_f1(["yes", "yes"], ["no", "no"]) == 0.0
+
+    def test_all_positive_predictions(self):
+        # 1 TP, 1 FP, 0 FN → P=0.5, R=1 → F1=66.67
+        value = metrics.binary_f1(["yes", "no"], ["yes", "yes"])
+        assert value == pytest.approx(200 / 3)
+
+    def test_precision_recall_symmetry(self):
+        missed = metrics.binary_f1(["yes", "yes", "no"], ["yes", "no", "no"])
+        spurious = metrics.binary_f1(["yes", "no", "no"], ["yes", "yes", "no"])
+        assert missed == pytest.approx(spurious)
+
+    @given(labels)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_and_perfection(self, golds):
+        assert metrics.binary_f1(golds, golds) in (0.0, 100.0)
+        assert 0.0 <= metrics.binary_f1(golds, ["yes"] * len(golds)) <= 100.0
+
+    def test_custom_positive_label(self):
+        assert metrics.binary_f1(["a", "b"], ["a", "b"], positive="a") == 100.0
+
+
+class TestMicroF1:
+    def test_equals_accuracy_single_label(self):
+        golds = ["a", "b", "c", "a"]
+        preds = ["a", "b", "x", "y"]
+        assert metrics.micro_f1(golds, preds) == pytest.approx(
+            metrics.accuracy(golds, preds)
+        )
+
+    def test_zero_when_all_wrong(self):
+        assert metrics.micro_f1(["a", "b"], ["b", "a"]) == 0.0
+
+
+class TestRepairF1:
+    def test_perfect_repairs(self):
+        value = metrics.repair_f1(["x", "y"], ["x", "y"], ["a", "b"])
+        assert value == 100.0
+
+    def test_abstaining_hurts_recall_not_precision(self):
+        # One correct repair, one abstention (pred == dirty original).
+        value = metrics.repair_f1(["x", "y"], ["x", "b"], ["a", "b"])
+        # P = 1/1, R = 1/2 → F1 = 2/3.
+        assert value == pytest.approx(200 / 3)
+
+    def test_wrong_repair_hurts_both(self):
+        value = metrics.repair_f1(["x", "y"], ["x", "z"], ["a", "b"])
+        # P = 1/2, R = 1/2.
+        assert value == pytest.approx(50.0)
+
+    def test_no_correct_repairs(self):
+        assert metrics.repair_f1(["x"], ["z"], ["a"]) == 0.0
+
+    def test_misaligned_originals_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.repair_f1(["x"], ["x"], ["a", "b"])
+
+
+class TestExtractionF1:
+    def test_perfect(self):
+        assert metrics.extraction_f1(["red", "n/a"], ["red", "n/a"]) == 100.0
+
+    def test_spurious_extraction_is_fp(self):
+        # gold n/a, predicted value → FP only.
+        value = metrics.extraction_f1(["red", "n/a"], ["red", "blue"])
+        assert value == pytest.approx(200 / 3)
+
+    def test_missed_extraction_is_fn(self):
+        value = metrics.extraction_f1(["red", "blue"], ["red", "n/a"])
+        assert value == pytest.approx(200 / 3)
+
+    def test_wrong_extraction_counts_twice(self):
+        # FP for prediction, FN for gold → F1 = 2*1/(2*1+1+1).
+        value = metrics.extraction_f1(["red", "blue"], ["red", "green"])
+        assert value == pytest.approx(50.0)
+
+    def test_all_na_gold_and_pred(self):
+        assert metrics.extraction_f1(["n/a"], ["n/a"]) == 0.0  # no positives
+
+
+class TestScoreDispatch:
+    def test_binary_tasks(self):
+        for task in ("em", "ed", "sm"):
+            assert metrics.score(task, ["yes"], ["yes"]) == 100.0
+
+    def test_di_uses_accuracy(self):
+        assert metrics.score("di", ["a", "b"], ["a", "x"]) == 50.0
+
+    def test_dc_requires_originals(self):
+        with pytest.raises(ValueError):
+            metrics.score("dc", ["x"], ["x"])
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            metrics.score("xx", ["a"], ["a"])
+
+    def test_metric_names_cover_tasks(self):
+        assert set(metrics.METRIC_NAMES) == {"em", "ed", "sm", "di", "cta", "dc", "ave"}

@@ -1,0 +1,109 @@
+"""Tests for the simulated closed-source LLM (MockGPT)."""
+
+import pytest
+
+from repro.data import generators
+from repro.knowledge.rules import Knowledge
+from repro.knowledge.seed import seed_knowledge
+from repro.llm.mockgpt import ErrorCase, Feedback, MockGPT
+
+
+@pytest.fixture(scope="module")
+def beer_examples():
+    return generators.build("ed/beer", count=60, seed=9).examples
+
+
+class TestConstruction:
+    def test_capability_bounds(self):
+        with pytest.raises(ValueError):
+            MockGPT(capability=0.0)
+        with pytest.raises(ValueError):
+            MockGPT(capability=1.5)
+        with pytest.raises(ValueError):
+            MockGPT(temperature=-1.0)
+
+
+class TestGeneration:
+    def test_pool_size_and_distinctness(self, beer_examples):
+        gpt = MockGPT(seed=1)
+        pool = gpt.generate_knowledge("ed", beer_examples[:10], seed_knowledge("ed"), count=5)
+        assert 1 <= len(pool) <= 5
+        assert len(set(pool)) == len(pool)
+
+    def test_candidates_extend_seed(self, beer_examples):
+        gpt = MockGPT(seed=1)
+        seed = seed_knowledge("ed")
+        pool = gpt.generate_knowledge("ed", beer_examples[:20], seed, count=5)
+        assert any(len(candidate.rules) > len(seed.rules) for candidate in pool)
+
+    def test_temperature_zero_is_thresholded(self, beer_examples):
+        gpt = MockGPT(temperature=0.0, seed=1)
+        pool = gpt.generate_knowledge("ed", beer_examples[:20], seed_knowledge("ed"), count=3)
+        assert pool  # deterministic inclusion still yields candidates
+
+    def test_low_capability_yields_sparser_rules(self, beer_examples):
+        strong = MockGPT(capability=1.0, seed=2)
+        weak = MockGPT(capability=0.35, seed=2)
+        strong_pool = strong.generate_knowledge(
+            "ed", beer_examples[:20], seed_knowledge("ed"), count=5
+        )
+        weak_pool = weak.generate_knowledge(
+            "ed", beer_examples[:20], seed_knowledge("ed"), count=5
+        )
+        strong_rules = sum(len(k.rules) for k in strong_pool) / len(strong_pool)
+        weak_rules = sum(len(k.rules) for k in weak_pool) / len(weak_pool)
+        assert weak_rules < strong_rules
+
+
+class TestFeedback:
+    def test_empty_errors(self):
+        feedback = MockGPT(seed=1).feedback("ed", Knowledge.empty(), [])
+        assert not feedback
+        assert "no errors" in feedback.text
+
+    def test_feedback_suggests_missing_rules(self, beer_examples):
+        gpt = MockGPT(seed=1)
+        errors = [
+            ErrorCase(example=ex, prediction="no")
+            for ex in beer_examples
+            if ex.answer == "yes"
+        ][:8]
+        feedback = gpt.feedback("ed", seed_knowledge("ed"), errors)
+        assert feedback.add
+        assert "misses" in feedback.text
+
+    def test_feedback_deterministic_content(self, beer_examples):
+        errors = [
+            ErrorCase(example=ex, prediction="no") for ex in beer_examples[:10]
+        ]
+        a = MockGPT(seed=3).feedback("ed", seed_knowledge("ed"), errors)
+        b = MockGPT(seed=3).feedback("ed", seed_knowledge("ed"), errors)
+        assert [s.rule for s in a.add] == [s.rule for s in b.add]
+
+
+class TestRefinement:
+    def test_refine_applies_feedback(self, beer_examples):
+        gpt = MockGPT(seed=1)
+        errors = [
+            ErrorCase(example=ex, prediction="no")
+            for ex in beer_examples
+            if ex.answer == "yes"
+        ][:8]
+        seed = seed_knowledge("ed")
+        feedback = gpt.feedback("ed", seed, errors)
+        refined = gpt.refine("ed", seed, errors, feedback, trajectory=[])
+        assert len(refined.rules) >= len(seed.rules)
+
+    def test_refine_avoids_repeating_trajectory(self, beer_examples):
+        gpt = MockGPT(seed=1)
+        errors = [
+            ErrorCase(example=ex, prediction="no")
+            for ex in beer_examples
+            if ex.answer == "yes"
+        ][:8]
+        seed = seed_knowledge("ed")
+        feedback = gpt.feedback("ed", seed, errors)
+        if not feedback.add:
+            pytest.skip("no suggestions induced on this slice")
+        refined = gpt.refine("ed", seed, errors, Feedback(add=feedback.add), [seed])
+        assert refined != seed

@@ -1,0 +1,209 @@
+"""Unit tests for repro.tinylm.model — including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.tinylm.fusion import PatchFusion
+from repro.tinylm.lora import LoRAPatch
+from repro.tinylm.model import EncodedExample, LORA_TARGETS, ModelConfig, ScoringLM
+
+
+def _toy_batch(model, n=3):
+    rng = np.random.default_rng(0)
+    batch = []
+    for i in range(n):
+        prompt = " ".join(f"tok{rng.integers(40)}" for __ in range(6))
+        candidates = [f"answer{j}" for j in range(3)]
+        batch.append(model.encode_example(prompt, candidates, target=i % 3))
+    return batch
+
+
+class TestConfig:
+    def test_target_shapes(self):
+        config = ModelConfig(feature_dim=100, hidden_dim=10)
+        shapes = config.target_shapes()
+        assert shapes["encoder.W1"] == (10, 100)
+        assert shapes["encoder.W2"] == (10, 10)
+        assert shapes["answer.V"] == (10, 100)
+        assert set(shapes) == set(LORA_TARGETS)
+
+
+class TestForward:
+    def test_logits_shape(self, tiny_model):
+        logits = tiny_model.logits("a prompt", ["x", "y", "z"])
+        assert logits.shape == (3,)
+
+    def test_probabilities_sum_to_one(self, tiny_model):
+        probs = tiny_model.probabilities("a prompt", ["x", "y"])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_predict_returns_valid_index(self, tiny_model):
+        assert tiny_model.predict("a prompt", ["x", "y"]) in (0, 1)
+
+    def test_prediction_deterministic(self, tiny_model):
+        first = tiny_model.predict("some prompt here", ["a", "b", "c"])
+        second = tiny_model.predict("some prompt here", ["a", "b", "c"])
+        assert first == second
+
+    def test_copy_head_prefers_candidate_in_prompt(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        model.weights["copy.gamma"][0] = 50.0  # exaggerate the copy path
+        probs = model.probabilities(
+            "text contains zanzibar somewhere", ["zanzibar", "quixote"]
+        )
+        assert probs[0] > probs[1]
+
+    def test_sample_greedy_at_zero_temperature(self, tiny_model):
+        greedy = tiny_model.predict("prompt", ["a", "b", "c"])
+        assert tiny_model.sample("prompt", ["a", "b", "c"], temperature=0.0) == greedy
+
+    def test_sample_respects_top_k_one(self, tiny_model):
+        rng = np.random.default_rng(0)
+        greedy = tiny_model.predict("prompt", ["a", "b", "c"])
+        sampled = tiny_model.sample(
+            "prompt", ["a", "b", "c"], temperature=1.0, top_k=1, rng=rng
+        )
+        assert sampled == greedy
+
+    def test_sample_within_range(self, tiny_model):
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            index = tiny_model.sample(
+                "prompt", ["a", "b", "c"], temperature=2.0, rng=rng
+            )
+            assert 0 <= index < 3
+
+
+class TestEncodedExample:
+    def test_rejects_bad_target(self, tiny_model):
+        candidates = tiny_model.encode_candidates(["a", "b"])
+        with pytest.raises(ValueError):
+            EncodedExample(prompt=np.zeros(256), candidates=candidates, target=5)
+
+    def test_rejects_1d_candidates(self):
+        with pytest.raises(ValueError):
+            EncodedExample(prompt=np.zeros(4), candidates=np.zeros(4), target=0)
+
+
+class TestAdapters:
+    def test_attach_and_detach(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        patch = LoRAPatch("p", model.config.target_shapes(), rank=2)
+        model.attach(patch)
+        assert model.adapter is patch
+        assert model.detach() is patch
+        assert model.adapter is None
+
+    def test_attach_rejects_unknown_target(self, fresh_tiny_model):
+        patch = LoRAPatch("p", {"nonexistent.W": (4, 4)}, rank=2)
+        with pytest.raises(KeyError):
+            fresh_tiny_model.attach(patch)
+
+    def test_fresh_patch_is_noop(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        before = model.logits("a prompt", ["x", "y"])
+        model.attach(LoRAPatch("p", model.config.target_shapes(), rank=2))
+        after = model.logits("a prompt", ["x", "y"])
+        np.testing.assert_allclose(before, after)
+
+    def test_merge_adapter_preserves_outputs(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        patch = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=4)
+        # Give the patch a real update.
+        for name in patch.A:
+            patch.A[name] = np.random.default_rng(1).normal(
+                0, 0.05, patch.A[name].shape
+            )
+        model.attach(patch)
+        with_adapter = model.logits("prompt text", ["x", "y"])
+        model.merge_adapter()
+        assert model.adapter is None
+        merged = model.logits("prompt text", ["x", "y"])
+        np.testing.assert_allclose(with_adapter, merged)
+
+    def test_clone_is_independent(self, fresh_tiny_model):
+        clone = fresh_tiny_model.clone()
+        clone.weights["encoder.b1"][0] = 99.0
+        assert fresh_tiny_model.weights["encoder.b1"][0] != 99.0
+
+    def test_num_parameters_positive(self, tiny_model):
+        assert tiny_model.num_parameters() > 0
+
+
+class TestGradients:
+    """Numerical gradient checks — the backbone of trainer correctness."""
+
+    @staticmethod
+    def _loss(model, batch):
+        loss, __, __ = model.loss_and_gradients(batch, train_base=False)
+        return loss
+
+    def test_base_gradients_match_numerical(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        batch = _toy_batch(model)
+        __, grads, __ = model.loss_and_gradients(batch, train_base=True)
+        eps = 1e-6
+        for name in ("encoder.W1", "encoder.W2", "answer.V", "encoder.b1",
+                     "answer.b", "copy.gamma"):
+            weight = model.weights[name]
+            flat_index = 0 if weight.ndim <= 1 else (0, 0)
+            original = weight[flat_index]
+            weight[flat_index] = original + eps
+            plus = self._loss(model, batch)
+            weight[flat_index] = original - eps
+            minus = self._loss(model, batch)
+            weight[flat_index] = original
+            numerical = (plus - minus) / (2 * eps)
+            assert grads[name][flat_index] == pytest.approx(
+                numerical, abs=1e-5
+            ), name
+
+    def test_lora_gradients_match_numerical(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        patch = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=9)
+        for name in patch.A:  # non-zero A so B gradients flow
+            patch.A[name] = np.random.default_rng(2).normal(0, 0.05, patch.A[name].shape)
+        model.attach(patch)
+        batch = _toy_batch(model)
+        __, __, adapter_grads = model.loss_and_gradients(batch, train_base=False)
+        eps = 1e-6
+        for key, grad in adapter_grads.items():
+            array = patch.parameters()[key]  # mutably aliased view
+            original = array[0, 0]
+            array[0, 0] = original + eps
+            plus = self._loss(model, batch)
+            array[0, 0] = original - eps
+            minus = self._loss(model, batch)
+            array[0, 0] = original
+            numerical = (plus - minus) / (2 * eps)
+            assert grad[0, 0] == pytest.approx(numerical, abs=1e-5), key
+
+    def test_fusion_lambda_gradients_match_numerical(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        shapes = model.config.target_shapes()
+        rng = np.random.default_rng(3)
+        patches = []
+        for i in range(2):
+            patch = LoRAPatch(f"p{i}", shapes, rank=2, seed=i)
+            for name in patch.A:
+                patch.A[name] = rng.normal(0, 0.05, patch.A[name].shape)
+            patches.append(patch)
+        fusion = PatchFusion(patches, LoRAPatch("new", shapes, rank=2, seed=7))
+        model.attach(fusion)
+        batch = _toy_batch(model)
+        __, __, grads = model.loss_and_gradients(batch, train_base=False)
+        eps = 1e-6
+        lambda_grad = grads["fusion/lambdas"]
+        for i in range(2):
+            original = fusion.lambdas[i]
+            fusion.lambdas[i] = original + eps
+            plus = self._loss(model, batch)
+            fusion.lambdas[i] = original - eps
+            minus = self._loss(model, batch)
+            fusion.lambdas[i] = original
+            numerical = (plus - minus) / (2 * eps)
+            assert lambda_grad[i] == pytest.approx(numerical, abs=1e-5)
+
+    def test_empty_batch_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.loss_and_gradients([])

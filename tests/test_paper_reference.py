@@ -1,0 +1,76 @@
+"""Tests for the transcribed paper reference data and shape utilities."""
+
+import pytest
+
+from repro.data import generators
+from repro.eval import paper_reference as ref
+
+
+class TestTranscription:
+    def test_table2_covers_all_datasets(self):
+        assert set(ref.TABLE2) == set(generators.downstream_ids())
+
+    def test_table2_headline_average(self):
+        """Paper: KnowTrans averages 79.26, beating Jellyfish by 4.93."""
+        knowtrans = sum(r["knowtrans"] for r in ref.TABLE2.values()) / 13
+        jellyfish = sum(r["jellyfish"] for r in ref.TABLE2.values()) / 13
+        assert knowtrans == pytest.approx(79.26, abs=0.05)
+        assert knowtrans - jellyfish == pytest.approx(4.93, abs=0.05)
+
+    def test_table5_ordering(self):
+        assert (
+            ref.TABLE5["wo_skc_akb"]
+            < ref.TABLE5["wo_skc"]
+            < ref.TABLE5["wo_akb"]
+            < ref.TABLE5["knowtrans"]
+        )
+
+    def test_table6_ordering(self):
+        assert (
+            ref.TABLE6["single"]
+            < ref.TABLE6["uniform"]
+            < ref.TABLE6["adaptive"]
+            < ref.TABLE6["knowtrans"]
+        )
+
+    def test_table4_headline(self):
+        """Paper: KnowTrans-13B beats GPT-4 by 7.03 and GPT-4o by 6.07."""
+        averages = ref.TABLE4_AVERAGES
+        assert averages["knowtrans_13b"] - averages["gpt_4"] == pytest.approx(
+            6.63, abs=1.0
+        )
+        assert averages["knowtrans_13b"] > averages["gpt_4o"]
+
+    def test_table3_token_asymmetry(self):
+        assert ref.TABLE3["knowtrans"][0] < ref.TABLE3["gpt-4"][0] / 10
+
+
+class TestShapeUtilities:
+    def test_shape_deltas(self):
+        paper_gap, measured_gap = ref.shape_deltas(
+            {"a": 10.0, "b": 15.0}, {"a": 40.0, "b": 60.0}, "a", "b"
+        )
+        assert paper_gap == 5.0 and measured_gap == 20.0
+
+    def test_sign_agreement_perfect(self):
+        measured = [
+            {"dataset": d, "jellyfish": 50.0, "knowtrans": 60.0}
+            for d in ref.TABLE2
+            if ref.TABLE2[d]["knowtrans"] > ref.TABLE2[d]["jellyfish"]
+        ]
+        agreement = ref.sign_agreement(
+            ref.TABLE2, measured, "jellyfish", "knowtrans"
+        )
+        assert agreement == 1.0
+
+    def test_sign_agreement_empty(self):
+        assert ref.sign_agreement(ref.TABLE2, [], "jellyfish", "knowtrans") == 0.0
+
+    def test_sign_agreement_mixed(self):
+        measured = [
+            {"dataset": "ed/beer", "jellyfish": 60.0, "knowtrans": 50.0},
+        ]
+        agreement = ref.sign_agreement(
+            ref.TABLE2, measured, "jellyfish", "knowtrans"
+        )
+        assert agreement == 0.0  # paper gap positive, measured negative

@@ -1,0 +1,86 @@
+"""Tests for ASCII plotting and multi-seed repetition utilities."""
+
+import pytest
+
+from repro.eval import repeats
+from repro.eval.experiments import ExperimentContext, table1_dataset_statistics
+from repro.eval.plots import line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_values(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_monotone_blocks(self):
+        blocks = sparkline([1, 2, 3, 4])
+        assert list(blocks) == sorted(blocks)
+
+
+class TestLinePlot:
+    def test_contains_axes_and_legend(self):
+        text = line_plot("T", [1, 2, 3], {"m": [1.0, 2.0, 3.0]})
+        assert text.startswith("T")
+        assert "o=m" in text
+        assert "+" in text and "|" in text
+
+    def test_y_labels_are_extremes(self):
+        text = line_plot("T", [1, 2], {"m": [10.0, 90.0]})
+        assert "90.0" in text and "10.0" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_plot("T", [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]})
+        assert "o=a" in text and "x=b" in text
+
+    def test_empty_data(self):
+        assert "(no data)" in line_plot("T", [], {})
+
+    def test_single_point(self):
+        text = line_plot("T", [5], {"m": [42.0]})
+        assert "o=m" in text
+
+
+class TestAggregateRows:
+    def test_mean_and_std(self):
+        runs = [
+            [{"dataset": "d", "score": 10.0}],
+            [{"dataset": "d", "score": 20.0}],
+        ]
+        merged = repeats.aggregate_rows(runs)
+        assert merged[0]["score"] == "15.00 ± 5.00"
+
+    def test_non_numeric_taken_from_first(self):
+        runs = [
+            [{"dataset": "d", "note": "x", "score": 1.0}],
+            [{"dataset": "d", "note": "y", "score": 3.0}],
+        ]
+        merged = repeats.aggregate_rows(runs)
+        assert merged[0]["note"] == "x"
+
+    def test_empty_runs(self):
+        assert repeats.aggregate_rows([]) == []
+
+
+class TestRepeatExperiment:
+    def test_repeats_table1_across_seeds(self):
+        ctx = ExperimentContext.quick()
+        result = repeats.repeat_experiment(
+            table1_dataset_statistics, ctx, seeds=(0, 1)
+        )
+        assert result["seeds"] == [0, 1]
+        assert len(result["runs"]) == 2
+        assert "±" in result["text"]
+
+    def test_rejects_series_experiments(self):
+        ctx = ExperimentContext.quick()
+
+        def fake_experiment(context):
+            return {"series": {}}
+
+        with pytest.raises(ValueError):
+            repeats.repeat_experiment(fake_experiment, ctx, seeds=(0,))

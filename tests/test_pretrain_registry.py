@@ -1,0 +1,122 @@
+"""Tests for pretraining and the model tier registry."""
+
+import numpy as np
+import pytest
+
+from repro.tinylm.pretrain import build_pretraining_corpus
+from repro.tinylm.registry import TIERS, Tier, clear_cache, create_base_model
+
+
+class TestCorpus:
+    def test_size_and_determinism(self):
+        a = build_pretraining_corpus(40, seed=3)
+        b = build_pretraining_corpus(40, seed=3)
+        assert len(a) == 40
+        assert [x.prompt for x in a] == [x.prompt for x in b]
+
+    def test_seed_changes_corpus(self):
+        a = build_pretraining_corpus(40, seed=3)
+        b = build_pretraining_corpus(40, seed=4)
+        assert [x.prompt for x in a] != [x.prompt for x in b]
+
+    def test_targets_valid(self):
+        for example in build_pretraining_corpus(60, seed=1):
+            assert 0 <= example.target < len(example.candidates)
+
+    def test_contains_all_example_families(self):
+        prompts = " ".join(x.prompt for x in build_pretraining_corpus(300, seed=2))
+        assert "which item is mentioned" in prompts
+        assert "which brand makes this" in prompts or "abbreviation" in prompts
+        assert "what is the" in prompts
+        assert "what kind of values are these" in prompts
+
+
+class TestRegistry:
+    def test_known_tiers(self):
+        assert {"mistral-7b", "llama-8b", "llama-13b", "tablellama", "closed-xl"} == set(
+            TIERS
+        )
+
+    def test_tier_capability_ordering(self):
+        assert TIERS["llama-13b"].hidden_dim > TIERS["llama-8b"].hidden_dim
+        assert TIERS["llama-8b"].hidden_dim > TIERS["mistral-7b"].hidden_dim
+        assert TIERS["tablellama"].pretrain_size < TIERS["mistral-7b"].pretrain_size
+
+    def test_unknown_tier(self):
+        with pytest.raises(KeyError):
+            create_base_model("gpt-7b")
+
+    def test_cache_returns_clones(self, base_model):
+        again = create_base_model("mistral-7b", seed=0)
+        assert again is not base_model
+        np.testing.assert_array_equal(
+            again.weights["encoder.W1"], base_model.weights["encoder.W1"]
+        )
+        again.weights["encoder.W1"][0, 0] = 99.0
+        fresh = create_base_model("mistral-7b", seed=0)
+        assert fresh.weights["encoder.W1"][0, 0] != 99.0
+
+
+class TestWorldKnowledge:
+    """The capabilities pretraining is supposed to install."""
+
+    def test_copy_bias(self, base_model):
+        # Statistical probe: any single random word can lose to a hash
+        # collision, but the copy head must win on average.
+        rng = np.random.default_rng(42)
+        letters = "abcdefghijklmnopqrstuvwxyz"
+
+        def word():
+            return "".join(
+                letters[rng.integers(26)] for __ in range(rng.integers(4, 9))
+            )
+
+        hits = 0
+        trials = 30
+        for __ in range(trials):
+            options = [word() for __ in range(3)]
+            answer_index = int(rng.integers(3))
+            prompt = (
+                f"text [ {word()} {options[answer_index]} {word()} ] "
+                "question which item is mentioned"
+            )
+            hits += base_model.predict(prompt, options) == answer_index
+        assert hits / trials > 0.8
+
+    def test_brand_association(self, base_model):
+        # Statistical probe over every phone line (single pairs can lose
+        # to featurizer collisions, e.g. "note" vs "nokia" trigrams).
+        from repro.data import vocab
+
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for brand, lines in vocab.PHONE_LINES.items():
+            for line in lines:
+                distractors = [b for b in vocab.PHONE_BRANDS if b != brand]
+                rng.shuffle(distractors)
+                options = [brand] + distractors[:4]
+                prediction = base_model.predict(
+                    f"text [ {line} smartphone ] question which brand makes this",
+                    options,
+                )
+                hits += prediction == 0
+                total += 1
+        assert hits / total > 0.7
+
+    def test_attribute_semantics(self, base_model):
+        probs = base_model.probabilities(
+            "text [ red cotton running ] question what is the color",
+            ["red", "cotton", "running"],
+        )
+        assert int(np.argmax(probs)) == 0
+
+    def test_type_naming(self, base_model):
+        probs = base_model.probabilities(
+            "column values [ thai ; italian ; french ; korean ] "
+            "question what kind of values are these and what is the semantic type",
+            ["cuisine", "person name", "organization"],
+        )
+        assert int(np.argmax(probs)) == 0
+
+    def test_copy_gamma_positive_after_pretraining(self, base_model):
+        assert base_model.weights["copy.gamma"][0] > 1.0

@@ -1,0 +1,63 @@
+"""Tests for dataset profiling."""
+
+import pytest
+
+from repro.data import generators
+from repro.data.profiling import profile_dataset
+
+
+class TestProfileDataset:
+    @pytest.fixture(scope="class")
+    def beer_profile(self):
+        dataset = generators.build("ed/beer", count=120, seed=3)
+        return profile_dataset(dataset)
+
+    def test_covers_all_attributes(self, beer_profile):
+        from repro.data.generators.beer import ATTRIBUTES
+
+        assert set(beer_profile.attributes) == set(ATTRIBUTES)
+
+    def test_abv_dominant_validator(self, beer_profile):
+        abv = beer_profile.attributes["abv"]
+        # Most ABV values are clean unit decimals; a minority carry the
+        # injected percent-sign corruption.
+        assert abv.dominant_validator in ("unit_decimal", "numeric")
+        assert abv.validator_coverage > 0.5
+
+    def test_style_covering_bank(self, beer_profile):
+        style = beer_profile.attributes["style"]
+        assert style.covering_bank is None or "beer" in style.covering_bank
+
+    def test_missing_rates_bounded(self, beer_profile):
+        for prof in beer_profile.attributes.values():
+            assert 0.0 <= prof.missing_rate <= 1.0
+
+    def test_imputation_dataset_counts_missing_target(self):
+        dataset = generators.build("di/phone", count=60, seed=3)
+        profile = profile_dataset(dataset)
+        assert profile.attributes["brand"].missing_rate == 1.0
+
+    def test_matching_dataset_profiles_both_sides(self):
+        dataset = generators.build("em/walmart_amazon", count=40, seed=3)
+        profile = profile_dataset(dataset)
+        # Both records of each pair contribute → 2 cells per example.
+        assert profile.attributes["modelno"].count == 80
+
+    def test_non_record_task_is_empty(self):
+        dataset = generators.build("cta/sotab", count=20, seed=3)
+        assert profile_dataset(dataset).attributes == {}
+
+    def test_sample_limits_work(self):
+        dataset = generators.build("ed/beer", count=60, seed=3)
+        profile = profile_dataset(dataset, sample=10)
+        assert profile.examples_profiled == 10
+
+    def test_render_is_readable(self, beer_profile):
+        text = beer_profile.render()
+        assert "abv" in text and "missing=" in text and "format=" in text
+
+    def test_top_values(self, beer_profile):
+        top = beer_profile.attributes["state"].top_values(3)
+        assert len(top) <= 3
+        if len(top) == 2:
+            assert top[0][1] >= top[1][1]

@@ -1,0 +1,118 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import metrics
+from repro.tinylm.fusion import PatchFusion
+from repro.tinylm.lora import LoRAPatch
+from repro.tinylm.model import ModelConfig, ScoringLM
+
+SHAPES = {"encoder.W1": (6, 16)}
+
+lambda_vectors = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=2,
+).map(np.array)
+
+
+def _patches():
+    patches = []
+    rng = np.random.default_rng(7)
+    for i in range(2):
+        patch = LoRAPatch(f"p{i}", SHAPES, rank=2, seed=i)
+        patch.A["encoder.W1"] = rng.normal(0, 0.1, (2, 16))
+        patches.append(patch)
+    return patches
+
+
+class TestFusionLinearity:
+    """Eq. 4 is linear in λ — the property the λ-gradient relies on."""
+
+    @given(lambda_vectors, lambda_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_delta_linear_in_lambda(self, lam_a, lam_b):
+        patches = _patches()
+        new_patch = LoRAPatch("new", SHAPES, rank=2, seed=9)
+        fusion = PatchFusion(patches, new_patch)
+
+        fusion.lambdas[:] = lam_a
+        delta_a = fusion.delta("encoder.W1").copy()
+        fusion.lambdas[:] = lam_b
+        delta_b = fusion.delta("encoder.W1").copy()
+        fusion.lambdas[:] = lam_a + lam_b
+        delta_sum = fusion.delta("encoder.W1").copy()
+        base = new_patch.delta("encoder.W1")
+        np.testing.assert_allclose(
+            delta_sum - base, (delta_a - base) + (delta_b - base), atol=1e-10
+        )
+
+    @given(lambda_vectors, st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_delta_homogeneous_in_lambda(self, lam, scale):
+        patches = _patches()
+        new_patch = LoRAPatch("new", SHAPES, rank=2, seed=9)
+        fusion = PatchFusion(patches, new_patch)
+        base = new_patch.delta("encoder.W1")
+        fusion.lambdas[:] = lam
+        delta = fusion.delta("encoder.W1") - base
+        fusion.lambdas[:] = scale * lam
+        scaled = fusion.delta("encoder.W1") - base
+        np.testing.assert_allclose(scaled, scale * delta, atol=1e-9)
+
+
+class TestMetricMonotonicity:
+    """Fixing one wrong prediction never lowers a metric."""
+
+    @given(st.lists(st.sampled_from(["yes", "no"]), min_size=2, max_size=25),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_binary_f1_improves_when_fixing_an_error(self, golds, data):
+        preds = [
+            data.draw(st.sampled_from(["yes", "no"])) for __ in golds
+        ]
+        wrong = [i for i, (g, p) in enumerate(zip(golds, preds)) if g != p]
+        if not wrong:
+            return
+        index = data.draw(st.sampled_from(wrong))
+        fixed = list(preds)
+        fixed[index] = golds[index]
+        assert metrics.binary_f1(golds, fixed) >= metrics.binary_f1(golds, preds)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=25),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_strictly_improves(self, golds, data):
+        preds = [data.draw(st.sampled_from(["a", "b", "c"])) for __ in golds]
+        wrong = [i for i, (g, p) in enumerate(zip(golds, preds)) if g != p]
+        if not wrong:
+            return
+        index = data.draw(st.sampled_from(wrong))
+        fixed = list(preds)
+        fixed[index] = golds[index]
+        assert metrics.accuracy(golds, fixed) > metrics.accuracy(golds, preds)
+
+
+class TestModelInvariances:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ScoringLM(ModelConfig(name="prop", feature_dim=128, hidden_dim=12, seed=3))
+
+    @given(st.permutations(["alpha", "beta", "gamma", "delta"]))
+    @settings(max_examples=25, deadline=None)
+    def test_candidate_order_does_not_change_winner(self, model, ordering):
+        prompt = "some fixed prompt mentioning beta"
+        baseline = ["alpha", "beta", "gamma", "delta"]
+        winner = baseline[model.predict(prompt, baseline)]
+        permuted_winner = ordering[model.predict(prompt, list(ordering))]
+        assert winner == permuted_winner
+
+    @given(st.text(alphabet="abcdef ", min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_are_distribution(self, model, prompt):
+        probs = model.probabilities(prompt, ["x", "y", "z"])
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()

@@ -1,0 +1,100 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Dataset, Example, Profile, Record, Table
+
+
+@pytest.fixture()
+def record():
+    return Record.from_dict({"name": "widget", "price": "9.99", "note": "nan"})
+
+
+class TestRecord:
+    def test_from_dict_preserves_order(self, record):
+        assert record.attributes == ("name", "price", "note")
+
+    def test_get_with_default(self, record):
+        assert record.get("name") == "widget"
+        assert record.get("missing", "zz") == "zz"
+
+    def test_contains(self, record):
+        assert "price" in record
+        assert "absent" not in record
+
+    def test_replace_returns_new_record(self, record):
+        updated = record.replace("price", "1.00")
+        assert updated.get("price") == "1.00"
+        assert record.get("price") == "9.99"
+
+    def test_replace_unknown_raises(self, record):
+        with pytest.raises(KeyError):
+            record.replace("nope", "x")
+
+    def test_without(self, record):
+        trimmed = record.without(["price", "note"])
+        assert trimmed.attributes == ("name",)
+
+    def test_is_missing(self, record):
+        assert record.is_missing("note")
+        assert not record.is_missing("name")
+
+    def test_is_missing_variants(self):
+        rec = Record.from_dict({"a": "N/A", "b": "", "c": "NULL", "d": "x"})
+        assert rec.is_missing("a") and rec.is_missing("b") and rec.is_missing("c")
+        assert not rec.is_missing("d")
+
+    def test_as_dict_roundtrip(self, record):
+        assert Record.from_dict(record.as_dict()) == record
+
+    def test_iteration(self, record):
+        assert list(record) == list(record.values)
+
+
+class TestTable:
+    def test_column_values(self, record):
+        table = Table("t", ("name", "price", "note"), [record, record])
+        assert table.column_values("price") == ["9.99", "9.99"]
+
+    def test_len(self, record):
+        assert len(Table("t", ("name",), [record])) == 1
+
+
+def _dataset(n=10):
+    examples = [
+        Example(task="ed", inputs={"i": i}, answer="yes" if i % 2 else "no")
+        for i in range(n)
+    ]
+    return Dataset("d", "ed", examples, label_set=("yes", "no"))
+
+
+class TestDataset:
+    def test_len_and_iter(self):
+        ds = _dataset(5)
+        assert len(ds) == 5
+        assert len(list(ds)) == 5
+
+    def test_subset_preserves_metadata(self):
+        ds = _dataset()
+        sub = ds.subset([0, 2], suffix=":x")
+        assert sub.name == "d:x"
+        assert sub.label_set == ("yes", "no")
+        assert len(sub) == 2
+
+    def test_head(self):
+        assert len(_dataset().head(3)) == 3
+        assert len(_dataset(2).head(5)) == 2
+
+    def test_positive_count(self):
+        assert _dataset(10).positive_count() == 5
+
+
+class TestProfile:
+    def test_presets(self):
+        assert Profile.ci().name == "ci"
+        assert Profile.paper().scale > Profile.ci().scale
+
+    def test_sized_applies_scale_and_minimum(self):
+        profile = Profile(scale=0.1)
+        assert profile.sized(1000) == 100
+        assert profile.sized(10, minimum=8) == 8

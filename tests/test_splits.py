@@ -1,0 +1,78 @@
+"""Unit tests for repro.data.splits."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data import generators
+from repro.data.splits import few_shot_slice, split_dataset
+
+
+@pytest.fixture(scope="module")
+def em_dataset():
+    return generators.build("em/abt_buy", count=150, seed=4)
+
+
+class TestSplitDataset:
+    def test_sizes(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, test_fraction=0.4, seed=1)
+        assert len(splits.test.examples) == 60
+        assert len(splits.train.examples) == 90
+        assert len(splits.few_shot.examples) == 20
+
+    def test_few_shot_subset_of_train(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        train_ids = {id(ex) for ex in splits.train.examples}
+        assert all(id(ex) in train_ids for ex in splits.few_shot.examples)
+
+    def test_train_test_disjoint(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        test_ids = {id(ex) for ex in splits.test.examples}
+        assert not any(id(ex) in test_ids for ex in splits.train.examples)
+
+    def test_few_shot_class_balanced(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        counts = Counter(ex.answer for ex in splits.few_shot.examples)
+        assert counts["yes"] == counts["no"] == 10
+
+    def test_validation_is_few_shot(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        assert splits.validation is splits.few_shot
+
+    def test_deterministic(self, em_dataset):
+        a = split_dataset(em_dataset, few_shot=20, seed=1)
+        b = split_dataset(em_dataset, few_shot=20, seed=1)
+        assert [id(x) for x in a.test.examples] == [id(x) for x in b.test.examples]
+
+    def test_seed_changes_split(self, em_dataset):
+        a = split_dataset(em_dataset, few_shot=20, seed=1)
+        b = split_dataset(em_dataset, few_shot=20, seed=2)
+        assert [id(x) for x in a.test.examples] != [id(x) for x in b.test.examples]
+
+    def test_too_small_dataset_rejected(self, em_dataset):
+        tiny = em_dataset.head(10)
+        with pytest.raises(ValueError):
+            split_dataset(tiny, few_shot=20)
+
+    def test_open_answer_datasets_split_without_interleave(self):
+        dataset = generators.build("dc/rayyan", count=80, seed=2)
+        splits = split_dataset(dataset, few_shot=20, seed=2)
+        assert len(splits.few_shot.examples) == 20
+
+    def test_name_and_task_passthrough(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        assert splits.task == "em"
+        assert splits.name.startswith("abt_buy")
+
+
+class TestFewShotSlice:
+    def test_slice_prefix(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        sliced = few_shot_slice(splits, 40)
+        assert len(sliced.examples) == 40
+        assert sliced.examples[:20] == splits.few_shot.examples
+
+    def test_slice_caps_at_train_size(self, em_dataset):
+        splits = split_dataset(em_dataset, few_shot=20, seed=1)
+        sliced = few_shot_slice(splits, 10_000)
+        assert len(sliced.examples) == len(splits.train.examples)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.tasks — prompts, candidates, training examples."""
+
+import pytest
+
+from repro.data import generators
+from repro.knowledge.rules import Knowledge
+from repro.knowledge.seed import oracle_knowledge, seed_knowledge
+from repro.tasks.base import Task, get_task, register_task, task_names
+from repro.tasks.prompts import TASK_INSTRUCTIONS, compose, full_prompt
+
+ALL_IDS = list(generators.downstream_ids())
+
+
+class TestRegistry:
+    def test_seven_tasks(self):
+        assert task_names() == ["ave", "cta", "dc", "di", "ed", "em", "sm"]
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            get_task("nope")
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            register_task(Task())
+
+
+class TestPrompts:
+    def test_compose_includes_pieces(self):
+        text = compose("ed", "ignored-knowledge", ["[missing]"], "record [ x ]", "question?")
+        assert TASK_INSTRUCTIONS["ed"] in text
+        assert "[missing]" in text
+        assert "record [ x ]" in text
+        assert text.endswith("question?")
+
+    def test_compose_excludes_knowledge_text(self):
+        text = compose("ed", "SECRET_KNOWLEDGE_TEXT", [], "body", "q")
+        assert "SECRET_KNOWLEDGE_TEXT" not in text
+
+    def test_full_prompt_includes_knowledge_text(self):
+        knowledge = oracle_knowledge("ed/beer")
+        assert knowledge.render() in full_prompt("model prompt", knowledge)
+
+    def test_full_prompt_handles_none(self):
+        assert full_prompt("p", None) == "p"
+
+    def test_compose_unknown_task(self):
+        with pytest.raises(KeyError):
+            compose("xx", "", [], "b", "q")
+
+
+@pytest.mark.parametrize("dataset_id", ALL_IDS)
+class TestPerDataset:
+    def test_prompt_mentions_instruction_and_question(self, dataset_id):
+        dataset = generators.build(dataset_id, count=12, seed=1)
+        task = get_task(dataset.task)
+        prompt = task.prompt(dataset.examples[0], seed_knowledge(dataset.task))
+        assert TASK_INSTRUCTIONS[dataset.task] in prompt
+        assert "question" in prompt
+
+    def test_training_example_targets_gold(self, dataset_id):
+        dataset = generators.build(dataset_id, count=12, seed=1)
+        task = get_task(dataset.task)
+        for example in dataset.examples[:6]:
+            instance = task.training_example(example, seed_knowledge(dataset.task), dataset)
+            assert instance.candidates[instance.target] == example.answer
+
+    def test_oracle_knowledge_keeps_gold_reachable(self, dataset_id):
+        dataset = generators.build(dataset_id, count=24, seed=1)
+        task = get_task(dataset.task)
+        knowledge = oracle_knowledge(dataset_id)
+        reachable = sum(
+            example.answer in task.candidates(example, knowledge, dataset)
+            for example in dataset.examples
+        )
+        assert reachable / len(dataset.examples) > 0.7
+
+    def test_predict_returns_candidate(self, dataset_id, tiny_model):
+        dataset = generators.build(dataset_id, count=6, seed=1)
+        task = get_task(dataset.task)
+        example = dataset.examples[0]
+        knowledge = seed_knowledge(dataset.task)
+        prediction = task.predict(tiny_model, example, knowledge, dataset)
+        assert prediction in task.candidates(example, knowledge, dataset)
+
+
+class TestEvaluate:
+    def test_evaluate_runs_and_bounded(self, tiny_model):
+        dataset = generators.build("ed/beer", count=20, seed=1)
+        task = get_task("ed")
+        score = task.evaluate(
+            tiny_model, dataset.examples, seed_knowledge("ed"), dataset
+        )
+        assert 0.0 <= score <= 100.0
+
+    def test_dc_evaluate_uses_repair_metric(self, tiny_model):
+        dataset = generators.build("dc/beer", count=12, seed=1)
+        task = get_task("dc")
+        score = task.evaluate(
+            tiny_model, dataset.examples, seed_knowledge("dc"), dataset
+        )
+        assert 0.0 <= score <= 100.0
+
+
+class TestKnowledgeEffects:
+    def test_em_markers_change_prompt(self):
+        dataset = generators.build("em/walmart_amazon", count=12, seed=1)
+        task = get_task("em")
+        example = dataset.examples[0]
+        bare = task.prompt(example, Knowledge.empty())
+        informed = task.prompt(example, oracle_knowledge("em/walmart_amazon"))
+        assert bare != informed
+
+    def test_cta_hints_change_prompt(self):
+        dataset = generators.build("cta/sotab", count=20, seed=1)
+        task = get_task("cta")
+        knowledge = oracle_knowledge("cta/sotab")
+        changed = sum(
+            task.prompt(ex, knowledge) != task.prompt(ex, Knowledge.empty())
+            for ex in dataset.examples
+        )
+        assert changed > 0
+
+    def test_sm_prompt_contains_comparison(self):
+        dataset = generators.build("sm/cms", count=6, seed=1)
+        task = get_task("sm")
+        prompt = task.prompt(dataset.examples[0], Knowledge.empty())
+        assert "comparison [ name" in prompt

@@ -1,0 +1,120 @@
+"""Unit tests for repro.tinylm.tokenizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tinylm.tokenizer import (
+    HashedFeaturizer,
+    count_tokens,
+    normalize,
+    tokenize,
+)
+
+text_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd", "Zs")),
+    max_size=80,
+)
+
+
+class TestNormalizeAndTokenize:
+    def test_normalize_lowercases_and_collapses(self):
+        assert normalize("  Hello   WORLD ") == "hello world"
+
+    def test_tokenize_words_and_numbers(self):
+        assert tokenize("abc 12.5 def") == ["abc", "12.5", "def"]
+
+    def test_tokenize_keeps_markers_atomic(self):
+        assert tokenize("x [fmt_violation] y") == ["x", "[fmt_violation]", "y"]
+
+    def test_tokenize_symbols(self):
+        assert "%" in tokenize("0.05%")
+
+    def test_count_tokens_matches_tokenize(self):
+        text = "record [ abv: 0.05% ]"
+        assert count_tokens(text) == len(tokenize(text))
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert count_tokens("") == 0
+
+
+class TestHashedFeaturizer:
+    def test_unit_norm(self):
+        featurizer = HashedFeaturizer(dim=128)
+        vec = featurizer.encode("some example text here")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero_vector(self):
+        featurizer = HashedFeaturizer(dim=128)
+        assert np.linalg.norm(featurizer.encode("")) == 0.0
+
+    def test_deterministic_across_instances(self):
+        a = HashedFeaturizer(dim=256).encode("hello world")
+        b = HashedFeaturizer(dim=256).encode("hello world")
+        np.testing.assert_array_equal(a, b)
+
+    def test_salt_changes_embedding(self):
+        a = HashedFeaturizer(dim=256, salt="one").encode("hello world")
+        b = HashedFeaturizer(dim=256, salt="two").encode("hello world")
+        assert not np.allclose(a, b)
+
+    def test_different_texts_differ(self):
+        featurizer = HashedFeaturizer(dim=512)
+        a = featurizer.encode("alpha beta gamma")
+        b = featurizer.encode("delta epsilon zeta")
+        assert not np.allclose(a, b)
+
+    def test_similar_texts_closer_than_different(self):
+        featurizer = HashedFeaturizer(dim=1024)
+        base = featurizer.encode("hoppy trail ipa from portland")
+        near = featurizer.encode("hoppy trail ale from portland")
+        far = featurizer.encode("annals of internal medicine 2015")
+        assert base @ near > base @ far
+
+    def test_marker_tokens_get_elevated_weight(self):
+        featurizer = HashedFeaturizer(
+            dim=1024, use_bigrams=False, use_char_ngrams=False
+        )
+        plain = featurizer.encode("alpha beta")
+        marked = featurizer.encode("alpha [missing]")
+        # The marker bucket should carry MARKER_WEIGHT times the mass of
+        # a plain word bucket (up to normalisation).
+        plain_mass = np.abs(plain).max()
+        marked_mass = np.abs(marked).max()
+        assert marked_mass > plain_mass
+
+    def test_encode_batch_shape(self):
+        featurizer = HashedFeaturizer(dim=64)
+        batch = featurizer.encode_batch(["a b", "c d", "e"])
+        assert batch.shape == (3, 64)
+
+    def test_encode_batch_empty(self):
+        featurizer = HashedFeaturizer(dim=64)
+        assert featurizer.encode_batch([]).shape == (0, 64)
+
+    def test_rejects_degenerate_dim(self):
+        with pytest.raises(ValueError):
+            HashedFeaturizer(dim=1)
+
+    @given(text_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_norm_at_most_one(self, text):
+        featurizer = HashedFeaturizer(dim=128)
+        norm = np.linalg.norm(featurizer.encode(text))
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+    @given(text_strategy, text_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_encoding_is_function_of_text(self, left, right):
+        featurizer = HashedFeaturizer(dim=128)
+        a, b = featurizer.encode(left), featurizer.encode(right)
+        if normalize(left) == normalize(right):
+            np.testing.assert_array_equal(a, b)
+
+    def test_bigram_flag_changes_features(self):
+        with_bigrams = HashedFeaturizer(dim=512, use_bigrams=True)
+        without = HashedFeaturizer(dim=512, use_bigrams=False)
+        text = "alpha beta gamma"
+        assert not np.allclose(with_bigrams.encode(text), without.encode(text))

@@ -1,0 +1,132 @@
+"""Unit tests for repro.tinylm.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.tinylm.lora import LoRAPatch
+from repro.tinylm.model import ModelConfig, ScoringLM
+from repro.tinylm.trainer import TrainConfig, Trainer, TrainingExample
+
+
+def _separable_examples(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    colors = ("red", "blue")
+    examples = []
+    for __ in range(n):
+        color = colors[int(rng.integers(2))]
+        noise = " ".join(str(rng.integers(50)) for __ in range(4))
+        examples.append(
+            TrainingExample(
+                prompt=f"item color {color} {noise}",
+                candidates=("warm", "cold"),
+                target=0 if color == "red" else 1,
+            )
+        )
+    return examples
+
+
+@pytest.fixture()
+def model():
+    return ScoringLM(ModelConfig(name="trainer-test", feature_dim=256, hidden_dim=24, seed=5))
+
+
+class TestTrainingExample:
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ValueError):
+            TrainingExample("p", ("a", "b"), target=2)
+
+    def test_accepts_valid(self):
+        ex = TrainingExample("p", ("a", "b"), target=1)
+        assert ex.candidates == ("a", "b")
+
+
+class TestFit:
+    def test_loss_decreases(self, model):
+        trainer = Trainer(model, TrainConfig(epochs=4, seed=1))
+        report = trainer.fit(_separable_examples())
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_learns_separable_task(self, model):
+        Trainer(model, TrainConfig(epochs=5, seed=1)).fit(_separable_examples())
+        examples = _separable_examples(seed=9)
+        accuracy = np.mean(
+            [model.predict(ex.prompt, ex.candidates) == ex.target for ex in examples]
+        )
+        assert accuracy > 0.9
+
+    def test_empty_examples_rejected(self, model):
+        with pytest.raises(ValueError):
+            Trainer(model).fit([])
+
+    def test_final_loss_property(self, model):
+        report = Trainer(model, TrainConfig(epochs=2, seed=1)).fit(
+            _separable_examples(n=16)
+        )
+        assert report.final_loss == report.epoch_losses[-1]
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for __ in range(2):
+            model = ScoringLM(
+                ModelConfig(name="det", feature_dim=128, hidden_dim=16, seed=2)
+            )
+            Trainer(model, TrainConfig(epochs=2, seed=3)).fit(
+                _separable_examples(n=24)
+            )
+            results.append(model.weights["encoder.W1"].copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_adapter_only_training_freezes_base(self, model):
+        patch = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=1)
+        model.attach(patch)
+        before = {k: v.copy() for k, v in model.weights.items()}
+        Trainer(model, TrainConfig(epochs=2, seed=1), train_base=False).fit(
+            _separable_examples(n=24)
+        )
+        for name, value in model.weights.items():
+            np.testing.assert_array_equal(value, before[name])
+        assert patch.frobenius_norm() > 0.0
+
+    def test_adapter_training_learns(self, model):
+        patch = LoRAPatch("p", model.config.target_shapes(), rank=4, alpha=2.0, seed=1)
+        model.attach(patch)
+        Trainer(
+            model, TrainConfig(epochs=6, seed=1), train_base=False
+        ).fit(_separable_examples())
+        examples = _separable_examples(seed=9)
+        accuracy = np.mean(
+            [model.predict(ex.prompt, ex.candidates) == ex.target for ex in examples]
+        )
+        assert accuracy > 0.85
+
+
+class TestEvaluateLoss:
+    def test_no_parameter_updates(self, model):
+        before = model.weights["encoder.W1"].copy()
+        Trainer(model).evaluate_loss(_separable_examples(n=8))
+        np.testing.assert_array_equal(model.weights["encoder.W1"], before)
+
+    def test_returns_finite_loss(self, model):
+        loss = Trainer(model).evaluate_loss(_separable_examples(n=8))
+        assert np.isfinite(loss) and loss > 0
+
+
+class TestAdamMechanics:
+    def test_grad_clip_limits_step(self, model):
+        config = TrainConfig(epochs=1, grad_clip=1e-9, learning_rate=1.0, seed=0)
+        before = model.weights["encoder.W1"].copy()
+        Trainer(model, config).fit(_separable_examples(n=8))
+        # Clipped to almost nothing; Adam normalisation still moves a
+        # little, but far less than lr=1.0 would unclipped.
+        drift = np.abs(model.weights["encoder.W1"] - before).max()
+        assert drift < 1.5
+
+    def test_weight_decay_shrinks_weights(self):
+        examples = _separable_examples(n=8)
+        heavy = ScoringLM(ModelConfig(name="wd", feature_dim=128, hidden_dim=16, seed=2))
+        light = ScoringLM(ModelConfig(name="wd", feature_dim=128, hidden_dim=16, seed=2))
+        Trainer(heavy, TrainConfig(epochs=3, weight_decay=0.5, seed=1)).fit(examples)
+        Trainer(light, TrainConfig(epochs=3, weight_decay=0.0, seed=1)).fit(examples)
+        assert np.linalg.norm(heavy.weights["encoder.W1"]) < np.linalg.norm(
+            light.weights["encoder.W1"]
+        )

@@ -1,0 +1,66 @@
+"""Sanity tests over the vocabulary banks."""
+
+import numpy as np
+import pytest
+
+from repro.data import vocab
+
+
+class TestBankHygiene:
+    BANKS = {
+        "PHONE_BRANDS": vocab.PHONE_BRANDS,
+        "ELECTRONICS_BRANDS": vocab.ELECTRONICS_BRANDS,
+        "RETAIL_BRANDS": vocab.RETAIL_BRANDS,
+        "GROCERY_BRANDS": vocab.GROCERY_BRANDS,
+        "FLAVORS": vocab.FLAVORS,
+        "SCENTS": vocab.SCENTS,
+        "COLORS": vocab.COLORS,
+        "MATERIALS": vocab.MATERIALS,
+        "CITIES": vocab.CITIES,
+        "STATES": vocab.STATES,
+        "BEER_STYLES": vocab.BEER_STYLES,
+        "CUISINES": vocab.CUISINES,
+        "AIRLINES": vocab.AIRLINES,
+        "AIRPORTS": vocab.AIRPORTS,
+        "ORGANIZATIONS": vocab.ORGANIZATIONS,
+        "ITEM_FORMS": vocab.ITEM_FORMS,
+    }
+
+    @pytest.mark.parametrize("name", sorted(BANKS))
+    def test_nonempty_lowercase_distinct(self, name):
+        bank = self.BANKS[name]
+        assert len(bank) >= 4
+        assert len(set(bank)) == len(bank)
+        for entry in bank:
+            assert entry == entry.lower().strip()
+
+    def test_phone_lines_cover_all_brands(self):
+        assert set(vocab.PHONE_LINES) == set(vocab.PHONE_BRANDS)
+        for lines in vocab.PHONE_LINES.values():
+            assert len(lines) >= 2
+
+    def test_electronics_products_cover_all_brands(self):
+        assert set(vocab.ELECTRONICS_PRODUCTS) == set(vocab.ELECTRONICS_BRANDS)
+
+    def test_journals_have_distinct_abbreviations(self):
+        abbreviations = [abbr for __, abbr in vocab.JOURNALS]
+        assert len(set(abbreviations)) == len(abbreviations)
+
+
+class TestHelpers:
+    def test_choice_deterministic(self):
+        a = vocab.choice(np.random.default_rng(5), vocab.CITIES)
+        b = vocab.choice(np.random.default_rng(5), vocab.CITIES)
+        assert a == b
+        assert a in vocab.CITIES
+
+    def test_sample_distinct(self):
+        rng = np.random.default_rng(1)
+        picks = vocab.sample_distinct(rng, vocab.COLORS, 5)
+        assert len(set(picks)) == 5
+        assert all(p in vocab.COLORS for p in picks)
+
+    def test_sample_distinct_overflow(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            vocab.sample_distinct(rng, vocab.GENDERS, 99)
