@@ -1,0 +1,47 @@
+"""Perf gate: batched inference must beat the per-example path ≥ 3×.
+
+Times greedy decoding over the Table II entity-matching evaluation
+surface (validation + test split of ``em/abt_buy``) through both paths
+of the same engine — ``predict`` called per example vs one
+``predict_batch`` call — with warm featurization caches (the AKB steady
+state).  Results are written to ``BENCH_inference.json`` at the repo
+root so the throughput trajectory is tracked across PRs.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_inference.py
+
+The assertion fails if the batched path is less than 3× faster or if
+the two paths ever disagree on a prediction.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.perf import render_benchmark, run_inference_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_inference.json"
+
+MIN_SPEEDUP = 3.0
+
+
+def test_batched_inference_speedup(record_result):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    count = 200 if preset == "quick" else 400
+    result = run_inference_benchmark(
+        dataset_id="em/abt_buy", count=count, seed=0, repeats=3
+    )
+    result["preset"] = preset
+    result["min_speedup"] = MIN_SPEEDUP
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    record_result("bench_perf_inference", render_benchmark(result))
+
+    assert result["predictions_identical"], (
+        "batched and per-example predictions diverged"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"batched inference only {result['speedup']:.2f}x faster than the "
+        f"per-example path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
+    )

@@ -81,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
     conflict.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
     conflict.add_argument("--scale", type=float, default=0.4)
     conflict.add_argument("--seed", type=int, default=0)
+
+    perf = commands.add_parser(
+        "perf",
+        help="batched vs per-example inference micro-benchmark + counters",
+    )
+    perf.add_argument(
+        "--dataset", default="em/abt_buy", help="workload dataset id"
+    )
+    perf.add_argument("--count", type=int, default=200, help="dataset size")
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats (best kept)"
+    )
     return parser
 
 
@@ -155,6 +168,20 @@ def _cmd_conflict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import PERF, render_benchmark, run_inference_benchmark
+
+    result = run_inference_benchmark(
+        dataset_id=args.dataset,
+        count=args.count,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(render_benchmark(result))
+    print(PERF.report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -167,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "conflict":
         return _cmd_conflict(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

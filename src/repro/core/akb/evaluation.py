@@ -34,14 +34,18 @@ def predict_detailed(
     AKB scorer break ties between candidates whose hard metric is
     identical on a tiny validation set.
     """
+    examples = list(examples)
+    pools = [task.candidates(ex, knowledge, dataset) for ex in examples]
+    prompts = [task.prompt(ex, knowledge) for ex in examples]
+    # One engine call scores the whole validation set; Eq. 8 runs this
+    # once per knowledge candidate, so batching here is the difference
+    # between O(pool·|D_valid|) engine calls and O(pool).
+    distributions = model.probabilities_batch(prompts, pools)
     golds: List[str] = []
     preds: List[str] = []
     margins: List[float] = []
     errors: List[ErrorCase] = []
-    for example in examples:
-        pool = task.candidates(example, knowledge, dataset)
-        prompt = task.prompt(example, knowledge)
-        probabilities = model.probabilities(prompt, pool)
+    for example, pool, probabilities in zip(examples, pools, distributions):
         prediction = pool[int(probabilities.argmax())]
         if example.answer in pool:
             margins.append(float(probabilities[pool.index(example.answer)]))

@@ -43,6 +43,12 @@ class AdaptedModel:
     def predict(self, example: Example) -> str:
         return self.task.predict(self.model, example, self.knowledge, self.dataset)
 
+    def predict_batch(self, examples: Sequence[Example]) -> Sequence[str]:
+        """Batched greedy predictions (one inference-engine call)."""
+        return self.task.predict_batch(
+            self.model, examples, self.knowledge, self.dataset
+        )
+
     def evaluate(self, examples: Sequence[Example]) -> float:
         return self.task.evaluate(
             self.model, examples, self.knowledge, self.dataset

@@ -29,7 +29,7 @@ __all__ = [
     "clear_split_cache",
 ]
 
-_SPLITS: Dict[Tuple[str, int, int, float], DatasetSplits] = {}
+_SPLITS: Dict[Tuple[str, int, int, int, float], DatasetSplits] = {}
 
 
 def load_splits(
@@ -40,7 +40,7 @@ def load_splits(
     scale: float = 1.0,
 ) -> DatasetSplits:
     """Generate and split a downstream dataset (memoised)."""
-    key = (dataset_id, count or -1, seed, scale)
+    key = (dataset_id, count or -1, seed, few_shot, scale)
     if key not in _SPLITS:
         dataset = generators.build(dataset_id, count=count, seed=seed, scale=scale)
         _SPLITS[key] = split_dataset(dataset, few_shot=few_shot, seed=seed)
@@ -74,9 +74,17 @@ def adapt_single(
 
 
 def evaluate_method(method, examples: Sequence[Example], task: str) -> float:
-    """Score any object exposing ``predict(example) -> str``."""
+    """Score any object exposing ``predict(example) -> str``.
+
+    Methods that also expose ``predict_batch(examples) -> List[str]``
+    (adapted models, ICL baselines) are scored through the batched
+    inference engine; plain per-example predictors still work.
+    """
     golds = [ex.answer for ex in examples]
-    preds = [method.predict(ex) for ex in examples]
+    if hasattr(method, "predict_batch"):
+        preds = list(method.predict_batch(examples))
+    else:
+        preds = [method.predict(ex) for ex in examples]
     originals = None
     if task == "dc":
         originals = [

@@ -16,7 +16,7 @@ included) for token accounting (paper Table III).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -79,11 +79,8 @@ class ICLModel:
         self.dataset = dataset
         self.limit = limit
         self.vote_weight = vote_weight
-        self._demo_features = np.stack(
-            [
-                model.encode_prompt(task.prompt(demo, knowledge))
-                for demo in self.demonstrations
-            ]
+        self._demo_features = model.encode_prompts(
+            [task.prompt(demo, knowledge) for demo in self.demonstrations]
         )
         self._demo_answers = [demo.answer for demo in self.demonstrations]
 
@@ -106,12 +103,27 @@ class ICLModel:
         return votes
 
     def predict(self, example: Example) -> str:
-        pool = list(self.task.candidates(example, self.knowledge, self.dataset))
-        prompt = self.task.prompt(example, self.knowledge)
-        logits = self.model.logits(prompt, pool)
-        vote = self._vote(self.model.encode_prompt(prompt), pool)
-        combined = logits + self.vote_weight * vote
-        return pool[int(np.argmax(combined))]
+        return self.predict_batch([example])[0]
+
+    def predict_batch(self, examples: Sequence[Example]) -> List[str]:
+        """Batched ICL decode: one engine call plus a vectorized vote.
+
+        All query logits come from ``logits_batch`` and all
+        demonstration similarities from a single ``(n, n_demo)`` matmul;
+        only the tiny per-pool vote scatter stays per-example.
+        """
+        pools = [
+            list(self.task.candidates(ex, self.knowledge, self.dataset))
+            for ex in examples
+        ]
+        prompts = [self.task.prompt(ex, self.knowledge) for ex in examples]
+        logits_list = self.model.logits_batch(prompts, pools)
+        queries = self.model.encode_prompts(prompts)
+        predictions = []
+        for query, pool, logits in zip(queries, pools, logits_list):
+            combined = logits + self.vote_weight * self._vote(query, pool)
+            predictions.append(pool[int(np.argmax(combined))])
+        return predictions
 
     def transmitted_prompt(self, example: Example) -> str:
         """The full API-style prompt (for token accounting)."""

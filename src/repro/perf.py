@@ -1,0 +1,257 @@
+"""Lightweight performance observability for the batched inference engine.
+
+A process-global :class:`PerfRegistry` collects named counters and
+wall-clock timers from the hot paths (featurization, batched scoring)
+with near-zero overhead — a dict increment per *batch*, not per
+example.  Nothing here affects numerics; the registry exists so the
+perf trajectory of the substrate can be inspected (``python -m repro
+perf``) and tracked across PRs (``benchmarks/bench_perf_inference.py``
+writes ``BENCH_inference.json``).
+
+Derived statistics (cache hit-rates, examples/sec) are computed at
+report time from the raw counters, never maintained incrementally.
+
+The module is import-light on purpose: the tinylm substrate imports it
+for instrumentation, so it must not import the substrate back at module
+scope.  The benchmark helpers at the bottom lazily import the rest of
+the package.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["PerfRegistry", "PERF", "run_inference_benchmark", "render_benchmark"]
+
+
+class PerfRegistry:
+    """Named monotonic counters plus accumulated wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, List[float]] = {}  # name -> [seconds, calls]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under timer ``name``."""
+        slot = self._timers.get(name)
+        if slot is None:
+            self._timers[name] = [seconds, 1]
+        else:
+            slot[0] += seconds
+            slot[1] += 1
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the elapsed wall-clock time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        slot = self._timers.get(name)
+        return slot[0] if slot else 0.0
+
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """``hits / (hits + misses)`` over two counters (0.0 when idle)."""
+        h, m = self.counter(hits), self.counter(misses)
+        total = h + m
+        return h / total if total else 0.0
+
+    def throughput(self, counter: str, timer: str) -> float:
+        """Counter units per second of accumulated timer time."""
+        elapsed = self.seconds(timer)
+        return self.counter(counter) / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-friendly copy of all raw counters and timers."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {
+                name: {"seconds": slot[0], "calls": slot[1]}
+                for name, slot in self._timers.items()
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+    def report(self) -> str:
+        """Human-readable dump with the derived rates the CLI prints."""
+        lines = ["perf counters:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name:<40} {self._counters[name]:>12}")
+        if self._timers:
+            lines.append("perf timers:")
+            for name in sorted(self._timers):
+                seconds, calls = self._timers[name]
+                lines.append(
+                    f"  {name:<40} {seconds:>9.4f}s over {calls} calls"
+                )
+        derived = []
+        for label, hits, misses in (
+            ("featurizer sparse cache", "featurizer.sparse_hits",
+             "featurizer.sparse_misses"),
+            ("prompt cache", "model.prompt_hits", "model.prompt_misses"),
+            ("candidate cache", "model.candidate_hits",
+             "model.candidate_misses"),
+        ):
+            if self.counter(hits) + self.counter(misses):
+                derived.append(
+                    f"  {label + ' hit-rate':<40} "
+                    f"{self.hit_rate(hits, misses):>11.1%}"
+                )
+        if self.counter("model.examples") and self.seconds("model.forward"):
+            derived.append(
+                f"  {'scored examples/sec':<40} "
+                f"{self.throughput('model.examples', 'model.forward'):>12.0f}"
+            )
+        if derived:
+            lines.append("derived:")
+            lines.extend(derived)
+        return "\n".join(lines)
+
+
+#: The process-global registry every instrumented component records into.
+PERF = PerfRegistry()
+
+
+# ----------------------------------------------------------------------
+# Inference micro-benchmark (shared by ``python -m repro perf`` and
+# ``benchmarks/bench_perf_inference.py``)
+# ----------------------------------------------------------------------
+def _best_of(repeats: int, fn: Callable[[], object]) -> tuple:
+    """``(best_seconds, last_result)`` over ``repeats`` timed runs."""
+    best = float("inf")
+    result = None
+    for __ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_inference_benchmark(
+    dataset_id: str = "em/abt_buy",
+    count: int = 200,
+    seed: int = 0,
+    repeats: int = 3,
+    model=None,
+) -> Dict:
+    """Time per-example vs batched scoring on one downstream workload.
+
+    The workload is the validation + test split of ``dataset_id`` (the
+    Table II evaluation surface).  Both paths are measured twice:
+
+    * **cold** — all featurization caches cleared, one pass; dominated
+      by hashing, so it bounds the worst case.
+    * **warm** — caches pre-populated, best of ``repeats``; this is the
+      steady state of the AKB loop (Eq. 8 re-scores the same validation
+      set for every knowledge candidate) and the number the ≥3× gate in
+      ``bench_perf_inference.py`` checks.
+
+    Returns a JSON-ready dict; predictions from both paths are compared
+    and reported under ``predictions_identical``.
+    """
+    from .data import generators
+    from .data.splits import split_dataset
+    from .knowledge.seed import seed_knowledge
+    from .tasks.base import get_task
+    from .tinylm.model import ModelConfig, ScoringLM
+    from .tinylm.tokenizer import HashedFeaturizer
+
+    dataset = generators.build(dataset_id, count=count, seed=seed)
+    splits = split_dataset(dataset, few_shot=20, seed=seed)
+    examples = list(splits.validation.examples) + list(splits.test.examples)
+    task = get_task(dataset.task)
+    knowledge = seed_knowledge(dataset.task)
+    if model is None:
+        # Scoring cost is independent of the weight values, so an
+        # untrained model with the 7B-analogue geometry measures the
+        # same hot path without paying for pretraining.
+        model = ScoringLM(ModelConfig(name="bench", seed=seed))
+
+    prompts = [task.prompt(ex, knowledge) for ex in examples]
+    pools = [task.candidates(ex, knowledge, dataset) for ex in examples]
+    n = len(examples)
+
+    def clear_caches() -> None:
+        HashedFeaturizer.clear_shared_caches()
+        model._candidate_cache.clear()
+        model._prompt_cache.clear()
+
+    def run_per_example() -> List[int]:
+        return [model.predict(p, pool) for p, pool in zip(prompts, pools)]
+
+    def run_batched() -> List[int]:
+        return model.predict_batch(prompts, pools)
+
+    # Cold single passes (order matters: each starts from empty caches).
+    clear_caches()
+    cold_per_example, __ = _best_of(1, run_per_example)
+    clear_caches()
+    cold_batched, __ = _best_of(1, run_batched)
+
+    # Warm steady state: caches stay populated between repeats.
+    per_example_seconds, per_example_preds = _best_of(repeats, run_per_example)
+    PERF.reset()
+    batched_seconds, batched_preds = _best_of(repeats, run_batched)
+    counters = PERF.snapshot()
+
+    speedup = per_example_seconds / batched_seconds if batched_seconds else 0.0
+    return {
+        "workload": dataset_id,
+        "examples": n,
+        "candidates": sum(len(pool) for pool in pools),
+        "repeats": repeats,
+        "per_example": {
+            "seconds": per_example_seconds,
+            "examples_per_sec": n / per_example_seconds,
+        },
+        "batched": {
+            "seconds": batched_seconds,
+            "examples_per_sec": n / batched_seconds,
+        },
+        "cold": {
+            "per_example_seconds": cold_per_example,
+            "batched_seconds": cold_batched,
+        },
+        "speedup": speedup,
+        "predictions_identical": batched_preds == per_example_preds,
+        "perf": counters,
+    }
+
+
+def render_benchmark(result: Dict) -> str:
+    """Format :func:`run_inference_benchmark` output for the terminal."""
+    lines = [
+        f"batched inference benchmark — {result['workload']} "
+        f"({result['examples']} examples, {result['candidates']} candidates)",
+        f"  per-example: {result['per_example']['seconds']:.4f}s "
+        f"({result['per_example']['examples_per_sec']:.0f} ex/s)",
+        f"  batched:     {result['batched']['seconds']:.4f}s "
+        f"({result['batched']['examples_per_sec']:.0f} ex/s)",
+        f"  speedup:     {result['speedup']:.1f}x (warm caches, best of "
+        f"{result['repeats']})",
+        f"  cold pass:   per-example {result['cold']['per_example_seconds']:.4f}s, "
+        f"batched {result['cold']['batched_seconds']:.4f}s",
+        f"  predictions identical: {result['predictions_identical']}",
+    ]
+    return "\n".join(lines)

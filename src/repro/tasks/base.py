@@ -75,6 +75,19 @@ class Task:
         index = model.predict(self.prompt(example, knowledge), pool)
         return pool[index]
 
+    def predict_batch(
+        self,
+        model: ScoringLM,
+        examples: Sequence[Example],
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+    ) -> List[str]:
+        """Greedy predictions for many examples in one engine call."""
+        pools = [self.candidates(ex, knowledge, dataset) for ex in examples]
+        prompts = [self.prompt(ex, knowledge) for ex in examples]
+        picks = model.predict_batch(prompts, pools)
+        return [pool[index] for pool, index in zip(pools, picks)]
+
     def evaluate(
         self,
         model: ScoringLM,
@@ -84,7 +97,7 @@ class Task:
     ) -> float:
         """Score the model on examples with the task's paper metric."""
         golds = [ex.answer for ex in examples]
-        preds = [self.predict(model, ex, knowledge, dataset) for ex in examples]
+        preds = self.predict_batch(model, examples, knowledge, dataset)
         originals = None
         if self.name == "dc":
             originals = [

@@ -19,6 +19,8 @@ __all__ = [
     "relu_grad",
     "xavier_init",
     "gaussian_init",
+    "segment_softmax",
+    "segment_logsumexp",
 ]
 
 
@@ -54,6 +56,38 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 def cross_entropy(logits: np.ndarray, target_index: int) -> float:
     """Negative log-likelihood of ``target_index`` under softmax(logits)."""
     return float(-log_softmax(logits)[target_index])
+
+
+def _segment_shift(values: np.ndarray, offsets: np.ndarray) -> tuple:
+    """Per-segment max-shifted values plus helper index arrays.
+
+    ``offsets`` is the ``(n+1,)`` prefix-sum layout of a ragged batch:
+    segment ``i`` spans ``values[offsets[i]:offsets[i+1]]``.  Segments
+    must be non-empty (candidate pools always are).
+    """
+    starts = offsets[:-1]
+    rows = np.repeat(
+        np.arange(starts.size), np.diff(offsets).astype(np.intp)
+    )
+    seg_max = np.maximum.reduceat(values, starts)
+    return values - seg_max[rows], rows, starts, seg_max
+
+
+def segment_softmax(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Softmax independently over each ragged segment of ``values``."""
+    if values.size == 0:
+        return np.zeros_like(values)
+    shifted, rows, starts, __ = _segment_shift(values, offsets)
+    exp = np.exp(shifted)
+    return exp / np.add.reduceat(exp, starts)[rows]
+
+
+def segment_logsumexp(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Stable ``log(sum(exp(·)))`` per ragged segment; returns ``(n,)``."""
+    if values.size == 0:
+        return np.zeros(0)
+    shifted, __, starts, seg_max = _segment_shift(values, offsets)
+    return np.log(np.add.reduceat(np.exp(shifted), starts)) + seg_max
 
 
 def relu(x: np.ndarray) -> np.ndarray:

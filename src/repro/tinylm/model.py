@@ -17,19 +17,48 @@ the paper's token-level maximum-likelihood objective (Eq. 3).
 
 All three weight matrices (``encoder.W1``, ``encoder.W2``, ``answer.V``)
 are LoRA targets, mirroring "apply LoRA to the attention projections".
+
+Batched engine
+--------------
+Every scoring path — training, greedy decode, the AKB Eq. 8 loop — runs
+through one vectorized ragged forward: prompts are encoded once into an
+``(n, D)`` matrix, the variable-size candidate pools are flattened into a
+single ``(M, D)`` matrix with a ``(n+1,)`` offsets array, and all ``M``
+logits come out of two matmuls plus a segment softmax.  The scoring
+formula lives in exactly one place (:meth:`ScoringLM._score_flat`); the
+single-example ``logits``/``predict`` methods are one-row batches.
+Featurization is cached at three levels (see ``docs/performance.md``):
+the featurizer's shared sparse text cache plus per-feature-space dense
+prompt and candidate caches that survive :meth:`ScoringLM.clone`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .linalg import relu, relu_grad, rng_for, softmax, xavier_init
+from ..perf import PERF
+from .linalg import (
+    relu,
+    relu_grad,
+    rng_for,
+    segment_logsumexp,
+    segment_softmax,
+    softmax,
+    xavier_init,
+)
 from .tokenizer import HashedFeaturizer
 
-__all__ = ["ModelConfig", "EncodedExample", "ScoringLM", "LORA_TARGETS"]
+__all__ = [
+    "ModelConfig",
+    "EncodedExample",
+    "RaggedBatch",
+    "ScoringLM",
+    "LORA_TARGETS",
+]
 
 LORA_TARGETS = ("encoder.W1", "encoder.W2", "answer.V")
 
@@ -77,16 +106,68 @@ class EncodedExample:
 
 
 @dataclass
+class RaggedBatch:
+    """A batch of prompts with variable-size candidate pools, flattened.
+
+    Candidate features are stored deduplicated: ``Yu`` holds one row per
+    *distinct* candidate string and ``cand_index`` maps each of the
+    ``M`` flat pool slots to its ``Yu`` row.  Classification-style tasks
+    share one small pool across every prompt, so ``u ≪ M`` and the
+    engine embeds each distinct candidate exactly once.  ``rows`` maps
+    each flat slot back to its prompt row; slot ``m`` of prompt ``i``
+    lives in the flat range ``offsets[i]:offsets[i+1]``.
+    """
+
+    X: np.ndarray  # (n, D) prompt features
+    Yu: np.ndarray  # (u, D) distinct candidate features
+    cand_index: np.ndarray  # (M,) flat slot -> Yu row
+    offsets: np.ndarray  # (n+1,) prefix sums of pool sizes
+    rows: np.ndarray  # (M,) prompt row of each flat slot
+    targets: np.ndarray  # (n,) reference index within each pool
+    weights: np.ndarray  # (n,) per-example loss weights
+
+    _Y: Optional[np.ndarray] = None
+
+    @property
+    def n(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Total flat candidate slots across all pools."""
+        return self.cand_index.shape[0]
+
+    @property
+    def Y(self) -> np.ndarray:
+        """The materialised ``(M, D)`` flat candidate matrix (memoised).
+
+        The backward pass needs per-slot rows; for training batches the
+        slots are already distinct so this is ``Yu`` itself.
+        """
+        if self._Y is None:
+            if self.Yu.shape[0] == self.m:
+                self._Y = self.Yu
+            else:
+                self._Y = self.Yu[self.cand_index]
+        return self._Y
+
+    @property
+    def target_flat(self) -> np.ndarray:
+        """Flat positions of the reference candidates."""
+        return self.offsets[:-1] + self.targets
+
+
+@dataclass
 class _Cache:
     """Intermediate activations needed for the backward pass."""
 
-    X: np.ndarray
-    H_pre: np.ndarray
-    H: np.ndarray
-    U: np.ndarray
-    per_example: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
-        default_factory=list
-    )  # (cand_feats Y, cand_embs Vy, probs)
+    batch: RaggedBatch
+    H_pre: np.ndarray  # (n, k)
+    H: np.ndarray  # (n, k)
+    U: np.ndarray  # (n, k)
+    Vy: np.ndarray  # (M, k)
+    overlap: np.ndarray  # (M,) prompt·candidate feature overlap
+    probs: np.ndarray  # (M,) flat softmax over each pool
 
 
 class ScoringLM:
@@ -97,6 +178,14 @@ class ScoringLM:
     weights without touching the frozen base parameters, exactly like PEFT
     adapters on a transformer.
     """
+
+    #: Bound on the dense candidate-feature memo (entries stop being
+    #: added past this point; the model stays correct, only slower).
+    CANDIDATE_CACHE_SIZE = 200_000
+
+    #: Bound on the dense prompt-feature LRU (prompts are long, so this
+    #: cache is kept tighter than the candidate memo).
+    PROMPT_CACHE_SIZE = 4096
 
     def __init__(self, config: ModelConfig):
         self.config = config
@@ -118,7 +207,10 @@ class ScoringLM:
         self.featurizer = HashedFeaturizer(dim=d, salt=config.featurizer_salt)
         self.adapter = None
         self._scale = 1.0 / np.sqrt(k)
+        # Dense featurization memos.  Encoding is weight-independent, so
+        # clones sharing the same feature space share these dicts.
         self._candidate_cache: Dict[str, np.ndarray] = {}
+        self._prompt_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Weights
@@ -161,7 +253,13 @@ class ScoringLM:
         return sum(w.size for w in self.weights.values())
 
     def clone(self, name: Optional[str] = None) -> "ScoringLM":
-        """Deep copy of base weights (the adapter is *not* copied)."""
+        """Deep copy of base weights (the adapter is *not* copied).
+
+        Featurization caches are shared with the clone: encoding depends
+        only on the feature space (salt + dim), never on the weights, so
+        cross-fit shadow models and per-tier baselines reuse every
+        already-hashed string instead of starting cold.
+        """
         config = self.config
         if name is not None:
             config = ModelConfig(
@@ -174,13 +272,38 @@ class ScoringLM:
         copy = ScoringLM(config)
         for key, value in self.weights.items():
             copy.weights[key] = value.copy()
+        if (
+            copy.config.feature_dim == self.config.feature_dim
+            and copy.config.featurizer_salt == self.config.featurizer_salt
+        ):
+            copy._candidate_cache = self._candidate_cache
+            copy._prompt_cache = self._prompt_cache
         return copy
 
     # ------------------------------------------------------------------
     # Featurization
     # ------------------------------------------------------------------
     def encode_prompt(self, text: str) -> np.ndarray:
-        return self.featurizer.encode(text)
+        """Featurize a prompt, memoising the dense row (LRU-bounded)."""
+        cache = self._prompt_cache
+        vec = cache.get(text)
+        if vec is not None:
+            cache.move_to_end(text)
+            PERF.count("model.prompt_hits")
+            return vec
+        PERF.count("model.prompt_misses")
+        vec = self.featurizer.encode(text)
+        vec.setflags(write=False)
+        cache[text] = vec
+        if len(cache) > self.PROMPT_CACHE_SIZE:
+            cache.popitem(last=False)
+        return vec
+
+    def encode_prompts(self, texts: Sequence[str]) -> np.ndarray:
+        """Featurize a batch of prompts into an ``(n, D)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.config.feature_dim))
+        return np.stack([self.encode_prompt(t) for t in texts])
 
     def encode_candidates(self, texts: Sequence[str]) -> np.ndarray:
         """Featurize candidates, memoising individual strings."""
@@ -188,9 +311,13 @@ class ScoringLM:
         for text in texts:
             vec = self._candidate_cache.get(text)
             if vec is None:
+                PERF.count("model.candidate_misses")
                 vec = self.featurizer.encode(text)
-                if len(self._candidate_cache) < 200_000:
+                vec.setflags(write=False)
+                if len(self._candidate_cache) < self.CANDIDATE_CACHE_SIZE:
                     self._candidate_cache[text] = vec
+            else:
+                PERF.count("model.candidate_hits")
             rows.append(vec)
         if not rows:
             return np.zeros((0, self.config.feature_dim))
@@ -206,48 +333,193 @@ class ScoringLM:
         )
 
     # ------------------------------------------------------------------
-    # Forward
+    # Ragged batch assembly
     # ------------------------------------------------------------------
-    def _forward(self, batch: Sequence[EncodedExample]) -> Tuple[np.ndarray, _Cache]:
+    @staticmethod
+    def _offsets_for(sizes: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Prefix-sum offsets plus the flat→row index map."""
+        sizes = np.asarray(sizes, dtype=np.intp)
+        offsets = np.zeros(sizes.size + 1, dtype=np.intp)
+        np.cumsum(sizes, out=offsets[1:])
+        rows = np.repeat(np.arange(sizes.size), sizes)
+        return offsets, rows
+
+    def _ragged_from_encoded(
+        self, batch: Sequence[EncodedExample]
+    ) -> RaggedBatch:
+        offsets, rows = self._offsets_for(
+            [ex.candidates.shape[0] for ex in batch]
+        )
+        Y = np.concatenate([ex.candidates for ex in batch])
+        return RaggedBatch(
+            X=np.stack([ex.prompt for ex in batch]),
+            Yu=Y,
+            cand_index=np.arange(Y.shape[0], dtype=np.intp),
+            offsets=offsets,
+            rows=rows,
+            targets=np.asarray([ex.target for ex in batch], dtype=np.intp),
+            weights=np.asarray([ex.weight for ex in batch]),
+        )
+
+    def _ragged_from_text(
+        self, prompts: Sequence[str], pools: Sequence[Sequence[str]]
+    ) -> RaggedBatch:
+        if len(prompts) != len(pools):
+            raise ValueError(
+                f"{len(prompts)} prompts but {len(pools)} candidate pools"
+            )
+        for pool in pools:
+            if not pool:
+                raise ValueError("candidate pools must be non-empty")
+        # Dedup candidate strings so shared pools (yes/no, label
+        # vocabularies) are embedded once, not once per prompt.
+        index_of: Dict[str, int] = {}
+        distinct: List[str] = []
+        cand_index: List[int] = []
+        for pool in pools:
+            for candidate in pool:
+                slot = index_of.get(candidate)
+                if slot is None:
+                    slot = len(distinct)
+                    index_of[candidate] = slot
+                    distinct.append(candidate)
+                cand_index.append(slot)
+        offsets, rows = self._offsets_for([len(pool) for pool in pools])
+        return RaggedBatch(
+            X=self.encode_prompts(prompts),
+            Yu=self.encode_candidates(distinct),
+            cand_index=np.asarray(cand_index, dtype=np.intp),
+            offsets=offsets,
+            rows=rows,
+            targets=np.zeros(len(prompts), dtype=np.intp),
+            weights=np.ones(len(prompts)),
+        )
+
+    # ------------------------------------------------------------------
+    # Forward — the one place the scoring formula lives
+    # ------------------------------------------------------------------
+    def _score_flat(self, rb: RaggedBatch) -> Tuple[np.ndarray, _Cache]:
+        """All candidate logits of a ragged batch via two matmuls.
+
+        Encoder activations are computed once per *prompt*; candidate
+        embeddings once per *distinct candidate*.  When pools are shared
+        (``n·u`` comparable to ``M``) the whole score surface is one
+        dense ``(n, u)`` GEMM and the flat logits are a single gather;
+        otherwise per-slot row-gathered einsums keep the cost at
+        ``O(M·D)``.
+        """
         W1 = self.effective_weight("encoder.W1")
         W2 = self.effective_weight("encoder.W2")
         V = self.effective_weight("answer.V")
         b = self.weights["answer.b"]
-        X = np.stack([ex.prompt for ex in batch])
-        H_pre = X @ W1.T + self.weights["encoder.b1"]
+        gamma = float(self.weights["copy.gamma"][0])
+        H_pre = rb.X @ W1.T + self.weights["encoder.b1"]
         H = relu(H_pre)
         U = H @ W2.T + self.weights["encoder.b2"]
-        gamma = float(self.weights["copy.gamma"][0])
-        cache = _Cache(X=X, H_pre=H_pre, H=H, U=U)
-        losses = np.zeros(len(batch))
-        for i, ex in enumerate(batch):
-            Y = ex.candidates
-            Vy = Y @ V.T  # (m, k)
-            logits = self._scale * (Vy @ U[i]) + Y @ b + gamma * (Y @ X[i])
-            shifted = logits - logits.max()
-            log_z = np.log(np.exp(shifted).sum())
-            losses[i] = (log_z - shifted[ex.target]) * ex.weight
-            probs = np.exp(shifted - log_z)
-            cache.per_example.append((Y, Vy, probs))
+        Vy_u = rb.Yu @ V.T  # (u, k) — one embedding per distinct candidate
+        yb_u = rb.Yu @ b
+        u, m = rb.Yu.shape[0], rb.m
+        if u * rb.n <= 2 * m:
+            # Dense cross-product: score every prompt against every
+            # distinct candidate with GEMMs, then gather the pool slots.
+            P = rb.X @ rb.Yu.T  # (n, u) prompt·candidate feature overlap
+            S = self._scale * (U @ Vy_u.T) + gamma * P + yb_u
+            logits = S[rb.rows, rb.cand_index]
+            overlap = P[rb.rows, rb.cand_index]
+            Vy = Vy_u[rb.cand_index]
+        else:
+            Vy = Vy_u[rb.cand_index]  # (M, k)
+            X_rows = rb.X[rb.rows]  # (M, D) gather of each slot's prompt
+            overlap = np.einsum("md,md->m", rb.Y, X_rows)
+            logits = (
+                self._scale * np.einsum("mk,mk->m", Vy, U[rb.rows])
+                + yb_u[rb.cand_index]
+                + gamma * overlap
+            )
+        cache = _Cache(
+            batch=rb,
+            H_pre=H_pre,
+            H=H,
+            U=U,
+            Vy=Vy,
+            overlap=overlap,
+            probs=np.zeros(0),
+        )
+        PERF.count("model.batches")
+        PERF.count("model.examples", rb.n)
+        PERF.count("model.candidates", m)
+        return logits, cache
+
+    def _forward(
+        self, batch: Sequence[EncodedExample]
+    ) -> Tuple[np.ndarray, _Cache]:
+        """Per-example weighted CE losses plus the backward cache."""
+        rb = self._ragged_from_encoded(batch)
+        logits, cache = self._score_flat(rb)
+        log_z = segment_logsumexp(logits, rb.offsets)
+        losses = (log_z - logits[rb.target_flat]) * rb.weights
+        cache.probs = segment_softmax(logits, rb.offsets)
         return losses, cache
 
+    # ------------------------------------------------------------------
+    # Batched inference API
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self, prompts: Sequence[str], pools: Sequence[Sequence[str]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw engine output: ``(flat_logits, offsets)`` for ragged pools.
+
+        Prompt ``i``'s logits are ``flat_logits[offsets[i]:offsets[i+1]]``.
+        """
+        if not prompts:
+            return np.zeros(0), np.zeros(1, dtype=np.intp)
+        with PERF.timer("model.forward"):
+            rb = self._ragged_from_text(prompts, pools)
+            logits, __ = self._score_flat(rb)
+        return logits, rb.offsets
+
+    def logits_batch(
+        self, prompts: Sequence[str], pools: Sequence[Sequence[str]]
+    ) -> List[np.ndarray]:
+        """Per-prompt candidate logits (a ragged list of arrays)."""
+        flat, offsets = self.forward_batch(prompts, pools)
+        return [
+            flat[offsets[i] : offsets[i + 1]] for i in range(len(prompts))
+        ]
+
+    def probabilities_batch(
+        self, prompts: Sequence[str], pools: Sequence[Sequence[str]]
+    ) -> List[np.ndarray]:
+        """Per-prompt softmax distributions over each candidate pool."""
+        flat, offsets = self.forward_batch(prompts, pools)
+        probs = segment_softmax(flat, offsets)
+        return [
+            probs[offsets[i] : offsets[i + 1]] for i in range(len(prompts))
+        ]
+
+    def predict_batch(
+        self, prompts: Sequence[str], pools: Sequence[Sequence[str]]
+    ) -> List[int]:
+        """Greedy decode for every prompt: argmax index into its pool."""
+        flat, offsets = self.forward_batch(prompts, pools)
+        return [
+            int(np.argmax(flat[offsets[i] : offsets[i + 1]]))
+            for i in range(len(prompts))
+        ]
+
+    # ------------------------------------------------------------------
+    # Single-example API (one-row batches of the same engine)
+    # ------------------------------------------------------------------
     def logits(self, prompt: str, candidates: Sequence[str]) -> np.ndarray:
         """Raw candidate logits for one prompt."""
-        ex = self.encode_example(prompt, candidates, target=0)
-        __, cache = self._forward([ex])
-        Y, Vy, __probs = cache.per_example[0]
-        b = self.weights["answer.b"]
-        gamma = float(self.weights["copy.gamma"][0])
-        return (
-            self._scale * (Vy @ cache.U[0]) + Y @ b + gamma * (Y @ ex.prompt)
-        )
+        return self.logits_batch([prompt], [candidates])[0]
 
     def probabilities(self, prompt: str, candidates: Sequence[str]) -> np.ndarray:
         return softmax(self.logits(prompt, candidates))
 
     def predict(self, prompt: str, candidates: Sequence[str]) -> int:
         """Greedy decode: index of the highest-likelihood candidate."""
-        return int(np.argmax(self.logits(prompt, candidates)))
+        return self.predict_batch([prompt], [candidates])[0]
 
     def sample(
         self,
@@ -287,52 +559,55 @@ class ScoringLM:
 
         Returns ``(loss, base_grads, adapter_grads)`` where ``base_grads``
         is empty when ``train_base`` is False and ``adapter_grads`` is
-        empty when no adapter is attached.
+        empty when no adapter is attached.  The backward pass is fully
+        vectorized over the ragged batch — no per-example Python loop.
         """
         if not batch:
             raise ValueError("empty batch")
-        losses, cache = self._forward(batch)
-        n = len(batch)
-        W2 = self.effective_weight("encoder.W2")
-        k, d = self.config.hidden_dim, self.config.feature_dim
+        with PERF.timer("model.backward"):
+            losses, cache = self._forward(batch)
+            rb = cache.batch
+            n = rb.n
+            W2 = self.effective_weight("encoder.W2")
+            starts = rb.offsets[:-1]
 
-        dU = np.zeros((n, k))
-        dV_eff = np.zeros((k, d))
-        db_ans = np.zeros(d)
-        dgamma = 0.0
-        for i, ex in enumerate(batch):
-            Y, Vy, probs = cache.per_example[i]
-            dlogits = probs.copy()
-            dlogits[ex.target] -= 1.0
-            dlogits *= ex.weight / n
-            dU[i] = self._scale * (dlogits @ Vy)
-            dV_eff += self._scale * np.outer(cache.U[i], dlogits @ Y)
-            db_ans += dlogits @ Y
-            dgamma += float(dlogits @ (Y @ cache.X[i]))
-        dH = dU @ W2
-        dH_pre = dH * relu_grad(cache.H_pre)
-        dW2_eff = dU.T @ cache.H
-        dW1_eff = dH_pre.T @ cache.X
-        effective_grads = {
-            "encoder.W1": dW1_eff,
-            "encoder.W2": dW2_eff,
-            "answer.V": dV_eff,
-        }
+            dlogits = cache.probs.copy()
+            dlogits[rb.target_flat] -= 1.0
+            dlogits *= (rb.weights / n)[rb.rows]
+            # dU_i = scale · Σ_j dlogits_ij Vy_ij  — a segment sum.
+            dU = self._scale * np.add.reduceat(
+                dlogits[:, None] * cache.Vy, starts, axis=0
+            )
+            # dV = scale · Σ_m dlogits_m · U_{row(m)} ⊗ Y_m as one matmul.
+            dV_eff = self._scale * (
+                (cache.U[rb.rows] * dlogits[:, None]).T @ rb.Y
+            )
+            db_ans = dlogits @ rb.Y
+            dgamma = float(dlogits @ cache.overlap)
+            dH = dU @ W2
+            dH_pre = dH * relu_grad(cache.H_pre)
+            dW2_eff = dU.T @ cache.H
+            dW1_eff = dH_pre.T @ rb.X
+            effective_grads = {
+                "encoder.W1": dW1_eff,
+                "encoder.W2": dW2_eff,
+                "answer.V": dV_eff,
+            }
 
-        base_grads: Dict[str, np.ndarray] = {}
-        if train_base:
-            base_grads = dict(effective_grads)
-            base_grads["encoder.b1"] = dH_pre.sum(axis=0)
-            base_grads["encoder.b2"] = dU.sum(axis=0)
-            base_grads["answer.b"] = db_ans
-            base_grads["copy.gamma"] = np.array([dgamma])
+            base_grads: Dict[str, np.ndarray] = {}
+            if train_base:
+                base_grads = dict(effective_grads)
+                base_grads["encoder.b1"] = dH_pre.sum(axis=0)
+                base_grads["encoder.b2"] = dU.sum(axis=0)
+                base_grads["answer.b"] = db_ans
+                base_grads["copy.gamma"] = np.array([dgamma])
 
-        adapter_grads: Dict[str, np.ndarray] = {}
-        if self.adapter is not None:
-            for name, d_weight in effective_grads.items():
-                for key, grad in self.adapter.grad_wrt(name, d_weight).items():
-                    if key in adapter_grads:
-                        adapter_grads[key] = adapter_grads[key] + grad
-                    else:
-                        adapter_grads[key] = grad
+            adapter_grads: Dict[str, np.ndarray] = {}
+            if self.adapter is not None:
+                for name, d_weight in effective_grads.items():
+                    for key, grad in self.adapter.grad_wrt(name, d_weight).items():
+                        if key in adapter_grads:
+                            adapter_grads[key] = adapter_grads[key] + grad
+                        else:
+                            adapter_grads[key] = grad
         return float(losses.mean()), base_grads, adapter_grads

@@ -6,15 +6,28 @@ unigrams, word bigrams and character trigrams into signed buckets
 (feature hashing, a.k.a. the hashing trick).  Hashing is based on
 blake2b so it is stable across processes and Python versions —
 ``hash()`` randomisation would make models irreproducible.
+
+Internally everything is built on a *sparse* intermediate: hashing a
+string yields an ``(indices, values)`` pair — sorted unique bucket
+indices with their accumulated signed, L2-normalised weights.  Dense
+vectors and batch matrices are scatter-assembled from sparse rows, and
+the sparse rows themselves live in an LRU-bounded text cache.  Because
+featurization is a pure function of ``(salt, dim, flags, text)``, the
+caches are content-addressed and shared process-wide between featurizer
+instances with the same configuration — clones and per-tier baselines
+never re-hash a string any instance has seen.
 """
 
 from __future__ import annotations
 
 import hashlib
 import re
-from typing import Dict, Iterable, List, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+from ..perf import PERF
 
 __all__ = ["normalize", "tokenize", "count_tokens", "HashedFeaturizer"]
 
@@ -47,6 +60,12 @@ def _stable_hash(data: str) -> int:
     return int.from_bytes(digest, "little")
 
 
+#: Sparse representation of one featurized string: sorted unique bucket
+#: indices and their accumulated (unit-norm) signed weights.  Both
+#: arrays are marked read-only because they are shared via the cache.
+SparseRow = Tuple[np.ndarray, np.ndarray]
+
+
 class HashedFeaturizer:
     """Map text to a dense, L2-normalised feature vector of size ``dim``.
 
@@ -62,6 +81,14 @@ class HashedFeaturizer:
     salt:
         Distinguishes featurizer families so that two models with the same
         ``dim`` need not share a feature space.
+    cache_size:
+        Bound on the LRU text→sparse-row cache (least recently used
+        entries are evicted; re-encoding an evicted text is
+        deterministic, so eviction only costs time).
+
+    Configuration is frozen at construction: the caches are keyed by the
+    full configuration, so mutating ``use_bigrams`` etc. on a live
+    instance would corrupt shared state.
     """
 
     #: Weight multiplier for ``[special]`` marker tokens.  A transformer
@@ -69,12 +96,25 @@ class HashedFeaturizer:
     #: encoder cannot, so markers get elevated mass instead.
     MARKER_WEIGHT = 4.0
 
+    #: Default bound on the per-configuration text→sparse LRU cache.
+    SPARSE_CACHE_SIZE = 32768
+
+    #: Feature→bucket entries stop being added past this many (the map
+    #: stays correct — misses simply re-hash).
+    BUCKET_CACHE_CAP = 1_000_000
+
+    #: Process-wide caches, keyed by configuration.  Content-addressed
+    #: and never invalidated: hashing is a pure function of the key.
+    _BUCKET_CACHES: Dict[Tuple, Dict[str, Tuple[int, float]]] = {}
+    _SPARSE_CACHES: Dict[Tuple, "OrderedDict[str, SparseRow]"] = {}
+
     def __init__(
         self,
         dim: int = 2048,
         use_bigrams: bool = True,
         use_char_ngrams: bool = True,
         salt: str = "repro",
+        cache_size: int = SPARSE_CACHE_SIZE,
     ):
         if dim <= 1:
             raise ValueError(f"featurizer dim must be > 1, got {dim}")
@@ -82,7 +122,20 @@ class HashedFeaturizer:
         self.use_bigrams = use_bigrams
         self.use_char_ngrams = use_char_ngrams
         self.salt = salt
-        self._cache: Dict[str, Tuple[int, float]] = {}
+        self.cache_size = cache_size
+        # Buckets depend only on (salt, dim); sparse rows additionally on
+        # the n-gram flags and the eviction bound.
+        self._cache = self._BUCKET_CACHES.setdefault((salt, dim), {})
+        self._sparse_cache = self._SPARSE_CACHES.setdefault(
+            (salt, dim, use_bigrams, use_char_ngrams, cache_size),
+            OrderedDict(),
+        )
+
+    @classmethod
+    def clear_shared_caches(cls) -> None:
+        """Drop all process-wide featurization caches (tests/benchmarks)."""
+        cls._BUCKET_CACHES.clear()
+        cls._SPARSE_CACHES.clear()
 
     def _bucket(self, feature: str) -> Tuple[int, float]:
         """Return (index, sign) for a feature string, memoised."""
@@ -92,7 +145,8 @@ class HashedFeaturizer:
         h = _stable_hash(self.salt + "\x00" + feature)
         index = h % self.dim
         sign = 1.0 if (h >> 63) & 1 else -1.0
-        self._cache[feature] = (index, sign)
+        if len(self._cache) < self.BUCKET_CACHE_CAP:
+            self._cache[feature] = (index, sign)
         return index, sign
 
     def _features(self, tokens: List[str]) -> Iterable[str]:
@@ -109,26 +163,88 @@ class HashedFeaturizer:
                 for i in range(len(padded) - 2):
                     yield "c:" + padded[i : i + 3]
 
+    # ------------------------------------------------------------------
+    # Sparse path (the substrate the dense APIs are built on)
+    # ------------------------------------------------------------------
+    def encode_sparse(self, text: str) -> SparseRow:
+        """Featurize one string into a unit-norm sparse ``(indices, values)``.
+
+        ``indices`` are sorted unique bucket positions; ``values`` carry
+        the accumulated signed weights, L2-normalised over the non-zero
+        support.  Results are LRU-cached by text and must be treated as
+        immutable (the arrays are flagged read-only).
+        """
+        cache = self._sparse_cache
+        hit = cache.get(text)
+        if hit is not None:
+            cache.move_to_end(text)
+            PERF.count("featurizer.sparse_hits")
+            return hit
+        PERF.count("featurizer.sparse_misses")
+        tokens = tokenize(text)
+        bucket = self._bucket
+        marker_weight = self.MARKER_WEIGHT
+        raw_indices: List[int] = []
+        raw_values: List[float] = []
+        for feature in self._features(tokens):
+            index, sign = bucket(feature)
+            raw_indices.append(index)
+            raw_values.append(
+                sign * marker_weight if feature.startswith("w:[") else sign
+            )
+        if raw_indices:
+            # Accumulate duplicate buckets with a vectorized bincount;
+            # per-bucket addition order matches encounter order, so the
+            # sums are bit-identical to a sequential scatter loop.
+            occupied = np.asarray(raw_indices, dtype=np.intp)
+            weights = np.asarray(raw_values, dtype=np.float64)
+            indices, inverse = np.unique(occupied, return_inverse=True)
+            values = np.bincount(
+                inverse.ravel(), weights=weights, minlength=indices.size
+            )
+            norm = float(np.sqrt(values @ values))
+            if norm > 0.0:
+                values /= norm
+        else:
+            indices = np.empty(0, dtype=np.intp)
+            values = np.empty(0, dtype=np.float64)
+        indices.setflags(write=False)
+        values.setflags(write=False)
+        row: SparseRow = (indices, values)
+        cache[text] = row
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+        return row
+
+    # ------------------------------------------------------------------
+    # Dense views
+    # ------------------------------------------------------------------
     def encode(self, text: str) -> np.ndarray:
         """Featurize one string into a unit-norm dense vector."""
+        indices, values = self.encode_sparse(text)
         vec = np.zeros(self.dim)
-        tokens = tokenize(text)
-        for feature in self._features(tokens):
-            index, sign = self._bucket(feature)
-            weight = (
-                self.MARKER_WEIGHT
-                if feature.startswith("w:[")
-                else 1.0
-            )
-            vec[index] += sign * weight
-        norm = np.linalg.norm(vec)
-        if norm > 0.0:
-            vec /= norm
+        vec[indices] = values
         return vec
 
     def encode_batch(self, texts: Iterable[str]) -> np.ndarray:
-        """Featurize a batch; returns an ``(n, dim)`` matrix."""
-        rows = [self.encode(t) for t in texts]
+        """Featurize a batch; returns an ``(n, dim)`` matrix.
+
+        The matrix is assembled with a single fancy-index scatter from
+        the cached sparse rows — no per-example dense temporaries.
+        """
+        rows: Sequence[SparseRow] = [self.encode_sparse(t) for t in texts]
+        matrix = np.zeros((len(rows), self.dim))
         if not rows:
-            return np.zeros((0, self.dim))
-        return np.stack(rows)
+            return matrix
+        sizes = np.fromiter(
+            (indices.size for indices, __ in rows),
+            dtype=np.intp,
+            count=len(rows),
+        )
+        if int(sizes.sum()) == 0:
+            return matrix
+        row_index = np.repeat(np.arange(len(rows)), sizes)
+        col_index = np.concatenate([indices for indices, __ in rows])
+        values = np.concatenate([values for __, values in rows])
+        matrix[row_index, col_index] = values
+        return matrix

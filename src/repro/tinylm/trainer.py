@@ -90,11 +90,30 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def _encode(self, examples: Sequence[TrainingExample]) -> List[EncodedExample]:
+        """Featurize the whole dataset with the batched encoders.
+
+        All prompts go through one :meth:`ScoringLM.encode_prompts` call
+        and all candidates through one flat ``encode_candidates`` call;
+        :meth:`fit` then reuses the encoded views across every epoch, so
+        a fine-tune hashes each training string at most once.
+        """
+        prompts = self.model.encode_prompts([ex.prompt for ex in examples])
+        flat = self.model.encode_candidates(
+            [c for ex in examples for c in ex.candidates]
+        )
         encoded = []
-        for ex in examples:
-            item = self.model.encode_example(ex.prompt, ex.candidates, ex.target)
-            item.weight = ex.weight
-            encoded.append(item)
+        start = 0
+        for i, ex in enumerate(examples):
+            stop = start + len(ex.candidates)
+            encoded.append(
+                EncodedExample(
+                    prompt=prompts[i],
+                    candidates=flat[start:stop],
+                    target=ex.target,
+                    weight=ex.weight,
+                )
+            )
+            start = stop
         return encoded
 
     def _adam_update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:

@@ -11,6 +11,32 @@ class TestHarness:
         b = harness.load_splits("ed/beer", count=60, seed=3)
         assert a is b
 
+    def test_load_splits_keyed_on_few_shot(self):
+        # Regression: the memo key used to omit ``few_shot``, so the
+        # second call silently returned the first call's splits.
+        a = harness.load_splits("ed/beer", count=60, seed=3, few_shot=20)
+        b = harness.load_splits("ed/beer", count=60, seed=3, few_shot=10)
+        assert a is not b
+        assert len(a.few_shot) == 20
+        assert len(b.few_shot) == 10
+
+    def test_evaluate_method_uses_predict_batch(self, beer_splits):
+        class Batched:
+            called = False
+
+            def predict(self, example):  # pragma: no cover - must not run
+                raise AssertionError("per-example path used")
+
+            def predict_batch(self, examples):
+                Batched.called = True
+                return ["no"] * len(examples)
+
+        score = harness.evaluate_method(
+            Batched(), beer_splits.test.examples, "ed"
+        )
+        assert Batched.called
+        assert score == 0.0
+
     def test_adapt_single(self, base_model, fast_config, beer_splits):
         adapted = harness.adapt_single(base_model, beer_splits.few_shot, fast_config.skc)
         assert adapted.predict(beer_splits.test.examples[0]) in ("yes", "no")
