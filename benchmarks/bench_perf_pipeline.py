@@ -1,0 +1,70 @@
+"""Perf gate: the parallel+pooled pipeline must beat serial ≥ 2×.
+
+Times the full adaptation pipeline — ``KnowTrans.fit`` plus test-set
+evaluation on a shard of the table-bench datasets — through both
+runtimes of the same code:
+
+* serial per-candidate: rows one after another, one inference-engine
+  call per AKB knowledge candidate (the historical path);
+* parallel pooled: per-dataset rows fanned out over the
+  :class:`repro.runtime.WorkerPool` and each AKB round scored as one
+  candidate-major mega-batch per shadow fold.
+
+Results are written to ``BENCH_pipeline.json`` at the repo root and
+appended to ``benchmarks/results/perf_trajectory.jsonl`` so the
+end-to-end trajectory is tracked across PRs alongside the inference
+gate's.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_pipeline.py
+
+The assertion fails if the parallel+pooled run is less than 2× faster
+or if any score, AKB round, selected knowledge or test prediction
+differs from the serial path.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.perf import render_pipeline_benchmark, run_pipeline_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_pipeline.json"
+TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
+
+MIN_SPEEDUP = 2.0
+
+
+def test_pipeline_speedup(record_result):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    scale = 0.45 if preset == "quick" else 0.6
+    result = run_pipeline_benchmark(seed=0, scale=scale)
+    result["preset"] = preset
+    result["min_speedup"] = MIN_SPEEDUP
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    with TRAJECTORY.open("a") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "bench": "pipeline",
+                    "preset": preset,
+                    "serial_seconds": result["serial"]["seconds"],
+                    "parallel_seconds": result["parallel"]["seconds"],
+                    "speedup": result["speedup"],
+                    "effective_jobs": result["effective_jobs"],
+                }
+            )
+            + "\n"
+        )
+    record_result("bench_perf_pipeline", render_pipeline_benchmark(result))
+
+    assert result["results_identical"], (
+        "parallel+pooled results diverged from the serial path"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"parallel+pooled pipeline only {result['speedup']:.2f}x faster than "
+        f"the serial path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
+    )

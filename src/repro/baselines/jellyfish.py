@@ -45,9 +45,20 @@ class UpstreamBundle:
     @property
     def patches(self) -> List[LoRAPatch]:
         """Knowledge patches, extracted lazily on first use (Alg. 1 st. 1)."""
+        return self.ensure_patches()
+
+    def ensure_patches(self, jobs=None, pool=None) -> List[LoRAPatch]:
+        """Extract the patches now, optionally fanning out over workers.
+
+        The experiment harness calls this in the parent before
+        submitting per-dataset rows to a worker pool, so the expensive
+        stage-1 extraction happens exactly once (and is inherited by
+        forked workers) instead of once per row.
+        """
         if self._patches is None:
             self._patches = extract_knowledge_patches(
-                self.base_model, self.upstream_datasets, self.skc_config
+                self.base_model, self.upstream_datasets, self.skc_config,
+                jobs=jobs, pool=pool,
             )
         return self._patches
 

@@ -75,17 +75,12 @@ class MELDModel:
         return pool[self.model.predict(prompt, pool)]
 
     def evaluate(self, examples: Sequence[Example]) -> float:
-        golds = [ex.answer for ex in examples]
-        preds = [self.predict(ex) for ex in examples]
-        from ..tasks import metrics
+        # MELD routing mutates fusion.lambdas per instance, so there is
+        # no batched path; evaluate_method's per-example fallback keeps
+        # the metric bookkeeping shared with every other method.
+        from ..eval.harness import evaluate_method
 
-        originals = None
-        if self.task.name == "dc":
-            originals = [
-                ex.inputs["record"].get(ex.inputs["attribute"])
-                for ex in examples
-            ]
-        return metrics.score(self.task.name, golds, preds, originals)
+        return evaluate_method(self, examples, self.task.name)
 
 
 def _expert_centroids(

@@ -66,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--scale", type=float, default=0.6, help="upstream scale")
     adapt.add_argument("--no-skc", action="store_true", help="ablate SKC")
     adapt.add_argument("--no-akb", action="store_true", help="ablate AKB")
+    adapt.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS env, then 1)",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -73,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument(
         "--preset", default="quick", choices=("quick", "paper")
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for per-dataset rows "
+        "(default: REPRO_JOBS env, then 1)",
     )
 
     conflict = commands.add_parser(
@@ -93,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--seed", type=int, default=0)
     perf.add_argument(
         "--repeats", type=int, default=3, help="timed repeats (best kept)"
+    )
+    perf.add_argument(
+        "--pipeline", action="store_true",
+        help="run the end-to-end pipeline benchmark "
+        "(serial per-candidate vs parallel pooled)",
+    )
+    perf.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the pipeline parallel arm "
+        "(default: REPRO_JOBS env, then 4)",
     )
     return parser
 
@@ -119,6 +138,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         config=KnowTransConfig.fast(),
         use_skc=not args.no_skc,
         use_akb=not args.no_akb,
+        jobs=args.jobs,
     )
     print(f"adapting to {args.dataset} ...")
     adapted = adapter.fit(splits)
@@ -142,6 +162,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.preset == "paper"
         else experiments.ExperimentContext.quick()
     )
+    ctx.jobs = args.jobs
     result = _EXPERIMENTS[args.name](ctx)
     print(result["text"])
     return 0
@@ -170,6 +191,14 @@ def _cmd_conflict(args: argparse.Namespace) -> int:
 
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import PERF, render_benchmark, run_inference_benchmark
+
+    if args.pipeline:
+        from .perf import render_pipeline_benchmark, run_pipeline_benchmark
+
+        result = run_pipeline_benchmark(seed=args.seed, jobs=args.jobs)
+        print(render_pipeline_benchmark(result))
+        print(PERF.report())
+        return 0
 
     result = run_inference_benchmark(
         dataset_id=args.dataset,

@@ -18,7 +18,11 @@ from ...tasks import metrics
 from ...tasks.base import Task
 from ...tinylm.model import ScoringLM
 
-__all__ = ["score_knowledge"]
+__all__ = [
+    "score_knowledge",
+    "predict_detailed_pool",
+    "score_knowledge_pool",
+]
 
 
 def predict_detailed(
@@ -58,6 +62,60 @@ def predict_detailed(
     return golds, preds, margins, errors
 
 
+def predict_detailed_pool(
+    model: ScoringLM,
+    task: Task,
+    candidates: Sequence[Knowledge],
+    examples: Sequence[Example],
+    dataset: Optional[Dataset] = None,
+) -> List[Tuple[List[str], List[str], List[float], List[ErrorCase]]]:
+    """:func:`predict_detailed` for many candidates in ONE engine call.
+
+    The Alg. 2 pool is flattened candidate-major — every (candidate,
+    example) pair contributes one row — and scored with a single
+    ``probabilities_batch`` mega-batch, so per-call overheads (above all
+    re-materialising the fusion adapter's weight delta, which dominates
+    scoring with a many-patch fusion attached) are paid once per round
+    instead of once per candidate.  Candidate pools are rebuilt per
+    (candidate, example) because ``task.candidates`` may depend on the
+    knowledge (e.g. imputation answer pools).
+
+    Per-row post-processing is identical to :func:`predict_detailed`,
+    and the engine's scoring is batch-composition invariant, so the
+    returned slices match per-candidate calls bit for bit.
+    """
+    examples = list(examples)
+    candidates = list(candidates)
+    prompts: List[str] = []
+    pools: List[List[str]] = []
+    for candidate in candidates:
+        prompts.extend(task.prompt(ex, candidate) for ex in examples)
+        pools.extend(task.candidates(ex, candidate, dataset) for ex in examples)
+    distributions = model.probabilities_batch(prompts, pools)
+    n = len(examples)
+    results = []
+    for ci in range(len(candidates)):
+        golds: List[str] = []
+        preds: List[str] = []
+        margins: List[float] = []
+        errors: List[ErrorCase] = []
+        for ei, example in enumerate(examples):
+            row = ci * n + ei
+            pool = pools[row]
+            probabilities = distributions[row]
+            prediction = pool[int(probabilities.argmax())]
+            if example.answer in pool:
+                margins.append(float(probabilities[pool.index(example.answer)]))
+            else:
+                margins.append(0.0)
+            golds.append(example.answer)
+            preds.append(prediction)
+            if prediction != example.answer:
+                errors.append(ErrorCase(example=example, prediction=prediction))
+        results.append((golds, preds, margins, errors))
+    return results
+
+
 def task_metric(
     task: Task, golds: Sequence[str], preds: Sequence[str],
     examples: Sequence[Example],
@@ -83,3 +141,18 @@ def score_knowledge(
         model, task, knowledge, examples, dataset
     )
     return task_metric(task, golds, preds, examples), errors
+
+
+def score_knowledge_pool(
+    model: ScoringLM,
+    task: Task,
+    candidates: Sequence[Knowledge],
+    examples: Sequence[Example],
+    dataset: Optional[Dataset] = None,
+) -> List[Tuple[float, List[ErrorCase]]]:
+    """:func:`score_knowledge` for a whole candidate pool in one pass."""
+    detailed = predict_detailed_pool(model, task, candidates, examples, dataset)
+    return [
+        (task_metric(task, golds, preds, examples), errors)
+        for golds, preds, __margins, errors in detailed
+    ]

@@ -17,10 +17,11 @@ from ...data.schema import Dataset, Example
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import seed_knowledge
 from ...llm.mockgpt import MockGPT
+from ...perf import PERF
 from ...tasks.base import get_task
 from ...tinylm.model import ScoringLM
 from ..config import AKBConfig
-from .evaluation import score_knowledge
+from .evaluation import score_knowledge, score_knowledge_pool
 from .feedback import make_feedback
 from .generation import generate_pool
 from .refinement import refine_knowledge
@@ -60,6 +61,7 @@ def search_knowledge(
     config: Optional[AKBConfig] = None,
     initial_knowledge: Optional[Knowledge] = None,
     scorer=None,
+    pool_scoring: bool = True,
 ) -> AKBResult:
     """Run Algorithm 2 and return the optimised dataset knowledge.
 
@@ -68,15 +70,32 @@ def search_knowledge(
     the Eq. 8 evaluation — :class:`~repro.core.knowtrans.KnowTrans`
     passes a cross-fitted scorer so a model that interpolates its 20
     training examples still yields an informative ranking.
+
+    ``pool_scoring`` enables single-pass rounds: all unscored candidates
+    of a round are flattened into one candidate-major mega-batch through
+    the batched engine (via :func:`score_knowledge_pool`, or the
+    scorer's own ``score_pool`` method when it has one) instead of one
+    engine call per candidate.  Scores are bit-identical either way —
+    the flag exists so benchmarks can time the legacy per-candidate
+    path.  Plain-function scorers without ``score_pool`` always take
+    the per-candidate path.
     """
     config = config or AKBConfig()
     mockgpt = mockgpt or MockGPT(temperature=config.temperature, seed=config.seed)
     task = get_task(dataset.task)
     seed = initial_knowledge if initial_knowledge is not None else seed_knowledge(dataset.task)
 
+    score_pool_fn = None
     if scorer is None:
         def scorer(candidate: Knowledge):
             return score_knowledge(model, task, candidate, validation, dataset)
+
+        def score_pool_fn(candidates: Sequence[Knowledge]):
+            return score_knowledge_pool(
+                model, task, candidates, validation, dataset
+            )
+    else:
+        score_pool_fn = getattr(scorer, "score_pool", None)
 
     pool = generate_pool(mockgpt, dataset.task, validation, seed, config)
     scores: Dict[Knowledge, float] = {}
@@ -89,11 +108,32 @@ def search_knowledge(
             errors_by_candidate[candidate] = errors
         return scores[candidate]
 
+    def ensure_scored_many(candidates: Sequence[Knowledge]) -> None:
+        """Score every not-yet-scored candidate, pooled when possible."""
+        seen: set = set()
+        fresh = [
+            c
+            for c in candidates
+            if c not in scores and not (c in seen or seen.add(c))
+        ]
+        if not fresh:
+            return
+        if pool_scoring and score_pool_fn is not None and len(fresh) > 1:
+            PERF.count("akb.pool_rounds")
+            PERF.count("akb.pool_candidates", len(fresh))
+            for candidate, (value, errors) in zip(
+                fresh, score_pool_fn(fresh)
+            ):
+                scores[candidate] = value
+                errors_by_candidate[candidate] = errors
+        else:
+            for candidate in fresh:
+                ensure_scored(candidate)
+
     result = AKBResult(knowledge=seed, best_score=float("-inf"))
     stale_rounds = 0
     for iteration in range(config.iterations):
-        for candidate in pool:
-            ensure_scored(candidate)
+        ensure_scored_many(pool)
         best = max(pool, key=lambda candidate: scores[candidate])
         best_score = scores[best]
         errors = errors_by_candidate[best]
@@ -131,8 +171,7 @@ def search_knowledge(
             if refined not in pool:
                 pool.append(refined)
     # Final selection over everything ever scored (Alg. 2 line 15).
-    for candidate in pool:
-        ensure_scored(candidate)
+    ensure_scored_many(pool)
     final = max(pool, key=lambda candidate: scores[candidate])
     result.knowledge = final
     result.best_score = scores[final]

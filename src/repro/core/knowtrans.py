@@ -18,15 +18,20 @@ from ..data.splits import DatasetSplits
 from ..knowledge.rules import Knowledge
 from ..knowledge.seed import seed_knowledge
 from ..llm.mockgpt import MockGPT
+from ..runtime import WorkerPool
 from ..tasks.base import Task, get_task
 from ..tinylm.model import ScoringLM
-from .akb.evaluation import predict_detailed, task_metric
+from .akb.evaluation import (
+    predict_detailed,
+    predict_detailed_pool,
+    task_metric,
+)
 from .akb.optimizer import AKBResult, search_knowledge
 from .config import KnowTransConfig
 from .skc.finetune import few_shot_finetune
 from .skc.fusion import attach_fusion
 
-__all__ = ["AdaptedModel", "KnowTrans"]
+__all__ = ["AdaptedModel", "KnowTrans", "CrossFitScorer"]
 
 
 @dataclass
@@ -55,6 +60,106 @@ class AdaptedModel:
         )
 
 
+def _shadow_task(args):
+    """Build one cross-fit shadow model (worker-pool task).
+
+    A pure function of its picklable arguments: the clone, the fusion
+    attachment, and the fine-tune all derive their randomness from
+    seeds carried in the config/name, so building a shadow in a worker
+    process yields the same weights as building it inline.
+    """
+    upstream_model, patches, skc_config, strategy, name, train_half, base_knowledge = args
+    shadow, __fusion = attach_fusion(
+        upstream_model, patches, skc_config, strategy=strategy, name=name
+    )
+    few_shot_finetune(shadow, train_half, skc_config, base_knowledge)
+    return shadow
+
+
+class CrossFitScorer:
+    """Eq. 8 scorer that stays informative despite few-shot memorisation.
+
+    A LoRA stack fine-tuned on all 20 examples interpolates them, so
+    scoring candidates on the same 20 examples cannot rank anything.
+    Two *shadow* models are therefore fine-tuned on complementary halves
+    of the few-shot data; each candidate is scored on the half its
+    shadow never saw, and the two held-out scores are averaged (errors
+    are pooled).  This plays the role of the paper's train/validation
+    split at substrate scale.
+
+    Calling the scorer evaluates one candidate (legacy per-candidate
+    path); :meth:`score_pool` evaluates a whole Alg. 2 round with one
+    engine mega-batch per shadow fold — the folds use different weights
+    so they cannot share a call, but within a fold every candidate ×
+    held-out-example pair rides one batch.  Both paths accumulate
+    golds/preds/margins fold0-then-fold1 per candidate, so the metric
+    and margin-bonus float summations are bit-identical.
+    """
+
+    #: Cap on each fold's held-out slice: scoring cost multiplies by
+    #: pool size and refinement rounds.  The paper's 20-shot setting
+    #: (10-example folds) is unaffected — this only bounds the Fig. 4
+    #: scalability sweeps.
+    SCORING_CAP = 30
+
+    def __init__(self, shadows, halves, task: Task):
+        self.shadows = list(shadows)
+        self.halves = tuple(halves)
+        self.task = task
+
+    def _held_out(self, fold: int):
+        held_out = self.halves[1 - fold]
+        return held_out, held_out.examples[: self.SCORING_CAP]
+
+    def _finalize(self, golds, preds, margins, errors, pooled_examples):
+        metric = task_metric(self.task, golds, preds, pooled_examples)
+        # Margin bonus (< one metric quantum) breaks hard-score ties
+        # toward knowledge the model is genuinely more confident in.
+        margin_bonus = 4.0 * (sum(margins) / max(len(margins), 1))
+        return metric + margin_bonus, errors
+
+    def __call__(self, candidate: Knowledge):
+        golds, preds, margins, errors = [], [], [], []
+        pooled_examples = []
+        for fold, shadow in enumerate(self.shadows):
+            held_out, examples = self._held_out(fold)
+            g, p, m, e = predict_detailed(
+                shadow, self.task, candidate, examples, held_out
+            )
+            golds.extend(g)
+            preds.extend(p)
+            margins.extend(m)
+            errors.extend(e)
+            pooled_examples.extend(examples)
+        return self._finalize(golds, preds, margins, errors, pooled_examples)
+
+    def score_pool(self, candidates: Sequence[Knowledge]):
+        """Score a whole candidate pool: one mega-batch per shadow fold."""
+        candidates = list(candidates)
+        per_fold = [
+            predict_detailed_pool(
+                shadow, self.task, candidates, self._held_out(fold)[1],
+                self._held_out(fold)[0],
+            )
+            for fold, shadow in enumerate(self.shadows)
+        ]
+        results = []
+        for ci in range(len(candidates)):
+            golds, preds, margins, errors = [], [], [], []
+            pooled_examples = []
+            for fold in range(len(self.shadows)):
+                g, p, m, e = per_fold[fold][ci]
+                golds.extend(g)
+                preds.extend(p)
+                margins.extend(m)
+                errors.extend(e)
+                pooled_examples.extend(self._held_out(fold)[1])
+            results.append(
+                self._finalize(golds, preds, margins, errors, pooled_examples)
+            )
+        return results
+
+
 class KnowTrans:
     """Knowledge augmentation for boosting DP-LLM transferability.
 
@@ -73,6 +178,17 @@ class KnowTrans:
         the strategy to ``single`` — plain few-shot LoRA fine-tuning.
     mockgpt:
         The closed-source LLM analogue driving AKB.
+    jobs / pool:
+        Worker-pool fan-out for the two cross-fit shadow fine-tunes.
+        ``jobs`` builds a clamped :class:`~repro.runtime.WorkerPool`
+        (``None`` defers to ``REPRO_JOBS``); passing ``pool`` directly
+        overrides it (tests inject unclamped pools to force real worker
+        processes).  Results are bit-identical at any job count.
+    pool_scoring:
+        Score each AKB round as one candidate-major mega-batch per
+        shadow fold instead of one engine call per candidate.  Same
+        floats either way; ``False`` reproduces the legacy per-candidate
+        timing for benchmarks.
     """
 
     def __init__(
@@ -83,6 +199,9 @@ class KnowTrans:
         use_skc: bool = True,
         use_akb: bool = True,
         mockgpt: Optional[MockGPT] = None,
+        jobs: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
+        pool_scoring: bool = True,
     ):
         self.bundle = bundle
         self.config = config or KnowTransConfig()
@@ -91,6 +210,8 @@ class KnowTrans:
         self.mockgpt = mockgpt or MockGPT(
             temperature=self.config.akb.temperature, seed=self.config.seed
         )
+        self.pool = pool if pool is not None else WorkerPool(jobs)
+        self.pool_scoring = pool_scoring
 
     def fit(self, splits: DatasetSplits) -> AdaptedModel:
         """Adapt the upstream DP-LLM to one novel dataset (Alg. 1 + 2)."""
@@ -123,6 +244,7 @@ class KnowTrans:
                 config=self.config.akb,
                 initial_knowledge=base_knowledge,
                 scorer=scorer,
+                pool_scoring=self.pool_scoring,
             )
             knowledge = akb_result.knowledge
 
@@ -135,16 +257,13 @@ class KnowTrans:
             fusion_weights=fusion.weight_report(),
         )
 
-    def cross_fit_scorer(self, splits: DatasetSplits, patches=None, base_knowledge=None):
-        """Eq. 8 scorer that stays informative despite few-shot memorisation.
+    def cross_fit_scorer(
+        self, splits: DatasetSplits, patches=None, base_knowledge=None
+    ) -> CrossFitScorer:
+        """Build the :class:`CrossFitScorer` for one dataset's splits.
 
-        A LoRA stack fine-tuned on all 20 examples interpolates them, so
-        scoring candidates on the same 20 examples cannot rank anything.
-        Two *shadow* models are therefore fine-tuned on complementary
-        halves of the few-shot data; each candidate is scored on the
-        half its shadow never saw, and the two held-out scores are
-        averaged (errors are pooled).  This plays the role of the
-        paper's train/validation split at substrate scale.
+        The two shadow fine-tunes are independent, so they fan out over
+        the instance's worker pool (serial at ``jobs=1``).
         """
         if patches is None:
             patches = self.bundle.patches if self.strategy != "single" else []
@@ -160,42 +279,19 @@ class KnowTrans:
             few_shot.subset(range(0, midpoint), ":fold0"),
             few_shot.subset(range(midpoint, len(few_shot)), ":fold1"),
         )
-        shadows = []
-        for fold, train_half in enumerate(halves):
-            shadow, __ = attach_fusion(
-                self.bundle.upstream_model,
-                patches,
-                self.config.skc,
-                strategy=self.strategy,
-                name=f"shadow{fold}-{few_shot.name}",
-            )
-            few_shot_finetune(shadow, train_half, self.config.skc, base_knowledge)
-            shadows.append(shadow)
-
-        # Scoring is per-candidate, so its cost multiplies by the pool
-        # size and refinement rounds; cap each fold's held-out slice.
-        # The paper's 20-shot setting (10-example folds) is unaffected —
-        # this only bounds the Fig. 4 scalability sweeps.
-        scoring_cap = 30
-
-        def scorer(candidate: Knowledge):
-            golds, preds, margins, errors = [], [], [], []
-            pooled_examples = []
-            for fold, shadow in enumerate(shadows):
-                held_out = halves[1 - fold]
-                g, p, m, e = predict_detailed(
-                    shadow, task, candidate,
-                    held_out.examples[:scoring_cap], held_out,
+        shadows = self.pool.map(
+            _shadow_task,
+            [
+                (
+                    self.bundle.upstream_model,
+                    patches,
+                    self.config.skc,
+                    self.strategy,
+                    f"shadow{fold}-{few_shot.name}",
+                    train_half,
+                    base_knowledge,
                 )
-                golds.extend(g)
-                preds.extend(p)
-                margins.extend(m)
-                errors.extend(e)
-                pooled_examples.extend(held_out.examples[:scoring_cap])
-            metric = task_metric(task, golds, preds, pooled_examples)
-            # Margin bonus (< one metric quantum) breaks hard-score ties
-            # toward knowledge the model is genuinely more confident in.
-            margin_bonus = 4.0 * (sum(margins) / max(len(margins), 1))
-            return metric + margin_bonus, errors
-
-        return scorer
+                for fold, train_half in enumerate(halves)
+            ],
+        )
+        return CrossFitScorer(shadows, halves, task)

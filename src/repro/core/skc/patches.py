@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from ...data.schema import Dataset
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import ORACLES
+from ...runtime import WorkerPool
 from ...tasks.base import get_task
 from ...tinylm.lora import LoRAPatch
 from ...tinylm.model import ScoringLM
@@ -65,14 +66,36 @@ def extract_patch(
     return patch
 
 
+def _patch_task(args) -> LoRAPatch:
+    """Worker-pool task wrapping :func:`extract_patch`.
+
+    Patch extraction is a pure function of (base model, dataset,
+    config): the LoRA init and the trainer's shuffling both derive from
+    seeds in the arguments, so a patch trained in a worker process is
+    bit-identical to one trained inline.
+    """
+    base_model, dataset, config = args
+    return extract_patch(base_model, dataset, config)
+
+
 def extract_knowledge_patches(
     base_model: ScoringLM,
     upstream_datasets: Sequence[Dataset],
     config: Optional[SKCConfig] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[LoRAPatch]:
-    """Alg. 1 stage 1: one patch per upstream dataset, mutually isolated."""
+    """Alg. 1 stage 1: one patch per upstream dataset, mutually isolated.
+
+    The patches are independent by construction (each trains a fresh
+    LoRA on a clone of the base model), so extraction fans out over a
+    :class:`~repro.runtime.WorkerPool` — ``jobs``/``REPRO_JOBS``
+    controls the width, ``pool`` overrides it, and ``jobs=1`` is the
+    historical serial loop.
+    """
     config = config or SKCConfig()
-    return [
-        extract_patch(base_model, dataset, config)
-        for dataset in upstream_datasets
-    ]
+    pool = pool if pool is not None else WorkerPool(jobs)
+    return pool.map(
+        _patch_task,
+        [(base_model, dataset, config) for dataset in upstream_datasets],
+    )

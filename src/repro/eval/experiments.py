@@ -25,6 +25,7 @@ from ..knowledge.seed import seed_knowledge
 from ..llm.icl import ICLModel
 from ..llm.mockgpt import MockGPT
 from ..llm.pricing import UsageMeter
+from ..runtime import WorkerPool
 from ..tasks.base import get_task
 from ..tasks.prompts import full_prompt
 from ..tinylm.registry import create_base_model
@@ -65,6 +66,10 @@ class ExperimentContext:
     few_shot: int = 20
     config: KnowTransConfig = field(default_factory=KnowTransConfig.fast)
     main_tier: str = "mistral-7b"
+    #: Worker count for the per-dataset row loops (``None`` defers to
+    #: ``REPRO_JOBS``).  The fan-out is at the dataset level only —
+    #: adapters built inside a row stay serial so pools never nest.
+    jobs: Optional[int] = None
 
     @staticmethod
     def quick() -> "ExperimentContext":
@@ -115,7 +120,27 @@ class ExperimentContext:
         )
 
     def knowtrans(self, **kwargs) -> KnowTrans:
+        # Inner adapters run serial (jobs=1): the harness parallelism
+        # lives at the per-dataset row level, and nesting process pools
+        # would only oversubscribe the cores the outer pool already owns.
+        kwargs.setdefault("jobs", 1)
         return KnowTrans(self.bundle(), config=self.config, **kwargs)
+
+    def pool(self) -> WorkerPool:
+        """The per-dataset row pool (serial unless ``jobs``/``REPRO_JOBS``)."""
+        return WorkerPool(self.jobs)
+
+    def prewarm(self, tiers: Sequence[Tuple[str, bool]] = (("mistral-7b", True),)) -> None:
+        """Build the expensive shared state before fanning rows out.
+
+        Bundles, base models and SKC patches are memoised at module
+        level; building them in the parent means forked workers inherit
+        them instead of each row re-running pretraining + upstream SFT
+        + patch extraction.
+        """
+        for tier, with_sft in tiers:
+            bundle = self.bundle(tier, with_upstream_sft=with_sft)
+            bundle.ensure_patches(jobs=self.jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -167,41 +192,50 @@ def table7_upstream_statistics(ctx: ExperimentContext) -> Dict:
 # ---------------------------------------------------------------------------
 # Table II — 7B open-source DP-LLMs and non-LLM methods
 # ---------------------------------------------------------------------------
+def _table2_row(args) -> Dict:
+    """One Table II dataset row (worker-pool task)."""
+    ctx, dataset_id = args
+    bundle = ctx.bundle()
+    mistral_base = create_base_model("mistral-7b", seed=ctx.seed)
+    tablellama_base = create_base_model("tablellama", seed=ctx.seed)
+    splits = ctx.splits(dataset_id)
+    task = splits.task
+    test = splits.test.examples
+    few = splits.few_shot
+    scores = {"dataset": dataset_id}
+    scores["non_llm"] = fit_non_llm(task, few.examples).evaluate(test)
+    scores["mistral"] = harness.adapt_single(
+        mistral_base, few, ctx.config.skc
+    ).evaluate(test)
+    scores["tablellama"] = harness.adapt_single(
+        tablellama_base, few, ctx.config.skc
+    ).evaluate(test)
+    scores["meld"] = fit_meld(bundle, splits, ctx.config.skc).evaluate(test)
+    scores["jellyfish"] = harness.adapt_single(
+        bundle.upstream_model, few, ctx.config.skc
+    ).evaluate(test)
+    icl = ICLModel(
+        bundle.upstream_model,
+        get_task(task),
+        few.examples[:10],
+        seed_knowledge(task),
+        dataset=few,
+    )
+    scores["jellyfish_icl"] = harness.evaluate_method(icl, test, task)
+    scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
+    return scores
+
+
 def table2_open_source_comparison(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ALL_DATASETS
 ) -> Dict:
     """Paper Table II: KnowTrans vs open-source DP-LLMs and non-LLMs."""
-    bundle = ctx.bundle()
-    mistral_base = create_base_model("mistral-7b", seed=ctx.seed)
-    tablellama_base = create_base_model("tablellama", seed=ctx.seed)
-    rows = []
-    for dataset_id in dataset_ids:
-        splits = ctx.splits(dataset_id)
-        task = splits.task
-        test = splits.test.examples
-        few = splits.few_shot
-        scores = {"dataset": dataset_id}
-        scores["non_llm"] = fit_non_llm(task, few.examples).evaluate(test)
-        scores["mistral"] = harness.adapt_single(
-            mistral_base, few, ctx.config.skc
-        ).evaluate(test)
-        scores["tablellama"] = harness.adapt_single(
-            tablellama_base, few, ctx.config.skc
-        ).evaluate(test)
-        scores["meld"] = fit_meld(bundle, splits, ctx.config.skc).evaluate(test)
-        scores["jellyfish"] = harness.adapt_single(
-            bundle.upstream_model, few, ctx.config.skc
-        ).evaluate(test)
-        icl = ICLModel(
-            bundle.upstream_model,
-            get_task(task),
-            few.examples[:10],
-            seed_knowledge(task),
-            dataset=few,
-        )
-        scores["jellyfish_icl"] = harness.evaluate_method(icl, test, task)
-        scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
-        rows.append(scores)
+    ctx.prewarm()
+    create_base_model("mistral-7b", seed=ctx.seed)
+    create_base_model("tablellama", seed=ctx.seed)
+    rows = ctx.pool().map(
+        _table2_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
     columns = [
         "non_llm", "mistral", "tablellama", "meld",
         "jellyfish", "jellyfish_icl", "knowtrans",
@@ -260,30 +294,39 @@ def table3_cost_analysis(
 # ---------------------------------------------------------------------------
 # Table IV — closed-source LLMs vs KnowTrans tiers
 # ---------------------------------------------------------------------------
+_TIER_MAP = {
+    "knowtrans_7b": "mistral-7b",
+    "knowtrans_8b": "llama-8b",
+    "knowtrans_13b": "llama-13b",
+}
+
+
+def _table4_row(args) -> Dict:
+    """One Table IV dataset row (worker-pool task)."""
+    ctx, dataset_id = args
+    splits = ctx.splits(dataset_id)
+    test = splits.test.examples
+    scores = {"dataset": dataset_id}
+    for name in CLOSED_MODELS:
+        closed = make_closed_model(
+            name, splits.task, splits.few_shot.examples, splits.few_shot,
+            seed=ctx.seed,
+        )
+        scores[name.replace("-", "_").replace(".", "_")] = closed.evaluate(test)
+    for label, tier in _TIER_MAP.items():
+        adapter = KnowTrans(ctx.bundle(tier), config=ctx.config, jobs=1)
+        scores[label] = adapter.fit(splits).evaluate(test)
+    return scores
+
+
 def table4_closed_source_comparison(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ALL_DATASETS
 ) -> Dict:
     """Paper Table IV: GPT baselines vs KnowTrans-7B/8B/13B."""
-    tier_map = {
-        "knowtrans_7b": "mistral-7b",
-        "knowtrans_8b": "llama-8b",
-        "knowtrans_13b": "llama-13b",
-    }
-    rows = []
-    for dataset_id in dataset_ids:
-        splits = ctx.splits(dataset_id)
-        test = splits.test.examples
-        scores = {"dataset": dataset_id}
-        for name in CLOSED_MODELS:
-            closed = make_closed_model(
-                name, splits.task, splits.few_shot.examples, splits.few_shot,
-                seed=ctx.seed,
-            )
-            scores[name.replace("-", "_").replace(".", "_")] = closed.evaluate(test)
-        for label, tier in tier_map.items():
-            adapter = KnowTrans(ctx.bundle(tier), config=ctx.config)
-            scores[label] = adapter.fit(splits).evaluate(test)
-        rows.append(scores)
+    ctx.prewarm([(tier, True) for tier in _TIER_MAP.values()])
+    rows = ctx.pool().map(
+        _table4_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
     columns = ["gpt_3_5", "gpt_4", "gpt_4o", "knowtrans_7b", "knowtrans_8b", "knowtrans_13b"]
     rows.append(reporting.averages_row(rows, columns))
     text = reporting.render_table(
@@ -303,25 +346,34 @@ ABLATION_DATASETS: Tuple[str, ...] = (
 )
 
 
+_ABLATION_VARIANTS = {
+    "wo_skc_akb": {"use_skc": False, "use_akb": False},
+    "wo_skc": {"use_skc": False, "use_akb": True},
+    "wo_akb": {"use_skc": True, "use_akb": False},
+    "knowtrans": {"use_skc": True, "use_akb": True},
+}
+
+
+def _table5_row(args) -> Dict:
+    """One Table V dataset row (worker-pool task)."""
+    ctx, dataset_id = args
+    splits = ctx.splits(dataset_id)
+    test = splits.test.examples
+    scores = {"dataset": dataset_id}
+    for label, switches in _ABLATION_VARIANTS.items():
+        scores[label] = ctx.knowtrans(**switches).fit(splits).evaluate(test)
+    return scores
+
+
 def table5_ablation(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ABLATION_DATASETS
 ) -> Dict:
     """Paper Table V: removing SKC / AKB / both."""
-    variants = {
-        "wo_skc_akb": {"use_skc": False, "use_akb": False},
-        "wo_skc": {"use_skc": False, "use_akb": True},
-        "wo_akb": {"use_skc": True, "use_akb": False},
-        "knowtrans": {"use_skc": True, "use_akb": True},
-    }
-    rows = []
-    for dataset_id in dataset_ids:
-        splits = ctx.splits(dataset_id)
-        test = splits.test.examples
-        scores = {"dataset": dataset_id}
-        for label, switches in variants.items():
-            scores[label] = ctx.knowtrans(**switches).fit(splits).evaluate(test)
-        rows.append(scores)
-    columns = list(variants)
+    ctx.prewarm()
+    rows = ctx.pool().map(
+        _table5_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
+    columns = list(_ABLATION_VARIANTS)
     rows.append(reporting.averages_row(rows, columns))
     text = reporting.render_table(
         "Table V: ablation study", columns, rows
@@ -337,20 +389,27 @@ STRATEGY_DATASETS: Tuple[str, ...] = (
 )
 
 
+def _table6_row(args) -> Dict:
+    """One Table VI dataset row (worker-pool task)."""
+    ctx, dataset_id = args
+    splits = ctx.splits(dataset_id)
+    test = splits.test.examples
+    scores = {"dataset": dataset_id}
+    for strategy in ("single", "uniform", "adaptive"):
+        adapter = ctx.knowtrans(strategy=strategy, use_akb=False)
+        scores[strategy] = adapter.fit(splits).evaluate(test)
+    scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
+    return scores
+
+
 def table6_weight_strategies(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = STRATEGY_DATASETS
 ) -> Dict:
     """Paper Table VI: single vs uniform vs adaptive vs full KnowTrans."""
-    rows = []
-    for dataset_id in dataset_ids:
-        splits = ctx.splits(dataset_id)
-        test = splits.test.examples
-        scores = {"dataset": dataset_id}
-        for strategy in ("single", "uniform", "adaptive"):
-            adapter = ctx.knowtrans(strategy=strategy, use_akb=False)
-            scores[strategy] = adapter.fit(splits).evaluate(test)
-        scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
-        rows.append(scores)
+    ctx.prewarm()
+    rows = ctx.pool().map(
+        _table6_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
     columns = ["single", "uniform", "adaptive", "knowtrans"]
     rows.append(reporting.averages_row(rows, columns))
     text = reporting.render_table(
@@ -423,29 +482,37 @@ def fig4_scalability(
 # ---------------------------------------------------------------------------
 # Fig. 5 / Fig. 6 — backbone comparison
 # ---------------------------------------------------------------------------
+_BACKBONES = {
+    "mistral_7b": ("mistral-7b", False),
+    "jellyfish_7b": ("mistral-7b", True),
+    "jellyfish_8b": ("llama-8b", True),
+    "jellyfish_13b": ("llama-13b", True),
+}
+
+
+def _backbone_row(args) -> Dict:
+    """One Fig. 5/6 dataset row (worker-pool task)."""
+    ctx, dataset_id = args
+    splits = ctx.splits(dataset_id)
+    test = splits.test.examples
+    scores = {"dataset": dataset_id}
+    for label, (tier, sft) in _BACKBONES.items():
+        bundle = ctx.bundle(tier, with_upstream_sft=sft)
+        scores[label] = harness.adapt_single(
+            bundle.upstream_model, splits.few_shot, ctx.config.skc
+        ).evaluate(test)
+        adapter = KnowTrans(bundle, config=ctx.config, jobs=1)
+        scores[label + "+kt"] = adapter.fit(splits).evaluate(test)
+    return scores
+
+
 def _backbone_rows(
     ctx: ExperimentContext, dataset_ids: Sequence[str]
 ) -> List[Dict]:
-    backbones = {
-        "mistral_7b": ("mistral-7b", False),
-        "jellyfish_7b": ("mistral-7b", True),
-        "jellyfish_8b": ("llama-8b", True),
-        "jellyfish_13b": ("llama-13b", True),
-    }
-    rows = []
-    for dataset_id in dataset_ids:
-        splits = ctx.splits(dataset_id)
-        test = splits.test.examples
-        scores = {"dataset": dataset_id}
-        for label, (tier, sft) in backbones.items():
-            bundle = ctx.bundle(tier, with_upstream_sft=sft)
-            scores[label] = harness.adapt_single(
-                bundle.upstream_model, splits.few_shot, ctx.config.skc
-            ).evaluate(test)
-            adapter = KnowTrans(bundle, config=ctx.config)
-            scores[label + "+kt"] = adapter.fit(splits).evaluate(test)
-        rows.append(scores)
-    return rows
+    ctx.prewarm(list(_BACKBONES.values()))
+    return ctx.pool().map(
+        _backbone_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
 
 
 def fig5_backbones_on_datasets(

@@ -23,7 +23,14 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-__all__ = ["PerfRegistry", "PERF", "run_inference_benchmark", "render_benchmark"]
+__all__ = [
+    "PerfRegistry",
+    "PERF",
+    "run_inference_benchmark",
+    "render_benchmark",
+    "run_pipeline_benchmark",
+    "render_pipeline_benchmark",
+]
 
 
 class PerfRegistry:
@@ -88,6 +95,25 @@ class PerfRegistry:
                 for name, slot in self._timers.items()
             },
         }
+
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Worker processes cannot record into the parent's registry, so
+        the runtime pool ships each task's snapshot home and merges it
+        here — counters add, timers accumulate seconds and call counts.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, int(value))
+        for name, entry in snapshot.get("timers", {}).items():
+            slot = self._timers.get(name)
+            if slot is None:
+                self._timers[name] = [
+                    float(entry["seconds"]), int(entry["calls"])
+                ]
+            else:
+                slot[0] += float(entry["seconds"])
+                slot[1] += int(entry["calls"])
 
     def reset(self) -> None:
         self._counters.clear()
@@ -237,6 +263,165 @@ def run_inference_benchmark(
         "predictions_identical": batched_preds == per_example_preds,
         "perf": counters,
     }
+
+
+# ----------------------------------------------------------------------
+# End-to-end pipeline benchmark (shared by ``python -m repro perf
+# --pipeline`` and ``benchmarks/bench_perf_pipeline.py``)
+# ----------------------------------------------------------------------
+def _pipeline_row(args) -> Dict:
+    """One benchmark row: full KnowTrans adaptation of one dataset.
+
+    Module-level so the parallel arm can ship it to worker processes;
+    imports are deferred because :mod:`repro.perf` must stay
+    import-light (the substrate imports it back).
+    """
+    dataset_id, scale, seed, config, pool_scoring = args
+    from .baselines.jellyfish import get_bundle
+    from .core.knowtrans import KnowTrans
+    from .eval.harness import load_splits
+
+    bundle = get_bundle(
+        seed=seed, scale=scale, skc_config=config.skc
+    )
+    splits = load_splits(dataset_id, seed=seed, scale=scale)
+    adapter = KnowTrans(
+        bundle, config=config, jobs=1, pool_scoring=pool_scoring
+    )
+    adapted = adapter.fit(splits)
+    akb = adapted.akb_result
+    from .core.akb.evaluation import task_metric
+
+    test = splits.test.examples
+    predictions = list(adapted.predict_batch(test))
+    golds = [ex.answer for ex in test]
+    return {
+        "dataset": dataset_id,
+        "score": task_metric(adapted.task, golds, predictions, test),
+        "best_score": akb.best_score,
+        "rounds": [
+            (r.iteration, r.best_score, r.pool_size, r.error_count)
+            for r in akb.rounds
+        ],
+        "knowledge": [rule.render() for rule in adapted.knowledge.rules],
+        "predictions": predictions,
+    }
+
+
+def _pipeline_config():
+    """Scoring-heavy bench configuration.
+
+    Light fine-tunes and a large AKB candidate budget keep Eq. 8
+    scoring — the component the pooled path accelerates — the dominant
+    cost, mirroring the paper-preset regime where the search loop
+    re-scores the validation set for every candidate.
+    """
+    from .core.config import AKBConfig, KnowTransConfig, SKCConfig
+
+    return KnowTransConfig(
+        skc=SKCConfig(finetune_epochs=1, patch_epochs=1, batch_size=10),
+        akb=AKBConfig(
+            pool_size=10,
+            iterations=10,
+            refinements_per_iteration=8,
+            patience=12,
+        ),
+    )
+
+
+def run_pipeline_benchmark(
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    dataset_ids: Sequence[str] = ("ed/rayyan", "dc/rayyan"),
+    scale: float = 0.45,
+) -> Dict:
+    """Time the serial per-candidate pipeline vs the parallel+pooled one.
+
+    Both arms run the identical workload — full ``KnowTrans.fit`` plus
+    test-set evaluation on each dataset (a shard of the table-bench
+    loops):
+
+    * **serial** — the historical path: rows one after another,
+      ``pool_scoring=False`` (one engine call per AKB candidate).
+    * **parallel** — per-dataset rows fan out over a
+      :class:`~repro.runtime.WorkerPool` and every AKB round scores its
+      whole candidate pool as one mega-batch per shadow fold.
+
+    The expensive shared state (bundle, SKC patches, dataset splits)
+    is prebuilt untimed, and one untimed warmup row populates the
+    featurization caches so both arms start from the same steady state.
+    Every result field (scores, AKB round history, selected knowledge,
+    test predictions) is compared across arms and reported under
+    ``results_identical`` — the speedup must come from doing the same
+    work faster, never from doing different work.
+    """
+    import os
+
+    from .baselines.jellyfish import get_bundle
+    from .eval.harness import load_splits
+    from .runtime import WorkerPool, available_cpus, resolve_jobs
+
+    if jobs is None and not os.environ.get("REPRO_JOBS", "").strip():
+        jobs = 4
+    jobs = resolve_jobs(jobs)
+    config = _pipeline_config()
+
+    # Untimed: shared state every arm reuses.
+    bundle = get_bundle(seed=seed, scale=scale, skc_config=config.skc)
+    bundle.ensure_patches()
+    for dataset_id in dataset_ids:
+        load_splits(dataset_id, seed=seed, scale=scale)
+    serial_args = [
+        (dataset_id, scale, seed, config, False) for dataset_id in dataset_ids
+    ]
+    parallel_args = [
+        (dataset_id, scale, seed, config, True) for dataset_id in dataset_ids
+    ]
+    for args in serial_args:  # warmup: populate featurization caches
+        _pipeline_row(args)
+
+    start = time.perf_counter()
+    serial_rows = [_pipeline_row(args) for args in serial_args]
+    serial_seconds = time.perf_counter() - start
+
+    pool = WorkerPool(jobs)
+    PERF.reset()
+    start = time.perf_counter()
+    parallel_rows = pool.map(_pipeline_row, parallel_args)
+    parallel_seconds = time.perf_counter() - start
+    counters = PERF.snapshot()
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    return {
+        "workload": list(dataset_ids),
+        "scale": scale,
+        "requested_jobs": pool.requested_jobs,
+        "effective_jobs": pool.effective_jobs,
+        "available_cpus": available_cpus(),
+        "serial": {"seconds": serial_seconds},
+        "parallel": {"seconds": parallel_seconds},
+        "speedup": speedup,
+        "results_identical": serial_rows == parallel_rows,
+        "scores": {row["dataset"]: row["score"] for row in serial_rows},
+        "perf": counters,
+    }
+
+
+def render_pipeline_benchmark(result: Dict) -> str:
+    """Format :func:`run_pipeline_benchmark` output for the terminal."""
+    lines = [
+        "pipeline benchmark — " + ", ".join(result["workload"])
+        + f" (scale {result['scale']})",
+        f"  serial (per-candidate):   {result['serial']['seconds']:.3f}s",
+        f"  parallel+pooled:          {result['parallel']['seconds']:.3f}s",
+        f"  speedup:                  {result['speedup']:.2f}x",
+        f"  jobs: requested {result['requested_jobs']}, effective "
+        f"{result['effective_jobs']} ({result['available_cpus']} cpus)",
+        f"  results identical:        {result['results_identical']}",
+    ]
+    for dataset_id, score in result["scores"].items():
+        lines.append(f"  {dataset_id:<24} score {score:.2f}")
+    return "\n".join(lines)
 
 
 def render_benchmark(result: Dict) -> str:

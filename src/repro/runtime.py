@@ -1,0 +1,139 @@
+"""The parallel experiment runtime — a shared worker-pool layer.
+
+Every fan-out point in the pipeline (SKC stage-1 patch extraction, the
+cross-fit shadow fine-tunes, the per-dataset loops of the table/figure
+harness, the pipeline benchmark) runs through one :class:`WorkerPool`
+abstraction instead of rolling its own multiprocessing:
+
+* ``jobs=1`` (the default) executes tasks serially in-process — the
+  pool is then a plain ordered ``map`` with zero overhead, and results
+  are bit-identical to the historical serial code by construction.
+* ``jobs>1`` fans tasks out over a ``ProcessPoolExecutor``.  Requested
+  jobs are clamped to the CPUs actually available (joblib-style):
+  oversubscribing cores with CPU-bound numpy work is always a loss, so
+  on a single-core machine ``jobs=4`` degrades gracefully to the serial
+  path.  Pass ``clamp=False`` to force real worker processes anyway
+  (the determinism tests do, to exercise the cross-process path on any
+  machine).
+
+Determinism contract
+--------------------
+Tasks must be pure functions of their (picklable) arguments: every
+random stream inside a task derives from seeds carried in the
+arguments (``rng_for``), never from global state.  Results are returned
+in submission order.  Under that contract the pool is an execution
+detail — ``jobs=1`` and ``jobs=N`` produce bit-identical outputs, which
+``tests/test_runtime.py`` enforces for patch extraction and the full
+AKB search.
+
+Observability
+-------------
+Worker processes cannot write into the parent's process-global
+:data:`repro.perf.PERF` registry, so each task runs inside a shim that
+resets the child-local registry, executes the task, and ships the
+resulting snapshot home with the result.  :meth:`WorkerPool.map` merges
+every snapshot into the parent registry, so ``python -m repro perf``
+and the benchmark JSONs report whole-run counters no matter how many
+processes did the work.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from .perf import PERF
+
+__all__ = ["available_cpus", "resolve_jobs", "WorkerPool"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a job count: explicit value > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from exc
+    return max(1, int(jobs))
+
+
+def _run_with_perf(fn: Callable[[Any], Any], item: Any):
+    """Worker shim: run one task and ship its perf snapshot home.
+
+    The reset only touches the *child* process's copy of the registry
+    (the parent's counters are untouched by fork), so each returned
+    snapshot is exactly the task's own delta even when one worker
+    process executes many tasks back to back.
+    """
+    PERF.reset()
+    result = fn(item)
+    return result, PERF.snapshot()
+
+
+class WorkerPool:
+    """Ordered parallel ``map`` with a deterministic serial fallback.
+
+    Parameters
+    ----------
+    jobs:
+        Requested worker count; ``None`` defers to ``REPRO_JOBS``.
+    clamp:
+        Clamp ``jobs`` to :func:`available_cpus` (default).  Disable to
+        force real worker processes regardless of core count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, clamp: bool = True):
+        self.requested_jobs = resolve_jobs(jobs)
+        self.effective_jobs = (
+            min(self.requested_jobs, available_cpus())
+            if clamp
+            else self.requested_jobs
+        )
+
+    @property
+    def parallel(self) -> bool:
+        return self.effective_jobs > 1
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        ``fn`` must be a module-level function and each item picklable
+        when the pool is parallel; the serial path has no such
+        constraint (it calls ``fn`` directly in-process, recording perf
+        counters straight into the parent registry).
+        """
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        results: List[Any] = []
+        workers = min(self.effective_jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(_run_with_perf, fn, item) for item in items
+            ]
+            for future in futures:
+                result, snapshot = future.result()
+                PERF.merge(snapshot)
+                results.append(result)
+        PERF.count("runtime.tasks", len(items))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkerPool(requested={self.requested_jobs}, "
+            f"effective={self.effective_jobs})"
+        )

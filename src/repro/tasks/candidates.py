@@ -10,6 +10,7 @@ that is precisely how inference-time knowledge helps generation tasks.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..data.schema import Record
@@ -225,25 +226,39 @@ def _derivation_proposals(record: Record, attribute: str) -> List[str]:
     return proposals
 
 
-def _word_repair(value: str, bank_names: Sequence[str]) -> List[str]:
-    """Fix each out-of-vocabulary word to its nearest bank word."""
+@lru_cache(maxsize=65536)
+def _word_repair_cached(value: str, bank_names: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Memoised core of :func:`_word_repair`.
+
+    A pure function of its arguments — the vocabulary banks are module
+    constants — and the dominant cost of DC candidate pools (an edit
+    distance per out-of-vocabulary word per bank word).  The AKB loop
+    rebuilds the same cell's pool for every knowledge candidate, so the
+    cache collapses that to one computation per (cell, bank set).
+    """
     words = set()
     for bank_name in bank_names:
         for entry in validators.BANKS[bank_name]:
             words.update(entry.split())
+    bank_words = tuple(sorted(words))
     repaired: List[str] = []
     changed = False
     for word in value.lower().split():
         if word in words:
             repaired.append(word)
             continue
-        nearest = nearest_bank_entry(word, tuple(words), max_distance=2)
+        nearest = nearest_bank_entry(word, bank_words, max_distance=2)
         if nearest is None:
             repaired.append(word)
         else:
             repaired.append(nearest)
             changed = True
-    return [" ".join(repaired)] if changed else []
+    return (" ".join(repaired),) if changed else ()
+
+
+def _word_repair(value: str, bank_names: Sequence[str]) -> List[str]:
+    """Fix each out-of-vocabulary word to its nearest bank word."""
+    return list(_word_repair_cached(value, tuple(bank_names)))
 
 
 def _iso_from_slash(value: str) -> List[str]:

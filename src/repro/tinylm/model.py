@@ -280,6 +280,18 @@ class ScoringLM:
             copy._prompt_cache = self._prompt_cache
         return copy
 
+    def __getstate__(self):
+        """Pickle weights + adapter but never the dense featurization memos.
+
+        The memos are re-derivable from text and can hold hundreds of
+        megabytes; worker processes rebuild their own (or inherit the
+        parent's via fork copy-on-write before the first task).
+        """
+        state = self.__dict__.copy()
+        state["_candidate_cache"] = {}
+        state["_prompt_cache"] = OrderedDict()
+        return state
+
     # ------------------------------------------------------------------
     # Featurization
     # ------------------------------------------------------------------
@@ -548,6 +560,24 @@ class ScoringLM:
         probs = softmax(logits[keep])
         rng = rng or np.random.default_rng(0)
         return int(rng.choice(keep, p=probs))
+
+    def evaluate_loss(self, batch: Sequence[EncodedExample]) -> float:
+        """Mean weighted CE loss with no gradient computation.
+
+        The backward pass costs several times the forward, so loss-only
+        evaluation (early-stopping probes, reporting) must never route
+        through :meth:`loss_and_gradients`.  The loss value is computed
+        from the same logits as the training path, so the two agree
+        bit-for-bit.
+        """
+        if not batch:
+            raise ValueError("empty batch")
+        with PERF.timer("model.evaluate_loss"):
+            rb = self._ragged_from_encoded(batch)
+            logits, __cache = self._score_flat(rb)
+            log_z = segment_logsumexp(logits, rb.offsets)
+            losses = (log_z - logits[rb.target_flat]) * rb.weights
+        return float(losses.mean())
 
     # ------------------------------------------------------------------
     # Backward

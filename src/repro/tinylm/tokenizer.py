@@ -131,6 +131,36 @@ class HashedFeaturizer:
             OrderedDict(),
         )
 
+    def __getstate__(self):
+        """Pickle the configuration only, never the shared caches.
+
+        The instance attributes ``_cache`` / ``_sparse_cache`` alias the
+        process-wide content-addressed caches; shipping those to worker
+        processes would be pure dead weight (and they re-derive from
+        text anyway).  Unpickling reconnects to the *receiving*
+        process's shared caches for the same configuration.
+        """
+        state = self.__dict__.copy()
+        state.pop("_cache", None)
+        state.pop("_sparse_cache", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._cache = self._BUCKET_CACHES.setdefault(
+            (self.salt, self.dim), {}
+        )
+        self._sparse_cache = self._SPARSE_CACHES.setdefault(
+            (
+                self.salt,
+                self.dim,
+                self.use_bigrams,
+                self.use_char_ngrams,
+                self.cache_size,
+            ),
+            OrderedDict(),
+        )
+
     @classmethod
     def clear_shared_caches(cls) -> None:
         """Drop all process-wide featurization caches (tests/benchmarks)."""

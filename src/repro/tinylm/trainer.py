@@ -169,7 +169,6 @@ class Trainer:
         return report
 
     def evaluate_loss(self, examples: Sequence[TrainingExample]) -> float:
-        """Mean CE loss without updating parameters."""
+        """Mean CE loss without updating parameters (loss-only forward)."""
         encoded = self._encode(examples)
-        loss, __, __ = self.model.loss_and_gradients(encoded, train_base=False)
-        return loss
+        return self.model.evaluate_loss(encoded)

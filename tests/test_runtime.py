@@ -1,0 +1,166 @@
+"""The parallel runtime: job resolution, pooled maps, determinism.
+
+The determinism tests force real worker processes (``clamp=False``)
+even on single-core machines, so the cross-process path — pickling lean
+model state, reconnecting shared caches, merging perf snapshots — is
+exercised everywhere, and ``jobs=1`` vs ``jobs=N`` bit-identity is
+checked on actual fork/pickle round-trips rather than on the serial
+fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SKCConfig
+from repro.core.knowtrans import KnowTrans
+from repro.core.skc.patches import extract_knowledge_patches
+from repro.perf import PERF, PerfRegistry
+from repro.runtime import WorkerPool, available_cpus, resolve_jobs
+
+
+def _square(x):
+    PERF.count("test.square_calls")
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# Job resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "8")
+    assert resolve_jobs(3) == 3
+
+
+def test_resolve_jobs_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+
+
+def test_resolve_jobs_default_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+
+
+def test_resolve_jobs_bad_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError):
+        resolve_jobs(None)
+
+
+def test_resolve_jobs_floors_at_one():
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-3) == 1
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+
+
+def test_pool_clamps_to_cpus():
+    pool = WorkerPool(jobs=available_cpus() + 7)
+    assert pool.effective_jobs <= available_cpus()
+    unclamped = WorkerPool(jobs=3, clamp=False)
+    assert unclamped.effective_jobs == 3
+
+
+# ----------------------------------------------------------------------
+# Pool mapping
+# ----------------------------------------------------------------------
+def test_serial_map_preserves_order():
+    assert WorkerPool(jobs=1).map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+
+def test_process_map_preserves_order_and_merges_perf():
+    pool = WorkerPool(jobs=2, clamp=False)
+    assert pool.parallel
+    before = PERF.counter("test.square_calls")
+    assert pool.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+    # Each worker counted into its own registry; the snapshots merged
+    # home, so the parent sees all six calls.
+    assert PERF.counter("test.square_calls") == before + 6
+
+
+def test_perf_merge_accumulates():
+    registry = PerfRegistry()
+    registry.count("c", 2)
+    registry.add_time("t", 1.5)
+    registry.merge(
+        {
+            "counters": {"c": 3, "new": 1},
+            "timers": {"t": {"seconds": 0.5, "calls": 2}},
+        }
+    )
+    assert registry.counter("c") == 5
+    assert registry.counter("new") == 1
+    assert registry.seconds("t") == 2.0
+    assert registry._timers["t"][1] == 3
+
+
+# ----------------------------------------------------------------------
+# Determinism: serial vs worker processes
+# ----------------------------------------------------------------------
+def _patch_state(patch):
+    return {k: np.copy(v) for k, v in patch.parameters().items()}
+
+
+def test_patch_extraction_parallel_identical(bundle):
+    config = SKCConfig(patch_epochs=1)
+    datasets = bundle.upstream_datasets[:3]
+    serial = extract_knowledge_patches(bundle.base_model, datasets, config)
+    parallel = extract_knowledge_patches(
+        bundle.base_model, datasets, config,
+        pool=WorkerPool(jobs=2, clamp=False),
+    )
+    assert [p.name for p in serial] == [p.name for p in parallel]
+    for left, right in zip(serial, parallel):
+        ls, rs = _patch_state(left), _patch_state(right)
+        assert ls.keys() == rs.keys()
+        for key in ls:
+            assert np.array_equal(ls[key], rs[key]), key
+
+
+def test_knowtrans_fit_parallel_identical(bundle, fast_config, beer_splits):
+    serial = KnowTrans(
+        bundle, config=fast_config, jobs=1, pool_scoring=False
+    ).fit(beer_splits)
+    parallel = KnowTrans(
+        bundle,
+        config=fast_config,
+        pool=WorkerPool(jobs=4, clamp=False),
+        pool_scoring=True,
+    ).fit(beer_splits)
+    assert serial.knowledge == parallel.knowledge
+    assert serial.akb_result.best_score == parallel.akb_result.best_score
+    assert serial.akb_result.rounds == parallel.akb_result.rounds
+    test_examples = beer_splits.test.examples
+    assert list(serial.predict_batch(test_examples)) == list(
+        parallel.predict_batch(test_examples)
+    )
+
+
+def test_pool_scoring_matches_per_candidate(bundle, fast_config, abt_splits):
+    adapter = KnowTrans(bundle, config=fast_config, jobs=1)
+    scorer = adapter.cross_fit_scorer(abt_splits)
+    from repro.knowledge.seed import seed_knowledge
+    from repro.llm.mockgpt import MockGPT
+    from repro.core.akb.generation import generate_pool
+
+    seed = seed_knowledge(abt_splits.few_shot.task)
+    pool = generate_pool(
+        MockGPT(seed=0),
+        abt_splits.few_shot.task,
+        abt_splits.validation.examples,
+        seed,
+        fast_config.akb,
+    )
+    pooled = scorer.score_pool(pool)
+    singles = [scorer(candidate) for candidate in pool]
+    assert len(pooled) == len(singles)
+    for (pooled_score, pooled_errors), (score, errors) in zip(pooled, singles):
+        assert pooled_score == score
+        assert [e.example for e in pooled_errors] == [e.example for e in errors]
+        assert [e.prediction for e in pooled_errors] == [
+            e.prediction for e in errors
+        ]
