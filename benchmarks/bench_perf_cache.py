@@ -1,0 +1,75 @@
+"""Perf gate: a store-warm pipeline re-run must beat cold ≥ 5×.
+
+Times the full adaptation pipeline — bundle construction (base-model
+pretraining, upstream SFT, SKC stage-1 patches) plus ``KnowTrans.fit``
+and test evaluation — twice against one artifact-store directory:
+
+* cold: the store starts empty, every deterministic stage computes its
+  result and persists it;
+* warm: the identical workload from a fresh in-memory state, with every
+  persisted stage loading its bytes instead of recomputing.
+
+Results are written to ``BENCH_cache.json`` at the repo root and
+appended to ``benchmarks/results/perf_trajectory.jsonl`` so warm-start
+health is tracked across PRs alongside the inference and pipeline
+gates.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_cache.py
+
+The assertion fails if the warm run is less than 5× faster, or if any
+score, AKB round, selected knowledge or test prediction differs between
+the arms — the store must change *when* work happens, never *what* is
+computed.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.perf import render_cache_benchmark, run_cache_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_cache.json"
+TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
+
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_warm_start_speedup(record_result):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    scale = 0.45 if preset == "quick" else 0.6
+    result = run_cache_benchmark(seed=0, scale=scale)
+    result["preset"] = preset
+    result["min_speedup"] = MIN_WARM_SPEEDUP
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    with TRAJECTORY.open("a") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "bench": "cache",
+                    "preset": preset,
+                    "cold_seconds": result["cold"]["seconds"],
+                    "warm_seconds": result["warm"]["seconds"],
+                    "speedup": result["speedup"],
+                    "warm_hits": result["warm"]["store"]["hits"],
+                    "warm_misses": result["warm"]["store"]["misses"],
+                }
+            )
+            + "\n"
+        )
+    record_result("bench_perf_cache", render_cache_benchmark(result))
+
+    assert result["results_identical"], (
+        "store-warm results diverged from the cold run — the store must "
+        "change when work happens, never what is computed"
+    )
+    assert result["warm"]["store"]["hits"] > 0, (
+        "warm run recorded zero store hits — the store is not being used"
+    )
+    assert result["speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm re-run only {result['speedup']:.2f}x faster than cold "
+        f"(need >= {MIN_WARM_SPEEDUP}x); see {BENCH_JSON}"
+    )

@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import store as artifact_store
 from ..core.config import SKCConfig
 from ..core.skc.patches import dataset_training_examples, extract_knowledge_patches
 from ..data.generators import upstream
 from ..data.schema import Dataset
 from ..tinylm.lora import LoRAPatch
 from ..tinylm.model import ScoringLM
-from ..tinylm.registry import create_base_model
+from ..tinylm.registry import _load_weights, _weight_payload, create_base_model
 from ..tinylm.trainer import TrainConfig, Trainer, TrainingExample
 
 __all__ = ["UpstreamBundle", "get_bundle", "clear_bundles", "upstream_sft"]
@@ -75,19 +76,37 @@ def upstream_sft(
     epochs: int = 3,
     seed: int = 0,
 ) -> ScoringLM:
-    """Multi-task SFT of all upstream datasets in one parameter space."""
+    """Multi-task SFT of all upstream datasets in one parameter space.
+
+    Warm-startable: the result is a pure function of the base weights,
+    the upstream data and the train config, so with an active artifact
+    store the fine-tuned weights persist across runs under that full
+    provenance and a repeat run loads them instead of re-training.
+    """
+    train_config = TrainConfig(
+        learning_rate=3e-3, batch_size=8, epochs=epochs, seed=seed
+    )
+    model = base_model.clone()
+    store = artifact_store.active()
+    store_key = None
+    if store is not None:
+        store_key = artifact_store.artifact_key(
+            "upstream_sft",
+            {
+                "base": artifact_store.model_fingerprint(base_model),
+                "datasets": datasets,
+                "train": train_config,
+            },
+        )
+        if _load_weights(model, store.get("upstream_sft", store_key)):
+            return model
     examples: List[TrainingExample] = []
     for dataset in datasets:
         examples.extend(dataset_training_examples(dataset))
-    model = base_model.clone()
-    trainer = Trainer(
-        model,
-        TrainConfig(
-            learning_rate=3e-3, batch_size=8, epochs=epochs, seed=seed
-        ),
-        train_base=True,
-    )
+    trainer = Trainer(model, train_config, train_base=True)
     trainer.fit(examples)
+    if store_key is not None:
+        store.put("upstream_sft", store_key, _weight_payload(model))
     return model
 
 

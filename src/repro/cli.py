@@ -12,6 +12,17 @@ Commands
     and print the regenerated rows/series.
 ``conflict``
     Print the upstream gradient-conflict diagnostic (paper Fig. 1).
+``perf``
+    Inference / pipeline / warm-start cache benchmarks plus counters.
+``cache``
+    Inspect or maintain the persistent artifact store
+    (``stats`` / ``clear`` / ``gc``).
+
+``adapt``, ``experiment`` and ``perf`` accept ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) to persist deterministic
+artifacts — pretrained weights, SFT weights, SKC patches, fine-tune
+states, AKB evaluation records — across invocations, and ``--no-cache``
+to bypass the store entirely (reads *and* writes).
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from typing import List, Optional
 import numpy as np
 
 from . import __version__
+from . import store as artifact_store
 from .baselines.jellyfish import get_bundle
 from .core.config import KnowTransConfig
 from .core.knowtrans import KnowTrans
@@ -48,6 +60,18 @@ _EXPERIMENTS = {
 }
 
 
+def _add_cache_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent artifact store directory "
+        "(default: REPRO_CACHE_DIR env, else caching off)",
+    )
+    command.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact store entirely (reads and writes)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS env, then 1)",
     )
+    _add_cache_args(adapt)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -83,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-dataset rows "
         "(default: REPRO_JOBS env, then 1)",
     )
+    _add_cache_args(experiment)
 
     conflict = commands.add_parser(
         "conflict", help="gradient tug-of-war diagnostic (paper Fig. 1)"
@@ -112,6 +138,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the pipeline parallel arm "
         "(default: REPRO_JOBS env, then 4)",
+    )
+    perf.add_argument(
+        "--cache", action="store_true",
+        help="run the warm-start cache benchmark "
+        "(cold pipeline vs store-warm re-run)",
+    )
+    perf.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI sanity pass: tiny workload, single repeat, "
+        "fails on any prediction mismatch",
+    )
+    _add_cache_args(perf)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain the persistent artifact store"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "gc"))
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store directory (default: REPRO_CACHE_DIR env)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="gc only: evict oldest entries until the store fits",
     )
     return parser
 
@@ -192,6 +242,29 @@ def _cmd_conflict(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import PERF, render_benchmark, run_inference_benchmark
 
+    if args.smoke:
+        result = run_inference_benchmark(
+            dataset_id=args.dataset,
+            count=min(args.count, 60),
+            seed=args.seed,
+            repeats=1,
+        )
+        print(render_benchmark(result))
+        if not result["predictions_identical"]:
+            print("smoke FAILED: batched and per-example predictions differ")
+            return 1
+        print("smoke OK")
+        return 0
+
+    if args.cache:
+        from .perf import render_cache_benchmark, run_cache_benchmark
+
+        result = run_cache_benchmark(
+            seed=args.seed, cache_dir=args.cache_dir
+        )
+        print(render_cache_benchmark(result))
+        return 0
+
     if args.pipeline:
         from .perf import render_pipeline_benchmark, run_pipeline_benchmark
 
@@ -211,21 +284,67 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR", ""
+    ).strip()
+    if not cache_dir:
+        print(
+            "no store directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    store = artifact_store.ArtifactStore(cache_dir)
+    if args.action == "stats":
+        print(store.render_stats())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(
+            f"cleared {removed['entries']} entries "
+            f"({removed['bytes'] / 1e6:.2f} MB) from {store.root}"
+        )
+    else:  # gc
+        report = store.gc(max_bytes=args.max_bytes)
+        print(
+            f"gc {store.root}: removed {report['tmp_removed']} tmp files, "
+            f"{report['corrupt_removed']} corrupt entries, evicted "
+            f"{report['evicted']} entries"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "adapt":
-        return _cmd_adapt(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "conflict":
-        return _cmd_conflict(args)
-    if args.command == "perf":
-        return _cmd_perf(args)
-    raise AssertionError("unreachable")  # pragma: no cover
+    # Explicit cache flags override the environment; without them the
+    # store resolves lazily from REPRO_CACHE_DIR / REPRO_NO_CACHE.
+    if getattr(args, "no_cache", False):
+        artifact_store.configure(no_cache=True)
+    elif getattr(args, "cache_dir", None) and args.command != "cache":
+        artifact_store.configure(cache_dir=args.cache_dir)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "adapt":
+            return _cmd_adapt(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "conflict":
+            return _cmd_conflict(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        raise AssertionError("unreachable")  # pragma: no cover
+    finally:
+        # One stats line per CLI invocation, covering worker traffic too
+        # (store.* counters merge home with the pool's perf snapshots).
+        store = artifact_store.active()
+        if store is not None:
+            store.log_session()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,10 @@ __all__ = [
     "score_knowledge",
     "predict_detailed_pool",
     "score_knowledge_pool",
+    "pack_detail_record",
+    "unpack_detail_record",
+    "pack_score_record",
+    "unpack_score_record",
 ]
 
 
@@ -114,6 +118,67 @@ def predict_detailed_pool(
                 errors.append(ErrorCase(example=example, prediction=prediction))
         results.append((golds, preds, margins, errors))
     return results
+
+
+# ----------------------------------------------------------------------
+# Artifact-store payloads for Eq. 8 evaluation records
+# ----------------------------------------------------------------------
+# Evaluation is deterministic given (model weights, candidate, examples),
+# so a (candidate, fold) record computed in one run — or one AKB round —
+# can be served from the store in any later one.  The unpackers validate
+# structure defensively and return None on anything unexpected, so a
+# bogus payload degrades to a recompute, never to bad floats.
+def pack_detail_record(detail) -> dict:
+    """Serialise one :func:`predict_detailed` result for the store."""
+    golds, preds, margins, errors = detail
+    return {
+        "golds": list(golds),
+        "preds": list(preds),
+        "margins": [float(m) for m in margins],
+        "errors": [(e.example, e.prediction) for e in errors],
+    }
+
+
+def unpack_detail_record(record):
+    """Rebuild a :func:`predict_detailed` tuple, or ``None`` if malformed."""
+    if not isinstance(record, dict):
+        return None
+    try:
+        golds = [str(g) for g in record["golds"]]
+        preds = [str(p) for p in record["preds"]]
+        margins = [float(m) for m in record["margins"]]
+        errors = [
+            ErrorCase(example=example, prediction=str(prediction))
+            for example, prediction in record["errors"]
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not (len(golds) == len(preds) == len(margins)):
+        return None
+    return golds, preds, margins, errors
+
+
+def pack_score_record(value: float, errors) -> dict:
+    """Serialise one :func:`score_knowledge` result for the store."""
+    return {
+        "value": float(value),
+        "errors": [(e.example, e.prediction) for e in errors],
+    }
+
+
+def unpack_score_record(record):
+    """Rebuild a :func:`score_knowledge` tuple, or ``None`` if malformed."""
+    if not isinstance(record, dict):
+        return None
+    try:
+        value = float(record["value"])
+        errors = [
+            ErrorCase(example=example, prediction=str(prediction))
+            for example, prediction in record["errors"]
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return value, errors
 
 
 def task_metric(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ... import store as artifact_store
 from ...data.schema import Dataset, Example
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import seed_knowledge
@@ -21,7 +22,12 @@ from ...perf import PERF
 from ...tasks.base import get_task
 from ...tinylm.model import ScoringLM
 from ..config import AKBConfig
-from .evaluation import score_knowledge, score_knowledge_pool
+from .evaluation import (
+    pack_score_record,
+    score_knowledge,
+    score_knowledge_pool,
+    unpack_score_record,
+)
 from .feedback import make_feedback
 from .generation import generate_pool
 from .refinement import refine_knowledge
@@ -87,13 +93,70 @@ def search_knowledge(
 
     score_pool_fn = None
     if scorer is None:
+        # Eq. 8 evaluation is deterministic given (weights, candidate,
+        # validation data), so candidate scores memoise across runs and
+        # across AKB rounds in the artifact store under that provenance.
+        store = artifact_store.active()
+        provenance = None
+        if store is not None:
+            provenance = {
+                "model": artifact_store.model_fingerprint(
+                    model, effective=True
+                ),
+                "task": task.name,
+                "dataset": artifact_store.fingerprint(dataset),
+                "validation": artifact_store.fingerprint(list(validation)),
+            }
+
+        def _score_key(candidate: Knowledge) -> str:
+            return artifact_store.artifact_key(
+                "akb_score", {**provenance, "candidate": candidate}
+            )
+
         def scorer(candidate: Knowledge):
-            return score_knowledge(model, task, candidate, validation, dataset)
+            if provenance is not None:
+                cached = unpack_score_record(
+                    store.get("akb_score", _score_key(candidate))
+                )
+                if cached is not None:
+                    return cached
+            value, errors = score_knowledge(
+                model, task, candidate, validation, dataset
+            )
+            if provenance is not None:
+                store.put(
+                    "akb_score", _score_key(candidate),
+                    pack_score_record(value, errors),
+                )
+            return value, errors
 
         def score_pool_fn(candidates: Sequence[Knowledge]):
-            return score_knowledge_pool(
-                model, task, candidates, validation, dataset
-            )
+            candidates = list(candidates)
+            results = [None] * len(candidates)
+            missing = list(range(len(candidates)))
+            if provenance is not None:
+                missing = []
+                for ci, candidate in enumerate(candidates):
+                    cached = unpack_score_record(
+                        store.get("akb_score", _score_key(candidate))
+                    )
+                    if cached is not None:
+                        results[ci] = cached
+                    else:
+                        missing.append(ci)
+            if missing:
+                fresh = score_knowledge_pool(
+                    model, task, [candidates[ci] for ci in missing],
+                    validation, dataset,
+                )
+                for ci, entry in zip(missing, fresh):
+                    results[ci] = entry
+                    if provenance is not None:
+                        store.put(
+                            "akb_score", _score_key(candidates[ci]),
+                            pack_score_record(*entry),
+                        )
+            return results
     else:
         score_pool_fn = getattr(scorer, "score_pool", None)
 

@@ -13,18 +13,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
+from .. import store as artifact_store
 from ..data.schema import Dataset, Example
 from ..data.splits import DatasetSplits
 from ..knowledge.rules import Knowledge
 from ..knowledge.seed import seed_knowledge
 from ..llm.mockgpt import MockGPT
-from ..runtime import WorkerPool
+from ..runtime import WorkerPool, resolve_shared, share
 from ..tasks.base import Task, get_task
 from ..tinylm.model import ScoringLM
 from .akb.evaluation import (
+    pack_detail_record,
     predict_detailed,
     predict_detailed_pool,
     task_metric,
+    unpack_detail_record,
 )
 from .akb.optimizer import AKBResult, search_knowledge
 from .config import KnowTransConfig
@@ -50,6 +55,9 @@ class AdaptedModel:
 
     def predict_batch(self, examples: Sequence[Example]) -> Sequence[str]:
         """Batched greedy predictions (one inference-engine call)."""
+        _warm_eval_featurizations(
+            self.model, self.task, examples, self.knowledge, self.dataset
+        )
         return self.task.predict_batch(
             self.model, examples, self.knowledge, self.dataset
         )
@@ -60,19 +68,144 @@ class AdaptedModel:
         )
 
 
+def _warm_eval_featurizations(model, task, examples, knowledge, dataset):
+    """Seed the featurization caches from the store before an eval pass.
+
+    Encoded-dataset featurizations are pure functions of (featurizer
+    config, text), so the sparse rows of a full evaluation surface
+    persist as one store entry; a warm run skips re-tokenising the test
+    set entirely.  No-op without an active store.
+    """
+    if artifact_store.active() is None:
+        return
+    texts = [task.prompt(example, knowledge) for example in examples]
+    for example in examples:
+        texts.extend(task.candidates(example, knowledge, dataset))
+    artifact_store.warm_featurizations(model.featurizer, texts)
+
+
+def _fusion_state(fusion) -> dict:
+    """The full trainable state of a fusion adapter, copy-safe."""
+    return {
+        "lambdas": np.copy(fusion.lambdas),
+        "new_patch": fusion.new_patch.state_dict(),
+        "patches": [patch.state_dict() for patch in fusion.patches],
+    }
+
+
+def _patch_state_ok(patch, state) -> bool:
+    """Whether ``state`` is a complete, shape-exact state dict for ``patch``."""
+    if not isinstance(state, dict):
+        return False
+    reference = patch.state_dict()
+    if set(state.keys()) != set(reference.keys()):
+        return False
+    for key, value in state.items():
+        arr = np.asarray(value)
+        if arr.shape != reference[key].shape or arr.dtype.kind not in "fiu":
+            return False
+    return True
+
+
+def _load_fusion_state(fusion, state) -> bool:
+    """Install a stored fusion state; reject structural mismatches.
+
+    Validation runs to completion *before* any mutation so a bad entry
+    can never leave the fusion half-loaded — the caller falls back to
+    the fine-tune path from the pristine init.
+    """
+    try:
+        lambdas = np.asarray(state["lambdas"], dtype=float)
+        new_state = state["new_patch"]
+        patch_states = state["patches"]
+    except (KeyError, TypeError, IndexError, ValueError):
+        return False
+    if lambdas.shape != fusion.lambdas.shape:
+        return False
+    if not isinstance(patch_states, list) or len(patch_states) != len(
+        fusion.patches
+    ):
+        return False
+    if not _patch_state_ok(fusion.new_patch, new_state):
+        return False
+    if not all(
+        _patch_state_ok(patch, patch_state)
+        for patch, patch_state in zip(fusion.patches, patch_states)
+    ):
+        return False
+    fusion.new_patch.load_state_dict(new_state)
+    for patch, patch_state in zip(fusion.patches, patch_states):
+        patch.load_state_dict(patch_state)
+    fusion.lambdas[:] = lambdas
+    return True
+
+
+def _fused_finetune(
+    upstream_model, patches, skc_config, strategy, name, train_dataset,
+    knowledge,
+):
+    """SKC stages 2-3 with a warm start (shared by fit and the shadows).
+
+    Attaches the fusion stack, then either restores the fine-tuned
+    adapter state from the artifact store (keyed by the full provenance:
+    upstream weights, patch contents, config, strategy, adapter name,
+    training data, prompt knowledge) or runs the few-shot fine-tune and
+    persists the result.  Loading mutates only the freshly-built fusion —
+    ``build_adapter`` clones the upstream patches, so the caller's patch
+    list is never touched.
+    """
+    store = artifact_store.active()
+    store_key = None
+    if store is not None:
+        store_key = artifact_store.artifact_key(
+            "finetune",
+            {
+                "upstream": artifact_store.model_fingerprint(upstream_model),
+                "patches": [
+                    artifact_store.patch_fingerprint(patch)
+                    for patch in patches
+                ],
+                "config": skc_config,
+                "strategy": strategy,
+                "name": name,
+                "train": train_dataset,
+                "knowledge": knowledge,
+            },
+        )
+    model, fusion = attach_fusion(
+        upstream_model, patches, skc_config, strategy=strategy, name=name
+    )
+    if store_key is not None:
+        cached = store.get("finetune", store_key)
+        if cached is not None and _load_fusion_state(fusion, cached):
+            return model, fusion
+    few_shot_finetune(model, train_dataset, skc_config, knowledge)
+    if store_key is not None:
+        store.put("finetune", store_key, _fusion_state(fusion))
+    return model, fusion
+
+
 def _shadow_task(args):
     """Build one cross-fit shadow model (worker-pool task).
 
     A pure function of its picklable arguments: the clone, the fusion
     attachment, and the fine-tune all derive their randomness from
     seeds carried in the config/name, so building a shadow in a worker
-    process yields the same weights as building it inline.
+    process yields the same weights as building it inline.  The frozen
+    upstream model and patch list arrive as fork-inherited
+    :class:`~repro.runtime.SharedRef` tokens — only the half-split
+    few-shot data and config cross the IPC boundary.
     """
-    upstream_model, patches, skc_config, strategy, name, train_half, base_knowledge = args
-    shadow, __fusion = attach_fusion(
-        upstream_model, patches, skc_config, strategy=strategy, name=name
+    model_ref, patches_ref, skc_config, strategy, name, train_half, base_knowledge = args
+    shadow, __fusion = _fused_finetune(
+        resolve_shared(model_ref),
+        resolve_shared(patches_ref),
+        skc_config,
+        strategy,
+        name,
+        train_half,
+        base_knowledge,
     )
-    few_shot_finetune(shadow, train_half, skc_config, base_knowledge)
     return shadow
 
 
@@ -106,10 +239,54 @@ class CrossFitScorer:
         self.shadows = list(shadows)
         self.halves = tuple(halves)
         self.task = task
+        # Per-fold provenance digests, computed lazily once per scorer:
+        # hashing the shadow's effective weights is ~ms work that every
+        # store key of the fold shares.
+        self._fold_provenance: Dict[int, tuple] = {}
 
     def _held_out(self, fold: int):
         held_out = self.halves[1 - fold]
         return held_out, held_out.examples[: self.SCORING_CAP]
+
+    def _record_key(self, fold: int, candidate: Knowledge) -> str:
+        """Store address of one (candidate, fold) evaluation record."""
+        provenance = self._fold_provenance.get(fold)
+        if provenance is None:
+            provenance = (
+                artifact_store.model_fingerprint(
+                    self.shadows[fold], effective=True
+                ),
+                artifact_store.fingerprint(self._held_out(fold)[0]),
+            )
+            self._fold_provenance[fold] = provenance
+        model_fp, held_out_fp = provenance
+        return artifact_store.artifact_key(
+            "akb_eval",
+            {
+                "model": model_fp,
+                "task": self.task.name,
+                "held_out": held_out_fp,
+                "cap": self.SCORING_CAP,
+                "candidate": candidate,
+            },
+        )
+
+    def _detailed(self, fold: int, candidate: Knowledge):
+        """One fold's evaluation record, served from the store when warm."""
+        store = artifact_store.active()
+        key = None
+        if store is not None:
+            key = self._record_key(fold, candidate)
+            cached = unpack_detail_record(store.get("akb_eval", key))
+            if cached is not None:
+                return cached
+        held_out, examples = self._held_out(fold)
+        detail = predict_detailed(
+            self.shadows[fold], self.task, candidate, examples, held_out
+        )
+        if key is not None:
+            store.put("akb_eval", key, pack_detail_record(detail))
+        return detail
 
     def _finalize(self, golds, preds, margins, errors, pooled_examples):
         metric = task_metric(self.task, golds, preds, pooled_examples)
@@ -121,28 +298,59 @@ class CrossFitScorer:
     def __call__(self, candidate: Knowledge):
         golds, preds, margins, errors = [], [], [], []
         pooled_examples = []
-        for fold, shadow in enumerate(self.shadows):
-            held_out, examples = self._held_out(fold)
-            g, p, m, e = predict_detailed(
-                shadow, self.task, candidate, examples, held_out
-            )
+        for fold in range(len(self.shadows)):
+            g, p, m, e = self._detailed(fold, candidate)
             golds.extend(g)
             preds.extend(p)
             margins.extend(m)
             errors.extend(e)
-            pooled_examples.extend(examples)
+            pooled_examples.extend(self._held_out(fold)[1])
         return self._finalize(golds, preds, margins, errors, pooled_examples)
 
     def score_pool(self, candidates: Sequence[Knowledge]):
-        """Score a whole candidate pool: one mega-batch per shadow fold."""
+        """Score a whole candidate pool: one mega-batch per shadow fold.
+
+        With an active store, candidates whose (candidate, fold) record
+        already exists — from an earlier run *or* an earlier AKB round —
+        load from disk, and only the genuinely fresh candidates enter
+        the mega-batch.  The engine is batch-composition invariant, so
+        slicing the pool this way returns the same floats as scoring
+        everything together.
+        """
         candidates = list(candidates)
-        per_fold = [
-            predict_detailed_pool(
-                shadow, self.task, candidates, self._held_out(fold)[1],
-                self._held_out(fold)[0],
-            )
-            for fold, shadow in enumerate(self.shadows)
-        ]
+        store = artifact_store.active()
+        per_fold = []
+        for fold, shadow in enumerate(self.shadows):
+            held_out, examples = self._held_out(fold)
+            entries = [None] * len(candidates)
+            missing = list(range(len(candidates)))
+            if store is not None:
+                missing = []
+                for ci, candidate in enumerate(candidates):
+                    cached = unpack_detail_record(
+                        store.get("akb_eval", self._record_key(fold, candidate))
+                    )
+                    if cached is not None:
+                        entries[ci] = cached
+                    else:
+                        missing.append(ci)
+            if missing:
+                fresh = predict_detailed_pool(
+                    shadow,
+                    self.task,
+                    [candidates[ci] for ci in missing],
+                    examples,
+                    held_out,
+                )
+                for ci, detail in zip(missing, fresh):
+                    entries[ci] = detail
+                    if store is not None:
+                        store.put(
+                            "akb_eval",
+                            self._record_key(fold, candidates[ci]),
+                            pack_detail_record(detail),
+                        )
+            per_fold.append(entries)
         results = []
         for ci in range(len(candidates)):
             golds, preds, margins, errors = [], [], [], []
@@ -220,16 +428,18 @@ class KnowTrans:
         base_knowledge = seed_knowledge(few_shot.task)
 
         # SKC stages 2-3: fuse patches (or a lone fresh patch) and
-        # fine-tune the adapter on the few-shot data.
+        # fine-tune the adapter on the few-shot data (warm-started from
+        # the artifact store when a previous run already did this).
         patches = self.bundle.patches if self.strategy != "single" else []
-        model, fusion = attach_fusion(
+        model, fusion = _fused_finetune(
             self.bundle.upstream_model,
             patches,
             self.config.skc,
-            strategy=self.strategy,
-            name=f"downstream-{few_shot.name}",
+            self.strategy,
+            f"downstream-{few_shot.name}",
+            few_shot,
+            base_knowledge,
         )
-        few_shot_finetune(model, few_shot, self.config.skc, base_knowledge)
 
         # AKB: inference-time knowledge search with the fine-tuned model.
         knowledge = base_knowledge
@@ -279,12 +489,14 @@ class KnowTrans:
             few_shot.subset(range(0, midpoint), ":fold0"),
             few_shot.subset(range(midpoint, len(few_shot)), ":fold1"),
         )
+        model_ref = share(self.bundle.upstream_model)
+        patches_ref = share(patches)
         shadows = self.pool.map(
             _shadow_task,
             [
                 (
-                    self.bundle.upstream_model,
-                    patches,
+                    model_ref,
+                    patches_ref,
                     self.config.skc,
                     self.strategy,
                     f"shadow{fold}-{few_shot.name}",

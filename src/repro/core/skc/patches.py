@@ -12,17 +12,23 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ... import store as artifact_store
 from ...data.schema import Dataset
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import ORACLES
-from ...runtime import WorkerPool
+from ...runtime import WorkerPool, resolve_shared, share
 from ...tasks.base import get_task
 from ...tinylm.lora import LoRAPatch
 from ...tinylm.model import ScoringLM
 from ...tinylm.trainer import Trainer, TrainingExample
 from ..config import SKCConfig
 
-__all__ = ["dataset_training_examples", "extract_patch", "extract_knowledge_patches"]
+__all__ = [
+    "dataset_training_examples",
+    "patch_store_key",
+    "extract_patch",
+    "extract_knowledge_patches",
+]
 
 
 def dataset_training_examples(
@@ -43,13 +49,39 @@ def dataset_training_examples(
     ]
 
 
+def patch_store_key(
+    base_model: ScoringLM,
+    dataset: Dataset,
+    config: SKCConfig,
+    knowledge: Knowledge,
+) -> str:
+    """Content address of one extracted patch (full Eq. 3 provenance)."""
+    return artifact_store.artifact_key(
+        "patch",
+        {
+            "base": artifact_store.model_fingerprint(base_model),
+            "dataset": dataset,
+            "config": config,
+            "knowledge": knowledge,
+        },
+    )
+
+
 def extract_patch(
     base_model: ScoringLM,
     dataset: Dataset,
     config: SKCConfig,
     knowledge: Optional[Knowledge] = None,
 ) -> LoRAPatch:
-    """Train one isolated knowledge patch for ``dataset`` on the base model."""
+    """Train one isolated knowledge patch for ``dataset`` on the base model.
+
+    With an active artifact store the trained ``(B, A)`` arrays persist
+    under the full provenance (base weights, dataset content, config,
+    oracle knowledge), so stage-1 extraction is skipped entirely on a
+    warm run — a store hit rebuilds the patch and loads the arrays.
+    """
+    if knowledge is None:
+        knowledge = ORACLES.get("up/" + dataset.name, Knowledge.empty())
     patch = LoRAPatch(
         name=f"{dataset.task}-{dataset.name}",
         target_shapes=base_model.config.target_shapes(),
@@ -57,12 +89,25 @@ def extract_patch(
         alpha=config.lora_alpha,
         seed=config.seed,
     )
+    store = artifact_store.active()
+    store_key = None
+    if store is not None:
+        store_key = patch_store_key(base_model, dataset, config, knowledge)
+        cached = store.get("patch", store_key)
+        if cached is not None:
+            try:
+                patch.load_state_dict(cached)
+                return patch
+            except Exception:
+                pass  # structurally unexpected entry — retrain and rewrite
     # Work on a clone so the caller's base model never carries state.
     worker = base_model.clone()
     worker.attach(patch)
     trainer = Trainer(worker, config.patch_train_config(), train_base=False)
     trainer.fit(dataset_training_examples(dataset, knowledge))
     worker.detach()
+    if store_key is not None:
+        store.put("patch", store_key, patch.state_dict())
     return patch
 
 
@@ -72,10 +117,12 @@ def _patch_task(args) -> LoRAPatch:
     Patch extraction is a pure function of (base model, dataset,
     config): the LoRA init and the trainer's shuffling both derive from
     seeds in the arguments, so a patch trained in a worker process is
-    bit-identical to one trained inline.
+    bit-identical to one trained inline.  The base model arrives as a
+    fork-inherited :class:`~repro.runtime.SharedRef` — only the dataset
+    and config ever cross the IPC boundary.
     """
     base_model, dataset, config = args
-    return extract_patch(base_model, dataset, config)
+    return extract_patch(resolve_shared(base_model), dataset, config)
 
 
 def extract_knowledge_patches(
@@ -95,7 +142,8 @@ def extract_knowledge_patches(
     """
     config = config or SKCConfig()
     pool = pool if pool is not None else WorkerPool(jobs)
+    base_ref = share(base_model)
     return pool.map(
         _patch_task,
-        [(base_model, dataset, config) for dataset in upstream_datasets],
+        [(base_ref, dataset, config) for dataset in upstream_datasets],
     )

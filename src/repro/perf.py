@@ -30,6 +30,8 @@ __all__ = [
     "render_benchmark",
     "run_pipeline_benchmark",
     "render_pipeline_benchmark",
+    "run_cache_benchmark",
+    "render_cache_benchmark",
 ]
 
 
@@ -405,6 +407,134 @@ def run_pipeline_benchmark(
         "scores": {row["dataset"]: row["score"] for row in serial_rows},
         "perf": counters,
     }
+
+
+# ----------------------------------------------------------------------
+# Warm-start cache benchmark (shared by ``python -m repro perf --cache``
+# and ``benchmarks/bench_perf_cache.py``)
+# ----------------------------------------------------------------------
+def _forget_process_state() -> None:
+    """Drop every in-memory cache, simulating a fresh CLI invocation.
+
+    The artifact store's whole point is surviving process restarts; a
+    same-process benchmark has to discard the in-memory layers (bundle
+    registry, split cache, base-model registry, shared featurizer
+    caches) or the warm arm would measure those instead of the store.
+    """
+    from .baselines.jellyfish import clear_bundles
+    from .eval.harness import clear_split_cache
+    from .tinylm.registry import clear_cache
+    from .tinylm.tokenizer import HashedFeaturizer
+
+    clear_bundles()
+    clear_split_cache()
+    clear_cache()
+    HashedFeaturizer.clear_shared_caches()
+
+
+def run_cache_benchmark(
+    seed: int = 0,
+    dataset_ids: Sequence[str] = ("ed/rayyan",),
+    scale: float = 0.45,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Time a cold full pipeline against a store-warm re-run.
+
+    Both arms run the identical workload — bundle construction (base
+    pretrain, upstream SFT, stage-1 patches) plus full ``KnowTrans.fit``
+    and test evaluation per dataset — from a cold in-memory state.  The
+    only difference is the artifact store's contents:
+
+    * **cold** — the store starts empty; every stage computes and
+      persists its artifact.
+    * **warm** — the same store directory, now populated; deterministic
+      stages load their bytes instead of recomputing.
+
+    Every result field (scores, AKB round history, selected knowledge,
+    test predictions) is compared across arms under
+    ``results_identical`` — the store must change *when* work happens,
+    never *what* is computed.
+    """
+    import tempfile
+
+    from . import store as artifact_store
+
+    config = _pipeline_config()
+
+    def run_arm(store) -> tuple:
+        _forget_process_state()
+        with artifact_store.using_store(store):
+            PERF.reset()
+            start = time.perf_counter()
+            rows = [
+                _pipeline_row((dataset_id, scale, seed, config, True))
+                for dataset_id in dataset_ids
+            ]
+            seconds = time.perf_counter() - start
+            counters = PERF.snapshot()
+        return rows, seconds, counters
+
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-cache-bench-")
+        cache_dir = tmp.name
+    try:
+        store = artifact_store.ArtifactStore(cache_dir)
+        cold_rows, cold_seconds, cold_counters = run_arm(store)
+        warm_rows, warm_seconds, warm_counters = run_arm(store)
+        disk = store.disk_stats()
+    finally:
+        _forget_process_state()
+        if tmp is not None:
+            tmp.cleanup()
+
+    def _store_counters(counters: Dict) -> Dict[str, int]:
+        raw = counters.get("counters", {})
+        return {
+            name: int(raw.get("store." + name, 0))
+            for name in (
+                "hits", "misses", "writes",
+                "bytes_read", "bytes_written", "corrupt",
+            )
+        }
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    return {
+        "workload": list(dataset_ids),
+        "scale": scale,
+        "cold": {"seconds": cold_seconds, "store": _store_counters(cold_counters)},
+        "warm": {"seconds": warm_seconds, "store": _store_counters(warm_counters)},
+        "speedup": speedup,
+        "results_identical": cold_rows == warm_rows,
+        "scores": {row["dataset"]: row["score"] for row in cold_rows},
+        "disk": {
+            kind: dict(slot) for kind, slot in sorted(disk.items())
+        },
+        "perf": warm_counters,
+    }
+
+
+def render_cache_benchmark(result: Dict) -> str:
+    """Format :func:`run_cache_benchmark` output for the terminal."""
+    cold, warm = result["cold"], result["warm"]
+    lines = [
+        "warm-start cache benchmark — " + ", ".join(result["workload"])
+        + f" (scale {result['scale']})",
+        f"  cold (empty store):       {cold['seconds']:.3f}s "
+        f"({cold['store']['writes']} writes, {cold['store']['hits']} hits)",
+        f"  warm (populated store):   {warm['seconds']:.3f}s "
+        f"({warm['store']['hits']} hits, {warm['store']['misses']} misses)",
+        f"  speedup:                  {result['speedup']:.2f}x",
+        f"  results identical:        {result['results_identical']}",
+    ]
+    for dataset_id, score in result["scores"].items():
+        lines.append(f"  {dataset_id:<24} score {score:.2f}")
+    for kind, slot in result["disk"].items():
+        lines.append(
+            f"  stored {kind:<17} {slot['entries']:>4} entries "
+            f"{slot['bytes'] / 1e6:>8.2f} MB"
+        )
+    return "\n".join(lines)
 
 
 def render_pipeline_benchmark(result: Dict) -> str:

@@ -35,17 +35,33 @@ resulting snapshot home with the result.  :meth:`WorkerPool.map` merges
 every snapshot into the parent registry, so ``python -m repro perf``
 and the benchmark JSONs report whole-run counters no matter how many
 processes did the work.
+
+The artifact store (:mod:`repro.store`) composes with the pool with no
+extra machinery: forked workers inherit the parent's active store and
+read/write the shared directory directly (every write is an atomic
+rename, so no locks are needed), while their ``store.*`` hit/miss/bytes
+counters ride the same snapshot merging as everything else — the parent
+registry ends up with whole-fleet store traffic.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .perf import PERF
 
-__all__ = ["available_cpus", "resolve_jobs", "WorkerPool"]
+__all__ = [
+    "available_cpus",
+    "resolve_jobs",
+    "WorkerPool",
+    "SharedRef",
+    "share",
+    "resolve_shared",
+]
 
 
 def available_cpus() -> int:
@@ -69,6 +85,69 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 f"REPRO_JOBS must be an integer, got {raw!r}"
             ) from exc
     return max(1, int(jobs))
+
+
+# ----------------------------------------------------------------------
+# Fork-shared objects — trimming IPC payloads
+# ----------------------------------------------------------------------
+# Pool tasks used to pickle the full frozen backbone (~3 MB of float64
+# weights) into every submitted task even though fork gives each worker
+# the identical object for free.  share() registers an object in a
+# parent-side table that fork children inherit; the returned SharedRef
+# pickles as a few-byte token, and resolve_shared() looks the object
+# back up in the child.  Serial paths resolve in-process, so jobs=1 and
+# jobs=N still run literally the same objects.
+_SHARED_OBJECTS: Dict[int, Any] = {}
+_SHARED_BY_ID: Dict[int, "SharedRef"] = {}
+_SHARED_TOKENS = itertools.count()
+
+
+class SharedRef:
+    """A picklable token standing in for a fork-inherited object."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: int):
+        self.token = token
+
+    def resolve(self) -> Any:
+        try:
+            return _SHARED_OBJECTS[self.token]
+        except KeyError:
+            raise RuntimeError(
+                f"SharedRef token {self.token} is not registered in this "
+                "process — shared objects only cross fork boundaries "
+                "(register with share() before building task arguments)"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedRef({self.token})"
+
+
+def share(obj: Any) -> SharedRef:
+    """Register ``obj`` for fork inheritance and return its light ref.
+
+    Must be called in the parent *before* the pool's executor forks
+    (``WorkerPool.map`` creates the executor after task arguments are
+    built, so call sites satisfy this naturally).  The registry keeps a
+    strong reference for the life of the process — callers share a small
+    number of long-lived objects (backbone models, patch lists), not
+    per-task temporaries.  Re-sharing the same object returns the same
+    ref (safe to memoise by ``id``: the strong ref pins the identity).
+    """
+    ref = _SHARED_BY_ID.get(id(obj))
+    if ref is not None and _SHARED_OBJECTS.get(ref.token) is obj:
+        return ref
+    token = next(_SHARED_TOKENS)
+    _SHARED_OBJECTS[token] = obj
+    ref = SharedRef(token)
+    _SHARED_BY_ID[id(obj)] = ref
+    return ref
+
+
+def resolve_shared(obj: Any) -> Any:
+    """Unwrap a :class:`SharedRef`; anything else passes through."""
+    return obj.resolve() if isinstance(obj, SharedRef) else obj
 
 
 def _run_with_perf(fn: Callable[[Any], Any], item: Any):
@@ -121,6 +200,12 @@ class WorkerPool:
             return [fn(item) for item in items]
         results: List[Any] = []
         workers = min(self.effective_jobs, len(items))
+        # Account submitted argument bytes so tests (and perf reports)
+        # can assert the backbone rides fork inheritance, not pickle.
+        PERF.count(
+            "runtime.payload_bytes",
+            sum(len(pickle.dumps(item)) for item in items),
+        )
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = [
                 executor.submit(_run_with_perf, fn, item) for item in items

@@ -1,0 +1,560 @@
+"""Persistent content-addressed artifact store — cross-run warm starts.
+
+The batched engine (PR 1) made one scoring call fast and the worker
+pool (PR 2) made one run fast; this module makes *repeated* runs fast.
+Every expensive, fully deterministic stage of the pipeline — base-model
+pretraining, upstream SFT, SKC stage-1 patch extraction, fused few-shot
+fine-tunes (including the cross-fit shadows), AKB per-(candidate, fold)
+evaluation records, dense featurizations — can persist its result under
+a key derived from the *complete* provenance of the computation, and a
+later run (or a concurrent worker) loads the bytes instead of redoing
+the work.
+
+Keying — invalidation by construction
+-------------------------------------
+A key is the SHA-256 digest of the canonicalised provenance: dataset
+fingerprints (full example content, not names), model weight digests,
+featurizer configuration, train configs, seeds, and a schema version.
+Two computations share a key only if every input that could influence
+the output is identical — so entries are immutable and are *never*
+invalidated.  Change a seed, a hyperparameter, an example, or bump
+:data:`SCHEMA_VERSION`, and the key simply changes.  There is no TTL,
+no dirty bit, and no correctness dependence on the store: a hit must
+return exactly the bytes the computation would produce, and every
+caller falls back to recomputing (and rewriting) when an entry is
+missing, corrupt, or structurally unexpected.
+
+Concurrency
+-----------
+Writes are atomic: the payload is serialised to a temporary file in the
+entry's directory and ``os.replace``'d into place.  Readers therefore
+never observe a partial entry, and any number of pool workers or
+parallel CLI invocations can share one store directory with no locks —
+concurrent writers of the same key race benignly (the payloads are
+bit-identical by construction, last rename wins).
+
+Observability
+-------------
+Hits/misses/bytes are recorded into :data:`repro.perf.PERF` under
+``store.*`` counters, so worker-process traffic merges into the parent
+with the existing perf-snapshot machinery and ``python -m repro cache
+stats`` (plus :meth:`ArtifactStore.log_session`) can report whole-fleet
+totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from .perf import PERF
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactStore",
+    "canonical_bytes",
+    "fingerprint",
+    "model_fingerprint",
+    "patch_fingerprint",
+    "artifact_key",
+    "configure",
+    "active",
+    "using_store",
+]
+
+#: Bumping this invalidates every existing entry (the version is hashed
+#: into every key), so serialization-format changes never need a
+#: migration — old entries are simply never addressed again.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"repro-artifact-v1\n"
+_DIGEST_LEN = 64  # hex sha256
+
+
+# ----------------------------------------------------------------------
+# Canonicalisation and fingerprints
+# ----------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """A JSON-able form in which equal provenance is equal bytes.
+
+    Floats keep their exact bit pattern (``float.hex``), arrays hash
+    their shape/dtype/contents, dataclasses (datasets, examples,
+    configs, knowledge) recurse over their fields, and dict keys are
+    sorted.  Unknown types raise — silently hashing ``repr`` of an
+    arbitrary object could collide two different computations.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": obj.hex()}
+    if isinstance(obj, bytes):
+        return {"__bytes__": hashlib.sha256(obj).hexdigest()}
+    if isinstance(obj, np.generic):
+        return _canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": [
+                list(arr.shape),
+                arr.dtype.str,
+                hashlib.sha256(arr.tobytes()).hexdigest(),
+            ]
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (str(key), _canonical(value)) for key, value in obj.items()
+            )
+        }
+    if isinstance(obj, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                json.dumps(_canonical(item), sort_keys=True) for item in obj
+            )
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for store keying; "
+        "pass a fingerprint of it instead"
+    )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministic byte serialisation of arbitrary provenance."""
+    return json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical form."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def model_fingerprint(model, effective: bool = False) -> str:
+    """Digest of a model's config plus its exact weight bytes.
+
+    ``effective=True`` hashes :meth:`ScoringLM.effective_weight` (base
+    plus adapter delta) for every weight — the right identity for a
+    shadow model whose behaviour is base ⊕ fusion.
+    """
+    digest = hashlib.sha256()
+    digest.update(canonical_bytes(model.config))
+    for name in sorted(model.weights):
+        weight = (
+            model.effective_weight(name) if effective else model.weights[name]
+        )
+        weight = np.ascontiguousarray(weight)
+        digest.update(name.encode("utf-8"))
+        digest.update(str(weight.shape).encode("utf-8"))
+        digest.update(weight.dtype.str.encode("utf-8"))
+        digest.update(weight.tobytes())
+    if model.adapter is not None and not effective:
+        params = model.adapter.parameters()
+        for key in sorted(params):
+            arr = np.ascontiguousarray(params[key])
+            digest.update(key.encode("utf-8"))
+            digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def patch_fingerprint(patch) -> str:
+    """Digest of a LoRA patch's identity plus its exact array contents."""
+    return fingerprint(
+        {
+            "name": patch.name,
+            "rank": patch.rank,
+            "alpha": patch.alpha,
+            "state": patch.state_dict(),
+        }
+    )
+
+
+def artifact_key(kind: str, fields: Dict[str, Any]) -> str:
+    """The content address for one artifact: SHA-256 of full provenance."""
+    return hashlib.sha256(
+        canonical_bytes(
+            {"schema": SCHEMA_VERSION, "kind": kind, "fields": fields}
+        )
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """A content-addressed directory of immutable pickled artifacts.
+
+    Layout: ``root/<kind>/<key[:2]>/<key>.art``.  Each file is a magic
+    line, the hex SHA-256 of the body, then the pickled payload; a
+    digest mismatch (truncation, bit rot, torn write on an exotic
+    filesystem) makes :meth:`get` behave exactly like a miss — the entry
+    is dropped and the caller recomputes and rewrites.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.art"
+
+    # -- read/write -----------------------------------------------------
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        """The stored payload, or ``None`` on miss/corruption."""
+        path = self._path(kind, key)
+        try:
+            blob = path.read_bytes()
+        except (FileNotFoundError, NotADirectoryError):
+            PERF.count("store.misses")
+            return None
+        except OSError:
+            PERF.count("store.misses")
+            return None
+        payload = self._decode(blob)
+        if payload is _CORRUPT:
+            PERF.count("store.corrupt")
+            PERF.count("store.misses")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        PERF.count("store.hits")
+        PERF.count("store.bytes_read", len(blob))
+        return payload
+
+    def put(self, kind: str, key: str, payload: Any) -> None:
+        """Atomically write one entry (tmp file + rename, lock-free)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (
+            _MAGIC
+            + hashlib.sha256(body).hexdigest().encode("ascii")
+            + b"\n"
+            + body
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        PERF.count("store.writes")
+        PERF.count("store.bytes_written", len(blob))
+
+    def get_or_compute(
+        self, kind: str, fields: Dict[str, Any], compute: Callable[[], Any]
+    ) -> Any:
+        """Memoise ``compute()`` under the provenance in ``fields``."""
+        key = artifact_key(kind, fields)
+        cached = self.get(kind, key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(kind, key, value)
+        return value
+
+    @staticmethod
+    def _decode(blob: bytes):
+        header_len = len(_MAGIC) + _DIGEST_LEN + 1
+        if len(blob) < header_len or not blob.startswith(_MAGIC):
+            return _CORRUPT
+        digest = blob[len(_MAGIC) : len(_MAGIC) + _DIGEST_LEN]
+        if blob[len(_MAGIC) + _DIGEST_LEN : header_len] != b"\n":
+            return _CORRUPT
+        body = blob[header_len:]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+            return _CORRUPT
+        try:
+            return pickle.loads(body)
+        except Exception:
+            return _CORRUPT
+
+    # -- maintenance ----------------------------------------------------
+    def _entries(self) -> Iterator[Path]:
+        for kind_dir in sorted(self.root.iterdir()):
+            if kind_dir.is_dir():
+                yield from sorted(kind_dir.glob("*/*.art"))
+
+    def disk_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind ``{"entries": n, "bytes": b}`` from a directory walk."""
+        stats: Dict[str, Dict[str, int]] = {}
+        if not self.root.is_dir():
+            return stats
+        for entry in self._entries():
+            kind = entry.parent.parent.name
+            slot = stats.setdefault(kind, {"entries": 0, "bytes": 0})
+            slot["entries"] += 1
+            slot["bytes"] += entry.stat().st_size
+        return stats
+
+    def clear(self) -> Dict[str, int]:
+        """Delete every entry (plus stats/tmp files); foreign files stay."""
+        removed = {"entries": 0, "bytes": 0}
+        if not self.root.is_dir():
+            return removed
+        for entry in list(self._entries()):
+            removed["entries"] += 1
+            removed["bytes"] += entry.stat().st_size
+            entry.unlink()
+        for leftover in self.root.rglob("*.tmp"):
+            leftover.unlink()
+        stats_file = self.root / "stats.jsonl"
+        if stats_file.exists():
+            stats_file.unlink()
+        # Prune now-empty shard/kind directories bottom-up.
+        for directory in sorted(
+            (p for p in self.root.rglob("*") if p.is_dir()), reverse=True
+        ):
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Drop stale tmp files and corrupt entries; optionally bound size.
+
+        With ``max_bytes``, oldest entries (by mtime) are evicted until
+        the store fits — safe at any point because every entry is a pure
+        cache of a recomputable value.
+        """
+        report = {"tmp_removed": 0, "corrupt_removed": 0, "evicted": 0}
+        if not self.root.is_dir():
+            return report
+        for leftover in list(self.root.rglob("*.tmp")):
+            leftover.unlink()
+            report["tmp_removed"] += 1
+        entries = []
+        for entry in list(self._entries()):
+            if self._decode(entry.read_bytes()) is _CORRUPT:
+                entry.unlink()
+                report["corrupt_removed"] += 1
+            else:
+                stat = entry.stat()
+                entries.append((stat.st_mtime, stat.st_size, entry))
+        if max_bytes is not None:
+            total = sum(size for __, size, __e in entries)
+            for __mtime, size, entry in sorted(entries):
+                if total <= max_bytes:
+                    break
+                entry.unlink()
+                total -= size
+                report["evicted"] += 1
+        return report
+
+    # -- session stats --------------------------------------------------
+    def log_session(self) -> None:
+        """Append this process's ``store.*`` counters to ``stats.jsonl``.
+
+        Called once by the CLI parent after a command finishes — worker
+        traffic has already merged into :data:`PERF` via the pool's
+        snapshot machinery, so one line covers the whole fleet.  Never
+        called from workers (that would double-count).
+        """
+        record = {
+            name: PERF.counter("store." + name)
+            for name in (
+                "hits", "misses", "writes",
+                "bytes_read", "bytes_written", "corrupt",
+            )
+        }
+        if not any(record.values()):
+            return
+        record["pid"] = os.getpid()
+        with (self.root / "stats.jsonl").open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def session_totals(self) -> Dict[str, int]:
+        """Aggregate of every ``stats.jsonl`` line (all past sessions)."""
+        totals = {
+            name: 0
+            for name in (
+                "sessions", "hits", "misses", "writes",
+                "bytes_read", "bytes_written", "corrupt",
+            )
+        }
+        stats_file = self.root / "stats.jsonl"
+        if not stats_file.exists():
+            return totals
+        for line in stats_file.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            totals["sessions"] += 1
+            for name in totals:
+                if name != "sessions":
+                    totals[name] += int(record.get(name, 0))
+        return totals
+
+    def render_stats(self) -> str:
+        """Human-readable store report for ``python -m repro cache stats``."""
+        lines = [f"artifact store: {self.root}"]
+        disk = self.disk_stats()
+        if disk:
+            lines.append("on disk:")
+            total_entries = total_bytes = 0
+            for kind in sorted(disk):
+                entries = disk[kind]["entries"]
+                size = disk[kind]["bytes"]
+                total_entries += entries
+                total_bytes += size
+                lines.append(
+                    f"  {kind:<16} {entries:>6} entries  "
+                    f"{size / 1e6:>10.2f} MB"
+                )
+            lines.append(
+                f"  {'total':<16} {total_entries:>6} entries  "
+                f"{total_bytes / 1e6:>10.2f} MB"
+            )
+        else:
+            lines.append("on disk: empty")
+        totals = self.session_totals()
+        if totals["sessions"]:
+            lines.append(
+                f"logged sessions: {totals['sessions']} — "
+                f"{totals['hits']} hits, {totals['misses']} misses, "
+                f"{totals['writes']} writes, "
+                f"{totals['bytes_read'] / 1e6:.2f} MB read, "
+                f"{totals['bytes_written'] / 1e6:.2f} MB written, "
+                f"{totals['corrupt']} corrupt"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+class _Corrupt:
+    """Sentinel distinguishing corruption from a legitimately-None payload."""
+
+
+_CORRUPT = _Corrupt()
+
+
+# ----------------------------------------------------------------------
+# The process-active store
+# ----------------------------------------------------------------------
+# Resolution order: configure() (CLI flags / tests) > REPRO_NO_CACHE >
+# REPRO_CACHE_DIR > disabled.  Forked pool workers inherit whatever the
+# parent resolved, so the whole fleet shares one directory.
+_ACTIVE: Optional[ArtifactStore] = None
+_NO_CACHE = False
+_ENV_RESOLVED = False
+
+
+def configure(
+    cache_dir: Optional[str] = None, no_cache: bool = False
+) -> Optional[ArtifactStore]:
+    """Set the process-wide store explicitly (CLI flags do this).
+
+    ``no_cache=True`` disables the store entirely — reads *and* writes —
+    regardless of environment variables; ``cache_dir=None`` without
+    ``no_cache`` also disables it (explicit configuration always wins
+    over the environment).
+    """
+    global _ACTIVE, _NO_CACHE, _ENV_RESOLVED
+    _ENV_RESOLVED = True
+    _NO_CACHE = bool(no_cache)
+    _ACTIVE = (
+        None if (no_cache or cache_dir is None) else ArtifactStore(cache_dir)
+    )
+    return _ACTIVE
+
+
+def active() -> Optional[ArtifactStore]:
+    """The store pipeline stages should use, or ``None`` (caching off)."""
+    global _ACTIVE, _NO_CACHE, _ENV_RESOLVED
+    if not _ENV_RESOLVED:
+        _ENV_RESOLVED = True
+        if os.environ.get("REPRO_NO_CACHE", "").strip().lower() in (
+            "1", "true", "yes", "on",
+        ):
+            _NO_CACHE = True
+        else:
+            env_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+            if env_dir:
+                _ACTIVE = ArtifactStore(env_dir)
+    return None if _NO_CACHE else _ACTIVE
+
+
+@contextmanager
+def using_store(store: Optional[ArtifactStore]):
+    """Temporarily swap the active store (``None`` forces caching off)."""
+    global _ACTIVE, _NO_CACHE, _ENV_RESOLVED
+    previous = (_ACTIVE, _NO_CACHE, _ENV_RESOLVED)
+    _ACTIVE, _NO_CACHE, _ENV_RESOLVED = store, store is None, True
+    try:
+        yield store
+    finally:
+        _ACTIVE, _NO_CACHE, _ENV_RESOLVED = previous
+
+
+# ----------------------------------------------------------------------
+# Featurization warm-start
+# ----------------------------------------------------------------------
+def warm_featurizations(featurizer, texts) -> None:
+    """Persist/restore the sparse featurizations of a text batch.
+
+    One entry covers the whole batch (keyed by featurizer config plus a
+    digest of the texts).  On a hit the rows are seeded straight into
+    the featurizer's shared sparse cache, so the dense-encoding path
+    never re-tokenises; on a miss the rows are computed through the
+    normal cache and persisted for the next run.  A no-op without an
+    active store.
+    """
+    store = active()
+    if store is None:
+        return
+    texts = list(dict.fromkeys(texts))
+    if not texts:
+        return
+    fields = {
+        "salt": featurizer.salt,
+        "dim": featurizer.dim,
+        "use_bigrams": featurizer.use_bigrams,
+        "use_char_ngrams": featurizer.use_char_ngrams,
+        "texts": fingerprint(texts),
+    }
+    key = artifact_key("featurization", fields)
+    cached = store.get("featurization", key)
+    if cached is not None:
+        try:
+            featurizer.seed_sparse_cache(zip(texts, cached))
+            return
+        except Exception:
+            pass  # unexpected payload shape — recompute and rewrite
+    rows = [featurizer.encode_sparse(text) for text in texts]
+    store.put("featurization", key, rows)

@@ -179,8 +179,9 @@ class ScoringLM:
     adapters on a transformer.
     """
 
-    #: Bound on the dense candidate-feature memo (entries stop being
-    #: added past this point; the model stays correct, only slower).
+    #: Bound on the dense candidate-feature LRU (least recently used
+    #: entries are evicted past this point, so long open-pool DC/AVE
+    #: runs keep their hot candidates instead of thrashing at the cap).
     CANDIDATE_CACHE_SIZE = 200_000
 
     #: Bound on the dense prompt-feature LRU (prompts are long, so this
@@ -209,7 +210,7 @@ class ScoringLM:
         self._scale = 1.0 / np.sqrt(k)
         # Dense featurization memos.  Encoding is weight-independent, so
         # clones sharing the same feature space share these dicts.
-        self._candidate_cache: Dict[str, np.ndarray] = {}
+        self._candidate_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._prompt_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -288,7 +289,7 @@ class ScoringLM:
         parent's via fork copy-on-write before the first task).
         """
         state = self.__dict__.copy()
-        state["_candidate_cache"] = {}
+        state["_candidate_cache"] = OrderedDict()
         state["_prompt_cache"] = OrderedDict()
         return state
 
@@ -318,17 +319,20 @@ class ScoringLM:
         return np.stack([self.encode_prompt(t) for t in texts])
 
     def encode_candidates(self, texts: Sequence[str]) -> np.ndarray:
-        """Featurize candidates, memoising individual strings."""
+        """Featurize candidates, memoising individual strings (LRU)."""
+        cache = self._candidate_cache
         rows = []
         for text in texts:
-            vec = self._candidate_cache.get(text)
+            vec = cache.get(text)
             if vec is None:
                 PERF.count("model.candidate_misses")
                 vec = self.featurizer.encode(text)
                 vec.setflags(write=False)
-                if len(self._candidate_cache) < self.CANDIDATE_CACHE_SIZE:
-                    self._candidate_cache[text] = vec
+                cache[text] = vec
+                if len(cache) > self.CANDIDATE_CACHE_SIZE:
+                    cache.popitem(last=False)
             else:
+                cache.move_to_end(text)
                 PERF.count("model.candidate_hits")
             rows.append(vec)
         if not rows:

@@ -8,6 +8,9 @@ with the DP suite (the paper finds it weak on these benchmarks).
 
 Base models are memoised per ``(tier, seed)`` because pretraining is
 the most expensive step of the pipeline and every experiment reuses it.
+When an artifact store is active the pretrained weights also persist
+*across* processes: a warm run loads them from disk instead of paying
+for pretraining again.
 """
 
 from __future__ import annotations
@@ -15,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+import numpy as np
+
+from .. import store as artifact_store
 from .model import ModelConfig, ScoringLM
 from .pretrain import pretrain
 
@@ -67,14 +73,50 @@ def create_base_model(tier_name: str, seed: int = 0) -> ScoringLM:
             featurizer_salt=tier.featurizer_salt,
         )
         model = ScoringLM(config)
-        pretrain(
-            model,
-            corpus_size=tier.pretrain_size,
-            epochs=tier.pretrain_epochs,
-            seed=seed,
-        )
+        store = artifact_store.active()
+        store_key = None
+        if store is not None:
+            store_key = artifact_store.artifact_key(
+                "base_model", {"tier": tier, "seed": seed}
+            )
+        if store_key is not None and _load_weights(
+            model, store.get("base_model", store_key)
+        ):
+            pass  # warm start: pretrained weights restored bit-for-bit
+        else:
+            pretrain(
+                model,
+                corpus_size=tier.pretrain_size,
+                epochs=tier.pretrain_epochs,
+                seed=seed,
+            )
+            if store_key is not None:
+                store.put("base_model", store_key, _weight_payload(model))
         _CACHE[key] = model
     return _CACHE[key].clone()
+
+
+def _weight_payload(model: ScoringLM) -> Dict[str, np.ndarray]:
+    return {name: np.copy(value) for name, value in model.weights.items()}
+
+
+def _load_weights(model: ScoringLM, payload) -> bool:
+    """Install a stored weight dict; reject any structural mismatch.
+
+    Returns ``False`` (caller recomputes and rewrites) rather than
+    raising when the payload does not line up with the model — a store
+    entry must never be able to crash or corrupt a run.
+    """
+    if not isinstance(payload, dict) or payload.keys() != model.weights.keys():
+        return False
+    staged = {}
+    for name, value in payload.items():
+        arr = np.asarray(value)
+        if arr.shape != model.weights[name].shape:
+            return False
+        staged[name] = arr.astype(float, copy=True)
+    model.weights.update(staged)
+    return True
 
 
 def clear_cache() -> None:

@@ -167,6 +167,28 @@ class HashedFeaturizer:
         cls._BUCKET_CACHES.clear()
         cls._SPARSE_CACHES.clear()
 
+    def seed_sparse_cache(self, rows: Iterable[Tuple[str, SparseRow]]) -> None:
+        """Pre-populate the sparse cache with externally stored rows.
+
+        The artifact store's featurization warm-start feeds rows saved
+        by a previous run.  Rows for texts already cached are ignored
+        (the live entry is authoritative); inserted arrays are validated
+        and re-flagged read-only because cached rows are shared.
+        """
+        cache = self._sparse_cache
+        for text, (indices, values) in rows:
+            if text in cache:
+                continue
+            indices = np.asarray(indices, dtype=np.intp)
+            values = np.asarray(values, dtype=np.float64)
+            if indices.shape != values.shape or indices.ndim != 1:
+                raise ValueError("malformed sparse row")
+            indices.setflags(write=False)
+            values.setflags(write=False)
+            cache[text] = (indices, values)
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
+
     def _bucket(self, feature: str) -> Tuple[int, float]:
         """Return (index, sign) for a feature string, memoised."""
         hit = self._cache.get(feature)

@@ -87,6 +87,11 @@ class Trainer:
         self.config = config or TrainConfig()
         self.train_base = train_base
         self._slots: Dict[str, _AdamSlot] = {}
+        # The adapter whose moments the "adapter/" slots belong to.
+        # Parameter keys carry only the adapter's *name*, so two patches
+        # named alike would otherwise silently share stale Adam state
+        # after a swap; step() resets the slots on identity change.
+        self._slots_adapter = model.adapter
 
     # ------------------------------------------------------------------
     def _encode(self, examples: Sequence[TrainingExample]) -> List[EncodedExample]:
@@ -142,6 +147,10 @@ class Trainer:
         for name, grad in base_grads.items():
             self._adam_update("base/" + name, self.model.weights[name], grad)
         if adapter_grads and self.model.adapter is not None:
+            if self.model.adapter is not self._slots_adapter:
+                for key in [k for k in self._slots if k.startswith("adapter/")]:
+                    del self._slots[key]
+                self._slots_adapter = self.model.adapter
             params = self.model.adapter.parameters()
             for key, grad in adapter_grads.items():
                 if key in params:

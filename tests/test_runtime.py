@@ -10,6 +10,8 @@ fallback.
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -17,7 +19,14 @@ from repro.core.config import SKCConfig
 from repro.core.knowtrans import KnowTrans
 from repro.core.skc.patches import extract_knowledge_patches
 from repro.perf import PERF, PerfRegistry
-from repro.runtime import WorkerPool, available_cpus, resolve_jobs
+from repro.runtime import (
+    SharedRef,
+    WorkerPool,
+    available_cpus,
+    resolve_jobs,
+    resolve_shared,
+    share,
+)
 
 
 def _square(x):
@@ -96,6 +105,58 @@ def test_perf_merge_accumulates():
     assert registry.counter("new") == 1
     assert registry.seconds("t") == 2.0
     assert registry._timers["t"][1] == 3
+
+
+# ----------------------------------------------------------------------
+# Fork-shared objects: lean IPC payloads
+# ----------------------------------------------------------------------
+def test_shared_ref_resolves_to_same_object(bundle):
+    ref = share(bundle.base_model)
+    assert resolve_shared(ref) is bundle.base_model
+    assert share(bundle.base_model) is ref  # memoised by identity
+    # Non-refs pass through untouched.
+    assert resolve_shared("plain") == "plain"
+
+
+def test_shared_ref_pickles_tiny(bundle):
+    raw = len(pickle.dumps(bundle.base_model))
+    ref = len(pickle.dumps(share(bundle.base_model)))
+    assert raw > 1_000_000  # the backbone really is megabytes of weights
+    assert ref < 1_000  # ...and the ref that crosses IPC is bytes
+
+
+def test_unregistered_token_raises():
+    with pytest.raises(RuntimeError):
+        SharedRef(token=10**9).resolve()
+
+
+def test_patch_extraction_payload_excludes_backbone(bundle):
+    """The pool ships adapter deltas and task args, never the backbone."""
+    config = SKCConfig(patch_epochs=1)
+    datasets = bundle.upstream_datasets[:3]
+    backbone_bytes = len(pickle.dumps(bundle.base_model))
+    before = PERF.counter("runtime.payload_bytes")
+    extract_knowledge_patches(
+        bundle.base_model, datasets, config,
+        pool=WorkerPool(jobs=2, clamp=False),
+    )
+    payload = PERF.counter("runtime.payload_bytes") - before
+    assert payload > 0
+    assert payload < backbone_bytes
+
+
+def test_cross_fit_shadow_payload_excludes_backbone(
+    bundle, fast_config, beer_splits
+):
+    adapter = KnowTrans(
+        bundle, config=fast_config, pool=WorkerPool(jobs=2, clamp=False)
+    )
+    backbone_bytes = len(pickle.dumps(bundle.upstream_model))
+    before = PERF.counter("runtime.payload_bytes")
+    adapter.cross_fit_scorer(beer_splits)
+    payload = PERF.counter("runtime.payload_bytes") - before
+    assert payload > 0
+    assert payload < backbone_bytes
 
 
 # ----------------------------------------------------------------------

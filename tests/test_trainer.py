@@ -87,6 +87,38 @@ class TestFit:
             np.testing.assert_array_equal(value, before[name])
         assert patch.frobenius_norm() > 0.0
 
+    def test_adapter_swap_resets_adam_state(self, model):
+        """Adam moments must not leak from one adapter into the next.
+
+        Slot keys carry only the parameter name ("adapter/B::..."), so
+        training patch A and then patch B with the same trainer used to
+        warm-start B's moments from A's — the swapped-in patch must
+        train exactly like one fitted by a fresh trainer.
+        """
+        examples = _separable_examples(n=24)
+        patch_a = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=1)
+        patch_b = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=7)
+        trainer = Trainer(model, TrainConfig(epochs=2, seed=3), train_base=False)
+        model.attach(patch_a)
+        trainer.fit(examples)
+        model.detach()
+        model.attach(patch_b)
+        trainer.fit(examples)
+
+        twin = ScoringLM(
+            ModelConfig(name="trainer-test", feature_dim=256, hidden_dim=24, seed=5)
+        )
+        twin_patch = LoRAPatch("p", twin.config.target_shapes(), rank=2, seed=7)
+        twin.attach(twin_patch)
+        Trainer(twin, TrainConfig(epochs=2, seed=3), train_base=False).fit(
+            examples
+        )
+        trained = patch_b.parameters()
+        expected = twin_patch.parameters()
+        assert trained.keys() == expected.keys()
+        for key in trained:
+            np.testing.assert_array_equal(trained[key], expected[key])
+
     def test_adapter_training_learns(self, model):
         patch = LoRAPatch("p", model.config.target_shapes(), rank=4, alpha=2.0, seed=1)
         model.attach(patch)
