@@ -1,0 +1,95 @@
+"""Perf gate: the rank-space frozen-backbone fit must beat dense ≥ 3×.
+
+Times an SKC stage-3 workload — a 12-patch ``PatchFusion`` plus fresh
+shared patch fine-tuned on a few-shot split with the paper's stage-3
+hyperparameters — through both training engines of the same code:
+
+* dense: every step materialises effective weights and routes adapter
+  gradients through dense ``(out, in)`` matrices (the historical path);
+* rank-space: frozen projections cached once per dataset
+  (``FrozenActivations``), every step's adapter math stays in rank
+  space (``ScoringLM.rank_loss_and_gradients``).
+
+Results are written to ``BENCH_train.json`` at the repo root and
+appended to ``benchmarks/results/perf_trajectory.jsonl`` so the
+training-path trajectory is tracked across PRs alongside the inference,
+pipeline and cache gates'.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_train.py
+
+The assertion fails if the rank-space fit is less than 3× faster, if
+any per-step loss drifts past rtol 1e-9, if the downstream test metric
+or any argmax prediction differs from the dense path, if the fit
+materialised even one dense effective weight, or if the
+``REPRO_EXACT_WEIGHTS=1`` oracle is not deterministic.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.perf import render_train_benchmark, run_train_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_train.json"
+TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
+
+MIN_SPEEDUP = 3.0
+LOSS_RTOL = 1e-9
+
+
+def test_rank_space_training_speedup(record_result):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    count = 160 if preset == "quick" else 400
+    result = run_train_benchmark(seed=0, count=count)
+    result["preset"] = preset
+    result["min_speedup"] = MIN_SPEEDUP
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    with TRAJECTORY.open("a") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "bench": "train",
+                    "preset": preset,
+                    "dense_seconds": result["dense"]["seconds"],
+                    "rank_seconds": result["rank"]["seconds"],
+                    "speedup": result["speedup"],
+                    "steps": result["steps"],
+                    "patches": result["patches"],
+                }
+            )
+            + "\n"
+        )
+    record_result("bench_perf_train", render_train_benchmark(result))
+
+    assert result["rank"]["engaged"], (
+        "trainer did not auto-select the rank-space engine for a "
+        "frozen-backbone fusion fit"
+    )
+    assert result["weight_materializations"] == 0, (
+        f"rank-space fit materialised "
+        f"{result['weight_materializations']} dense effective weights"
+    )
+    assert result["rank_space_steps"] == result["steps"] * result["repeats"], (
+        "not every optimisation step of the rank arm ran in rank space"
+    )
+    assert result["max_step_loss_rel_err"] <= LOSS_RTOL, (
+        f"per-step losses drifted: max rel err "
+        f"{result['max_step_loss_rel_err']:.3e} > {LOSS_RTOL}"
+    )
+    assert result["metrics_identical"], (
+        f"downstream task metric diverged: {result['metrics']}"
+    )
+    assert result["predictions_identical"], (
+        "argmax test predictions diverged between dense and rank-space fits"
+    )
+    assert result["exact_oracle"]["deterministic"], (
+        "REPRO_EXACT_WEIGHTS=1 oracle produced different results across runs"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"rank-space fit only {result['speedup']:.2f}x faster than the "
+        f"dense path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
+    )

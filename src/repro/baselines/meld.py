@@ -71,6 +71,8 @@ class MELDModel:
         prompt = self.task.prompt(example, self.knowledge)
         features = self.model.encode_prompt(prompt)
         self.fusion.lambdas[:] = 0.3 * self._route(features)
+        # Per-instance λ routing mutates the attached fusion in place.
+        self.model.bump_adapter_version()
         pool = self.task.candidates(example, self.knowledge, self.dataset)
         return pool[self.model.predict(prompt, pool)]
 

@@ -13,7 +13,8 @@ Commands
 ``conflict``
     Print the upstream gradient-conflict diagnostic (paper Fig. 1).
 ``perf``
-    Inference / pipeline / warm-start cache benchmarks plus counters.
+    Inference / pipeline / warm-start cache / rank-space training
+    benchmarks plus counters.
 ``cache``
     Inspect or maintain the persistent artifact store
     (``stats`` / ``clear`` / ``gc``).
@@ -145,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(cold pipeline vs store-warm re-run)",
     )
     perf.add_argument(
+        "--train", action="store_true",
+        help="run the rank-space training benchmark "
+        "(dense vs rank-space frozen-backbone SKC stage-3 fit)",
+    )
+    perf.add_argument(
         "--smoke", action="store_true",
         help="fast CI sanity pass: tiny workload, single repeat, "
         "fails on any prediction mismatch",
@@ -254,6 +260,35 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print("smoke FAILED: batched and per-example predictions differ")
             return 1
         print("smoke OK")
+        return 0
+
+    if args.train:
+        from .perf import render_train_benchmark, run_train_benchmark
+
+        result = run_train_benchmark(seed=args.seed)
+        print(render_train_benchmark(result))
+        failures = [
+            label
+            for label, ok in (
+                ("step losses diverged", result["losses_match"]),
+                ("predictions diverged", result["predictions_identical"]),
+                ("metrics diverged", result["metrics_identical"]),
+                ("rank engine not engaged", result["rank"]["engaged"]),
+                (
+                    "dense weights materialized during rank fit",
+                    result["weight_materializations"] == 0,
+                ),
+                (
+                    "exact-weights oracle not deterministic",
+                    result["exact_oracle"]["deterministic"],
+                ),
+            )
+            if not ok
+        ]
+        if failures:
+            print("train benchmark FAILED: " + "; ".join(failures))
+            return 1
+        print("train benchmark OK")
         return 0
 
     if args.cache:

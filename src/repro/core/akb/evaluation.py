@@ -77,10 +77,13 @@ def predict_detailed_pool(
 
     The Alg. 2 pool is flattened candidate-major — every (candidate,
     example) pair contributes one row — and scored with a single
-    ``probabilities_batch`` mega-batch, so per-call overheads (above all
-    re-materialising the fusion adapter's weight delta, which dominates
-    scoring with a many-patch fusion attached) are paid once per round
-    instead of once per candidate.  Candidate pools are rebuilt per
+    ``probabilities_batch`` mega-batch, so per-call overheads are paid
+    once per round instead of once per candidate.  (The fusion adapter's
+    dense weight delta, which historically dominated per-call cost, is
+    now memoized on the model per adapter version — see
+    ``ScoringLM.effective_weight`` — so repeated fold scoring against a
+    fixed adapter materialises it exactly once.)  Candidate pools are
+    rebuilt per
     (candidate, example) because ``task.candidates`` may depend on the
     knowledge (e.g. imputation answer pools).
 

@@ -178,6 +178,9 @@ def _fused_finetune(
     if store_key is not None:
         cached = store.get("finetune", store_key)
         if cached is not None and _load_fusion_state(fusion, cached):
+            # The fusion was mutated in place after attach; drop any
+            # effective weights memoized against the pristine init.
+            model.bump_adapter_version()
             return model, fusion
     few_shot_finetune(model, train_dataset, skc_config, knowledge)
     if store_key is not None:

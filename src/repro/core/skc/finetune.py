@@ -25,8 +25,14 @@ def few_shot_finetune(
     few_shot: Dataset,
     config: SKCConfig,
     knowledge: Optional[Knowledge] = None,
+    rank_space: Optional[bool] = None,
 ) -> TrainReport:
-    """Fine-tune the attached adapter on the few-shot downstream data."""
+    """Fine-tune the attached adapter on the few-shot downstream data.
+
+    ``rank_space=None`` (default) lets the trainer auto-select the
+    frozen-backbone rank-space engine; pass ``False`` to force the
+    legacy dense path (the train benchmark's comparison arm).
+    """
     if model.adapter is None:
         raise ValueError("attach a fusion adapter before few-shot fine-tuning")
     if knowledge is None:
@@ -36,5 +42,10 @@ def few_shot_finetune(
         task.training_example(example, knowledge, few_shot)
         for example in few_shot.examples
     ]
-    trainer = Trainer(model, config.finetune_train_config(), train_base=False)
+    trainer = Trainer(
+        model,
+        config.finetune_train_config(),
+        train_base=False,
+        rank_space=rank_space,
+    )
     return trainer.fit(examples)

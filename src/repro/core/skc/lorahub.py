@@ -96,9 +96,12 @@ def lorahub_search(
         )
         np.clip(candidate, low, high, out=candidate)
         fusion.lambdas[:] = candidate
+        # In-place λ write: invalidate the model's effective-weight memo.
+        model.bump_adapter_version()
         score = _few_shot_score(model, few_shot, knowledge)
         if score >= best_score:
             best_score = score
             best_lambdas = candidate.copy()
     fusion.lambdas[:] = best_lambdas
+    model.bump_adapter_version()
     return model, fusion, best_score

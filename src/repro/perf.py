@@ -32,6 +32,8 @@ __all__ = [
     "render_pipeline_benchmark",
     "run_cache_benchmark",
     "render_cache_benchmark",
+    "run_train_benchmark",
+    "render_train_benchmark",
 ]
 
 
@@ -150,6 +152,15 @@ class PerfRegistry:
             derived.append(
                 f"  {'scored examples/sec':<40} "
                 f"{self.throughput('model.examples', 'model.forward'):>12.0f}"
+            )
+        if self.counter("train.rank_space_steps"):
+            derived.append(
+                f"  {'rank-space train steps/sec':<40} "
+                f"{self.throughput('train.rank_space_steps', 'model.backward'):>12.0f}"
+            )
+            derived.append(
+                f"  {'dense weight materializations':<40} "
+                f"{self.counter('model.weight_materializations'):>12}"
             )
         if derived:
             lines.append("derived:")
@@ -551,6 +562,220 @@ def render_pipeline_benchmark(result: Dict) -> str:
     ]
     for dataset_id, score in result["scores"].items():
         lines.append(f"  {dataset_id:<24} score {score:.2f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Rank-space training benchmark (shared by ``python -m repro perf
+# --train`` and ``benchmarks/bench_perf_train.py``)
+# ----------------------------------------------------------------------
+def run_train_benchmark(
+    dataset_id: str = "em/abt_buy",
+    count: int = 160,
+    seed: int = 0,
+    repeats: int = 3,
+    n_patches: int = 12,
+) -> Dict:
+    """Time a frozen-backbone SKC stage-3 fit: dense vs rank-space.
+
+    The workload mirrors stage 3 exactly — a ``PatchFusion`` of
+    ``n_patches`` upstream patches plus a fresh shared patch attached to
+    a frozen backbone, fine-tuned on the few-shot split with the paper's
+    stage-3 hyperparameters.  Three arms run the identical fit from the
+    identical init:
+
+    * **dense** — ``rank_space=False``: every step materialises the
+      effective weights and routes gradients through dense ``(out, in)``
+      matrices (the historical path, minus the backward's duplicate
+      ``encoder.W2`` build which the version memo now removes).
+    * **rank** — ``rank_space=None`` (production auto-selection): frozen
+      projections cached once, every step in rank space.  Timed with the
+      perf registry captured, so the gate can assert the fit recorded
+      zero ``model.weight_materializations``.
+    * **exact oracle** — ``REPRO_EXACT_WEIGHTS=1``: disables every
+      fast-path branch (memo, λ-gradient identity, rank engine),
+      restoring the legacy dense computation bit-for-bit; run twice to
+      confirm determinism and compared against the dense arm.
+
+    Parity is reported, not assumed: per-step losses (rtol 1e-9), final
+    λ vectors, downstream test metric and argmax predictions must all
+    agree across arms — the speedup must come from associating the same
+    math differently, never from doing different math.
+    """
+    import os
+
+    from .core.akb.evaluation import task_metric
+    from .core.config import SKCConfig
+    from .core.skc.finetune import few_shot_finetune
+    from .core.skc.fusion import attach_fusion
+    from .data import generators
+    from .data.splits import split_dataset
+    from .knowledge.seed import seed_knowledge
+    from .tasks.base import get_task
+    from .tinylm.linalg import rng_for
+    from .tinylm.lora import LoRAPatch
+    from .tinylm.model import ModelConfig, ScoringLM
+
+    dataset = generators.build(dataset_id, count=count, seed=seed)
+    splits = split_dataset(dataset, few_shot=20, seed=seed)
+    few_shot = splits.few_shot
+    test = list(splits.test.examples)
+    task = get_task(dataset.task)
+    knowledge = seed_knowledge(dataset.task)
+    config = SKCConfig(seed=seed)
+
+    # Fit cost is independent of the backbone's weight values, so an
+    # untrained upstream analogue measures the same hot path without
+    # paying for pretraining; the upstream patches get seeded non-zero
+    # ``A`` factors so they contribute like trained knowledge patches.
+    upstream = ScoringLM(ModelConfig(name="bench-train", seed=seed))
+    shapes = upstream.config.target_shapes()
+    patches = []
+    for i in range(n_patches):
+        patch = LoRAPatch(
+            f"bench-up{i:02d}",
+            shapes,
+            rank=config.lora_rank,
+            alpha=config.lora_alpha,
+            seed=seed + i,
+        )
+        rng = rng_for(seed, "bench-train", patch.name)
+        for name in patch.A:
+            patch.A[name] = rng.normal(0.0, 0.02, patch.A[name].shape)
+        patches.append(patch)
+
+    def run_fit(rank_space):
+        model, fusion = attach_fusion(upstream, patches, config, name="bench")
+        report = few_shot_finetune(
+            model, few_shot, config, knowledge, rank_space=rank_space
+        )
+        return model, fusion, report
+
+    def evaluate(model):
+        prompts = [task.prompt(ex, knowledge) for ex in test]
+        pools = [task.candidates(ex, knowledge, dataset) for ex in test]
+        winners = model.predict_batch(prompts, pools)
+        predictions = [pools[i][j] for i, j in enumerate(winners)]
+        golds = [ex.answer for ex in test]
+        return task_metric(task, golds, predictions, test), predictions
+
+    run_fit(False)  # untimed warmup: featurization caches for both arms
+
+    dense_seconds, dense_out = _best_of(repeats, lambda: run_fit(False))
+    PERF.reset()
+    rank_seconds, rank_out = _best_of(repeats, lambda: run_fit(None))
+    counters = PERF.snapshot()
+
+    dense_model, dense_fusion, dense_report = dense_out
+    rank_model, rank_fusion, rank_report = rank_out
+    dense_losses = dense_report.step_losses
+    rank_losses = rank_report.step_losses
+    loss_err = max(
+        (
+            abs(a - b) / max(abs(a), 1e-30)
+            for a, b in zip(dense_losses, rank_losses)
+        ),
+        default=float("inf") if len(dense_losses) != len(rank_losses) else 0.0,
+    )
+    lambda_diff = float(
+        max(abs(dense_fusion.lambdas - rank_fusion.lambdas), default=0.0)
+    )
+
+    dense_metric, dense_preds = evaluate(dense_model)
+    rank_metric, rank_preds = evaluate(rank_model)
+
+    # Exact-weights oracle: legacy dense computation, run twice.
+    previous = os.environ.get("REPRO_EXACT_WEIGHTS")
+    os.environ["REPRO_EXACT_WEIGHTS"] = "1"
+    try:
+        __, oracle_fusion, oracle_report = run_fit(None)
+        __, oracle_fusion2, oracle_report2 = run_fit(None)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_EXACT_WEIGHTS"]
+        else:
+            os.environ["REPRO_EXACT_WEIGHTS"] = previous
+    assert not oracle_report.rank_space
+    oracle_deterministic = bool(
+        oracle_report.step_losses == oracle_report2.step_losses
+        and (oracle_fusion.lambdas == oracle_fusion2.lambdas).all()
+    )
+    oracle_err = max(
+        (
+            abs(a - b) / max(abs(a), 1e-30)
+            for a, b in zip(dense_losses, oracle_report.step_losses)
+        ),
+        default=float("inf")
+        if len(dense_losses) != len(oracle_report.step_losses)
+        else 0.0,
+    )
+
+    steps = len(rank_losses)
+    speedup = dense_seconds / rank_seconds if rank_seconds else 0.0
+    return {
+        "workload": dataset_id,
+        "few_shot_examples": len(few_shot.examples),
+        "test_examples": len(test),
+        "patches": n_patches,
+        "epochs": config.finetune_epochs,
+        "steps": steps,
+        "repeats": repeats,
+        "dense": {
+            "seconds": dense_seconds,
+            "steps_per_sec": steps / dense_seconds if dense_seconds else 0.0,
+        },
+        "rank": {
+            "seconds": rank_seconds,
+            "steps_per_sec": steps / rank_seconds if rank_seconds else 0.0,
+            "engaged": bool(rank_report.rank_space),
+        },
+        "speedup": speedup,
+        "max_step_loss_rel_err": loss_err,
+        "losses_match": loss_err <= 1e-9,
+        "lambda_max_abs_diff": lambda_diff,
+        "metrics": {"dense": dense_metric, "rank": rank_metric},
+        "metrics_identical": dense_metric == rank_metric,
+        "predictions_identical": dense_preds == rank_preds,
+        "exact_oracle": {
+            "deterministic": bool(oracle_deterministic),
+            "max_loss_rel_err_vs_dense": oracle_err,
+        },
+        "weight_materializations": int(
+            counters["counters"].get("model.weight_materializations", 0)
+        ),
+        "rank_space_steps": int(
+            counters["counters"].get("train.rank_space_steps", 0)
+        ),
+        "perf": counters,
+    }
+
+
+def render_train_benchmark(result: Dict) -> str:
+    """Format :func:`run_train_benchmark` output for the terminal."""
+    lines = [
+        f"rank-space training benchmark — {result['workload']} "
+        f"({result['patches']} fused patches, {result['steps']} steps, "
+        f"best of {result['repeats']})",
+        f"  dense fit:    {result['dense']['seconds']:.3f}s "
+        f"({result['dense']['steps_per_sec']:.0f} steps/s)",
+        f"  rank-space:   {result['rank']['seconds']:.3f}s "
+        f"({result['rank']['steps_per_sec']:.0f} steps/s, "
+        f"engaged={result['rank']['engaged']})",
+        f"  speedup:      {result['speedup']:.2f}x",
+        f"  step losses:  max rel err {result['max_step_loss_rel_err']:.2e} "
+        f"(match={result['losses_match']})",
+        f"  final λ:      max abs diff {result['lambda_max_abs_diff']:.2e}",
+        f"  test metric:  dense {result['metrics']['dense']:.4f} / "
+        f"rank {result['metrics']['rank']:.4f} "
+        f"(identical={result['metrics_identical']}, predictions "
+        f"identical={result['predictions_identical']})",
+        f"  exact oracle: deterministic="
+        f"{result['exact_oracle']['deterministic']}, vs dense rel err "
+        f"{result['exact_oracle']['max_loss_rel_err_vs_dense']:.2e}",
+        f"  materializations during rank fit: "
+        f"{result['weight_materializations']} "
+        f"(rank-space steps: {result['rank_space_steps']})",
+    ]
     return "\n".join(lines)
 
 

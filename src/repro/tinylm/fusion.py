@@ -13,11 +13,12 @@ need to know whether one patch or a fused stack is attached.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from .lora import LoRAPatch
+from .linalg import exact_weights
+from .lora import LoRAPatch, RankComponent
 
 __all__ = ["PatchFusion"]
 
@@ -81,6 +82,53 @@ class PatchFusion:
             total = new_part if total is None else total + new_part
         return total
 
+    def delta_shape(self, weight_name: str) -> Tuple[int, int] | None:
+        """Shape of :meth:`delta` without materialising it."""
+        shape = self.new_patch.delta_shape(weight_name)
+        if shape is not None:
+            return shape
+        for patch in self.patches:
+            shape = patch.delta_shape(weight_name)
+            if shape is not None:
+                return shape
+        return None
+
+    @property
+    def lambda_key(self) -> str:
+        """Parameter key the λ vector is published under."""
+        return self._lambda_key
+
+    def rank_components(self, weight_name: str) -> List[RankComponent]:
+        """Low-rank terms of the fused update (rank-space protocol).
+
+        Each upstream patch contributes one term with coefficient
+        ``λ_i·α_i``; its ``B``/``A`` gradients carry the same ``λ_i·α_i``
+        factor but are only emitted when ``train_patches`` is on, and its
+        λ slot is only advertised (``lambda_index``) when
+        ``train_lambdas`` is on.  The new shared patch is always fully
+        trainable and has no λ.
+        """
+        components: List[RankComponent] = []
+        for i, (lam, patch) in enumerate(zip(self.lambdas, self.patches)):
+            if weight_name not in patch.B:
+                continue
+            alpha = patch.alpha
+            components.append(
+                RankComponent(
+                    B=patch.B[weight_name],
+                    A=patch.A[weight_name],
+                    coeff=float(lam) * alpha,
+                    alpha=alpha,
+                    grad_coeff=float(lam) * alpha,
+                    key_B=f"{patch.name}/{weight_name}/B",
+                    key_A=f"{patch.name}/{weight_name}/A",
+                    trainable=self.train_patches,
+                    lambda_index=i if self.train_lambdas else None,
+                )
+            )
+        components.extend(self.new_patch.rank_components(weight_name))
+        return components
+
     def parameters(self) -> Dict[str, np.ndarray]:
         """All trainable arrays, respecting the train_* flags."""
         params: Dict[str, np.ndarray] = dict(self.new_patch.parameters())
@@ -94,10 +142,54 @@ class PatchFusion:
     def grad_wrt(
         self, weight_name: str, d_weight: np.ndarray
     ) -> Dict[str, np.ndarray]:
-        """Route ∂loss/∂W_eff into λ, patch and new-patch gradients."""
+        """Route ∂loss/∂W_eff into λ, patch and new-patch gradients.
+
+        λ-gradients use the rank identity ``∂loss/∂λ_i = α·Σ((dW @ Aᵀ) ∘ B)``
+        so the dense per-patch ``Δ_i`` is never formed, and the same
+        ``dW @ Aᵀ`` product doubles as the patch's own ``B`` gradient.
+        With neither ``train_lambdas`` nor ``train_patches`` the upstream
+        loop is skipped outright.  ``REPRO_EXACT_WEIGHTS=1`` restores the
+        historical dense reduction bit-for-bit.
+        """
         grads: Dict[str, np.ndarray] = dict(
             self.new_patch.grad_wrt(weight_name, d_weight)
         )
+        if exact_weights():
+            return self._grad_wrt_dense(weight_name, d_weight, grads)
+        if not (self.train_lambdas or self.train_patches):
+            return grads
+        lambda_grad = np.zeros_like(self.lambdas)
+        any_lambda = False
+        for i, (lam, patch) in enumerate(zip(self.lambdas, self.patches)):
+            if weight_name not in patch.B:
+                continue
+            B = patch.B[weight_name]
+            A = patch.A[weight_name]
+            dwA = d_weight @ A.T
+            if self.train_lambdas:
+                lambda_grad[i] = patch.alpha * float(np.sum(dwA * B))
+                any_lambda = True
+            if self.train_patches:
+                scale = float(lam) * patch.alpha
+                self._accumulate(
+                    grads, f"{patch.name}/{weight_name}/B", scale * dwA
+                )
+                self._accumulate(
+                    grads,
+                    f"{patch.name}/{weight_name}/A",
+                    scale * (B.T @ d_weight),
+                )
+        if any_lambda:
+            grads[self._lambda_key] = lambda_grad
+        return grads
+
+    def _grad_wrt_dense(
+        self,
+        weight_name: str,
+        d_weight: np.ndarray,
+        grads: Dict[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Legacy dense gradient routing (parity oracle)."""
         lambda_grad = np.zeros_like(self.lambdas)
         any_lambda = False
         for i, (lam, patch) in enumerate(zip(self.lambdas, self.patches)):
@@ -109,14 +201,19 @@ class PatchFusion:
                 any_lambda = True
             if self.train_patches:
                 for key, grad in patch.grad_wrt(weight_name, d_weight).items():
-                    scaled = lam * grad
-                    if key in grads:
-                        grads[key] = grads[key] + scaled
-                    else:
-                        grads[key] = scaled
+                    self._accumulate(grads, key, lam * grad)
         if any_lambda:
             grads[self._lambda_key] = lambda_grad
         return grads
+
+    @staticmethod
+    def _accumulate(
+        grads: Dict[str, np.ndarray], key: str, value: np.ndarray
+    ) -> None:
+        if key in grads:
+            grads[key] = grads[key] + value
+        else:
+            grads[key] = value
 
     # ------------------------------------------------------------------
     # Introspection

@@ -8,6 +8,8 @@ costs nothing and removes a whole class of flaky-test headaches.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 __all__ = [
@@ -21,7 +23,32 @@ __all__ = [
     "gaussian_init",
     "segment_softmax",
     "segment_logsumexp",
+    "exact_weights",
+    "gram_trace",
 ]
+
+
+def exact_weights() -> bool:
+    """Whether ``REPRO_EXACT_WEIGHTS`` pins the legacy dense math.
+
+    The rank-space fast paths (factored adapter forward/backward, the
+    Frobenius trace identity, the λ-gradient identity) are numerically
+    equal to the dense formulations but associate float operations in a
+    different order, so results can differ in the last bits.  Setting
+    ``REPRO_EXACT_WEIGHTS=1`` restores the historical dense computation
+    bit-for-bit — the parity oracle the train benchmark checks against.
+    """
+    return os.environ.get("REPRO_EXACT_WEIGHTS", "").strip() not in ("", "0")
+
+
+def gram_trace(B: np.ndarray, A: np.ndarray) -> float:
+    """``trace((AᵀA)(BᵀB)) = ‖B·A‖_F²`` without materialising ``B·A``.
+
+    Both Gram matrices are ``(r, r)`` for rank-``r`` factors, so the
+    cost is ``O((out + in)·r²)`` instead of the ``O(out·r·in)`` dense
+    product plus an ``O(out·in)`` reduction.
+    """
+    return float(np.sum((B.T @ B) * (A @ A.T)))
 
 
 def rng_for(seed: int, *streams: str) -> np.random.Generator:

@@ -14,13 +14,39 @@ dataset, extracted on the *base* model, then re-attached to the
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .linalg import gaussian_init, rng_for
+from .linalg import exact_weights, gaussian_init, gram_trace, rng_for
 
-__all__ = ["LoRAPatch"]
+__all__ = ["LoRAPatch", "RankComponent"]
+
+
+@dataclass(frozen=True)
+class RankComponent:
+    """One low-rank term of an adapter's effective update for a weight.
+
+    The attached adapter contributes ``Σ coeff·B·A`` to ``W_eff``; the
+    rank-space engine consumes these terms directly (never forming the
+    dense ``B·A``), applying each as ``coeff·((P @ Aᵀ) @ Bᵀ)`` in row
+    space.  ``grad_coeff`` scales the ``B``/``A`` gradients (a fused
+    upstream patch's gradients carry its λ), ``alpha`` feeds the
+    λ-gradient identity ``α·Σ((dW @ Aᵀ) ∘ B)``, and ``lambda_index``
+    names the fusion λ slot this term's mixing weight lives in (``None``
+    when the coefficient is not trainable).
+    """
+
+    B: np.ndarray
+    A: np.ndarray
+    coeff: float
+    alpha: float
+    grad_coeff: float
+    key_B: Optional[str]
+    key_A: Optional[str]
+    trainable: bool
+    lambda_index: Optional[int] = None
 
 
 class LoRAPatch:
@@ -80,6 +106,29 @@ class LoRAPatch:
             return None
         return self.alpha * (self.B[weight_name] @ self.A[weight_name])
 
+    def delta_shape(self, weight_name: str) -> Tuple[int, int] | None:
+        """Shape of :meth:`delta` without materialising it."""
+        if weight_name not in self.B:
+            return None
+        return (self.B[weight_name].shape[0], self.A[weight_name].shape[1])
+
+    def rank_components(self, weight_name: str) -> List[RankComponent]:
+        """This patch's low-rank terms for a weight (rank-space protocol)."""
+        if weight_name not in self.B:
+            return []
+        return [
+            RankComponent(
+                B=self.B[weight_name],
+                A=self.A[weight_name],
+                coeff=self.alpha,
+                alpha=self.alpha,
+                grad_coeff=self.alpha,
+                key_B=f"{self.name}/{weight_name}/B",
+                key_A=f"{self.name}/{weight_name}/A",
+                trainable=True,
+            )
+        ]
+
     def parameters(self) -> Dict[str, np.ndarray]:
         """Flat, mutably-aliased view of all trainable arrays."""
         params: Dict[str, np.ndarray] = {}
@@ -114,10 +163,23 @@ class LoRAPatch:
         )
 
     def frobenius_norm(self) -> float:
-        """Norm of the full update — a cheap "how much was learned" probe."""
+        """Norm of the full update — a cheap "how much was learned" probe.
+
+        ``‖α·B·A‖_F² = α²·trace((BᵀB)(AAᵀ))`` — two ``(r, r)`` Gram
+        matrices instead of the dense ``(out, in)`` delta.  With
+        ``REPRO_EXACT_WEIGHTS=1`` the legacy dense reduction runs
+        instead (bit-for-bit parity oracle).
+        """
+        if exact_weights():
+            total = 0.0
+            for weight_name in self.B:
+                total += float(np.sum(self.delta(weight_name) ** 2))
+            return float(np.sqrt(total))
         total = 0.0
         for weight_name in self.B:
-            total += float(np.sum(self.delta(weight_name) ** 2))
+            total += self.alpha**2 * gram_trace(
+                self.B[weight_name], self.A[weight_name]
+            )
         return float(np.sqrt(total))
 
     def clone(self, name: str | None = None) -> "LoRAPatch":

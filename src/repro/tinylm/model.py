@@ -42,6 +42,7 @@ import numpy as np
 
 from ..perf import PERF
 from .linalg import (
+    exact_weights,
     relu,
     relu_grad,
     rng_for,
@@ -56,6 +57,8 @@ __all__ = [
     "ModelConfig",
     "EncodedExample",
     "RaggedBatch",
+    "FrozenActivations",
+    "FrozenBatch",
     "ScoringLM",
     "LORA_TARGETS",
 ]
@@ -170,6 +173,121 @@ class _Cache:
     probs: np.ndarray  # (M,) flat softmax over each pool
 
 
+@dataclass
+class FrozenBatch:
+    """One mini-batch view over a :class:`FrozenActivations` sidecar.
+
+    Carries the ragged batch plus the frozen-backbone projections of its
+    rows, so the rank-space engine only has to add the adapter's low-rank
+    contributions on top.
+    """
+
+    rb: RaggedBatch
+    XW1b: np.ndarray  # (n, k) X @ W1_base.T + b1
+    YV: np.ndarray  # (M, k) Y @ V_base.T
+    yb: np.ndarray  # (M,) Y @ b
+    overlap: np.ndarray  # (M,) prompt·candidate feature overlap
+
+
+class FrozenActivations:
+    """Frozen-backbone projections of an encoded dataset, computed once.
+
+    When ``train_base=False`` the base weights never move during a fit, so
+    the expensive ``O(N·D·k)`` projections ``X @ W1ᵀ``, ``Y @ Vᵀ``,
+    ``Y @ b`` and the weight-independent overlap GEMM ``X·Y`` are
+    identical every epoch, mini-batch and eval call.  This sidecar (owned
+    by :class:`~repro.tinylm.trainer.Trainer`) computes them exactly once
+    per dataset; :meth:`batch` then assembles per-step
+    :class:`FrozenBatch` views with cheap row gathers, and
+    :meth:`ScoringLM.rank_loss_and_gradients` adds only the ``O(M·D·r)``
+    rank-space adapter terms on top.
+    """
+
+    def __init__(self, model: "ScoringLM", examples: Sequence[EncodedExample]):
+        if not examples:
+            raise ValueError("empty dataset")
+        with PERF.timer("model.frozen_activations"):
+            W1 = model.weights["encoder.W1"]
+            V = model.weights["answer.V"]
+            b = model.weights["answer.b"]
+            self.X = np.stack([ex.prompt for ex in examples])
+            self.Y = np.concatenate([ex.candidates for ex in examples])
+            sizes = np.asarray(
+                [ex.candidates.shape[0] for ex in examples], dtype=np.intp
+            )
+            self.pool_sizes = sizes
+            self.flat_offsets = np.zeros(sizes.size + 1, dtype=np.intp)
+            np.cumsum(sizes, out=self.flat_offsets[1:])
+            self.targets = np.asarray(
+                [ex.target for ex in examples], dtype=np.intp
+            )
+            self.weights = np.asarray([ex.weight for ex in examples])
+            self.XW1b = self.X @ W1.T + model.weights["encoder.b1"]
+            self.YV = self.Y @ V.T
+            self.yb = self.Y @ b
+            rows_all = np.repeat(np.arange(sizes.size), sizes)
+            self.overlap = np.einsum("md,md->m", self.Y, self.X[rows_all])
+        PERF.count("train.frozen_builds")
+
+    @property
+    def n(self) -> int:
+        return self.pool_sizes.size
+
+    def batch(self, indices: Sequence[int]) -> FrozenBatch:
+        """Assemble the mini-batch view for a list of example indices."""
+        idx = np.asarray(indices, dtype=np.intp)
+        sizes = self.pool_sizes[idx]
+        offsets = np.zeros(idx.size + 1, dtype=np.intp)
+        np.cumsum(sizes, out=offsets[1:])
+        m = int(offsets[-1])
+        rows = np.repeat(np.arange(idx.size), sizes)
+        local = np.arange(m) - np.repeat(offsets[:-1], sizes)
+        flat = np.repeat(self.flat_offsets[idx], sizes) + local
+        rb = RaggedBatch(
+            X=self.X[idx],
+            Yu=self.Y[flat],
+            cand_index=np.arange(m, dtype=np.intp),
+            offsets=offsets,
+            rows=rows,
+            targets=self.targets[idx],
+            weights=self.weights[idx],
+        )
+        return FrozenBatch(
+            rb=rb,
+            XW1b=self.XW1b[idx],
+            YV=self.YV[flat],
+            yb=self.yb[flat],
+            overlap=self.overlap[flat],
+        )
+
+    def full(self) -> FrozenBatch:
+        """The whole dataset as one batch (loss evaluation)."""
+        return self.batch(np.arange(self.n))
+
+
+@dataclass
+class _RankCache:
+    """Forward intermediates of the rank-space path, reused in backward."""
+
+    H_pre: np.ndarray  # (n, k)
+    H: np.ndarray  # (n, k)
+    U: np.ndarray  # (n, k)
+    Vy: np.ndarray  # (M, k)
+    comps_W1: list
+    comps_W2: list
+    comps_V: list
+    PA: list  # X @ Aᵀ per W1 component, (n, r)
+    HA: list  # H @ Aᵀ per W2 component, (n, r)
+    YA: list  # Y @ Aᵀ per V component, (M, r)
+
+
+def _accumulate(grads: Dict[str, np.ndarray], key: str, value) -> None:
+    if key in grads:
+        grads[key] = grads[key] + value
+    else:
+        grads[key] = value
+
+
 class ScoringLM:
     """A candidate-scoring conditional language model with adapter support.
 
@@ -212,32 +330,79 @@ class ScoringLM:
         # clones sharing the same feature space share these dicts.
         self._candidate_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._prompt_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        # Effective-weight memo, keyed by the adapter version counter:
+        # within one version the dense W_eff per target is built at most
+        # once, however many forward calls read it (AKB fold scoring runs
+        # hundreds of batches against a fixed adapter).
+        self._adapter_version = 0
+        self._weight_memo: Dict[str, np.ndarray] = {}
+        self._weight_memo_token: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Weights
     # ------------------------------------------------------------------
+    def bump_adapter_version(self) -> None:
+        """Invalidate memoized effective weights.
+
+        Call after mutating adapter parameters in place (the trainer does
+        this after every optimizer step; λ-search loops do it after each
+        candidate write).  Attach/detach/merge bump automatically.
+        """
+        self._adapter_version += 1
+
     def effective_weight(self, name: str) -> np.ndarray:
-        """Base weight plus any attached adapter delta."""
+        """Base weight plus any attached adapter delta (memoized).
+
+        The dense sum is built once per adapter version and reused until
+        :meth:`bump_adapter_version`; with ``REPRO_EXACT_WEIGHTS=1`` the
+        memo is bypassed and every call re-materialises, matching the
+        historical behaviour exactly.
+        """
         base = self.weights[name]
         if self.adapter is None:
             return base
+        if exact_weights():
+            delta = self.adapter.delta(name)
+            if delta is None:
+                return base
+            PERF.count("model.weight_materializations")
+            return base + delta
+        token = (self._adapter_version, id(self.adapter))
+        if token != self._weight_memo_token:
+            self._weight_memo = {}
+            self._weight_memo_token = token
+        cached = self._weight_memo.get(name)
+        if cached is not None:
+            return cached
         delta = self.adapter.delta(name)
-        return base if delta is None else base + delta
+        if delta is None:
+            result = base
+        else:
+            PERF.count("model.weight_materializations")
+            result = base + delta
+        self._weight_memo[name] = result
+        return result
 
     def attach(self, adapter) -> None:
         """Attach a LoRA patch or fusion stack (replaces any previous)."""
         for name in adapter.target_names:
             if name not in self.weights:
                 raise KeyError(f"adapter targets unknown weight {name!r}")
-            if adapter.delta(name) is not None and (
-                adapter.delta(name).shape != self.weights[name].shape
-            ):
+            shape_of = getattr(adapter, "delta_shape", None)
+            if shape_of is not None:
+                shape = shape_of(name)
+            else:
+                delta = adapter.delta(name)
+                shape = None if delta is None else delta.shape
+            if shape is not None and tuple(shape) != self.weights[name].shape:
                 raise ValueError(f"adapter delta shape mismatch on {name!r}")
         self.adapter = adapter
+        self.bump_adapter_version()
 
     def detach(self):
         """Remove and return the current adapter."""
         adapter, self.adapter = self.adapter, None
+        self.bump_adapter_version()
         return adapter
 
     def merge_adapter(self) -> None:
@@ -249,6 +414,7 @@ class ScoringLM:
             if delta is not None:
                 self.weights[name] = self.weights[name] + delta
         self.adapter = None
+        self.bump_adapter_version()
 
     def num_parameters(self) -> int:
         return sum(w.size for w in self.weights.values())
@@ -291,6 +457,10 @@ class ScoringLM:
         state = self.__dict__.copy()
         state["_candidate_cache"] = OrderedDict()
         state["_prompt_cache"] = OrderedDict()
+        # Memoized effective weights are re-derivable and would pickle a
+        # redundant dense copy per target.
+        state["_weight_memo"] = {}
+        state["_weight_memo_token"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -576,12 +746,199 @@ class ScoringLM:
         """
         if not batch:
             raise ValueError("empty batch")
+        self.bump_adapter_version()
         with PERF.timer("model.evaluate_loss"):
             rb = self._ragged_from_encoded(batch)
             logits, __cache = self._score_flat(rb)
             log_z = segment_logsumexp(logits, rb.offsets)
             losses = (log_z - logits[rb.target_flat]) * rb.weights
         return float(losses.mean())
+
+    # ------------------------------------------------------------------
+    # Rank-space frozen-backbone engine
+    # ------------------------------------------------------------------
+    def frozen_activations(
+        self, examples: Sequence[EncodedExample]
+    ) -> FrozenActivations:
+        """Precompute the frozen-backbone projections of a dataset.
+
+        Only valid while the base weights stay fixed (``train_base=False``
+        fits); the adapter is free to change between calls on the
+        returned sidecar.
+        """
+        return FrozenActivations(self, examples)
+
+    def _rank_forward(self, fb: FrozenBatch) -> Tuple[np.ndarray, _RankCache]:
+        """Flat logits of a frozen batch via rank-space adapter terms.
+
+        Numerically equal to :meth:`_score_flat` on the same rows (the
+        scoring formula is identical; only the association order of the
+        adapter contribution differs): each low-rank term enters as
+        ``coeff·((P @ Aᵀ) @ Bᵀ)`` so no dense ``(out, in)`` matrix is
+        ever formed.
+        """
+        rb = fb.rb
+        adapter = self.adapter
+        comps_W1 = adapter.rank_components("encoder.W1") if adapter else []
+        comps_W2 = adapter.rank_components("encoder.W2") if adapter else []
+        comps_V = adapter.rank_components("answer.V") if adapter else []
+        H_pre = fb.XW1b.copy()
+        PA: List[np.ndarray] = []
+        for comp in comps_W1:
+            prod = rb.X @ comp.A.T
+            PA.append(prod)
+            H_pre += comp.coeff * (prod @ comp.B.T)
+        H = relu(H_pre)
+        U = H @ self.weights["encoder.W2"].T + self.weights["encoder.b2"]
+        HA: List[np.ndarray] = []
+        for comp in comps_W2:
+            prod = H @ comp.A.T
+            HA.append(prod)
+            U += comp.coeff * (prod @ comp.B.T)
+        Vy = fb.YV.copy()
+        YA: List[np.ndarray] = []
+        for comp in comps_V:
+            prod = rb.Y @ comp.A.T
+            YA.append(prod)
+            Vy += comp.coeff * (prod @ comp.B.T)
+        gamma = float(self.weights["copy.gamma"][0])
+        logits = (
+            self._scale * np.einsum("mk,mk->m", Vy, U[rb.rows])
+            + fb.yb
+            + gamma * fb.overlap
+        )
+        PERF.count("model.batches")
+        PERF.count("model.examples", rb.n)
+        PERF.count("model.candidates", rb.m)
+        cache = _RankCache(
+            H_pre=H_pre,
+            H=H,
+            U=U,
+            Vy=Vy,
+            comps_W1=comps_W1,
+            comps_W2=comps_W2,
+            comps_V=comps_V,
+            PA=PA,
+            HA=HA,
+            YA=YA,
+        )
+        return logits, cache
+
+    def rank_evaluate_loss(self, fb: FrozenBatch) -> float:
+        """Mean weighted CE loss on a frozen batch, forward only."""
+        rb = fb.rb
+        if rb.n == 0:
+            raise ValueError("empty batch")
+        with PERF.timer("model.evaluate_loss"):
+            logits, __ = self._rank_forward(fb)
+            log_z = segment_logsumexp(logits, rb.offsets)
+            losses = (log_z - logits[rb.target_flat]) * rb.weights
+        return float(losses.mean())
+
+    def rank_loss_and_gradients(
+        self, fb: FrozenBatch
+    ) -> Tuple[float, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Frozen-backbone analogue of :meth:`loss_and_gradients`.
+
+        Returns ``(loss, {}, adapter_grads)`` — the base is frozen by
+        construction, so base gradients are always empty.  Adapter
+        gradients are produced through factored rank-space products:
+        with ``M = dW_eff @ Aᵀ`` (computed as a gather-free product with
+        the forward's cached ``P @ Aᵀ`` intermediates),
+
+        * ``∂loss/∂B = grad_coeff·M``,
+        * ``∂loss/∂A = grad_coeff·(dRows @ B)ᵀ @ P``,
+        * ``∂loss/∂λ_i = α·Σ(M ∘ B)``,
+
+        so no dense ``(out, in)`` gradient or delta is ever built.  The
+        gradient key set matches the dense path exactly (λ only when a
+        component advertises a ``lambda_index``; patch arrays only when
+        ``trainable``).
+        """
+        rb = fb.rb
+        if rb.n == 0:
+            raise ValueError("empty batch")
+        with PERF.timer("model.backward"):
+            n = rb.n
+            logits, cache = self._rank_forward(fb)
+            log_z = segment_logsumexp(logits, rb.offsets)
+            losses = (log_z - logits[rb.target_flat]) * rb.weights
+            probs = segment_softmax(logits, rb.offsets)
+            starts = rb.offsets[:-1]
+
+            dlogits = probs
+            dlogits[rb.target_flat] -= 1.0
+            dlogits *= (rb.weights / n)[rb.rows]
+            dU = self._scale * np.add.reduceat(
+                dlogits[:, None] * cache.Vy, starts, axis=0
+            )
+            # G.T @ Y would be the dense dV_eff; we only ever take its
+            # products with the (D, r) factors.
+            G = self._scale * (cache.U[rb.rows] * dlogits[:, None])
+
+            adapter_grads: Dict[str, np.ndarray] = {}
+            lambda_grad: Optional[np.ndarray] = None
+
+            def note_lambda(comp, M) -> None:
+                nonlocal lambda_grad
+                if lambda_grad is None:
+                    lambda_grad = np.zeros_like(self.adapter.lambdas)
+                lambda_grad[comp.lambda_index] += comp.alpha * float(
+                    np.sum(M * comp.B)
+                )
+
+            for comp, YAc in zip(cache.comps_V, cache.YA):
+                if comp.lambda_index is None and not comp.trainable:
+                    continue
+                M = G.T @ YAc
+                if comp.lambda_index is not None:
+                    note_lambda(comp, M)
+                if comp.trainable:
+                    _accumulate(adapter_grads, comp.key_B, comp.grad_coeff * M)
+                    _accumulate(
+                        adapter_grads,
+                        comp.key_A,
+                        comp.grad_coeff * ((G @ comp.B).T @ rb.Y),
+                    )
+
+            dH = dU @ self.weights["encoder.W2"]
+            for comp, HAc in zip(cache.comps_W2, cache.HA):
+                dUB = dU @ comp.B
+                dH += comp.coeff * (dUB @ comp.A)
+                if comp.lambda_index is None and not comp.trainable:
+                    continue
+                M = dU.T @ HAc
+                if comp.lambda_index is not None:
+                    note_lambda(comp, M)
+                if comp.trainable:
+                    _accumulate(adapter_grads, comp.key_B, comp.grad_coeff * M)
+                    _accumulate(
+                        adapter_grads,
+                        comp.key_A,
+                        comp.grad_coeff * (dUB.T @ cache.H),
+                    )
+
+            dH_pre = dH * relu_grad(cache.H_pre)
+            for comp, PAc in zip(cache.comps_W1, cache.PA):
+                if comp.lambda_index is None and not comp.trainable:
+                    continue
+                M = dH_pre.T @ PAc
+                if comp.lambda_index is not None:
+                    note_lambda(comp, M)
+                if comp.trainable:
+                    _accumulate(adapter_grads, comp.key_B, comp.grad_coeff * M)
+                    _accumulate(
+                        adapter_grads,
+                        comp.key_A,
+                        comp.grad_coeff * ((dH_pre @ comp.B).T @ rb.X),
+                    )
+
+            if lambda_grad is not None:
+                _accumulate(
+                    adapter_grads, self.adapter.lambda_key, lambda_grad
+                )
+        PERF.count("train.rank_space_steps")
+        return float(losses.mean()), {}, adapter_grads
 
     # ------------------------------------------------------------------
     # Backward
@@ -598,6 +955,11 @@ class ScoringLM:
         """
         if not batch:
             raise ValueError("empty batch")
+        # Adapter arrays may have been updated in place since the last
+        # step; re-materialise once here, then the backward's second
+        # effective_weight("encoder.W2") read below is a memo hit instead
+        # of a second dense build.
+        self.bump_adapter_version()
         with PERF.timer("model.backward"):
             losses, cache = self._forward(batch)
             rb = cache.batch

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .linalg import rng_for
-from .model import EncodedExample, ScoringLM
+from .linalg import exact_weights, rng_for
+from .model import EncodedExample, FrozenActivations, ScoringLM
 
 __all__ = ["TrainConfig", "TrainingExample", "Trainer"]
 
@@ -68,6 +68,8 @@ class TrainReport:
     """Loss trajectory returned by :meth:`Trainer.fit`."""
 
     epoch_losses: List[float] = field(default_factory=list)
+    step_losses: List[float] = field(default_factory=list)
+    rank_space: bool = False
 
     @property
     def final_loss(self) -> float:
@@ -75,23 +77,52 @@ class TrainReport:
 
 
 class Trainer:
-    """Stateful optimiser bound to one model (and its current adapter)."""
+    """Stateful optimiser bound to one model (and its current adapter).
+
+    ``rank_space`` selects the frozen-backbone fast path: frozen
+    projections are computed once per :meth:`fit` dataset
+    (:class:`~repro.tinylm.model.FrozenActivations`) and every step runs
+    through :meth:`ScoringLM.rank_loss_and_gradients`, never building a
+    dense effective weight.  ``None`` (the default) auto-enables it
+    whenever the backbone is frozen and the attached adapter speaks the
+    rank-space protocol; ``False`` forces the legacy dense path, and
+    ``REPRO_EXACT_WEIGHTS=1`` overrides everything back to dense (the
+    bit-for-bit parity oracle).
+    """
 
     def __init__(
         self,
         model: ScoringLM,
         config: Optional[TrainConfig] = None,
         train_base: bool = True,
+        rank_space: Optional[bool] = None,
     ):
+        if rank_space and train_base:
+            raise ValueError(
+                "rank_space=True requires train_base=False "
+                "(the fast path assumes a frozen backbone)"
+            )
         self.model = model
         self.config = config or TrainConfig()
         self.train_base = train_base
+        self.rank_space = rank_space
         self._slots: Dict[str, _AdamSlot] = {}
         # The adapter whose moments the "adapter/" slots belong to.
         # Parameter keys carry only the adapter's *name*, so two patches
         # named alike would otherwise silently share stale Adam state
         # after a swap; step() resets the slots on identity change.
         self._slots_adapter = model.adapter
+
+    def _use_rank_space(self) -> bool:
+        if exact_weights():
+            return False
+        if self.rank_space is not None:
+            return self.rank_space
+        return (
+            not self.train_base
+            and self.model.adapter is not None
+            and hasattr(self.model.adapter, "rank_components")
+        )
 
     # ------------------------------------------------------------------
     def _encode(self, examples: Sequence[TrainingExample]) -> List[EncodedExample]:
@@ -139,6 +170,21 @@ class Trainer:
         v_hat = slot.v / (1 - cfg.beta2**slot.step)
         param -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + cfg.eps)
 
+    def _apply_adapter_grads(
+        self, adapter_grads: Dict[str, np.ndarray]
+    ) -> None:
+        """Route adapter gradients through Adam (shared by both paths)."""
+        if not adapter_grads or self.model.adapter is None:
+            return
+        if self.model.adapter is not self._slots_adapter:
+            for key in [k for k in self._slots if k.startswith("adapter/")]:
+                del self._slots[key]
+            self._slots_adapter = self.model.adapter
+        params = self.model.adapter.parameters()
+        for key, grad in adapter_grads.items():
+            if key in params:
+                self._adam_update("adapter/" + key, params[key], grad)
+
     def step(self, batch: Sequence[EncodedExample]) -> float:
         """One optimisation step over an encoded mini-batch."""
         loss, base_grads, adapter_grads = self.model.loss_and_gradients(
@@ -146,15 +192,19 @@ class Trainer:
         )
         for name, grad in base_grads.items():
             self._adam_update("base/" + name, self.model.weights[name], grad)
-        if adapter_grads and self.model.adapter is not None:
-            if self.model.adapter is not self._slots_adapter:
-                for key in [k for k in self._slots if k.startswith("adapter/")]:
-                    del self._slots[key]
-                self._slots_adapter = self.model.adapter
-            params = self.model.adapter.parameters()
-            for key, grad in adapter_grads.items():
-                if key in params:
-                    self._adam_update("adapter/" + key, params[key], grad)
+        self._apply_adapter_grads(adapter_grads)
+        self.model.bump_adapter_version()
+        return loss
+
+    def _rank_step(
+        self, frozen: FrozenActivations, indices: np.ndarray
+    ) -> float:
+        """One optimisation step through the rank-space engine."""
+        loss, __, adapter_grads = self.model.rank_loss_and_gradients(
+            frozen.batch(indices)
+        )
+        self._apply_adapter_grads(adapter_grads)
+        self.model.bump_adapter_version()
         return loss
 
     def fit(self, examples: Sequence[TrainingExample]) -> TrainReport:
@@ -163,7 +213,9 @@ class Trainer:
             raise ValueError("cannot fit on an empty example list")
         encoded = self._encode(examples)
         rng = rng_for(self.config.seed, "trainer")
-        report = TrainReport()
+        use_rank = self._use_rank_space()
+        frozen = self.model.frozen_activations(encoded) if use_rank else None
+        report = TrainReport(rank_space=use_rank)
         order = np.arange(len(encoded))
         for __epoch in range(self.config.epochs):
             if self.config.shuffle:
@@ -171,8 +223,13 @@ class Trainer:
             epoch_loss = 0.0
             batches = 0
             for start in range(0, len(order), self.config.batch_size):
-                batch = [encoded[i] for i in order[start : start + self.config.batch_size]]
-                epoch_loss += self.step(batch)
+                idx = order[start : start + self.config.batch_size]
+                if frozen is not None:
+                    loss = self._rank_step(frozen, idx)
+                else:
+                    loss = self.step([encoded[i] for i in idx])
+                report.step_losses.append(loss)
+                epoch_loss += loss
                 batches += 1
             report.epoch_losses.append(epoch_loss / max(batches, 1))
         return report

@@ -100,6 +100,87 @@ class TestGrads:
         assert "new/encoder.W1/A" in grads
 
 
+class TestRankComponents:
+    def test_components_reconstruct_delta(self):
+        patches = [_patch("a", 1), _patch("b", 2)]
+        fusion = PatchFusion(patches, _patch("new", 3, fill=0.05), initial_weight=0.4)
+        rebuilt = sum(
+            comp.coeff * (comp.B @ comp.A)
+            for comp in fusion.rank_components("encoder.W1")
+        )
+        np.testing.assert_allclose(rebuilt, fusion.delta("encoder.W1"))
+
+    def test_coefficients_carry_lambda_times_alpha(self):
+        patch = _patch("a", 1)
+        fusion = PatchFusion([patch], _patch("new", 2), initial_weight=0.25)
+        upstream = fusion.rank_components("encoder.W1")[0]
+        assert upstream.coeff == pytest.approx(0.25 * patch.alpha)
+        assert upstream.grad_coeff == pytest.approx(0.25 * patch.alpha)
+        assert upstream.key_B == "a/encoder.W1/B"
+        assert upstream.lambda_index == 0
+
+    def test_flags_gate_trainability_and_lambda_index(self):
+        fusion = PatchFusion(
+            [_patch("a", 1)], _patch("new", 2),
+            train_lambdas=False, train_patches=False,
+        )
+        upstream, new = fusion.rank_components("encoder.W1")
+        assert not upstream.trainable
+        assert upstream.lambda_index is None
+        assert new.trainable
+        assert new.lambda_index is None
+
+    def test_delta_shape_without_materialising(self):
+        fusion = PatchFusion([_patch("a", 1)], _patch("new", 2))
+        assert fusion.delta_shape("encoder.W1") == (6, 20)
+        assert fusion.delta_shape("other.weight") is None
+
+    def test_lambda_key_matches_parameters(self):
+        fusion = PatchFusion([_patch("a", 1)], _patch("new", 2))
+        assert fusion.lambda_key in fusion.parameters()
+
+    def test_untargeted_weight_has_no_components(self):
+        fusion = PatchFusion([_patch("a", 1)], _patch("new", 2))
+        assert fusion.rank_components("other.weight") == []
+
+
+class TestRankGradIdentity:
+    """grad_wrt's rank-space path must match the legacy dense reduction."""
+
+    def _grads_both_ways(self, monkeypatch, **flags):
+        d_weight = np.random.default_rng(7).normal(0, 1, SHAPES["encoder.W1"])
+        results = []
+        for exact in ("", "1"):
+            monkeypatch.setenv("REPRO_EXACT_WEIGHTS", exact)
+            fusion = PatchFusion(
+                [_patch("a", 1), _patch("b", 2)], _patch("new", 3), **flags
+            )
+            results.append(fusion.grad_wrt("encoder.W1", d_weight))
+        monkeypatch.delenv("REPRO_EXACT_WEIGHTS")
+        return results
+
+    @pytest.mark.parametrize("train_lambdas", [True, False])
+    @pytest.mark.parametrize("train_patches", [True, False])
+    def test_rank_matches_dense(self, monkeypatch, train_lambdas, train_patches):
+        rank, dense = self._grads_both_ways(
+            monkeypatch,
+            initial_weight=0.3,
+            train_lambdas=train_lambdas,
+            train_patches=train_patches,
+        )
+        assert rank.keys() == dense.keys()
+        for key in dense:
+            np.testing.assert_allclose(rank[key], dense[key], rtol=1e-12)
+
+    def test_fully_frozen_skips_upstream_work(self):
+        fusion = PatchFusion(
+            [_patch("a", 1)], _patch("new", 2),
+            train_lambdas=False, train_patches=False,
+        )
+        grads = fusion.grad_wrt("encoder.W1", np.ones(SHAPES["encoder.W1"]))
+        assert set(grads) == {"new/encoder.W1/B", "new/encoder.W1/A"}
+
+
 class TestIntrospection:
     def test_weight_report_names(self):
         fusion = PatchFusion(

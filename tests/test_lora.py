@@ -99,6 +99,19 @@ class TestUtilities:
     def test_frobenius_norm_zero_when_fresh(self):
         assert LoRAPatch("p", SHAPES, rank=2).frobenius_norm() == 0.0
 
+    def test_frobenius_trace_identity_matches_dense(self, monkeypatch):
+        """‖αBA‖_F via (r,r) Grams equals the materialised norm."""
+        patch = LoRAPatch("p", SHAPES, rank=3, alpha=2.0, seed=4)
+        rng = np.random.default_rng(11)
+        for name in patch.A:
+            patch.A[name] = rng.normal(0, 1, patch.A[name].shape)
+        dense = np.sqrt(
+            sum(float(np.sum(patch.delta(name) ** 2)) for name in SHAPES)
+        )
+        assert patch.frobenius_norm() == pytest.approx(dense, rel=1e-12)
+        monkeypatch.setenv("REPRO_EXACT_WEIGHTS", "1")
+        assert patch.frobenius_norm() == pytest.approx(dense, rel=1e-12)
+
     @given(st.integers(min_value=1, max_value=4))
     @settings(max_examples=10, deadline=None)
     def test_state_dict_roundtrip(self, rank):
@@ -125,3 +138,25 @@ class TestUtilities:
 
     def test_iteration_yields_targets(self):
         assert set(LoRAPatch("p", SHAPES, rank=2)) == set(SHAPES)
+
+
+class TestRankProtocol:
+    def test_delta_shape(self):
+        patch = LoRAPatch("p", SHAPES, rank=2)
+        assert patch.delta_shape("encoder.W1") == SHAPES["encoder.W1"]
+        assert patch.delta_shape("other.weight") is None
+
+    def test_rank_components_reconstruct_delta(self):
+        patch = LoRAPatch("p", SHAPES, rank=2, alpha=3.0, seed=5)
+        patch.A["encoder.W1"] = np.random.default_rng(0).normal(0, 1, (2, 32))
+        (comp,) = patch.rank_components("encoder.W1")
+        np.testing.assert_allclose(
+            comp.coeff * (comp.B @ comp.A), patch.delta("encoder.W1")
+        )
+        assert comp.trainable
+        assert comp.lambda_index is None
+        assert comp.key_B == "p/encoder.W1/B"
+        assert comp.key_A == "p/encoder.W1/A"
+
+    def test_rank_components_empty_for_untargeted(self):
+        assert LoRAPatch("p", SHAPES, rank=2).rank_components("other") == []

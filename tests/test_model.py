@@ -207,3 +207,129 @@ class TestGradients:
     def test_empty_batch_rejected(self, tiny_model):
         with pytest.raises(ValueError):
             tiny_model.loss_and_gradients([])
+
+
+def _fused(model, n_patches=2, seed=3):
+    shapes = model.config.target_shapes()
+    rng = np.random.default_rng(seed)
+    patches = []
+    for i in range(n_patches):
+        patch = LoRAPatch(f"p{i}", shapes, rank=2, seed=i)
+        for name in patch.A:
+            patch.A[name] = rng.normal(0, 0.05, patch.A[name].shape)
+        patches.append(patch)
+    fusion = PatchFusion(patches, LoRAPatch("new", shapes, rank=2, seed=7))
+    model.attach(fusion)
+    return fusion
+
+
+class TestWeightMemo:
+    """effective_weight memoisation keyed on the adapter version."""
+
+    def test_repeated_reads_share_one_materialisation(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        _fused(model)
+        first = model.effective_weight("encoder.W1")
+        second = model.effective_weight("encoder.W1")
+        assert first is second
+
+    def test_bump_invalidates_after_inplace_mutation(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        fusion = _fused(model)
+        stale = model.effective_weight("encoder.W1")
+        fusion.lambdas[:] = 5.0
+        # Without a bump the memo serves the stale array by design...
+        assert model.effective_weight("encoder.W1") is stale
+        # ...and the version bump is exactly what invalidates it.
+        model.bump_adapter_version()
+        fresh = model.effective_weight("encoder.W1")
+        assert fresh is not stale
+        assert not np.allclose(fresh, stale)
+
+    def test_attach_detach_invalidate(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        base = model.effective_weight("encoder.W1").copy()
+        fusion = _fused(model)
+        with_delta = model.effective_weight("encoder.W1")
+        assert not np.allclose(with_delta, base)
+        model.detach()
+        np.testing.assert_array_equal(
+            model.effective_weight("encoder.W1"), base
+        )
+        assert fusion is not None
+
+    def test_exact_weights_bypasses_memo(self, fresh_tiny_model, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_WEIGHTS", "1")
+        model = fresh_tiny_model
+        _fused(model)
+        first = model.effective_weight("encoder.W1")
+        second = model.effective_weight("encoder.W1")
+        assert first is not second
+        np.testing.assert_array_equal(first, second)
+
+    def test_pickle_drops_memo_and_roundtrips(self, fresh_tiny_model):
+        import pickle
+
+        model = fresh_tiny_model
+        _fused(model)
+        model.effective_weight("encoder.W1")  # populate the memo
+        restored = pickle.loads(pickle.dumps(model))
+        np.testing.assert_allclose(
+            restored.logits("a prompt", ["x", "y"]),
+            model.logits("a prompt", ["x", "y"]),
+        )
+
+
+class TestFrozenActivations:
+    """The rank-space engine matches the dense path on the same batch."""
+
+    def test_loss_matches_dense(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        _fused(model)
+        batch = _toy_batch(model, n=5)
+        frozen = model.frozen_activations(batch)
+        dense = model.evaluate_loss(batch)
+        rank = model.rank_evaluate_loss(frozen.full())
+        assert rank == pytest.approx(dense, rel=1e-9)
+
+    def test_gradients_match_dense(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        _fused(model)
+        batch = _toy_batch(model, n=5)
+        frozen = model.frozen_activations(batch)
+        dense_loss, __, dense_grads = model.loss_and_gradients(
+            batch, train_base=False
+        )
+        rank_loss, base_grads, rank_grads = model.rank_loss_and_gradients(
+            frozen.full()
+        )
+        assert base_grads == {}
+        assert rank_loss == pytest.approx(dense_loss, rel=1e-9)
+        assert rank_grads.keys() == dense_grads.keys()
+        for key in dense_grads:
+            np.testing.assert_allclose(
+                rank_grads[key], dense_grads[key], rtol=1e-9, atol=1e-12
+            )
+
+    def test_batch_view_matches_subset(self, fresh_tiny_model):
+        model = fresh_tiny_model
+        _fused(model)
+        batch = _toy_batch(model, n=6)
+        frozen = model.frozen_activations(batch)
+        indices = np.array([4, 1, 3])
+        subset = [batch[i] for i in indices]
+        dense_loss, __, dense_grads = model.loss_and_gradients(
+            subset, train_base=False
+        )
+        rank_loss, __, rank_grads = model.rank_loss_and_gradients(
+            frozen.batch(indices)
+        )
+        assert rank_loss == pytest.approx(dense_loss, rel=1e-9)
+        for key in dense_grads:
+            np.testing.assert_allclose(
+                rank_grads[key], dense_grads[key], rtol=1e-9, atol=1e-12
+            )
+
+    def test_empty_dataset_rejected(self, fresh_tiny_model):
+        with pytest.raises(ValueError):
+            fresh_tiny_model.frozen_activations([])

@@ -88,6 +88,52 @@ class TestInstrumentation:
         assert PERF.counter("model.prompt_hits") == 2
         assert PERF.counter("model.candidate_hits") == 5
 
+    def test_frozen_backbone_fit_never_materialises_weights(self):
+        """A rank-space fit must record zero dense weight builds."""
+        import numpy as np
+
+        from repro.perf import PERF
+        from repro.tinylm.fusion import PatchFusion
+        from repro.tinylm.lora import LoRAPatch
+        from repro.tinylm.model import ModelConfig, ScoringLM
+        from repro.tinylm.trainer import TrainConfig, Trainer, TrainingExample
+
+        model = ScoringLM(
+            ModelConfig(name="perf-train", feature_dim=128, hidden_dim=8, seed=0)
+        )
+        shapes = model.config.target_shapes()
+        patches = []
+        for i in range(2):
+            patch = LoRAPatch(f"up{i}", shapes, rank=2, seed=i)
+            rng = np.random.default_rng(i)
+            for key in patch.A:
+                patch.A[key] = rng.normal(0.0, 0.02, patch.A[key].shape)
+            patches.append(patch)
+        model.attach(
+            PatchFusion(patches, LoRAPatch("new", shapes, rank=2, seed=9))
+        )
+        examples = [
+            TrainingExample(f"prompt number {i}", ("yes", "no"), target=i % 2)
+            for i in range(8)
+        ]
+        PERF.reset()
+        report = Trainer(
+            model, TrainConfig(epochs=2, seed=1), train_base=False
+        ).fit(examples)
+        assert report.rank_space
+        assert PERF.counter("train.rank_space_steps") == len(report.step_losses) > 0
+        assert PERF.counter("train.frozen_builds") == 1  # once per fit, not per step
+        assert PERF.counter("model.weight_materializations") == 0
+        # The dense opt-out does materialise, so the counter is live.
+        PERF.reset()
+        Trainer(
+            model,
+            TrainConfig(epochs=1, seed=1),
+            train_base=False,
+            rank_space=False,
+        ).fit(examples)
+        assert PERF.counter("model.weight_materializations") > 0
+
     def test_render_benchmark_format(self):
         result = {
             "workload": "em/abt_buy",

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.tinylm.fusion import PatchFusion
 from repro.tinylm.lora import LoRAPatch
 from repro.tinylm.model import ModelConfig, ScoringLM
 from repro.tinylm.trainer import TrainConfig, Trainer, TrainingExample
@@ -130,6 +131,197 @@ class TestFit:
             [model.predict(ex.prompt, ex.candidates) == ex.target for ex in examples]
         )
         assert accuracy > 0.85
+
+
+def _fused_model(train_lambdas=True, train_patches=True, n_patches=3, seed=5):
+    """Frozen-backbone model with a non-trivial fusion attached.
+
+    Upstream ``A`` factors are filled with small random values so the
+    fused delta (and hence the λ gradients) are non-zero from step one.
+    """
+    model = ScoringLM(
+        ModelConfig(name="trainer-test", feature_dim=256, hidden_dim=24, seed=seed)
+    )
+    shapes = model.config.target_shapes()
+    patches = []
+    for i in range(n_patches):
+        patch = LoRAPatch(f"up{i}", shapes, rank=2, seed=10 + i)
+        rng = np.random.default_rng(100 + i)
+        for key in patch.A:
+            patch.A[key] = rng.normal(0.0, 0.02, patch.A[key].shape)
+        patches.append(patch)
+    fusion = PatchFusion(
+        patches,
+        LoRAPatch("new", shapes, rank=2, seed=42),
+        initial_weight=0.3,
+        train_lambdas=train_lambdas,
+        train_patches=train_patches,
+    )
+    model.attach(fusion)
+    return model, fusion
+
+
+class TestRankSpaceParity:
+    """Rank-space engine must reproduce the dense path to rtol 1e-9."""
+
+    RTOL = 1e-9
+
+    def _fit(self, rank_space, train_lambdas, train_patches, epochs=2):
+        model, fusion = _fused_model(train_lambdas, train_patches)
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=epochs, seed=3),
+            train_base=False,
+            rank_space=rank_space,
+        )
+        report = trainer.fit(_separable_examples(n=24))
+        return model, fusion, report
+
+    @pytest.mark.parametrize("train_lambdas", [True, False])
+    @pytest.mark.parametrize("train_patches", [True, False])
+    def test_losses_lambdas_and_params_match(self, train_lambdas, train_patches):
+        __, dense_fusion, dense_report = self._fit(
+            False, train_lambdas, train_patches
+        )
+        __, rank_fusion, rank_report = self._fit(
+            True, train_lambdas, train_patches
+        )
+        assert not dense_report.rank_space
+        assert rank_report.rank_space
+        assert len(rank_report.step_losses) == len(dense_report.step_losses) > 0
+        np.testing.assert_allclose(
+            rank_report.step_losses,
+            dense_report.step_losses,
+            rtol=self.RTOL,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            rank_fusion.lambdas, dense_fusion.lambdas, rtol=self.RTOL, atol=1e-12
+        )
+        dense_params = dense_fusion.parameters()
+        rank_params = rank_fusion.parameters()
+        assert dense_params.keys() == rank_params.keys()
+        for key in dense_params:
+            np.testing.assert_allclose(
+                rank_params[key], dense_params[key], rtol=self.RTOL, atol=1e-12
+            )
+
+    def test_lambda_trajectory_matches(self):
+        """λ agrees with the dense path after every epoch, not just the end."""
+        trajectories = {}
+        for rank_space in (False, True):
+            model, fusion = _fused_model()
+            trainer = Trainer(
+                model,
+                TrainConfig(epochs=1, seed=3),
+                train_base=False,
+                rank_space=rank_space,
+            )
+            path = []
+            for __ in range(3):
+                trainer.fit(_separable_examples(n=24))
+                path.append(fusion.lambdas.copy())
+            trajectories[rank_space] = path
+        for rank_lam, dense_lam in zip(trajectories[True], trajectories[False]):
+            np.testing.assert_allclose(
+                rank_lam, dense_lam, rtol=self.RTOL, atol=1e-12
+            )
+
+    def test_single_patch_parity(self):
+        examples = _separable_examples(n=24)
+        results = {}
+        for rank_space in (False, True):
+            model = ScoringLM(
+                ModelConfig(
+                    name="trainer-test", feature_dim=256, hidden_dim=24, seed=5
+                )
+            )
+            patch = LoRAPatch("p", model.config.target_shapes(), rank=2, seed=1)
+            model.attach(patch)
+            report = Trainer(
+                model,
+                TrainConfig(epochs=2, seed=3),
+                train_base=False,
+                rank_space=rank_space,
+            ).fit(examples)
+            results[rank_space] = (patch.parameters(), report)
+        rank_params, rank_report = results[True]
+        dense_params, dense_report = results[False]
+        assert rank_report.rank_space and not dense_report.rank_space
+        np.testing.assert_allclose(
+            rank_report.step_losses,
+            dense_report.step_losses,
+            rtol=self.RTOL,
+            atol=1e-12,
+        )
+        for key in dense_params:
+            np.testing.assert_allclose(
+                rank_params[key], dense_params[key], rtol=self.RTOL, atol=1e-12
+            )
+
+    def test_adapter_swap_mid_fit(self):
+        """Swapping fusions between fits stays in parity with dense."""
+        examples = _separable_examples(n=24)
+        finals = {}
+        for rank_space in (False, True):
+            model, fusion_a = _fused_model(seed=5)
+            trainer = Trainer(
+                model,
+                TrainConfig(epochs=1, seed=3),
+                train_base=False,
+                rank_space=rank_space,
+            )
+            trainer.fit(examples)
+            model.detach()
+            fusion_b = PatchFusion(
+                fusion_a.patches,
+                LoRAPatch("new-b", model.config.target_shapes(), rank=2, seed=77),
+                initial_weight=0.2,
+            )
+            model.attach(fusion_b)
+            trainer.fit(examples)
+            finals[rank_space] = fusion_b.parameters()
+        assert finals[True].keys() == finals[False].keys()
+        for key in finals[False]:
+            np.testing.assert_allclose(
+                finals[True][key], finals[False][key], rtol=self.RTOL, atol=1e-12
+            )
+
+    def test_rank_space_requires_frozen_base(self, model):
+        with pytest.raises(ValueError):
+            Trainer(model, train_base=True, rank_space=True)
+
+    def test_auto_selection(self, model):
+        examples = _separable_examples(n=8)
+        # Base training never engages the rank engine.
+        base_report = Trainer(model, TrainConfig(epochs=1, seed=1)).fit(examples)
+        assert not base_report.rank_space
+        # Frozen backbone + adapter auto-selects it.
+        fused, __ = _fused_model()
+        report = Trainer(
+            fused, TrainConfig(epochs=1, seed=1), train_base=False
+        ).fit(examples)
+        assert report.rank_space
+        # Explicit opt-out is honoured.
+        fused2, __ = _fused_model()
+        report2 = Trainer(
+            fused2,
+            TrainConfig(epochs=1, seed=1),
+            train_base=False,
+            rank_space=False,
+        ).fit(examples)
+        assert not report2.rank_space
+
+    def test_exact_weights_env_forces_dense(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_WEIGHTS", "1")
+        fused, __ = _fused_model()
+        report = Trainer(
+            fused,
+            TrainConfig(epochs=1, seed=1),
+            train_base=False,
+            rank_space=True,
+        ).fit(_separable_examples(n=8))
+        assert not report.rank_space
 
 
 class TestEvaluateLoss:
