@@ -10,9 +10,9 @@ and test evaluation — twice against one artifact-store directory:
   persisted stage loading its bytes instead of recomputing.
 
 Results are written to ``BENCH_cache.json`` at the repo root and
-appended to ``benchmarks/results/perf_trajectory.jsonl`` so warm-start
-health is tracked across PRs alongside the inference and pipeline
-gates.
+appended to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol so warm-start health is tracked
+across PRs alongside the inference and pipeline gates.
 
 CI smoke target::
 
@@ -24,52 +24,37 @@ the arms — the store must change *when* work happens, never *what* is
 computed.
 """
 
-import json
-import os
 import pathlib
 
-from repro.perf import render_cache_benchmark, run_cache_benchmark
+from repro.perf import Gate, render_cache_benchmark, run_cache_benchmark
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-BENCH_JSON = REPO_ROOT / "BENCH_cache.json"
-TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
 
 MIN_WARM_SPEEDUP = 5.0
 
 
 def test_warm_start_speedup(record_result):
-    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
-    scale = 0.45 if preset == "quick" else 0.6
+    gate = Gate("cache", {}, min_speedup=MIN_WARM_SPEEDUP, root=REPO_ROOT)
+    scale = 0.45 if gate.preset == "quick" else 0.6
     result = run_cache_benchmark(seed=0, scale=scale)
-    result["preset"] = preset
-    result["min_speedup"] = MIN_WARM_SPEEDUP
-    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
-    TRAJECTORY.parent.mkdir(exist_ok=True)
-    with TRAJECTORY.open("a") as handle:
-        handle.write(
-            json.dumps(
-                {
-                    "bench": "cache",
-                    "preset": preset,
-                    "cold_seconds": result["cold"]["seconds"],
-                    "warm_seconds": result["warm"]["seconds"],
-                    "speedup": result["speedup"],
-                    "warm_hits": result["warm"]["store"]["hits"],
-                    "warm_misses": result["warm"]["store"]["misses"],
-                }
-            )
-            + "\n"
-        )
-    record_result("bench_perf_cache", render_cache_benchmark(result))
+    gate.result.update(result)
+    gate.write(
+        cold_seconds=result["cold"]["seconds"],
+        warm_seconds=result["warm"]["seconds"],
+        speedup=result["speedup"],
+        warm_hits=result["warm"]["store"]["hits"],
+        warm_misses=result["warm"]["store"]["misses"],
+    )
+    record_result("bench_perf_cache", render_cache_benchmark(gate.result))
 
-    assert result["results_identical"], (
+    gate.require(
+        result["results_identical"],
         "store-warm results diverged from the cold run — the store must "
-        "change when work happens, never what is computed"
+        "change when work happens, never what is computed",
     )
-    assert result["warm"]["store"]["hits"] > 0, (
-        "warm run recorded zero store hits — the store is not being used"
+    gate.require(
+        result["warm"]["store"]["hits"] > 0,
+        "warm run recorded zero store hits — the store is not being used",
     )
-    assert result["speedup"] >= MIN_WARM_SPEEDUP, (
-        f"warm re-run only {result['speedup']:.2f}x faster than cold "
-        f"(need >= {MIN_WARM_SPEEDUP}x); see {BENCH_JSON}"
-    )
+    gate.require_speedup()
+    gate.check()

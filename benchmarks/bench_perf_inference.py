@@ -5,7 +5,9 @@ surface (validation + test split of ``em/abt_buy``) through both paths
 of the same engine — ``predict`` called per example vs one
 ``predict_batch`` call — with warm featurization caches (the AKB steady
 state).  Results are written to ``BENCH_inference.json`` at the repo
-root so the throughput trajectory is tracked across PRs.
+root and appended to ``benchmarks/results/perf_trajectory.jsonl`` via
+the shared :class:`repro.perf.Gate` protocol so the throughput
+trajectory is tracked across PRs.
 
 CI smoke target::
 
@@ -15,33 +17,32 @@ The assertion fails if the batched path is less than 3× faster or if
 the two paths ever disagree on a prediction.
 """
 
-import json
-import os
 import pathlib
 
-from repro.perf import render_benchmark, run_inference_benchmark
+from repro.perf import Gate, render_benchmark, run_inference_benchmark
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-BENCH_JSON = REPO_ROOT / "BENCH_inference.json"
 
 MIN_SPEEDUP = 3.0
 
 
 def test_batched_inference_speedup(record_result):
-    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
-    count = 200 if preset == "quick" else 400
+    gate = Gate("inference", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    count = 200 if gate.preset == "quick" else 400
     result = run_inference_benchmark(
         dataset_id="em/abt_buy", count=count, seed=0, repeats=3
     )
-    result["preset"] = preset
-    result["min_speedup"] = MIN_SPEEDUP
-    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
-    record_result("bench_perf_inference", render_benchmark(result))
+    gate.result.update(result)
+    gate.write(
+        per_example_seconds=result["per_example"]["seconds"],
+        batched_seconds=result["batched"]["seconds"],
+        speedup=result["speedup"],
+    )
+    record_result("bench_perf_inference", render_benchmark(gate.result))
 
-    assert result["predictions_identical"], (
-        "batched and per-example predictions diverged"
+    gate.require(
+        result["predictions_identical"],
+        "batched and per-example predictions diverged",
     )
-    assert result["speedup"] >= MIN_SPEEDUP, (
-        f"batched inference only {result['speedup']:.2f}x faster than the "
-        f"per-example path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
-    )
+    gate.require_speedup()
+    gate.check()

@@ -11,9 +11,9 @@ runtimes of the same code:
   candidate-major mega-batch per shadow fold.
 
 Results are written to ``BENCH_pipeline.json`` at the repo root and
-appended to ``benchmarks/results/perf_trajectory.jsonl`` so the
-end-to-end trajectory is tracked across PRs alongside the inference
-gate's.
+appended to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol so the end-to-end trajectory is
+tracked across PRs alongside the inference gate's.
 
 CI smoke target::
 
@@ -24,47 +24,31 @@ or if any score, AKB round, selected knowledge or test prediction
 differs from the serial path.
 """
 
-import json
-import os
 import pathlib
 
-from repro.perf import render_pipeline_benchmark, run_pipeline_benchmark
+from repro.perf import Gate, render_pipeline_benchmark, run_pipeline_benchmark
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-BENCH_JSON = REPO_ROOT / "BENCH_pipeline.json"
-TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
 
 MIN_SPEEDUP = 2.0
 
 
 def test_pipeline_speedup(record_result):
-    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
-    scale = 0.45 if preset == "quick" else 0.6
+    gate = Gate("pipeline", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    scale = 0.45 if gate.preset == "quick" else 0.6
     result = run_pipeline_benchmark(seed=0, scale=scale)
-    result["preset"] = preset
-    result["min_speedup"] = MIN_SPEEDUP
-    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
-    TRAJECTORY.parent.mkdir(exist_ok=True)
-    with TRAJECTORY.open("a") as handle:
-        handle.write(
-            json.dumps(
-                {
-                    "bench": "pipeline",
-                    "preset": preset,
-                    "serial_seconds": result["serial"]["seconds"],
-                    "parallel_seconds": result["parallel"]["seconds"],
-                    "speedup": result["speedup"],
-                    "effective_jobs": result["effective_jobs"],
-                }
-            )
-            + "\n"
-        )
-    record_result("bench_perf_pipeline", render_pipeline_benchmark(result))
+    gate.result.update(result)
+    gate.write(
+        serial_seconds=result["serial"]["seconds"],
+        parallel_seconds=result["parallel"]["seconds"],
+        speedup=result["speedup"],
+        effective_jobs=result["effective_jobs"],
+    )
+    record_result("bench_perf_pipeline", render_pipeline_benchmark(gate.result))
 
-    assert result["results_identical"], (
-        "parallel+pooled results diverged from the serial path"
+    gate.require(
+        result["results_identical"],
+        "parallel+pooled results diverged from the serial path",
     )
-    assert result["speedup"] >= MIN_SPEEDUP, (
-        f"parallel+pooled pipeline only {result['speedup']:.2f}x faster than "
-        f"the serial path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
-    )
+    gate.require_speedup()
+    gate.check()

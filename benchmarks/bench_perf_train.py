@@ -11,9 +11,9 @@ hyperparameters — through both training engines of the same code:
   space (``ScoringLM.rank_loss_and_gradients``).
 
 Results are written to ``BENCH_train.json`` at the repo root and
-appended to ``benchmarks/results/perf_trajectory.jsonl`` so the
-training-path trajectory is tracked across PRs alongside the inference,
-pipeline and cache gates'.
+appended to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol so the training-path trajectory is
+tracked across PRs alongside the inference, pipeline and cache gates'.
 
 CI smoke target::
 
@@ -26,70 +26,60 @@ materialised even one dense effective weight, or if the
 ``REPRO_EXACT_WEIGHTS=1`` oracle is not deterministic.
 """
 
-import json
-import os
 import pathlib
 
-from repro.perf import render_train_benchmark, run_train_benchmark
+from repro.perf import Gate, render_train_benchmark, run_train_benchmark
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-BENCH_JSON = REPO_ROOT / "BENCH_train.json"
-TRAJECTORY = pathlib.Path(__file__).parent / "results" / "perf_trajectory.jsonl"
 
 MIN_SPEEDUP = 3.0
 LOSS_RTOL = 1e-9
 
 
 def test_rank_space_training_speedup(record_result):
-    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
-    count = 160 if preset == "quick" else 400
+    gate = Gate("train", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    count = 160 if gate.preset == "quick" else 400
     result = run_train_benchmark(seed=0, count=count)
-    result["preset"] = preset
-    result["min_speedup"] = MIN_SPEEDUP
-    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
-    TRAJECTORY.parent.mkdir(exist_ok=True)
-    with TRAJECTORY.open("a") as handle:
-        handle.write(
-            json.dumps(
-                {
-                    "bench": "train",
-                    "preset": preset,
-                    "dense_seconds": result["dense"]["seconds"],
-                    "rank_seconds": result["rank"]["seconds"],
-                    "speedup": result["speedup"],
-                    "steps": result["steps"],
-                    "patches": result["patches"],
-                }
-            )
-            + "\n"
-        )
-    record_result("bench_perf_train", render_train_benchmark(result))
+    gate.result.update(result)
+    gate.write(
+        dense_seconds=result["dense"]["seconds"],
+        rank_seconds=result["rank"]["seconds"],
+        speedup=result["speedup"],
+        steps=result["steps"],
+        patches=result["patches"],
+    )
+    record_result("bench_perf_train", render_train_benchmark(gate.result))
 
-    assert result["rank"]["engaged"], (
+    gate.require(
+        result["rank"]["engaged"],
         "trainer did not auto-select the rank-space engine for a "
-        "frozen-backbone fusion fit"
+        "frozen-backbone fusion fit",
     )
-    assert result["weight_materializations"] == 0, (
+    gate.require(
+        result["weight_materializations"] == 0,
         f"rank-space fit materialised "
-        f"{result['weight_materializations']} dense effective weights"
+        f"{result['weight_materializations']} dense effective weights",
     )
-    assert result["rank_space_steps"] == result["steps"] * result["repeats"], (
-        "not every optimisation step of the rank arm ran in rank space"
+    gate.require(
+        result["rank_space_steps"] == result["steps"] * result["repeats"],
+        "not every optimisation step of the rank arm ran in rank space",
     )
-    assert result["max_step_loss_rel_err"] <= LOSS_RTOL, (
+    gate.require(
+        result["max_step_loss_rel_err"] <= LOSS_RTOL,
         f"per-step losses drifted: max rel err "
-        f"{result['max_step_loss_rel_err']:.3e} > {LOSS_RTOL}"
+        f"{result['max_step_loss_rel_err']:.3e} > {LOSS_RTOL}",
     )
-    assert result["metrics_identical"], (
-        f"downstream task metric diverged: {result['metrics']}"
+    gate.require(
+        result["metrics_identical"],
+        f"downstream task metric diverged: {result['metrics']}",
     )
-    assert result["predictions_identical"], (
-        "argmax test predictions diverged between dense and rank-space fits"
+    gate.require(
+        result["predictions_identical"],
+        "argmax test predictions diverged between dense and rank-space fits",
     )
-    assert result["exact_oracle"]["deterministic"], (
-        "REPRO_EXACT_WEIGHTS=1 oracle produced different results across runs"
+    gate.require(
+        result["exact_oracle"]["deterministic"],
+        "REPRO_EXACT_WEIGHTS=1 oracle produced different results across runs",
     )
-    assert result["speedup"] >= MIN_SPEEDUP, (
-        f"rank-space fit only {result['speedup']:.2f}x faster than the "
-        f"dense path (need >= {MIN_SPEEDUP}x); see {BENCH_JSON}"
-    )
+    gate.require_speedup()
+    gate.check()

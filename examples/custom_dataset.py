@@ -14,6 +14,7 @@ import tempfile
 from repro import KnowTrans, KnowTransConfig, get_bundle
 from repro.data import io
 from repro.data.splits import split_dataset
+from repro.eval.harness import evaluate_method
 
 
 def build_feed():
@@ -56,7 +57,7 @@ def main() -> None:
     splits = split_dataset(dataset, few_shot=20, seed=1)
     bundle = get_bundle("mistral-7b", seed=0, scale=0.6)
     adapted = KnowTrans(bundle, config=KnowTransConfig.fast()).fit(splits)
-    print(f"test F1 on the custom feed: {adapted.evaluate(splits.test.examples):.1f}")
+    print(f"test F1 on the custom feed: {evaluate_method(adapted, splits.test.examples, splits.task):.1f}")
     print("searched knowledge:")
     for rule in adapted.knowledge.rules:
         print(f"  - {rule.render()}")

@@ -10,6 +10,7 @@ Run:  python examples/entity_matching_pipeline.py
 """
 
 from repro import KnowTrans, KnowTransConfig, get_bundle, load_splits
+from repro.eval.harness import evaluate_method
 from repro.knowledge.apply import pair_markers
 from repro.tasks.base import get_task
 
@@ -25,8 +26,8 @@ def main() -> None:
     ).fit(splits)
 
     print("Walmart-Amazon entity matching (20 labeled examples)")
-    print(f"  plain few-shot F1 : {plain.evaluate(splits.test.examples):5.1f}")
-    print(f"  KnowTrans F1      : {adapted.evaluate(splits.test.examples):5.1f}")
+    print(f"  plain few-shot F1 : {evaluate_method(plain, splits.test.examples, 'em'):5.1f}")
+    print(f"  KnowTrans F1      : {evaluate_method(adapted, splits.test.examples, 'em'):5.1f}")
     print()
     print("searched knowledge:")
     for rule in adapted.knowledge.rules:

@@ -10,6 +10,7 @@ Run:  python examples/error_detection_cleaning.py
 """
 
 from repro import KnowTrans, KnowTransConfig, get_bundle, load_splits
+from repro.eval.harness import evaluate_method
 
 
 def main() -> None:
@@ -21,10 +22,10 @@ def main() -> None:
 
     print("adapting the error detector (ED) ...")
     detector = KnowTrans(bundle, config=config).fit(detection_splits)
-    print(f"  test F1: {detector.evaluate(detection_splits.test.examples):5.1f}")
+    print(f"  test F1: {evaluate_method(detector, detection_splits.test.examples, 'ed'):5.1f}")
     print("adapting the cleaner (DC) ...")
     cleaner = KnowTrans(bundle, config=config).fit(cleaning_splits)
-    print(f"  test repair-F1: {cleaner.evaluate(cleaning_splits.test.examples):5.1f}")
+    print(f"  test repair-F1: {evaluate_method(cleaner, cleaning_splits.test.examples, 'dc'):5.1f}")
 
     print()
     print("knowledge searched for detection:")

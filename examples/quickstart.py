@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import KnowTrans, KnowTransConfig, get_bundle, load_splits
+from repro.eval.harness import evaluate_method
 
 def main() -> None:
     print("1. building the upstream DP-LLM (pretraining + multi-task SFT)...")
@@ -28,11 +29,11 @@ def main() -> None:
     print("4. adapting with KnowTrans (SKC + AKB)...")
     config = KnowTransConfig.fast()
     adapted = KnowTrans(bundle, config=config).fit(splits)
-    knowtrans_score = adapted.evaluate(splits.test.examples)
+    knowtrans_score = evaluate_method(adapted, splits.test.examples, splits.task)
 
     print("5. baseline: plain few-shot LoRA fine-tuning of the backbone...")
     plain = KnowTrans(bundle, config=config, use_skc=False, use_akb=False).fit(splits)
-    plain_score = plain.evaluate(splits.test.examples)
+    plain_score = evaluate_method(plain, splits.test.examples, splits.task)
 
     print()
     print(f"   Jellyfish few-shot F1 : {plain_score:5.1f}")

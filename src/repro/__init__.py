@@ -9,11 +9,12 @@ driven search for dataset-informed prompt knowledge).
 Quickstart::
 
     from repro import get_bundle, KnowTrans, load_splits
+    from repro.eval.harness import evaluate_method
 
     bundle = get_bundle("mistral-7b")          # upstream DP-LLM + patches
     splits = load_splits("em/abt_buy")         # a novel downstream dataset
     adapted = KnowTrans(bundle).fit(splits)    # SKC + AKB adaptation
-    print(adapted.evaluate(splits.test.examples))
+    print(evaluate_method(adapted, splits.test.examples, adapted.task.name))
 """
 
 from .baselines.jellyfish import UpstreamBundle, get_bundle

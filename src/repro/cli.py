@@ -18,12 +18,22 @@ Commands
 ``cache``
     Inspect or maintain the persistent artifact store
     (``stats`` / ``clear`` / ``gc``).
+``trace``
+    Render a trace JSONL file: span tree, top-N hotspots and metric
+    rollups.
+
+Output goes through :class:`repro.reporting.Console`: every command
+accepts ``--quiet`` (suppress progress chatter, keep results) and
+``--json`` (emit one machine-readable JSON document instead of text).
 
 ``adapt``, ``experiment`` and ``perf`` accept ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) to persist deterministic
 artifacts — pretrained weights, SFT weights, SKC patches, fine-tune
 states, AKB evaluation records — across invocations, and ``--no-cache``
-to bypass the store entirely (reads *and* writes).
+to bypass the store entirely (reads *and* writes).  They also accept
+``--trace PATH`` (or ``REPRO_TRACE``) to record a structured span/metric
+trace of the run (see :mod:`repro.obs` and ``docs/observability.md``);
+render it afterwards with ``python -m repro trace PATH``.
 """
 
 from __future__ import annotations
@@ -35,13 +45,15 @@ from typing import List, Optional
 import numpy as np
 
 from . import __version__
+from . import obs
 from . import store as artifact_store
 from .baselines.jellyfish import get_bundle
 from .core.config import KnowTransConfig
 from .core.knowtrans import KnowTrans
 from .data import generators
 from .eval import experiments
-from .eval.harness import load_splits
+from .eval.harness import evaluate_method, load_splits
+from .reporting import Console
 from .tinylm.registry import TIERS
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +71,25 @@ _EXPERIMENTS = {
     "fig6": experiments.fig6_backbones_on_tasks,
     "fig7": experiments.fig7_refinement_rounds,
 }
+
+
+def _add_output_args(
+    command: argparse.ArgumentParser, trace: bool = False
+) -> None:
+    command.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress chatter; print results only",
+    )
+    command.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
+    if trace:
+        command.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a structured span/metric trace (JSONL) of the run "
+            "(default: REPRO_TRACE env, else tracing off)",
+        )
 
 
 def _add_cache_args(command: argparse.ArgumentParser) -> None:
@@ -81,7 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list datasets, tiers and experiments")
+    listing = commands.add_parser(
+        "list", help="list datasets, tiers and experiments"
+    )
+    _add_output_args(listing)
 
     adapt = commands.add_parser("adapt", help="adapt a DP-LLM to one dataset")
     adapt.add_argument("dataset", help="dataset id, e.g. ed/beer")
@@ -95,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS env, then 1)",
     )
+    _add_output_args(adapt, trace=True)
     _add_cache_args(adapt)
 
     experiment = commands.add_parser(
@@ -109,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-dataset rows "
         "(default: REPRO_JOBS env, then 1)",
     )
+    _add_output_args(experiment, trace=True)
     _add_cache_args(experiment)
 
     conflict = commands.add_parser(
@@ -117,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     conflict.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
     conflict.add_argument("--scale", type=float, default=0.4)
     conflict.add_argument("--seed", type=int, default=0)
+    _add_output_args(conflict)
 
     perf = commands.add_parser(
         "perf",
@@ -155,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast CI sanity pass: tiny workload, single repeat, "
         "fails on any prediction mismatch",
     )
+    _add_output_args(perf, trace=True)
     _add_cache_args(perf)
 
     cache = commands.add_parser(
@@ -169,24 +207,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="gc only: evict oldest entries until the store fits",
     )
+    _add_output_args(cache)
+
+    trace = commands.add_parser(
+        "trace", help="render a trace JSONL file (tree, hotspots, metrics)"
+    )
+    trace.add_argument("path", help="trace file written by --trace/REPRO_TRACE")
+    trace.add_argument(
+        "--top", type=int, default=10, help="hotspots to show (self time)"
+    )
+    trace.add_argument(
+        "--min-spans", type=int, default=0,
+        help="fail (exit 1) when the trace has fewer spans (CI smoke)",
+    )
+    _add_output_args(trace)
     return parser
 
 
-def _cmd_list() -> int:
-    print("downstream datasets:")
-    for dataset_id in generators.downstream_ids():
-        print(f"  {dataset_id}")
-    print("model tiers:")
-    for tier in sorted(TIERS):
-        print(f"  {tier}")
-    print("experiments:")
-    for name in sorted(_EXPERIMENTS):
-        print(f"  {name}")
+def _cmd_list(args: argparse.Namespace, console: Console) -> int:
+    datasets = list(generators.downstream_ids())
+    tiers = sorted(TIERS)
+    names = sorted(_EXPERIMENTS)
+    console.result("downstream datasets:")
+    for dataset_id in datasets:
+        console.result(f"  {dataset_id}")
+    console.result("model tiers:")
+    for tier in tiers:
+        console.result(f"  {tier}")
+    console.result("experiments:")
+    for name in names:
+        console.result(f"  {name}")
+    console.update({"datasets": datasets, "tiers": tiers, "experiments": names})
     return 0
 
 
-def _cmd_adapt(args: argparse.Namespace) -> int:
-    print(f"building upstream bundle ({args.tier}) ...")
+def _cmd_adapt(args: argparse.Namespace, console: Console) -> int:
+    console.info(f"building upstream bundle ({args.tier}) ...")
     bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
     splits = load_splits(args.dataset, count=args.count, seed=args.seed)
     adapter = KnowTrans(
@@ -196,23 +252,35 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         use_akb=not args.no_akb,
         jobs=args.jobs,
     )
-    print(f"adapting to {args.dataset} ...")
+    console.info(f"adapting to {args.dataset} ...")
     adapted = adapter.fit(splits)
-    score = adapted.evaluate(splits.test.examples)
-    print(f"test score: {score:.2f}")
+    score = evaluate_method(adapted, splits.test.examples, adapted.task.name)
+    console.result(f"test score: {score:.2f}")
+    console.update(
+        {
+            "dataset": args.dataset,
+            "tier": args.tier,
+            "seed": args.seed,
+            "task": adapted.task.name,
+            "score": score,
+        }
+    )
     if adapted.knowledge:
-        print("searched knowledge:")
-        for rule in adapted.knowledge.rules:
-            print(f"  - {rule.render()}")
+        rules = [rule.render() for rule in adapted.knowledge.rules]
+        console.result("searched knowledge:")
+        for rendered in rules:
+            console.result(f"  - {rendered}")
+        console.set("knowledge", rules)
     if adapted.fusion_weights:
         top = sorted(adapted.fusion_weights.items(), key=lambda kv: -kv[1])[:5]
-        print("top patch weights:")
+        console.result("top patch weights:")
         for name, weight in top:
-            print(f"  {name}: {weight:.3f}")
+            console.result(f"  {name}: {weight:.3f}")
+        console.set("fusion_weights", dict(adapted.fusion_weights))
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, console: Console) -> int:
     ctx = (
         experiments.ExperimentContext.paper()
         if args.preset == "paper"
@@ -220,32 +288,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
     ctx.jobs = args.jobs
     result = _EXPERIMENTS[args.name](ctx)
-    print(result["text"])
+    console.result(result["text"])
+    console.set("name", args.name)
+    console.set("preset", args.preset)
+    console.set(
+        "result", {key: value for key, value in result.items() if key != "text"}
+    )
     return 0
 
 
-def _cmd_conflict(args: argparse.Namespace) -> int:
+def _cmd_conflict(args: argparse.Namespace, console: Console) -> int:
     from .eval.diagnostics import summarize_conflict
 
     bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
     report = summarize_conflict(bundle.base_model, bundle.upstream_datasets)
     matrix = report["matrix"]
     names = report["names"]
-    print("pairwise gradient cosine (upstream datasets at shared weights):")
+    console.result(
+        "pairwise gradient cosine (upstream datasets at shared weights):"
+    )
     width = max(len(n) for n in names)
     for i, name in enumerate(names):
         row = " ".join(f"{matrix[i, j]:+.2f}" for j in range(len(names)))
-        print(f"  {name.ljust(width)} {row}")
-    print(f"conflict rate (obtuse pairs): {report['conflict_rate']:.2%}")
-    print(f"mean off-diagonal cosine:     {report['mean_cosine']:+.3f}")
-    print(
+        console.result(f"  {name.ljust(width)} {row}")
+    console.result(
+        f"conflict rate (obtuse pairs): {report['conflict_rate']:.2%}"
+    )
+    console.result(
+        f"mean off-diagonal cosine:     {report['mean_cosine']:+.3f}"
+    )
+    console.result(
         f"worst tug-of-war pair:        {report['worst_pair'][0]} vs "
         f"{report['worst_pair'][1]} ({report['worst_cosine']:+.3f})"
+    )
+    console.update(
+        {
+            "names": names,
+            "matrix": matrix,
+            "conflict_rate": report["conflict_rate"],
+            "mean_cosine": report["mean_cosine"],
+            "worst_pair": report["worst_pair"],
+            "worst_cosine": report["worst_cosine"],
+        }
     )
     return 0
 
 
-def _cmd_perf(args: argparse.Namespace) -> int:
+def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
     from .perf import PERF, render_benchmark, run_inference_benchmark
 
     if args.smoke:
@@ -255,18 +344,24 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeats=1,
         )
-        print(render_benchmark(result))
+        console.result(render_benchmark(result))
+        console.set("benchmark", result)
         if not result["predictions_identical"]:
-            print("smoke FAILED: batched and per-example predictions differ")
+            console.error(
+                "smoke FAILED: batched and per-example predictions differ"
+            )
+            console.set("ok", False)
             return 1
-        print("smoke OK")
+        console.result("smoke OK")
+        console.set("ok", True)
         return 0
 
     if args.train:
         from .perf import render_train_benchmark, run_train_benchmark
 
         result = run_train_benchmark(seed=args.seed)
-        print(render_train_benchmark(result))
+        console.result(render_train_benchmark(result))
+        console.set("benchmark", result)
         failures = [
             label
             for label, ok in (
@@ -286,26 +381,28 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             if not ok
         ]
         if failures:
-            print("train benchmark FAILED: " + "; ".join(failures))
+            console.error("train benchmark FAILED: " + "; ".join(failures))
+            console.set("ok", False)
             return 1
-        print("train benchmark OK")
+        console.result("train benchmark OK")
+        console.set("ok", True)
         return 0
 
     if args.cache:
         from .perf import render_cache_benchmark, run_cache_benchmark
 
-        result = run_cache_benchmark(
-            seed=args.seed, cache_dir=args.cache_dir
-        )
-        print(render_cache_benchmark(result))
+        result = run_cache_benchmark(seed=args.seed, cache_dir=args.cache_dir)
+        console.result(render_cache_benchmark(result))
+        console.set("benchmark", result)
         return 0
 
     if args.pipeline:
         from .perf import render_pipeline_benchmark, run_pipeline_benchmark
 
         result = run_pipeline_benchmark(seed=args.seed, jobs=args.jobs)
-        print(render_pipeline_benchmark(result))
-        print(PERF.report())
+        console.result(render_pipeline_benchmark(result))
+        console.info(PERF.report())
+        console.set("benchmark", result)
         return 0
 
     result = run_inference_benchmark(
@@ -314,45 +411,77 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         seed=args.seed,
         repeats=args.repeats,
     )
-    print(render_benchmark(result))
-    print(PERF.report())
+    console.result(render_benchmark(result))
+    console.info(PERF.report())
+    console.set("benchmark", result)
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
     import os
 
     cache_dir = args.cache_dir or os.environ.get(
         "REPRO_CACHE_DIR", ""
     ).strip()
     if not cache_dir:
-        print(
-            "no store directory: pass --cache-dir or set REPRO_CACHE_DIR",
-            file=sys.stderr,
+        console.error(
+            "no store directory: pass --cache-dir or set REPRO_CACHE_DIR"
         )
         return 2
     store = artifact_store.ArtifactStore(cache_dir)
+    console.set("root", str(store.root))
+    console.set("action", args.action)
     if args.action == "stats":
-        print(store.render_stats())
+        console.result(store.render_stats())
+        console.set("disk", store.disk_stats())
     elif args.action == "clear":
         removed = store.clear()
-        print(
+        console.result(
             f"cleared {removed['entries']} entries "
             f"({removed['bytes'] / 1e6:.2f} MB) from {store.root}"
         )
+        console.set("removed", removed)
     else:  # gc
         report = store.gc(max_bytes=args.max_bytes)
-        print(
+        console.result(
             f"gc {store.root}: removed {report['tmp_removed']} tmp files, "
             f"{report['corrupt_removed']} corrupt entries, evicted "
             f"{report['evicted']} entries"
         )
+        console.set("report", report)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace, console: Console) -> int:
+    rows = obs.read_trace(args.path)
+    summary = obs.rollup(rows)
+    console.result(obs.render_trace(summary, top=args.top))
+    console.set("path", args.path)
+    console.set("rollup", summary)
+    if summary["spans"] < args.min_spans:
+        console.error(
+            f"trace has {summary['spans']} spans, "
+            f"fewer than --min-spans {args.min_spans}"
+        )
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "adapt": _cmd_adapt,
+    "experiment": _cmd_experiment,
+    "conflict": _cmd_conflict,
+    "perf": _cmd_perf,
+    "cache": _cmd_cache,
+    "trace": _cmd_trace,
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    console = Console.from_args(args)
     np.set_printoptions(precision=3, suppress=True)
     # Explicit cache flags override the environment; without them the
     # store resolves lazily from REPRO_CACHE_DIR / REPRO_NO_CACHE.
@@ -360,26 +489,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         artifact_store.configure(no_cache=True)
     elif getattr(args, "cache_dir", None) and args.command != "cache":
         artifact_store.configure(cache_dir=args.cache_dir)
+    if hasattr(args, "trace"):
+        trace_path = obs.resolve_trace_path(args.trace)
+        if trace_path:
+            obs.configure(trace_path)
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "adapt":
-            return _cmd_adapt(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "conflict":
-            return _cmd_conflict(args)
-        if args.command == "perf":
-            return _cmd_perf(args)
-        if args.command == "cache":
-            return _cmd_cache(args)
-        raise AssertionError("unreachable")  # pragma: no cover
+        handler = _COMMANDS[args.command]
+        with obs.span(f"cli.{args.command}"):
+            return handler(args, console)
     finally:
         # One stats line per CLI invocation, covering worker traffic too
         # (store.* counters merge home with the pool's perf snapshots).
         store = artifact_store.active()
         if store is not None:
             store.log_session()
+        written = obs.finish()
+        if written is not None:
+            console.set("trace", str(written))
+            console.info(f"trace written to {written}")
+        console.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -188,13 +188,13 @@ def task_metric(
     task: Task, golds: Sequence[str], preds: Sequence[str],
     examples: Sequence[Example],
 ) -> float:
-    """The task's paper metric over aligned gold/pred lists."""
-    originals = None
-    if task.name == "dc":
-        originals = [
-            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
-        ]
-    return metrics.score(task.name, golds, preds, originals)
+    """The task's paper metric over aligned gold/pred lists.
+
+    A thin delegate to :func:`repro.tasks.metrics.score_predictions` —
+    the single scoring call path shared with ``Task.evaluate`` and
+    ``harness.evaluate_method``.
+    """
+    return metrics.score_predictions(task.name, golds, preds, examples)
 
 
 def score_knowledge(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ... import obs
 from ... import store as artifact_store
 from ...data.schema import Dataset, Example
 from ...knowledge.rules import Knowledge
@@ -179,6 +180,10 @@ def search_knowledge(
             for c in candidates
             if c not in scores and not (c in seen or seen.add(c))
         ]
+        # "Pruned" = already scored this search (memo hit) or duplicate
+        # within the round — candidates that cost nothing to re-rank.
+        obs.counter("akb.candidates_pruned", len(candidates) - len(fresh))
+        obs.counter("akb.candidates_scored", len(fresh))
         if not fresh:
             return
         if pool_scoring and score_pool_fn is not None and len(fresh) > 1:
@@ -195,47 +200,57 @@ def search_knowledge(
 
     result = AKBResult(knowledge=seed, best_score=float("-inf"))
     stale_rounds = 0
-    for iteration in range(config.iterations):
+    with obs.span(
+        "akb.search", dataset=dataset.name, task=dataset.task
+    ):
+        for iteration in range(config.iterations):
+            with obs.span("akb.round", iteration=iteration):
+                ensure_scored_many(pool)
+                best = max(pool, key=lambda candidate: scores[candidate])
+                best_score = scores[best]
+                errors = errors_by_candidate[best]
+                result.rounds.append(
+                    AKBRound(
+                        iteration=iteration,
+                        best_score=best_score,
+                        pool_size=len(pool),
+                        error_count=len(errors),
+                    )
+                )
+                obs.gauge("akb.best_score", best_score)
+                obs.gauge("akb.pool_size", len(pool))
+                if best_score > result.best_score + config.min_improvement:
+                    result.knowledge = best
+                    result.best_score = best_score
+                    stale_rounds = 0
+                else:
+                    stale_rounds += 1
+                result.trajectory.append(best)
+                if not errors:
+                    break  # perfect on validation — nothing to refine
+                if stale_rounds > config.patience:
+                    break
+                for refinement_round in range(
+                    config.refinements_per_iteration
+                ):
+                    feedback = make_feedback(
+                        mockgpt,
+                        dataset.task,
+                        best,
+                        errors,
+                        config,
+                        round_index=iteration * 100 + refinement_round,
+                    )
+                    refined = refine_knowledge(
+                        mockgpt, dataset.task, best, errors, feedback,
+                        result.trajectory,
+                    )
+                    obs.counter("akb.refinements")
+                    if refined not in pool:
+                        pool.append(refined)
+        # Final selection over everything ever scored (Alg. 2 line 15).
         ensure_scored_many(pool)
-        best = max(pool, key=lambda candidate: scores[candidate])
-        best_score = scores[best]
-        errors = errors_by_candidate[best]
-        result.rounds.append(
-            AKBRound(
-                iteration=iteration,
-                best_score=best_score,
-                pool_size=len(pool),
-                error_count=len(errors),
-            )
-        )
-        if best_score > result.best_score + config.min_improvement:
-            result.knowledge = best
-            result.best_score = best_score
-            stale_rounds = 0
-        else:
-            stale_rounds += 1
-        result.trajectory.append(best)
-        if not errors:
-            break  # perfect on validation — nothing left to refine
-        if stale_rounds > config.patience:
-            break
-        for refinement_round in range(config.refinements_per_iteration):
-            feedback = make_feedback(
-                mockgpt,
-                dataset.task,
-                best,
-                errors,
-                config,
-                round_index=iteration * 100 + refinement_round,
-            )
-            refined = refine_knowledge(
-                mockgpt, dataset.task, best, errors, feedback, result.trajectory
-            )
-            if refined not in pool:
-                pool.append(refined)
-    # Final selection over everything ever scored (Alg. 2 line 15).
-    ensure_scored_many(pool)
-    final = max(pool, key=lambda candidate: scores[candidate])
+        final = max(pool, key=lambda candidate: scores[candidate])
     result.knowledge = final
     result.best_score = scores[final]
     return result

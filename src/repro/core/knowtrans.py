@@ -10,11 +10,13 @@ inference on the novel dataset.  Ablation switches (``use_skc`` /
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from .. import store as artifact_store
 from ..data.schema import Dataset, Example
 from ..data.splits import DatasetSplits
@@ -63,9 +65,22 @@ class AdaptedModel:
         )
 
     def evaluate(self, examples: Sequence[Example]) -> float:
-        return self.task.evaluate(
-            self.model, examples, self.knowledge, self.dataset
+        """Deprecated shim — score through the harness entry point.
+
+        .. deprecated:: 1.1
+            Use :func:`repro.eval.harness.evaluate_method` — the single
+            scoring call path shared by the harness, the experiments and
+            the CLI.
+        """
+        warnings.warn(
+            "AdaptedModel.evaluate is deprecated; use "
+            "repro.eval.harness.evaluate_method(model, examples, task)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from ..eval.harness import evaluate_method
+
+        return evaluate_method(self, examples, self.task.name)
 
 
 def _warm_eval_featurizations(model, task, examples, knowledge, dataset):
@@ -177,15 +192,28 @@ def _fused_finetune(
     )
     if store_key is not None:
         cached = store.get("finetune", store_key)
-        if cached is not None and _load_fusion_state(fusion, cached):
-            # The fusion was mutated in place after attach; drop any
-            # effective weights memoized against the pristine init.
-            model.bump_adapter_version()
-            return model, fusion
+        if cached is not None:
+            if _load_fusion_state(fusion, cached):
+                # The fusion was mutated in place after attach; drop any
+                # effective weights memoized against the pristine init.
+                model.bump_adapter_version()
+                _report_lambdas(fusion)
+                return model, fusion
+            # structurally unexpected entry — re-fine-tune and rewrite
+            obs.counter("store.repair", kind="finetune")
     few_shot_finetune(model, train_dataset, skc_config, knowledge)
     if store_key is not None:
         store.put("finetune", store_key, _fusion_state(fusion))
+    _report_lambdas(fusion)
     return model, fusion
+
+
+def _report_lambdas(fusion) -> None:
+    """Gauge the fused λ trajectory (one sample per patch per fit)."""
+    if not obs.enabled():
+        return
+    for patch_name, weight in fusion.weight_report().items():
+        obs.gauge("skc.lambda", float(weight), patch=patch_name)
 
 
 def _shadow_task(args):
@@ -426,6 +454,17 @@ class KnowTrans:
 
     def fit(self, splits: DatasetSplits) -> AdaptedModel:
         """Adapt the upstream DP-LLM to one novel dataset (Alg. 1 + 2)."""
+        few_shot = splits.few_shot
+        with obs.span(
+            "knowtrans.fit",
+            dataset=few_shot.name,
+            task=few_shot.task,
+            strategy=self.strategy,
+            use_akb=self.use_akb,
+        ):
+            return self._fit(splits)
+
+    def _fit(self, splits: DatasetSplits) -> AdaptedModel:
         few_shot = splits.few_shot
         task = get_task(few_shot.task)
         base_knowledge = seed_knowledge(few_shot.task)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ... import obs
 from ...data.schema import Dataset
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import seed_knowledge
@@ -37,15 +38,21 @@ def few_shot_finetune(
         raise ValueError("attach a fusion adapter before few-shot fine-tuning")
     if knowledge is None:
         knowledge = seed_knowledge(few_shot.task)
-    task = get_task(few_shot.task)
-    examples = [
-        task.training_example(example, knowledge, few_shot)
-        for example in few_shot.examples
-    ]
-    trainer = Trainer(
-        model,
-        config.finetune_train_config(),
-        train_base=False,
-        rank_space=rank_space,
-    )
-    return trainer.fit(examples)
+    with obs.span(
+        "skc.finetune",
+        dataset=few_shot.name,
+        task=few_shot.task,
+        examples=len(few_shot.examples),
+    ):
+        task = get_task(few_shot.task)
+        examples = [
+            task.training_example(example, knowledge, few_shot)
+            for example in few_shot.examples
+        ]
+        trainer = Trainer(
+            model,
+            config.finetune_train_config(),
+            train_base=False,
+            rank_space=rank_space,
+        )
+        return trainer.fit(examples)

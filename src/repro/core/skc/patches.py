@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ... import obs
 from ... import store as artifact_store
 from ...data.schema import Dataset
 from ...knowledge.rules import Knowledge
@@ -82,33 +83,42 @@ def extract_patch(
     """
     if knowledge is None:
         knowledge = ORACLES.get("up/" + dataset.name, Knowledge.empty())
-    patch = LoRAPatch(
-        name=f"{dataset.task}-{dataset.name}",
-        target_shapes=base_model.config.target_shapes(),
-        rank=config.lora_rank,
-        alpha=config.lora_alpha,
-        seed=config.seed,
-    )
-    store = artifact_store.active()
-    store_key = None
-    if store is not None:
-        store_key = patch_store_key(base_model, dataset, config, knowledge)
-        cached = store.get("patch", store_key)
-        if cached is not None:
-            try:
-                patch.load_state_dict(cached)
-                return patch
-            except Exception:
-                pass  # structurally unexpected entry — retrain and rewrite
-    # Work on a clone so the caller's base model never carries state.
-    worker = base_model.clone()
-    worker.attach(patch)
-    trainer = Trainer(worker, config.patch_train_config(), train_base=False)
-    trainer.fit(dataset_training_examples(dataset, knowledge))
-    worker.detach()
-    if store_key is not None:
-        store.put("patch", store_key, patch.state_dict())
-    return patch
+    with obs.span(
+        "skc.extract_patch", dataset=dataset.name, task=dataset.task
+    ):
+        patch = LoRAPatch(
+            name=f"{dataset.task}-{dataset.name}",
+            target_shapes=base_model.config.target_shapes(),
+            rank=config.lora_rank,
+            alpha=config.lora_alpha,
+            seed=config.seed,
+        )
+        store = artifact_store.active()
+        store_key = None
+        if store is not None:
+            store_key = patch_store_key(
+                base_model, dataset, config, knowledge
+            )
+            cached = store.get("patch", store_key)
+            if cached is not None:
+                try:
+                    patch.load_state_dict(cached)
+                    return patch
+                except Exception:
+                    # structurally unexpected entry — retrain and rewrite
+                    obs.counter("store.repair", kind="patch")
+        # Work on a clone so the caller's base model never carries state.
+        worker = base_model.clone()
+        worker.attach(patch)
+        trainer = Trainer(
+            worker, config.patch_train_config(), train_base=False
+        )
+        trainer.fit(dataset_training_examples(dataset, knowledge))
+        worker.detach()
+        if store_key is not None:
+            store.put("patch", store_key, patch.state_dict())
+        obs.counter("skc.patches_trained")
+        return patch
 
 
 def _patch_task(args) -> LoRAPatch:

@@ -204,16 +204,18 @@ def _table2_row(args) -> Dict:
     few = splits.few_shot
     scores = {"dataset": dataset_id}
     scores["non_llm"] = fit_non_llm(task, few.examples).evaluate(test)
-    scores["mistral"] = harness.adapt_single(
-        mistral_base, few, ctx.config.skc
-    ).evaluate(test)
-    scores["tablellama"] = harness.adapt_single(
-        tablellama_base, few, ctx.config.skc
-    ).evaluate(test)
+    scores["mistral"] = harness.evaluate_method(
+        harness.adapt_single(mistral_base, few, ctx.config.skc), test, task
+    )
+    scores["tablellama"] = harness.evaluate_method(
+        harness.adapt_single(tablellama_base, few, ctx.config.skc), test, task
+    )
     scores["meld"] = fit_meld(bundle, splits, ctx.config.skc).evaluate(test)
-    scores["jellyfish"] = harness.adapt_single(
-        bundle.upstream_model, few, ctx.config.skc
-    ).evaluate(test)
+    scores["jellyfish"] = harness.evaluate_method(
+        harness.adapt_single(bundle.upstream_model, few, ctx.config.skc),
+        test,
+        task,
+    )
     icl = ICLModel(
         bundle.upstream_model,
         get_task(task),
@@ -222,7 +224,9 @@ def _table2_row(args) -> Dict:
         dataset=few,
     )
     scores["jellyfish_icl"] = harness.evaluate_method(icl, test, task)
-    scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
+    scores["knowtrans"] = harness.evaluate_method(
+        ctx.knowtrans().fit(splits), test, task
+    )
     return scores
 
 
@@ -315,7 +319,9 @@ def _table4_row(args) -> Dict:
         scores[name.replace("-", "_").replace(".", "_")] = closed.evaluate(test)
     for label, tier in _TIER_MAP.items():
         adapter = KnowTrans(ctx.bundle(tier), config=ctx.config, jobs=1)
-        scores[label] = adapter.fit(splits).evaluate(test)
+        scores[label] = harness.evaluate_method(
+            adapter.fit(splits), test, splits.task
+        )
     return scores
 
 
@@ -361,7 +367,9 @@ def _table5_row(args) -> Dict:
     test = splits.test.examples
     scores = {"dataset": dataset_id}
     for label, switches in _ABLATION_VARIANTS.items():
-        scores[label] = ctx.knowtrans(**switches).fit(splits).evaluate(test)
+        scores[label] = harness.evaluate_method(
+            ctx.knowtrans(**switches).fit(splits), test, splits.task
+        )
     return scores
 
 
@@ -397,8 +405,12 @@ def _table6_row(args) -> Dict:
     scores = {"dataset": dataset_id}
     for strategy in ("single", "uniform", "adaptive"):
         adapter = ctx.knowtrans(strategy=strategy, use_akb=False)
-        scores[strategy] = adapter.fit(splits).evaluate(test)
-    scores["knowtrans"] = ctx.knowtrans().fit(splits).evaluate(test)
+        scores[strategy] = harness.evaluate_method(
+            adapter.fit(splits), test, splits.task
+        )
+    scores["knowtrans"] = harness.evaluate_method(
+        ctx.knowtrans().fit(splits), test, splits.task
+    )
     return scores
 
 
@@ -446,12 +458,18 @@ def fig4_scalability(
                 train=splits.train, few_shot=slice_dataset, test=splits.test
             )
             jellyfish_scores.append(
-                harness.adapt_single(
-                    bundle.upstream_model, slice_dataset, ctx.config.skc
-                ).evaluate(test)
+                harness.evaluate_method(
+                    harness.adapt_single(
+                        bundle.upstream_model, slice_dataset, ctx.config.skc
+                    ),
+                    test,
+                    splits.task,
+                )
             )
             knowtrans_scores.append(
-                ctx.knowtrans().fit(slice_splits).evaluate(test)
+                harness.evaluate_method(
+                    ctx.knowtrans().fit(slice_splits), test, splits.task
+                )
             )
         results[dataset_id] = {
             "counts": list(instance_counts),
@@ -498,11 +516,17 @@ def _backbone_row(args) -> Dict:
     scores = {"dataset": dataset_id}
     for label, (tier, sft) in _BACKBONES.items():
         bundle = ctx.bundle(tier, with_upstream_sft=sft)
-        scores[label] = harness.adapt_single(
-            bundle.upstream_model, splits.few_shot, ctx.config.skc
-        ).evaluate(test)
+        scores[label] = harness.evaluate_method(
+            harness.adapt_single(
+                bundle.upstream_model, splits.few_shot, ctx.config.skc
+            ),
+            test,
+            splits.task,
+        )
         adapter = KnowTrans(bundle, config=ctx.config, jobs=1)
-        scores[label + "+kt"] = adapter.fit(splits).evaluate(test)
+        scores[label + "+kt"] = harness.evaluate_method(
+            adapter.fit(splits), test, splits.task
+        )
     return scores
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core.config import KnowTransConfig, SKCConfig
 from ..core.knowtrans import AdaptedModel
 from ..core.skc.finetune import few_shot_finetune
@@ -76,18 +77,18 @@ def adapt_single(
 def evaluate_method(method, examples: Sequence[Example], task: str) -> float:
     """Score any object exposing ``predict(example) -> str``.
 
-    Methods that also expose ``predict_batch(examples) -> List[str]``
-    (adapted models, ICL baselines) are scored through the batched
-    inference engine; plain per-example predictors still work.
+    This is the canonical scoring entry point — the experiments, the
+    CLI and the deprecated ``AdaptedModel.evaluate`` shim all route
+    through it.  Methods that also expose ``predict_batch(examples) ->
+    List[str]`` (adapted models, ICL baselines) are scored through the
+    batched inference engine; plain per-example predictors still work.
+    The actual metric dispatch is one shared call path:
+    :func:`repro.tasks.metrics.score_predictions`.
     """
-    golds = [ex.answer for ex in examples]
-    if hasattr(method, "predict_batch"):
-        preds = list(method.predict_batch(examples))
-    else:
-        preds = [method.predict(ex) for ex in examples]
-    originals = None
-    if task == "dc":
-        originals = [
-            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
-        ]
-    return metrics.score(task, golds, preds, originals)
+    with obs.span("harness.evaluate", task=task, examples=len(examples)):
+        golds = [ex.answer for ex in examples]
+        if hasattr(method, "predict_batch"):
+            preds = list(method.predict_batch(examples))
+        else:
+            preds = [method.predict(ex) for ex in examples]
+        return metrics.score_predictions(task, golds, preds, examples)

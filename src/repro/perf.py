@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 __all__ = [
     "PerfRegistry",
     "PERF",
+    "Gate",
     "run_inference_benchmark",
     "render_benchmark",
     "run_pipeline_benchmark",
@@ -170,6 +171,110 @@ class PerfRegistry:
 
 #: The process-global registry every instrumented component records into.
 PERF = PerfRegistry()
+
+
+# ----------------------------------------------------------------------
+# The perf-gate protocol (shared by the four benchmarks/bench_perf_*.py
+# gates: one BENCH_*.json writer, one perf_trajectory.jsonl appender,
+# one speedup/identity assertion style)
+# ----------------------------------------------------------------------
+class Gate:
+    """One protocol for a perf gate: stamp, persist, assert.
+
+    Each ``benchmarks/bench_perf_*.py`` file builds a Gate around its
+    benchmark result, then:
+
+    * :meth:`write` — serialise the stamped result to
+      ``BENCH_<name>.json`` at the repo root and (optionally) append a
+      compact trajectory row to ``benchmarks/results/
+      perf_trajectory.jsonl`` so the metric's history is tracked across
+      PRs;
+    * :meth:`require` / :meth:`require_speedup` — collect failed
+      invariants (identity checks, engine-engagement checks, the
+      speedup floor) without aborting, so one run reports *every*
+      violated gate condition;
+    * :meth:`check` — raise a single ``AssertionError`` listing all
+      collected failures.  Files are written before any assertion runs,
+      so a failing gate still leaves its evidence on disk.
+
+    Construction stamps ``result["preset"]`` (from
+    ``REPRO_BENCH_PRESET``, defaulting to ``paper``) and
+    ``result["min_speedup"]`` into the result dict — the stamps land in
+    the JSON artifact alongside the measurements.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        result: dict,
+        min_speedup: Optional[float] = None,
+        root: Optional[object] = None,
+    ):
+        import os
+        import pathlib
+
+        self.name = name
+        self.result = result
+        self.min_speedup = min_speedup
+        self.root = (
+            pathlib.Path(root)
+            if root is not None
+            else pathlib.Path(__file__).resolve().parents[2]
+        )
+        self.failures: List[str] = []
+        result.setdefault(
+            "preset", os.environ.get("REPRO_BENCH_PRESET", "paper") or "paper"
+        )
+        if min_speedup is not None:
+            result["min_speedup"] = min_speedup
+
+    @property
+    def preset(self) -> str:
+        return self.result["preset"]
+
+    @property
+    def bench_json(self):
+        return self.root / f"BENCH_{self.name}.json"
+
+    @property
+    def trajectory_path(self):
+        return self.root / "benchmarks" / "results" / "perf_trajectory.jsonl"
+
+    def write(self, **trajectory_fields) -> None:
+        """Persist the result JSON, plus a trajectory row when given."""
+        import json
+
+        self.bench_json.write_text(
+            json.dumps(self.result, indent=2) + "\n"
+        )
+        if trajectory_fields:
+            path = self.trajectory_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            row = {"bench": self.name, "preset": self.preset}
+            row.update(trajectory_fields)
+            with path.open("a") as handle:
+                handle.write(json.dumps(row) + "\n")
+
+    def require(self, ok: bool, message: str) -> None:
+        """Record a failed invariant (does not raise until :meth:`check`)."""
+        if not ok:
+            self.failures.append(message)
+
+    def require_speedup(self, key: str = "speedup") -> None:
+        """The shared speedup-floor assertion against ``min_speedup``."""
+        if self.min_speedup is None:
+            raise ValueError(f"gate {self.name!r} has no min_speedup")
+        self.require(
+            self.result[key] >= self.min_speedup,
+            f"only {self.result[key]:.2f}x faster "
+            f"(need >= {self.min_speedup}x); see {self.bench_json}",
+        )
+
+    def check(self) -> None:
+        """Raise one AssertionError naming every collected failure."""
+        assert not self.failures, (
+            f"{self.name} gate failed: " + "; ".join(self.failures)
+        )
 
 
 # ----------------------------------------------------------------------

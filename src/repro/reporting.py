@@ -1,0 +1,141 @@
+"""Unified console reporting for the CLI — text, quiet and JSON modes.
+
+Every ``python -m repro`` command used to talk to the terminal through
+ad-hoc ``print()`` calls, which made machine consumption impossible and
+interleaved progress chatter with results.  :class:`Console` is the one
+output channel:
+
+* ``text`` (default) — progress lines (:meth:`Console.info`) and
+  results (:meth:`Console.result`) both print to stdout.
+* ``quiet`` (``--quiet``) — progress chatter is suppressed; only
+  results print.
+* ``json`` (``--json``) — nothing prints as it happens; commands also
+  record their results into a structured payload (:meth:`Console.set`)
+  and :meth:`Console.close` emits it as a single JSON document, so
+  scripts get machine-readable output with no scraping.
+
+Errors (:meth:`Console.error`) always go to stderr in every mode, so a
+``--json`` consumer never sees diagnostics mixed into the payload.
+
+This module reports *to the operator*; table/series rendering for
+experiment text lives in :mod:`repro.eval.reporting`, and run-level
+tracing in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["Console", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort coercion of payload values to JSON-encodable data.
+
+    Handles the types commands actually put in payloads — numpy arrays
+    and scalars, paths, sets, dataclasses — and falls back to ``str``
+    so a payload can never crash the reporter.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, Path):
+        return str(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return jsonable(dataclasses.asdict(value))
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return jsonable(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):
+        return jsonable(item())
+    return str(value)
+
+
+class Console:
+    """One output channel for a CLI command (see module docstring)."""
+
+    MODES = ("text", "quiet", "json")
+
+    def __init__(
+        self,
+        mode: str = "text",
+        stream: Optional[TextIO] = None,
+        error_stream: Optional[TextIO] = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown console mode {mode!r}")
+        self.mode = mode
+        self._stream = stream
+        self._error_stream = error_stream
+        self.payload: Dict[str, Any] = {}
+        self._closed = False
+
+    @classmethod
+    def from_args(cls, args: Any) -> "Console":
+        """Build from parsed CLI args (``--json`` wins over ``--quiet``)."""
+        if getattr(args, "json", False):
+            return cls("json")
+        if getattr(args, "quiet", False):
+            return cls("quiet")
+        return cls("text")
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stdout
+
+    @property
+    def error_stream(self) -> TextIO:
+        return (
+            self._error_stream
+            if self._error_stream is not None
+            else sys.stderr
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def info(self, message: str = "") -> None:
+        """Progress chatter: shown in ``text`` mode only."""
+        if self.mode == "text":
+            print(message, file=self.stream)
+
+    def result(self, message: str = "") -> None:
+        """A human-readable result line: shown in ``text`` and ``quiet``."""
+        if self.mode != "json":
+            print(message, file=self.stream)
+
+    def error(self, message: str) -> None:
+        """A diagnostic: always printed, always to stderr."""
+        print(message, file=self.error_stream)
+
+    # ------------------------------------------------------------------
+    # Structured payload (emitted in ``json`` mode)
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.payload[key] = jsonable(value)
+
+    def update(self, mapping: Dict[str, Any]) -> None:
+        for key, value in mapping.items():
+            self.set(key, value)
+
+    def close(self) -> None:
+        """Emit the payload as one JSON document (``json`` mode only)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.mode == "json":
+            json.dump(self.payload, self.stream, indent=2, sort_keys=True)
+            print(file=self.stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Console(mode={self.mode!r}, keys={sorted(self.payload)})"

@@ -34,7 +34,10 @@ resets the child-local registry, executes the task, and ships the
 resulting snapshot home with the result.  :meth:`WorkerPool.map` merges
 every snapshot into the parent registry, so ``python -m repro perf``
 and the benchmark JSONs report whole-run counters no matter how many
-processes did the work.
+processes did the work.  :mod:`repro.obs` spans and metrics ride the
+same shim: when tracing is enabled each task's child-local trace is
+shipped home and re-parented under the pool's ``runtime.map`` span, so
+serial and parallel runs aggregate to identical traces.
 
 The artifact store (:mod:`repro.store`) composes with the pool with no
 extra machinery: forked workers inherit the parent's active store and
@@ -52,6 +55,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from . import obs
 from .perf import PERF
 
 __all__ = [
@@ -151,16 +155,18 @@ def resolve_shared(obj: Any) -> Any:
 
 
 def _run_with_perf(fn: Callable[[Any], Any], item: Any):
-    """Worker shim: run one task and ship its perf snapshot home.
+    """Worker shim: run one task and ship its perf/obs snapshots home.
 
-    The reset only touches the *child* process's copy of the registry
+    The resets only touch the *child* process's copies of the registries
     (the parent's counters are untouched by fork), so each returned
     snapshot is exactly the task's own delta even when one worker
-    process executes many tasks back to back.
+    process executes many tasks back to back.  The obs snapshot is
+    ``None`` whenever tracing is disabled, keeping the shim free.
     """
     PERF.reset()
+    obs.worker_reset()
     result = fn(item)
-    return result, PERF.snapshot()
+    return result, PERF.snapshot(), obs.worker_snapshot()
 
 
 class WorkerPool:
@@ -197,7 +203,8 @@ class WorkerPool:
         """
         items = list(items)
         if not self.parallel or len(items) <= 1:
-            return [fn(item) for item in items]
+            with obs.span("runtime.map", tasks=len(items), jobs=1):
+                return [fn(item) for item in items]
         results: List[Any] = []
         workers = min(self.effective_jobs, len(items))
         # Account submitted argument bytes so tests (and perf reports)
@@ -206,14 +213,20 @@ class WorkerPool:
             "runtime.payload_bytes",
             sum(len(pickle.dumps(item)) for item in items),
         )
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = [
-                executor.submit(_run_with_perf, fn, item) for item in items
-            ]
-            for future in futures:
-                result, snapshot = future.result()
-                PERF.merge(snapshot)
-                results.append(result)
+        with obs.span("runtime.map", tasks=len(items), jobs=workers):
+            # Child root spans re-parent under this span, so the merged
+            # tree nests exactly like the serial path's.
+            map_span = obs.current_span_id()
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(_run_with_perf, fn, item)
+                    for item in items
+                ]
+                for future in futures:
+                    result, snapshot, trace_snapshot = future.result()
+                    PERF.merge(snapshot)
+                    obs.merge_worker(trace_snapshot, map_span)
+                    results.append(result)
         PERF.count("runtime.tasks", len(items))
         return results
 

@@ -56,6 +56,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 import numpy as np
 
+from . import obs
 from .perf import PERF
 
 __all__ = [
@@ -226,14 +227,18 @@ class ArtifactStore:
             blob = path.read_bytes()
         except (FileNotFoundError, NotADirectoryError):
             PERF.count("store.misses")
+            obs.counter("store.miss", kind=kind)
             return None
         except OSError:
             PERF.count("store.misses")
+            obs.counter("store.miss", kind=kind)
             return None
         payload = self._decode(blob)
         if payload is _CORRUPT:
             PERF.count("store.corrupt")
             PERF.count("store.misses")
+            obs.counter("store.corrupt", kind=kind)
+            obs.counter("store.miss", kind=kind)
             try:
                 path.unlink()
             except OSError:
@@ -241,6 +246,7 @@ class ArtifactStore:
             return None
         PERF.count("store.hits")
         PERF.count("store.bytes_read", len(blob))
+        obs.counter("store.hit", kind=kind)
         return payload
 
     def put(self, kind: str, key: str, payload: Any) -> None:
@@ -269,6 +275,7 @@ class ArtifactStore:
             raise
         PERF.count("store.writes")
         PERF.count("store.bytes_written", len(blob))
+        obs.counter("store.write", kind=kind)
 
     def get_or_compute(
         self, kind: str, fields: Dict[str, Any], compute: Callable[[], Any]
@@ -555,6 +562,7 @@ def warm_featurizations(featurizer, texts) -> None:
             featurizer.seed_sparse_cache(zip(texts, cached))
             return
         except Exception:
-            pass  # unexpected payload shape — recompute and rewrite
+            # unexpected payload shape — recompute and rewrite
+            obs.counter("store.repair", kind="featurization")
     rows = [featurizer.encode_sparse(text) for text in texts]
     store.put("featurization", key, rows)

@@ -98,13 +98,7 @@ class Task:
         """Score the model on examples with the task's paper metric."""
         golds = [ex.answer for ex in examples]
         preds = self.predict_batch(model, examples, knowledge, dataset)
-        originals = None
-        if self.name == "dc":
-            originals = [
-                ex.inputs["record"].get(ex.inputs["attribute"])
-                for ex in examples
-            ]
-        return metrics.score(self.name, golds, preds, originals)
+        return metrics.score_predictions(self.name, golds, preds, examples)
 
 
 _REGISTRY: Dict[str, Task] = {}

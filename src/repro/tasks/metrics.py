@@ -21,6 +21,7 @@ __all__ = [
     "repair_f1",
     "extraction_f1",
     "score",
+    "score_predictions",
     "METRIC_NAMES",
 ]
 
@@ -139,3 +140,27 @@ def score(
             raise ValueError("dc scoring requires the dirty original values")
         return repair_f1(golds, preds, originals)
     raise KeyError(f"unknown task {task!r}")
+
+
+def score_predictions(
+    task: str,
+    golds: Sequence[str],
+    preds: Sequence[str],
+    examples: Optional[Sequence] = None,
+) -> float:
+    """The single task-metric entry point for scored predictions.
+
+    Every scoring path (``Task.evaluate``, ``harness.evaluate_method``,
+    AKB's ``task_metric``) routes through here so the one task-specific
+    wrinkle — DC needs each example's dirty original value — lives in
+    exactly one place.  ``examples`` must be the scored examples
+    (anything exposing ``.inputs``) whenever the task is ``dc``.
+    """
+    originals = None
+    if task == "dc":
+        if examples is None:
+            raise ValueError("dc scoring requires the scored examples")
+        originals = [
+            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
+        ]
+    return score(task, golds, preds, originals)

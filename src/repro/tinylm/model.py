@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..perf import PERF
 from .linalg import (
     exact_weights,
@@ -228,6 +229,7 @@ class FrozenActivations:
             rows_all = np.repeat(np.arange(sizes.size), sizes)
             self.overlap = np.einsum("md,md->m", self.Y, self.X[rows_all])
         PERF.count("train.frozen_builds")
+        obs.counter("train.frozen_builds")
 
     @property
     def n(self) -> int:
@@ -473,8 +475,10 @@ class ScoringLM:
         if vec is not None:
             cache.move_to_end(text)
             PERF.count("model.prompt_hits")
+            obs.counter("model.prompt_hit")
             return vec
         PERF.count("model.prompt_misses")
+        obs.counter("model.prompt_miss")
         vec = self.featurizer.encode(text)
         vec.setflags(write=False)
         cache[text] = vec
@@ -496,6 +500,7 @@ class ScoringLM:
             vec = cache.get(text)
             if vec is None:
                 PERF.count("model.candidate_misses")
+                obs.counter("model.candidate_miss")
                 vec = self.featurizer.encode(text)
                 vec.setflags(write=False)
                 cache[text] = vec
@@ -504,6 +509,7 @@ class ScoringLM:
             else:
                 cache.move_to_end(text)
                 PERF.count("model.candidate_hits")
+                obs.counter("model.candidate_hit")
             rows.append(vec)
         if not rows:
             return np.zeros((0, self.config.feature_dim))
@@ -634,6 +640,11 @@ class ScoringLM:
         PERF.count("model.batches")
         PERF.count("model.examples", rb.n)
         PERF.count("model.candidates", m)
+        if obs.enabled():
+            obs.counter("model.batches")
+            obs.counter("model.examples", rb.n)
+            obs.counter("model.candidates", m)
+            obs.histogram("model.batch_size", rb.n)
         return logits, cache
 
     def _forward(
@@ -810,6 +821,11 @@ class ScoringLM:
         PERF.count("model.batches")
         PERF.count("model.examples", rb.n)
         PERF.count("model.candidates", rb.m)
+        if obs.enabled():
+            obs.counter("model.batches")
+            obs.counter("model.examples", rb.n)
+            obs.counter("model.candidates", rb.m)
+            obs.histogram("model.batch_size", rb.n)
         cache = _RankCache(
             H_pre=H_pre,
             H=H,
@@ -938,6 +954,7 @@ class ScoringLM:
                     adapter_grads, self.adapter.lambda_key, lambda_grad
                 )
         PERF.count("train.rank_space_steps")
+        obs.counter("train.rank_space_steps")
         return float(losses.mean()), {}, adapter_grads
 
     # ------------------------------------------------------------------

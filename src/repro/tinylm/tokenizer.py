@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..perf import PERF
 
 __all__ = ["normalize", "tokenize", "count_tokens", "HashedFeaturizer"]
@@ -231,8 +232,10 @@ class HashedFeaturizer:
         if hit is not None:
             cache.move_to_end(text)
             PERF.count("featurizer.sparse_hits")
+            obs.counter("featurizer.sparse_hit")
             return hit
         PERF.count("featurizer.sparse_misses")
+        obs.counter("featurizer.sparse_miss")
         tokens = tokenize(text)
         bucket = self._bucket
         marker_weight = self.MARKER_WEIGHT

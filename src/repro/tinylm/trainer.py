@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .linalg import exact_weights, rng_for
 from .model import EncodedExample, FrozenActivations, ScoringLM
 
@@ -211,27 +212,38 @@ class Trainer:
         """Run the configured number of epochs over ``examples``."""
         if not examples:
             raise ValueError("cannot fit on an empty example list")
-        encoded = self._encode(examples)
-        rng = rng_for(self.config.seed, "trainer")
         use_rank = self._use_rank_space()
-        frozen = self.model.frozen_activations(encoded) if use_rank else None
-        report = TrainReport(rank_space=use_rank)
-        order = np.arange(len(encoded))
-        for __epoch in range(self.config.epochs):
-            if self.config.shuffle:
-                rng.shuffle(order)
-            epoch_loss = 0.0
-            batches = 0
-            for start in range(0, len(order), self.config.batch_size):
-                idx = order[start : start + self.config.batch_size]
-                if frozen is not None:
-                    loss = self._rank_step(frozen, idx)
-                else:
-                    loss = self.step([encoded[i] for i in idx])
-                report.step_losses.append(loss)
-                epoch_loss += loss
-                batches += 1
-            report.epoch_losses.append(epoch_loss / max(batches, 1))
+        with obs.span(
+            "trainer.fit",
+            examples=len(examples),
+            epochs=self.config.epochs,
+            rank_space=use_rank,
+        ):
+            encoded = self._encode(examples)
+            rng = rng_for(self.config.seed, "trainer")
+            frozen = (
+                self.model.frozen_activations(encoded) if use_rank else None
+            )
+            report = TrainReport(rank_space=use_rank)
+            order = np.arange(len(encoded))
+            for __epoch in range(self.config.epochs):
+                if self.config.shuffle:
+                    rng.shuffle(order)
+                epoch_loss = 0.0
+                batches = 0
+                for start in range(0, len(order), self.config.batch_size):
+                    idx = order[start : start + self.config.batch_size]
+                    if frozen is not None:
+                        loss = self._rank_step(frozen, idx)
+                    else:
+                        loss = self.step([encoded[i] for i in idx])
+                    report.step_losses.append(loss)
+                    obs.histogram("trainer.step_loss", loss)
+                    epoch_loss += loss
+                    batches += 1
+                report.epoch_losses.append(epoch_loss / max(batches, 1))
+            obs.counter("trainer.fits", rank_space=use_rank)
+            obs.counter("trainer.steps", len(report.step_losses))
         return report
 
     def evaluate_loss(self, examples: Sequence[TrainingExample]) -> float:

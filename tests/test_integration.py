@@ -17,6 +17,7 @@ from repro import (
     load_splits,
 )
 from repro.knowledge.rules import FormatConstraint
+from repro.eval.harness import evaluate_method
 from repro.knowledge.seed import oracle_knowledge
 
 
@@ -24,7 +25,7 @@ class TestPublicAPI:
     def test_quickstart_surface(self, bundle, fast_config, beer_splits):
         adapted = KnowTrans(bundle, config=fast_config).fit(beer_splits)
         assert isinstance(adapted, AdaptedModel)
-        score = adapted.evaluate(beer_splits.test.examples)
+        score = evaluate_method(adapted, beer_splits.test.examples, adapted.task.name)
         assert 0.0 <= score <= 100.0
 
     def test_package_exports(self):
@@ -40,8 +41,8 @@ class TestHeadlineShapes:
         plain = KnowTrans(
             bundle, config=fast_config, use_skc=False, use_akb=False
         ).fit(abt_splits)
-        kt_score = knowtrans.evaluate(abt_splits.test.examples)
-        plain_score = plain.evaluate(abt_splits.test.examples)
+        kt_score = evaluate_method(knowtrans, abt_splits.test.examples, "em")
+        plain_score = evaluate_method(plain, abt_splits.test.examples, "em")
         assert kt_score > plain_score
 
     def test_akb_discovers_oracle_like_rules(self, bundle, fast_config, beer_splits):
@@ -88,11 +89,13 @@ class TestCrossTier:
         scores = {"small": 0.0, "big": 0.0}
         for dataset_id in ("ed/beer", "em/abt_buy"):
             splits = load_splits(dataset_id, count=70, seed=5)
-            scores["small"] += KnowTrans(small, config=fast_config).fit(splits).evaluate(
-                splits.test.examples
+            scores["small"] += evaluate_method(
+                KnowTrans(small, config=fast_config).fit(splits),
+                splits.test.examples, splits.task,
             )
-            scores["big"] += KnowTrans(big, config=fast_config).fit(splits).evaluate(
-                splits.test.examples
+            scores["big"] += evaluate_method(
+                KnowTrans(big, config=fast_config).fit(splits),
+                splits.test.examples, splits.task,
             )
         # Capacity should not catastrophically hurt; allow modest noise.
         assert scores["big"] >= scores["small"] - 25.0

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.knowtrans import AdaptedModel, KnowTrans
+from repro.eval.harness import evaluate_method
 
 
 class TestFit:
@@ -18,7 +19,7 @@ class TestFit:
         adapted = KnowTrans(bundle, config=fast_config, use_akb=False).fit(beer_splits)
         example = beer_splits.test.examples[0]
         assert adapted.predict(example) in ("yes", "no")
-        score = adapted.evaluate(beer_splits.test.examples[:20])
+        score = evaluate_method(adapted, beer_splits.test.examples[:20], adapted.task.name)
         assert 0.0 <= score <= 100.0
 
     def test_ablation_without_akb_keeps_seed_knowledge(
