@@ -1,0 +1,103 @@
+"""Perf gate: continuous batching must beat sequential dispatch ≥ 3×.
+
+Drives the real :mod:`repro.serve` stack — TCP sockets, the asyncio
+event loop, the continuous-batching scheduler — with simulated
+multi-client load against a two-tenant registry sharing one backbone.
+Two arms serve the identical tenant-alternating workload:
+
+* sequential: ``max_batch=1``, one closed-loop client — every request
+  dispatches alone and pays its own adapter hot-swap;
+* batched: the production scheduler coalesces concurrent in-flight
+  requests across tenants, grouping them so each batch pays one swap
+  per tenant and one ``predict_batch`` per group.
+
+Results are written to ``BENCH_serve.json`` at the repo root (p50/p99
+for both arms included) and appended to
+``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol, alongside the inference, pipeline,
+cache and train gates'.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_serve.py
+
+The assertion fails if batched throughput is less than 3× the
+sequential arm's, if any served prediction differs from the offline
+``predict_batch`` oracle, if the scheduler failed to actually coalesce
+(mean batch size ≤ 1.5), if any request errored, or if the latency
+percentiles are degenerate.
+"""
+
+import math
+import pathlib
+
+from repro.perf import Gate, render_serve_benchmark, run_serve_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MIN_SPEEDUP = 3.0
+
+#: Generous sanity ceiling on the batched arm's tail latency — the
+#: quick preset's whole batched run takes well under a second, so a
+#: multi-second p99 means the scheduler stalled.
+MAX_BATCHED_P99_MS = 5000.0
+
+
+def test_continuous_batching_speedup(record_result):
+    gate = Gate("serve", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    requests = 27 if gate.preset == "quick" else 63
+    repeats = 2 if gate.preset == "quick" else 3
+    result = run_serve_benchmark(
+        seed=0,
+        clients=9,
+        requests=requests,
+        n_patches=16,
+        rank=8,
+        repeats=repeats,
+    )
+    gate.result.update(result)
+    gate.write(
+        sequential_seconds=result["sequential"]["seconds"],
+        batched_seconds=result["batched"]["seconds"],
+        speedup=result["speedup"],
+        batched_p50_ms=result["batched"]["p50_ms"],
+        batched_p99_ms=result["batched"]["p99_ms"],
+        requests=result["requests"],
+        mean_batch_size=result["batched"]["mean_batch_size"],
+    )
+    record_result("bench_perf_serve", render_serve_benchmark(gate.result))
+
+    gate.require(
+        result["sequential"]["all_ok"] and result["batched"]["all_ok"],
+        "at least one served request returned an error",
+    )
+    gate.require(
+        result["predictions_identical"],
+        "served predictions diverged from the offline predict_batch oracle",
+    )
+    gate.require(
+        result["coalesced"],
+        f"scheduler did not coalesce requests: mean batch size "
+        f"{result['batched']['mean_batch_size']:.2f}",
+    )
+    gate.require(
+        result["batched"]["adapter_swaps"]
+        < result["sequential"]["adapter_swaps"],
+        f"batching did not reduce adapter swaps "
+        f"({result['batched']['adapter_swaps']} vs "
+        f"{result['sequential']['adapter_swaps']})",
+    )
+    for arm in ("sequential", "batched"):
+        p50, p99 = result[arm]["p50_ms"], result[arm]["p99_ms"]
+        gate.require(
+            0.0 < p50 <= p99 and math.isfinite(p99),
+            f"{arm} latency percentiles degenerate: "
+            f"p50={p50:.3f} ms p99={p99:.3f} ms",
+        )
+    gate.require(
+        result["batched"]["p99_ms"] <= MAX_BATCHED_P99_MS,
+        f"batched p99 {result['batched']['p99_ms']:.1f} ms exceeds "
+        f"{MAX_BATCHED_P99_MS:.0f} ms",
+    )
+    gate.require_speedup()
+    gate.check()

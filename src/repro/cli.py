@@ -13,8 +13,12 @@ Commands
 ``conflict``
     Print the upstream gradient-conflict diagnostic (paper Fig. 1).
 ``perf``
-    Inference / pipeline / warm-start cache / rank-space training
-    benchmarks plus counters.
+    Inference / pipeline / warm-start cache / rank-space training /
+    serving benchmarks plus counters.
+``serve``
+    Long-lived multi-tenant adaptation server (line-delimited JSON over
+    TCP, continuous batching across tenants sharing a backbone); or
+    ``--smoke`` for an in-process end-to-end check.
 ``cache``
     Inspect or maintain the persistent artifact store
     (``stats`` / ``clear`` / ``gc``).
@@ -188,12 +192,65 @@ def build_parser() -> argparse.ArgumentParser:
         "(dense vs rank-space frozen-backbone SKC stage-3 fit)",
     )
     perf.add_argument(
+        "--serve", action="store_true",
+        help="run the serving benchmark (sequential per-request dispatch "
+        "vs multi-tenant continuous batching through the real server)",
+    )
+    perf.add_argument(
         "--smoke", action="store_true",
         help="fast CI sanity pass: tiny workload, single repeat, "
         "fails on any prediction mismatch",
     )
     _add_output_args(perf, trace=True)
     _add_cache_args(perf)
+
+    serve = commands.add_parser(
+        "serve",
+        help="multi-tenant continuous-batching adaptation server",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--scale", type=float, default=0.6,
+        help="upstream scale for --preload registrations",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max requests coalesced into one dispatch",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="batching window after the first queued request",
+    )
+    serve.add_argument(
+        "--preload", action="append", default=[], metavar="TENANT:DATASET",
+        help="register an adapted specialist before serving (repeatable); "
+        "warm-loads from the artifact store when populated, e.g. "
+        "--preload acme:em/abt_buy",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=2,
+        help="demo tenants to seed when no --preload is given",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="in-process end-to-end check: start the server, drive "
+        "concurrent clients, verify responses against the offline "
+        "oracle, exit (CI)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="smoke: concurrent clients"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=12, help="smoke: total requests"
+    )
+    _add_output_args(serve, trace=True)
+    _add_cache_args(serve)
 
     cache = commands.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
@@ -388,6 +445,23 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
         console.set("ok", True)
         return 0
 
+    if args.serve:
+        from .perf import render_serve_benchmark, run_serve_benchmark
+
+        result = run_serve_benchmark(seed=args.seed, repeats=args.repeats)
+        console.result(render_serve_benchmark(result))
+        console.set("benchmark", result)
+        if not result["predictions_identical"]:
+            console.error(
+                "serve benchmark FAILED: served predictions diverged "
+                "from the offline oracle"
+            )
+            console.set("ok", False)
+            return 1
+        console.result("serve benchmark OK")
+        console.set("ok", True)
+        return 0
+
     if args.cache:
         from .perf import render_cache_benchmark, run_cache_benchmark
 
@@ -415,6 +489,67 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
     console.info(PERF.report())
     console.set("benchmark", result)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, console: Console) -> int:
+    from . import serve as serving
+
+    if args.smoke:
+        result = serving.run_smoke(
+            clients=args.clients,
+            requests=args.requests,
+            seed=args.seed,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            tenants=args.tenants,
+        )
+        console.result(serving.render_smoke(result))
+        console.set("smoke", result)
+        console.set("ok", result["ok"])
+        if not result["ok"]:
+            console.error(
+                "serve smoke FAILED: served responses diverged from the "
+                "offline oracle (or requests were dropped)"
+            )
+            return 1
+        return 0
+
+    registry = serving.TenantRegistry()
+    if args.preload:
+        for spec in args.preload:
+            tenant, sep, dataset_id = spec.partition(":")
+            if not sep or not tenant or not dataset_id:
+                console.error(
+                    f"bad --preload {spec!r}: expected TENANT:DATASET"
+                )
+                return 2
+            console.info(f"registering {tenant} <- {dataset_id} ...")
+            entry = registry.register_adapted(
+                tenant,
+                dataset_id,
+                tier=args.tier,
+                seed=args.seed,
+                scale=args.scale,
+            )
+            console.info(
+                f"registered {entry.tenant}:{entry.dataset} "
+                f"({entry.task}) on {entry.backbone}"
+            )
+    else:
+        console.info(
+            f"no --preload given; seeding {args.tenants} demo tenants"
+        )
+        registry = serving.build_demo_registry(
+            tenants=args.tenants, seed=args.seed
+        )
+    return serving.serve_forever(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        console=console,
+    )
 
 
 def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
@@ -473,6 +608,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "conflict": _cmd_conflict,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
     "trace": _cmd_trace,
 }

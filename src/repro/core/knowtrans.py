@@ -23,7 +23,7 @@ from ..data.splits import DatasetSplits
 from ..knowledge.rules import Knowledge
 from ..knowledge.seed import seed_knowledge
 from ..llm.mockgpt import MockGPT
-from ..runtime import WorkerPool, resolve_shared, share
+from ..runtime import WorkerPool, resolve_shared, sharing
 from ..tasks.base import Task, get_task
 from ..tinylm.model import ScoringLM
 from .akb.evaluation import (
@@ -531,21 +531,26 @@ class KnowTrans:
             few_shot.subset(range(0, midpoint), ":fold0"),
             few_shot.subset(range(midpoint, len(few_shot)), ":fold1"),
         )
-        model_ref = share(self.bundle.upstream_model)
-        patches_ref = share(patches)
-        shadows = self.pool.map(
-            _shadow_task,
-            [
-                (
-                    model_ref,
-                    patches_ref,
-                    self.config.skc,
-                    self.strategy,
-                    f"shadow{fold}-{few_shot.name}",
-                    train_half,
-                    base_knowledge,
-                )
-                for fold, train_half in enumerate(halves)
-            ],
-        )
+        # Scope the share registrations to the fan-out: a long-lived
+        # process adapting many datasets must not pin every upstream
+        # model and patch list it ever shadowed.
+        with sharing(self.bundle.upstream_model, patches) as (
+            model_ref,
+            patches_ref,
+        ):
+            shadows = self.pool.map(
+                _shadow_task,
+                [
+                    (
+                        model_ref,
+                        patches_ref,
+                        self.config.skc,
+                        self.strategy,
+                        f"shadow{fold}-{few_shot.name}",
+                        train_half,
+                        base_knowledge,
+                    )
+                    for fold, train_half in enumerate(halves)
+                ],
+            )
         return CrossFitScorer(shadows, halves, task)

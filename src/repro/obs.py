@@ -56,6 +56,7 @@ import functools
 import json
 import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -75,6 +76,8 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "record_span",
+    "new_span_id",
     "current_span_id",
     "worker_reset",
     "worker_snapshot",
@@ -126,13 +129,60 @@ class Tracer:
         self._stack: List[str] = []
         self._next_id = 0
         self._worker = False
+        # Guards id allocation and span appends for the *explicit-parent*
+        # recording path (record_span), which the serve daemon calls from
+        # its event-loop thread while the main thread may hold spans open.
+        # The stack-based span() path stays lock-free: the stack is only
+        # meaningful within a single thread anyway.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def new_id(self) -> str:
-        self._next_id += 1
-        return f"{self.pid:x}-{self._next_id:x}"
+        with self._lock:
+            self._next_id += 1
+            return f"{self.pid:x}-{self._next_id:x}"
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        elapsed: float,
+        parent: Optional[str],
+        ok: bool,
+        attrs: Dict[str, Any],
+        span_id: Optional[str] = None,
+    ) -> str:
+        """Append one *completed* span with an explicit parent id.
+
+        The stack-based :class:`_Span` path infers parentage from
+        whichever span is open on the per-process stack — which is
+        wrong for work that interleaves on an event loop or crosses
+        threads (by the time an async request finishes, the stack
+        belongs to someone else).  Callers on those paths time the work
+        themselves and record it retroactively here, passing the parent
+        id they captured up front.  ``start`` is a raw
+        ``time.perf_counter()`` reading; it lands in the trace relative
+        to this tracer's epoch like every stack-recorded span.
+        """
+        if span_id is None:
+            span_id = self.new_id()
+        with self._lock:
+            self.spans.append(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "pid": self.pid,
+                    "start": start - self.t0,
+                    "elapsed": elapsed,
+                    "ok": bool(ok),
+                    "attrs": dict(_attr_items(attrs)),
+                }
+            )
+        return span_id
 
     def counter(self, name: str, n: int, attrs: Dict[str, Any]) -> None:
         key = (name, _attr_items(attrs))
@@ -172,6 +222,9 @@ class Tracer:
         self.gauges = {}
         self.histograms = {}
         self._stack = []
+        # A lock held by another thread at fork time would be copied in
+        # its locked state and deadlock the child; start fresh.
+        self._lock = threading.Lock()
 
     def snapshot(self) -> Dict[str, Any]:
         """A picklable copy of the buffers (shipped home by pool tasks)."""
@@ -441,6 +494,44 @@ def histogram(name: str, value: float, **attrs) -> None:
         tracer.histogram(name, value, attrs)
 
 
+def record_span(
+    name: str,
+    start: float,
+    elapsed: float,
+    parent: Optional[str] = None,
+    ok: bool = True,
+    span_id: Optional[str] = None,
+    **attrs,
+) -> Optional[str]:
+    """Record a completed span with an explicit parent (async/thread safe).
+
+    The serve daemon's request path interleaves on an event loop, so it
+    cannot use the stack-based :func:`span`; it measures each region
+    itself and reports it here after the fact.  ``start`` is the raw
+    ``time.perf_counter()`` value captured when the region began.  Pass
+    ``span_id`` (from :func:`new_span_id`) to record a span whose id was
+    handed out earlier as a parent for children recorded before it.
+    Returns the span id, or ``None`` when tracing is off.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.record_span(name, start, elapsed, parent, ok, attrs, span_id)
+
+
+def new_span_id() -> Optional[str]:
+    """Allocate a span id up front (``None`` when tracing is off).
+
+    Lets long-lived regions (a server's run loop) hand their id to
+    children as a parent before the region itself completes and is
+    recorded via :func:`record_span`.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.new_id()
+
+
 def current_span_id() -> Optional[str]:
     """The id of the innermost open span (None when off / at root)."""
     tracer = _TRACER
@@ -507,7 +598,8 @@ def rollup(rows: Sequence[dict]) -> Dict[str, Any]:
     * ``tree`` — spans grouped by (parent path, name): each node carries
       ``count``/``total``/``self`` seconds and its children.
     * ``hotspots`` — span names ranked by summed self-time (elapsed
-      minus direct children's elapsed).
+      minus direct children's elapsed, floored at zero — concurrent
+      children may overlap and sum past the parent).
     * ``counters``/``gauges``/``histograms`` — label-keyed rollups;
       gauge series keep their sampled values (trajectories), histograms
       report count/mean/min/max.
@@ -529,7 +621,10 @@ def rollup(rows: Sequence[dict]) -> Dict[str, Any]:
     count_by_name: Dict[str, int] = {}
     for s in spans:
         name = s["name"]
-        own = s["elapsed"] - child_time.get(s["id"], 0.0)
+        # Clamped at zero: concurrent children (e.g. the serve
+        # scheduler's overlapping per-request spans) can sum past their
+        # parent's elapsed, and negative self-time is meaningless.
+        own = max(0.0, s["elapsed"] - child_time.get(s["id"], 0.0))
         self_by_name[name] = self_by_name.get(name, 0.0) + own
         total_by_name[name] = total_by_name.get(name, 0.0) + s["elapsed"]
         count_by_name[name] = count_by_name.get(name, 0) + 1
@@ -544,7 +639,9 @@ def rollup(rows: Sequence[dict]) -> Dict[str, Any]:
             )
             node["count"] += 1
             node["total"] += s["elapsed"]
-            node["self"] += s["elapsed"] - child_time.get(s["id"], 0.0)
+            node["self"] += max(
+                0.0, s["elapsed"] - child_time.get(s["id"], 0.0)
+            )
             node["_ids"].append(s["id"])
         nodes = []
         for node in groups.values():

@@ -53,7 +53,8 @@ import itertools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import obs
 from .perf import PERF
@@ -64,7 +65,10 @@ __all__ = [
     "WorkerPool",
     "SharedRef",
     "share",
+    "release",
+    "sharing",
     "resolve_shared",
+    "shared_count",
 ]
 
 
@@ -134,9 +138,10 @@ def share(obj: Any) -> SharedRef:
     Must be called in the parent *before* the pool's executor forks
     (``WorkerPool.map`` creates the executor after task arguments are
     built, so call sites satisfy this naturally).  The registry keeps a
-    strong reference for the life of the process — callers share a small
-    number of long-lived objects (backbone models, patch lists), not
-    per-task temporaries.  Re-sharing the same object returns the same
+    strong reference until :func:`release` — prefer the :func:`sharing`
+    context manager, which scopes the registration to the fan-out and
+    keeps long-lived processes (the serve daemon) from pinning every
+    backbone ever shared.  Re-sharing the same object returns the same
     ref (safe to memoise by ``id``: the strong ref pins the identity).
     """
     ref = _SHARED_BY_ID.get(id(obj))
@@ -149,9 +154,60 @@ def share(obj: Any) -> SharedRef:
     return ref
 
 
+def release(obj: Any) -> bool:
+    """Unregister a :func:`share`'d object (or its ref); True if removed.
+
+    The registry holds strong references, so in a long-lived process —
+    the serve daemon, a notebook session — every ``share()`` without a
+    matching release pins its object (often a multi-megabyte backbone)
+    forever.  Fan-out call sites should release as soon as the pool's
+    ``map`` returns; :func:`sharing` packages that pattern.  Releasing
+    an object that was never shared (or was already released) is a
+    harmless no-op returning ``False``.
+    """
+    if isinstance(obj, SharedRef):
+        target = _SHARED_OBJECTS.pop(obj.token, None)
+        if target is None:
+            return False
+        ref = _SHARED_BY_ID.get(id(target))
+        if ref is not None and ref.token == obj.token:
+            del _SHARED_BY_ID[id(target)]
+        return True
+    ref = _SHARED_BY_ID.get(id(obj))
+    if ref is None or _SHARED_OBJECTS.get(ref.token) is not obj:
+        return False
+    del _SHARED_OBJECTS[ref.token]
+    del _SHARED_BY_ID[id(obj)]
+    return True
+
+
+@contextmanager
+def sharing(*objects: Any) -> Iterator[Tuple[SharedRef, ...]]:
+    """Register objects for fork inheritance for the scope of a block.
+
+    ``with sharing(model, patches) as (model_ref, patches_ref): ...``
+    shares each object, yields the refs in order, and releases them on
+    exit — the pattern every pool fan-out should use so the registry
+    never grows across requests.  Objects that were already shared
+    before entry are released on exit too (the refs are only meant to
+    outlive the block if the caller re-shares).
+    """
+    refs = tuple(share(obj) for obj in objects)
+    try:
+        yield refs
+    finally:
+        for ref in refs:
+            release(ref)
+
+
 def resolve_shared(obj: Any) -> Any:
     """Unwrap a :class:`SharedRef`; anything else passes through."""
     return obj.resolve() if isinstance(obj, SharedRef) else obj
+
+
+def shared_count() -> int:
+    """Number of objects currently pinned by the share registry."""
+    return len(_SHARED_OBJECTS)
 
 
 def _run_with_perf(fn: Callable[[Any], Any], item: Any):

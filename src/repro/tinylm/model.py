@@ -52,7 +52,7 @@ from .linalg import (
     softmax,
     xavier_init,
 )
-from .tokenizer import HashedFeaturizer
+from .tokenizer import HashedFeaturizer, resolve_cache_size
 
 __all__ = [
     "ModelConfig",
@@ -308,8 +308,22 @@ class ScoringLM:
     #: cache is kept tighter than the candidate memo).
     PROMPT_CACHE_SIZE = 4096
 
-    def __init__(self, config: ModelConfig):
+    def __init__(
+        self,
+        config: ModelConfig,
+        candidate_cache_size: Optional[int] = None,
+        prompt_cache_size: Optional[int] = None,
+    ):
         self.config = config
+        # LRU bounds resolve explicit arg > REPRO_LRU_SIZE env > class
+        # default, so a serving deployment can keep resident memory flat
+        # under sustained traffic with one knob.
+        self.candidate_cache_size = resolve_cache_size(
+            self.CANDIDATE_CACHE_SIZE, candidate_cache_size
+        )
+        self.prompt_cache_size = resolve_cache_size(
+            self.PROMPT_CACHE_SIZE, prompt_cache_size
+        )
         rng = rng_for(config.seed, "model", config.name)
         d, k = config.feature_dim, config.hidden_dim
         self.weights: Dict[str, np.ndarray] = {
@@ -438,7 +452,11 @@ class ScoringLM:
                 seed=config.seed,
                 featurizer_salt=config.featurizer_salt,
             )
-        copy = ScoringLM(config)
+        copy = ScoringLM(
+            config,
+            candidate_cache_size=self.candidate_cache_size,
+            prompt_cache_size=self.prompt_cache_size,
+        )
         for key, value in self.weights.items():
             copy.weights[key] = value.copy()
         if (
@@ -482,7 +500,7 @@ class ScoringLM:
         vec = self.featurizer.encode(text)
         vec.setflags(write=False)
         cache[text] = vec
-        if len(cache) > self.PROMPT_CACHE_SIZE:
+        if len(cache) > self.prompt_cache_size:
             cache.popitem(last=False)
         return vec
 
@@ -504,7 +522,7 @@ class ScoringLM:
                 vec = self.featurizer.encode(text)
                 vec.setflags(write=False)
                 cache[text] = vec
-                if len(cache) > self.CANDIDATE_CACHE_SIZE:
+                if len(cache) > self.candidate_cache_size:
                     cache.popitem(last=False)
             else:
                 cache.move_to_end(text)
@@ -514,6 +532,32 @@ class ScoringLM:
         if not rows:
             return np.zeros((0, self.config.feature_dim))
         return np.stack(rows)
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """Current entry counts of every featurization cache layer."""
+        return {
+            "candidate": len(self._candidate_cache),
+            "prompt": len(self._prompt_cache),
+            "featurizer_sparse": len(self.featurizer._sparse_cache),
+        }
+
+    def emit_cache_gauges(self) -> Dict[str, int]:
+        """Sample the cache sizes into ``obs`` gauges; returns the sizes.
+
+        The serve scheduler calls this each batch tick so a trace shows
+        resident cache growth staying flat under the configured LRU
+        bounds (``REPRO_LRU_SIZE`` / the constructor arguments).
+        """
+        sizes = self.cache_sizes()
+        if obs.enabled():
+            for cache_name, size in sizes.items():
+                obs.gauge(
+                    "model.cache_size",
+                    size,
+                    cache=cache_name,
+                    model=self.config.name,
+                )
+        return sizes
 
     def encode_example(
         self, prompt: str, candidates: Sequence[str], target: int = 0

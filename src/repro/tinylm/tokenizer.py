@@ -21,16 +21,44 @@ never re-hash a string any instance has seen.
 from __future__ import annotations
 
 import hashlib
+import os
 import re
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
 from ..perf import PERF
 
-__all__ = ["normalize", "tokenize", "count_tokens", "HashedFeaturizer"]
+__all__ = [
+    "normalize",
+    "tokenize",
+    "count_tokens",
+    "resolve_cache_size",
+    "HashedFeaturizer",
+]
+
+
+def resolve_cache_size(default: int, override: Optional[int] = None) -> int:
+    """Resolve an LRU bound: explicit arg > ``REPRO_LRU_SIZE`` env > default.
+
+    One environment knob bounds every featurization LRU (the featurizer's
+    text→sparse cache and the model's dense prompt/candidate memos), so a
+    serving deployment can cap resident memory without touching call
+    sites.  Explicit constructor arguments always win over the env.
+    """
+    if override is not None:
+        return max(1, int(override))
+    raw = os.environ.get("REPRO_LRU_SIZE", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_LRU_SIZE must be an integer, got {raw!r}"
+        ) from exc
 
 _TOKEN_RE = re.compile(r"\[[a-z0-9_]+\]|[a-z0-9]+(?:\.[0-9]+)?|[%$#@&]")
 _WS_RE = re.compile(r"\s+")
@@ -85,7 +113,9 @@ class HashedFeaturizer:
     cache_size:
         Bound on the LRU text→sparse-row cache (least recently used
         entries are evicted; re-encoding an evicted text is
-        deterministic, so eviction only costs time).
+        deterministic, so eviction only costs time).  ``None`` resolves
+        through :func:`resolve_cache_size` — the ``REPRO_LRU_SIZE``
+        environment knob, falling back to :data:`SPARSE_CACHE_SIZE`.
 
     Configuration is frozen at construction: the caches are keyed by the
     full configuration, so mutating ``use_bigrams`` etc. on a live
@@ -115,7 +145,7 @@ class HashedFeaturizer:
         use_bigrams: bool = True,
         use_char_ngrams: bool = True,
         salt: str = "repro",
-        cache_size: int = SPARSE_CACHE_SIZE,
+        cache_size: Optional[int] = None,
     ):
         if dim <= 1:
             raise ValueError(f"featurizer dim must be > 1, got {dim}")
@@ -123,12 +153,15 @@ class HashedFeaturizer:
         self.use_bigrams = use_bigrams
         self.use_char_ngrams = use_char_ngrams
         self.salt = salt
-        self.cache_size = cache_size
+        self.cache_size = resolve_cache_size(self.SPARSE_CACHE_SIZE, cache_size)
         # Buckets depend only on (salt, dim); sparse rows additionally on
         # the n-gram flags and the eviction bound.
         self._cache = self._BUCKET_CACHES.setdefault((salt, dim), {})
+        # Keyed by the *resolved* size (matching __setstate__): two
+        # featurizers share rows only when their eviction bound agrees,
+        # so an env-bounded instance never inherits an unbounded cache.
         self._sparse_cache = self._SPARSE_CACHES.setdefault(
-            (salt, dim, use_bigrams, use_char_ngrams, cache_size),
+            (salt, dim, use_bigrams, use_char_ngrams, self.cache_size),
             OrderedDict(),
         )
 

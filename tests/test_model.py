@@ -333,3 +333,80 @@ class TestFrozenActivations:
     def test_empty_dataset_rejected(self, fresh_tiny_model):
         with pytest.raises(ValueError):
             fresh_tiny_model.frozen_activations([])
+
+
+class TestBoundedCaches:
+    """The featurization memos are LRU-bounded (serving memory hygiene)."""
+
+    def _spin(self, model, n):
+        for i in range(n):
+            model.predict(f"prompt number {i}", [f"cand {i} a", f"cand {i} b"])
+
+    def test_candidate_cache_respects_bound(self):
+        model = ScoringLM(
+            ModelConfig(name="lru", feature_dim=64, hidden_dim=8),
+            candidate_cache_size=6,
+        )
+        self._spin(model, 20)
+        assert len(model._candidate_cache) <= 6
+
+    def test_prompt_cache_respects_bound(self):
+        model = ScoringLM(
+            ModelConfig(name="lru", feature_dim=64, hidden_dim=8),
+            prompt_cache_size=5,
+        )
+        self._spin(model, 20)
+        assert len(model._prompt_cache) <= 5
+        assert "prompt number 19" in model._prompt_cache  # LRU keeps newest
+
+    def test_env_bounds_all_caches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LRU_SIZE", "4")
+        model = ScoringLM(ModelConfig(name="lru-env", feature_dim=64, hidden_dim=8))
+        assert model.candidate_cache_size == 4
+        assert model.prompt_cache_size == 4
+        assert model.featurizer.cache_size == 4
+        self._spin(model, 12)
+        sizes = model.cache_sizes()
+        assert sizes["candidate"] <= 4
+        assert sizes["prompt"] <= 4
+        assert sizes["featurizer_sparse"] <= 4
+
+    def test_explicit_sizes_survive_clone(self):
+        model = ScoringLM(
+            ModelConfig(name="lru-clone", feature_dim=64, hidden_dim=8),
+            candidate_cache_size=9,
+            prompt_cache_size=7,
+        )
+        copy = model.clone()
+        assert copy.candidate_cache_size == 9
+        assert copy.prompt_cache_size == 7
+
+    def test_eviction_does_not_change_predictions(self):
+        config = ModelConfig(name="lru-parity", feature_dim=64, hidden_dim=8)
+        bounded = ScoringLM(config, candidate_cache_size=2, prompt_cache_size=2)
+        unbounded = ScoringLM(config)
+        prompts = [f"the quick prompt {i}" for i in range(8)]
+        pools = [[f"yes {i}", f"no {i}", f"maybe {i}"] for i in range(8)]
+        # Two passes so the bounded model replays through evictions.
+        for __ in range(2):
+            got = [bounded.predict(p, c) for p, c in zip(prompts, pools)]
+            want = [unbounded.predict(p, c) for p, c in zip(prompts, pools)]
+            assert got == want
+
+    def test_emit_cache_gauges_records_obs(self, tmp_path):
+        from repro import obs
+
+        model = ScoringLM(ModelConfig(name="lru-obs", feature_dim=64, hidden_dim=8))
+        model.predict("warm the caches", ["a", "b"])
+        tracer = obs.Tracer(tmp_path / "trace.jsonl")
+        with obs.using_tracer(tracer):
+            sizes = model.emit_cache_gauges()
+        assert sizes == model.cache_sizes()
+        gauge_names = {name for name, __ in tracer.gauges}
+        assert "model.cache_size" in gauge_names
+        labels = {
+            dict(attrs).get("cache")
+            for name, attrs in tracer.gauges
+            if name == "model.cache_size"
+        }
+        assert {"candidate", "prompt", "featurizer_sparse"} <= labels

@@ -23,9 +23,12 @@ from repro.runtime import (
     SharedRef,
     WorkerPool,
     available_cpus,
+    release,
     resolve_jobs,
     resolve_shared,
     share,
+    shared_count,
+    sharing,
 )
 
 
@@ -128,6 +131,85 @@ def test_shared_ref_pickles_tiny(bundle):
 def test_unregistered_token_raises():
     with pytest.raises(RuntimeError):
         SharedRef(token=10**9).resolve()
+
+
+def test_release_unpins_object():
+    obj = object()
+    before = shared_count()
+    ref = share(obj)
+    assert shared_count() == before + 1
+    assert release(obj) is True
+    assert shared_count() == before
+    with pytest.raises(RuntimeError):
+        ref.resolve()
+    # Releasing again (by object or by ref) is a harmless no-op.
+    assert release(obj) is False
+    assert release(ref) is False
+
+
+def test_release_by_ref():
+    obj = object()
+    ref = share(obj)
+    assert release(ref) is True
+    with pytest.raises(RuntimeError):
+        ref.resolve()
+
+
+def test_sharing_context_manager_scopes_registration():
+    """Regression: the registry must not grow across fan-outs.
+
+    Before release()/sharing(), every share() pinned its object forever
+    — a leak that matters for long-lived processes like the serve
+    daemon, where each request cycle used to add a backbone-sized entry.
+    """
+    first, second = object(), object()
+    before = shared_count()
+    with sharing(first, second) as (ref1, ref2):
+        assert ref1.resolve() is first
+        assert ref2.resolve() is second
+        assert shared_count() == before + 2
+    assert shared_count() == before
+    with pytest.raises(RuntimeError):
+        ref1.resolve()
+
+
+def test_sharing_releases_on_exception():
+    obj = object()
+    before = shared_count()
+    with pytest.raises(RuntimeError):
+        with sharing(obj):
+            raise RuntimeError("boom")
+    assert shared_count() == before
+
+
+def test_share_after_release_issues_fresh_token():
+    obj = object()
+    ref1 = share(obj)
+    release(obj)
+    ref2 = share(obj)
+    assert ref2.token != ref1.token
+    assert ref2.resolve() is obj
+    release(obj)
+
+
+def test_repeated_fanouts_do_not_grow_registry():
+    """cross_fit_scorer's sharing-scoped fan-out leaves no residue."""
+    obj = object()
+    baseline = shared_count()
+    for __ in range(3):
+        with sharing(obj) as (ref,):
+            assert ref.resolve() is obj
+    assert shared_count() == baseline
+
+
+def test_sharing_releases_previously_shared_objects():
+    """Documented takeover: a pre-shared object is released on exit too."""
+    obj = object()
+    outer = share(obj)
+    with sharing(obj) as (inner,):
+        assert inner is outer  # share() memoises by identity
+    with pytest.raises(RuntimeError):
+        outer.resolve()
 
 
 def test_patch_extraction_payload_excludes_backbone(bundle):

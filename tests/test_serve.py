@@ -1,0 +1,261 @@
+"""Tests for repro.serve — registry, hot-swap parity, protocol, batching."""
+
+import json
+import socket
+
+import pytest
+
+from repro import obs
+from repro.serve import (
+    ServeClient,
+    ServerThread,
+    TenantRegistry,
+    build_demo_registry,
+    build_workload,
+    drive_clients,
+    offline_reference,
+    run_smoke,
+)
+from repro.tinylm.model import ModelConfig, ScoringLM
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_demo_registry(tenants=2, seed=0, n_patches=3, rank=4)
+
+
+@pytest.fixture(scope="module")
+def workload(registry):
+    return build_workload(registry, requests=8, prompts_per_request=3, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_duplicate_backbone_object_is_idempotent(self):
+        registry = TenantRegistry()
+        model = ScoringLM(ModelConfig(name="reg", feature_dim=64, hidden_dim=8))
+        assert registry.add_backbone("b", model) is model
+        assert registry.add_backbone("b", model) is model
+        with pytest.raises(ValueError):
+            registry.add_backbone("b", model.clone())
+
+    def test_entry_requires_known_backbone(self):
+        registry = TenantRegistry()
+        with pytest.raises(KeyError):
+            registry.add_entry("t", "d", "em", None, backbone="missing")
+
+    def test_duplicate_entry_rejected(self, registry):
+        entry = next(iter(registry.entries.values()))
+        with pytest.raises(ValueError):
+            registry.add_entry(
+                entry.tenant, entry.dataset, entry.task, None, entry.backbone
+            )
+
+    def test_ensure_attached_skips_resident_adapter(self, registry):
+        first, second = list(registry.entries.values())[:2]
+        backbone, swapped = registry.ensure_attached(first)
+        assert backbone.adapter is first.adapter
+        version = backbone._adapter_version
+        __, swapped = registry.ensure_attached(first)
+        assert swapped is False
+        # The no-op path must not bump the version: that would
+        # invalidate the effective-weight memo and re-materialise the
+        # fusion deltas on every same-tenant dispatch.
+        assert backbone._adapter_version == version
+        __, swapped = registry.ensure_attached(second)
+        assert swapped is True
+        assert backbone.adapter is second.adapter
+
+    def test_load_tier_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TenantRegistry().load_tier("not-a-tier")
+
+
+# ----------------------------------------------------------------------
+# Hot-swap correctness: shared backbone == isolated per-tenant models
+# ----------------------------------------------------------------------
+class TestHotSwapParity:
+    def test_interleaved_swaps_match_isolated_models(self, registry, workload):
+        """Interleaved attach/predict across two tenants on one shared
+        backbone must be bit-identical to two fully isolated models."""
+        entries = {e.tenant: e for e in registry.entries.values()}
+        shared = registry.backbones["serve-demo"]
+        isolated = {}
+        for tenant, entry in entries.items():
+            model = shared.clone()
+            model.detach()
+            model.attach(entry.adapter)
+            isolated[tenant] = model
+        for item in workload:  # tenant-alternating by construction
+            entry = entries[item["tenant"]]
+            backbone, __ = registry.ensure_attached(entry)
+            got = backbone.predict_batch(item["prompts"], item["pools"])
+            want = isolated[item["tenant"]].predict_batch(
+                item["prompts"], item["pools"]
+            )
+            assert got == want
+
+    def test_detach_restores_base_predictions(self):
+        registry = build_demo_registry(tenants=1, seed=3, n_patches=2)
+        backbone = registry.backbones["serve-demo"]
+        base = backbone.clone()
+        base.detach()
+        entry = next(iter(registry.entries.values()))
+        base_entry = registry.add_entry(
+            "base-tenant", entry.dataset, entry.task, None, entry.backbone
+        )
+        workload = build_workload(registry, requests=2, seed=3)
+        item = workload[0]
+        registry.ensure_attached(entry)
+        backbone.predict_batch(item["prompts"], item["pools"])
+        registry.ensure_attached(base_entry)
+        assert backbone.adapter is None
+        got = backbone.predict_batch(item["prompts"], item["pools"])
+        assert got == base.predict_batch(item["prompts"], item["pools"])
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_ping_stats_and_errors(self, registry, workload):
+        with ServerThread(registry, max_batch=8, max_wait_ms=2.0) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                assert client.ping()
+
+                response = client.request({"op": "nonsense"})
+                assert not response["ok"] and "unknown op" in response["error"]
+
+                response = client.request(
+                    {"op": "predict", "tenant": "nobody", "dataset": "x",
+                     "task": "em", "prompts": ["p"], "pools": [["a"]]}
+                )
+                assert not response["ok"]
+                assert "unknown entry" in response["error"]
+
+                item = workload[0]
+                response = client.request(
+                    {"op": "predict", "tenant": item["tenant"],
+                     "dataset": item["dataset"], "task": item["task"],
+                     "prompts": item["prompts"], "pools": []}
+                )
+                assert not response["ok"]  # length mismatch
+
+                response = client.predict(
+                    item["tenant"], item["dataset"], item["task"],
+                    item["prompts"], item["pools"],
+                )
+                assert response["ok"]
+                assert len(response["predictions"]) == len(item["prompts"])
+                assert response["answers"] == [
+                    item["pools"][i][p]
+                    for i, p in enumerate(response["predictions"])
+                ]
+
+                stats = client.stats()
+                assert stats["requests"] == 1  # errors never reach the queue
+                assert stats["batches"] == 1
+                assert [e["tenant"] for e in stats["entries"]]
+
+    def test_malformed_line_gets_error_not_disconnect(self, registry):
+        with ServerThread(registry) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30
+            ) as raw:
+                raw.sendall(b"this is not json\n")
+                reply = json.loads(raw.makefile("rb").readline())
+                assert not reply["ok"]
+                assert "malformed" in reply["error"]
+
+    def test_shutdown_op_stops_server(self, registry):
+        server = ServerThread(registry).start()
+        with ServeClient("127.0.0.1", server.port) as client:
+            client.shutdown()
+        server._thread.join(timeout=30)
+        assert not server._thread.is_alive()
+
+    def test_startup_failure_surfaces(self, registry):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(RuntimeError):
+                ServerThread(registry, port=port).start()
+        finally:
+            blocker.close()
+
+
+# ----------------------------------------------------------------------
+# Continuous batching: coalesced results == offline oracle
+# ----------------------------------------------------------------------
+class TestBatching:
+    def test_concurrent_load_matches_offline(self, registry, workload):
+        offline = offline_reference(registry, workload)
+        with ServerThread(registry, max_batch=16, max_wait_ms=15.0) as server:
+            responses, latencies = drive_clients(
+                "127.0.0.1", server.port, workload, clients=4
+            )
+            with ServeClient("127.0.0.1", server.port) as probe:
+                stats = probe.stats()
+        for i, response in enumerate(responses):
+            assert response["ok"]
+            assert response["predictions"] == offline[i]
+        assert stats["requests"] == len(workload)
+        assert stats["mean_batch_size"] > 1.0  # coalescing engaged
+        assert all(lat > 0.0 for lat in latencies)
+
+    def test_sequential_server_also_matches_offline(self, registry, workload):
+        offline = offline_reference(registry, workload)
+        with ServerThread(registry, max_batch=1, max_wait_ms=0.0) as server:
+            responses, __ = drive_clients(
+                "127.0.0.1", server.port, workload, clients=1
+            )
+        assert [r["predictions"] for r in responses] == offline
+
+    def test_smoke_runner(self):
+        result = run_smoke(clients=3, requests=6, prompts_per_request=2)
+        assert result["ok"] and result["predictions_identical"]
+
+
+# ----------------------------------------------------------------------
+# Tracing through the request path
+# ----------------------------------------------------------------------
+class TestServeTracing:
+    def test_spans_cover_the_request_path(self, tmp_path):
+        registry = build_demo_registry(tenants=2, seed=1, n_patches=2)
+        workload = build_workload(registry, requests=6, seed=1)
+        tracer = obs.Tracer(tmp_path / "serve.jsonl")
+        with obs.using_tracer(tracer):
+            with ServerThread(
+                registry, max_batch=8, max_wait_ms=10.0
+            ) as server:
+                drive_clients(
+                    "127.0.0.1", server.port, workload, clients=3
+                )
+        spans = {s["name"]: s for s in tracer.spans}
+        assert {"serve.run", "serve.batch", "serve.predict",
+                "serve.request"} <= set(spans)
+        by_id = {s["id"]: s for s in tracer.spans}
+        run_id = spans["serve.run"]["id"]
+        requests = [s for s in tracer.spans if s["name"] == "serve.request"]
+        assert len(requests) == len(workload)
+        for request in requests:
+            batch = by_id[request["parent"]]
+            assert batch["name"] == "serve.batch"
+            assert batch["parent"] == run_id
+        histograms = {name for name, __ in tracer.histograms}
+        assert "serve.queue_wait_ms" in histograms
+        assert "serve.batch_size" in histograms
+        gauge_names = {name for name, __ in tracer.gauges}
+        assert "model.cache_size" in gauge_names
+
+    def test_untraced_serving_records_nothing(self, registry, workload):
+        # obs disabled: record_span/new_span_id must no-op, not crash.
+        assert obs.new_span_id() is None
+        with ServerThread(registry) as server:
+            responses, __ = drive_clients(
+                "127.0.0.1", server.port, workload[:2], clients=1
+            )
+        assert all(r["ok"] for r in responses)

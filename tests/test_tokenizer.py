@@ -9,6 +9,7 @@ from repro.tinylm.tokenizer import (
     HashedFeaturizer,
     count_tokens,
     normalize,
+    resolve_cache_size,
     tokenize,
 )
 
@@ -118,3 +119,42 @@ class TestHashedFeaturizer:
         without = HashedFeaturizer(dim=512, use_bigrams=False)
         text = "alpha beta gamma"
         assert not np.allclose(with_bigrams.encode(text), without.encode(text))
+
+
+class TestCacheSizeResolution:
+    def test_explicit_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LRU_SIZE", "100")
+        assert resolve_cache_size(500, override=7) == 7
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LRU_SIZE", "64")
+        assert resolve_cache_size(500) == 64
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LRU_SIZE", raising=False)
+        assert resolve_cache_size(500) == 500
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LRU_SIZE", "lots")
+        with pytest.raises(ValueError):
+            resolve_cache_size(500)
+
+    def test_floors_at_one(self):
+        assert resolve_cache_size(500, override=0) == 1
+
+    def test_sparse_cache_respects_bound(self):
+        featurizer = HashedFeaturizer(
+            dim=128, salt="lru-test", cache_size=4
+        )
+        for i in range(20):
+            featurizer.encode_sparse(f"text number {i}")
+        assert len(featurizer._sparse_cache) <= 4
+        # Most recent entries survive (LRU semantics).
+        assert "text number 19" in featurizer._sparse_cache
+
+    def test_env_sized_featurizers_share_a_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LRU_SIZE", "8")
+        first = HashedFeaturizer(dim=128, salt="lru-env-test")
+        second = HashedFeaturizer(dim=128, salt="lru-env-test")
+        assert first.cache_size == 8
+        assert first._sparse_cache is second._sparse_cache
