@@ -1,0 +1,89 @@
+"""Perf gate: the zero-copy shm transport must beat pickle ≥ 1.5×.
+
+Times an array-heavy fan-out — every task scores the same large
+candidate pool (the frozen hot-array pattern of backbone weights and
+AKB pools) — through both transports of the same :class:`WorkerPool`:
+
+* pickle: every task's arguments are serialised in full and copied
+  through the executor's pipe (the historical path);
+* shm: arrays live in named shared-memory segments placed once by the
+  parent's :class:`ShmArena`; the pickled skeleton carries only block
+  descriptors and workers map views instead of unpickling copies.
+
+Both pools run ``clamp=False`` forced workers, so on small CI machines
+the speedup measures serialization eliminated, not cores added.
+
+Results are written to ``BENCH_shm.json`` at the repo root and appended
+to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_shm.py
+
+The assertion fails if shared memory is unavailable, if the shm arm is
+less than 1.5× faster, if the skeleton payload is not under 1% of the
+pickle payload, if any result differs across serial / pickle-parallel /
+shm-parallel / 2-shard-merged execution, if any ``repro-*`` segment
+leaks after a clean exit, or if an injected worker crash either goes
+unreported or leaks a segment.
+"""
+
+import pathlib
+
+from repro.perf import Gate, render_shm_benchmark, run_shm_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MIN_SPEEDUP = 1.5
+MAX_PAYLOAD_RATIO = 0.01
+
+
+def test_shm_transport_speedup(record_result):
+    gate = Gate("shm", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    repeats = 2 if gate.preset == "quick" else 3
+    result = run_shm_benchmark(seed=0, jobs=8, repeats=repeats)
+    gate.result.update(result)
+    gate.write(
+        pickle_seconds=result["pickle"]["seconds"],
+        shm_seconds=result["shm"]["seconds"],
+        speedup=result["speedup"],
+        payload_ratio=result["payload_ratio"],
+        tasks=result["tasks"],
+    )
+    record_result("bench_perf_shm", render_shm_benchmark(gate.result))
+
+    gate.require(
+        result["shm_available"],
+        "shared memory transport unavailable (needs fork + "
+        "multiprocessing.shared_memory)",
+    )
+    gate.require(
+        result["payload_ratio"] < MAX_PAYLOAD_RATIO,
+        f"skeleton payload is {result['payload_ratio']:.2%} of the "
+        f"pickle payload (need < {MAX_PAYLOAD_RATIO:.0%})",
+    )
+    gate.require(
+        result["predictions_identical"],
+        "results diverged between serial, pickle-parallel and "
+        "shm-parallel execution",
+    )
+    gate.require(
+        result["sharded_identical"],
+        "2-shard claim/merge round trip diverged from the serial run",
+    )
+    gate.require(
+        not result["leaked_segments"],
+        f"leaked segments after clean exit: {result['leaked_segments']}",
+    )
+    gate.require(
+        result["crash_raised"],
+        "injected worker crash was not surfaced to the caller",
+    )
+    gate.require(
+        not result["crash_leaked_segments"],
+        f"leaked segments after injected crash: "
+        f"{result['crash_leaked_segments']}",
+    )
+    gate.require_speedup()
+    gate.check()

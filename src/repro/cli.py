@@ -19,6 +19,9 @@ Commands
     Long-lived multi-tenant adaptation server (line-delimited JSON over
     TCP, continuous batching across tenants sharing a backbone); or
     ``--smoke`` for an in-process end-to-end check.
+``merge-shards``
+    Combine a sharded grid run's per-shard results, perf snapshots and
+    traces into the single report an unsharded run would have produced.
 ``cache``
     Inspect or maintain the persistent artifact store
     (``stats`` / ``clear`` / ``gc``).
@@ -29,6 +32,11 @@ Commands
 Output goes through :class:`repro.reporting.Console`: every command
 accepts ``--quiet`` (suppress progress chatter, keep results) and
 ``--json`` (emit one machine-readable JSON document instead of text).
+
+``adapt`` and ``experiment`` accept ``--shard I/N`` plus ``--grid-dir``
+to split the per-dataset grid across N coordinated invocations (see
+:mod:`repro.shard` and ``docs/performance.md``); ``merge-shards``
+reassembles the full report afterwards.
 
 ``adapt``, ``experiment`` and ``perf`` accept ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) to persist deterministic
@@ -43,6 +51,7 @@ render it afterwards with ``python -m repro trace PATH``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -96,6 +105,20 @@ def _add_output_args(
         )
 
 
+def _add_shard_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run shard I of an N-way grid partition (1-based); "
+        "N invocations coordinate through --grid-dir",
+    )
+    command.add_argument(
+        "--grid-dir", default=None, metavar="DIR",
+        help="shared coordination directory for --shard runs "
+        "(claims, per-cell results, traces); merge afterwards with "
+        "'repro merge-shards --grid-dir DIR'",
+    )
+
+
 def _add_cache_args(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -122,7 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_args(listing)
 
     adapt = commands.add_parser("adapt", help="adapt a DP-LLM to one dataset")
-    adapt.add_argument("dataset", help="dataset id, e.g. ed/beer")
+    adapt.add_argument(
+        "dataset",
+        help="dataset id, e.g. ed/beer; with --shard, a comma-separated "
+        "list or 'all'",
+    )
     adapt.add_argument("--tier", default="mistral-7b", choices=sorted(TIERS))
     adapt.add_argument("--seed", type=int, default=0)
     adapt.add_argument("--count", type=int, default=200, help="dataset size")
@@ -133,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS env, then 1)",
     )
+    _add_shard_args(adapt)
     _add_output_args(adapt, trace=True)
     _add_cache_args(adapt)
 
@@ -148,8 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-dataset rows "
         "(default: REPRO_JOBS env, then 1)",
     )
+    _add_shard_args(experiment)
     _add_output_args(experiment, trace=True)
     _add_cache_args(experiment)
+
+    merge = commands.add_parser(
+        "merge-shards",
+        help="combine a sharded grid run into the full report",
+    )
+    merge.add_argument(
+        "--grid-dir", required=True, metavar="DIR",
+        help="coordination directory the shards ran against",
+    )
+    merge.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the merged cross-shard trace here "
+        "(default: GRID_DIR/merged-trace.jsonl)",
+    )
+    merge.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the merged report as JSON to PATH",
+    )
+    _add_output_args(merge)
 
     conflict = commands.add_parser(
         "conflict", help="gradient tug-of-war diagnostic (paper Fig. 1)"
@@ -190,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--train", action="store_true",
         help="run the rank-space training benchmark "
         "(dense vs rank-space frozen-backbone SKC stage-3 fit)",
+    )
+    perf.add_argument(
+        "--shm", action="store_true",
+        help="run the zero-copy transport benchmark "
+        "(pickle payloads vs shared-memory arena + result slabs)",
     )
     perf.add_argument(
         "--serve", action="store_true",
@@ -298,7 +351,76 @@ def _cmd_list(args: argparse.Namespace, console: Console) -> int:
     return 0
 
 
+def _shard_spec(args: argparse.Namespace, console: Console):
+    """Parse and validate ``--shard``/``--grid-dir``; None on error."""
+    from .shard import ShardSpec
+
+    if not args.grid_dir:
+        console.error("--shard requires --grid-dir")
+        return None
+    try:
+        return ShardSpec.parse(args.shard)
+    except ValueError as err:
+        console.error(str(err))
+        return None
+
+
+def _cmd_adapt_shard(args: argparse.Namespace, console: Console) -> int:
+    from . import shard as sharding
+
+    spec = _shard_spec(args, console)
+    if spec is None:
+        return 2
+    if args.dataset == "all":
+        dataset_ids = list(generators.downstream_ids())
+    else:
+        dataset_ids = [d for d in args.dataset.split(",") if d]
+    bundle = None
+
+    def compute(dataset_id: str) -> dict:
+        nonlocal bundle
+        if bundle is None:
+            # Lazy: a fully-complete re-run never builds the backbone.
+            console.info(f"building upstream bundle ({args.tier}) ...")
+            bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
+        console.info(f"adapting to {dataset_id} ...")
+        splits = load_splits(dataset_id, count=args.count, seed=args.seed)
+        adapter = KnowTrans(
+            bundle,
+            config=KnowTransConfig.fast(),
+            use_skc=not args.no_skc,
+            use_akb=not args.no_akb,
+            jobs=args.jobs,
+        )
+        adapted = adapter.fit(splits)
+        score = evaluate_method(adapted, splits.test.examples, adapted.task.name)
+        return {
+            "dataset": dataset_id,
+            "tier": args.tier,
+            "seed": args.seed,
+            "task": adapted.task.name,
+            "score": score,
+        }
+
+    try:
+        summary = sharding.run_adapt_shard(
+            dataset_ids, spec, args.grid_dir, compute
+        )
+    except ValueError as err:
+        console.error(str(err))
+        return 2
+    console.result(
+        f"{spec.label}: computed {len(summary['computed'])} cell(s), "
+        f"skipped {len(summary['skipped'])}, "
+        f"reclaimed {len(summary['reclaimed'])}"
+    )
+    console.update(summary)
+    return 0
+
+
 def _cmd_adapt(args: argparse.Namespace, console: Console) -> int:
+    if args.shard:
+        return _cmd_adapt_shard(args, console)
     console.info(f"building upstream bundle ({args.tier}) ...")
     bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
     splits = load_splits(args.dataset, count=args.count, seed=args.seed)
@@ -344,6 +466,32 @@ def _cmd_experiment(args: argparse.Namespace, console: Console) -> int:
         else experiments.ExperimentContext.quick()
     )
     ctx.jobs = args.jobs
+    if args.shard:
+        from . import shard as sharding
+
+        if args.name not in experiments.GRIDS:
+            console.error(
+                f"experiment {args.name!r} is not shardable; "
+                "shardable grids: " + ", ".join(sorted(experiments.GRIDS))
+            )
+            return 2
+        spec = _shard_spec(args, console)
+        if spec is None:
+            return 2
+        try:
+            summary = sharding.run_experiment_shard(
+                args.name, ctx, spec, args.grid_dir
+            )
+        except ValueError as err:
+            console.error(str(err))
+            return 2
+        console.result(
+            f"{spec.label}: computed {len(summary['computed'])} cell(s), "
+            f"skipped {len(summary['skipped'])}, "
+            f"reclaimed {len(summary['reclaimed'])}"
+        )
+        console.update(summary)
+        return 0
     result = _EXPERIMENTS[args.name](ctx)
     console.result(result["text"])
     console.set("name", args.name)
@@ -442,6 +590,34 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
             console.set("ok", False)
             return 1
         console.result("train benchmark OK")
+        console.set("ok", True)
+        return 0
+
+    if args.shm:
+        from .perf import render_shm_benchmark, run_shm_benchmark
+
+        result = run_shm_benchmark(seed=args.seed, repeats=args.repeats)
+        console.result(render_shm_benchmark(result))
+        console.set("benchmark", result)
+        failures = [
+            label
+            for label, ok in (
+                ("results diverged", result["predictions_identical"]),
+                ("2-shard merge diverged", result["sharded_identical"]),
+                ("segments leaked", not result["leaked_segments"]),
+                (
+                    "segments leaked after crash",
+                    not result["crash_leaked_segments"],
+                ),
+                ("worker crash not surfaced", result["crash_raised"]),
+            )
+            if not ok
+        ]
+        if failures:
+            console.error("shm benchmark FAILED: " + "; ".join(failures))
+            console.set("ok", False)
+            return 1
+        console.result("shm benchmark OK")
         console.set("ok", True)
         return 0
 
@@ -552,9 +728,38 @@ def _cmd_serve(args: argparse.Namespace, console: Console) -> int:
     )
 
 
-def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
-    import os
+def _cmd_merge_shards(args: argparse.Namespace, console: Console) -> int:
+    from . import shard as sharding
 
+    try:
+        result = sharding.merge_shards(
+            args.grid_dir, trace_out=args.trace_out
+        )
+    except (FileNotFoundError, ValueError) as err:
+        console.error(str(err))
+        return 1
+    console.result(result["text"])
+    console.set("experiment", result["experiment"])
+    console.set("shards", result["shards"])
+    console.set(
+        "result",
+        {key: value for key, value in result.items() if key != "text"},
+    )
+    if result.get("merged_trace"):
+        console.info(f"merged trace written to {result['merged_trace']}")
+    if args.out:
+        import json
+
+        payload = {k: v for k, v in result.items() if k != "text"}
+        artifact_store.atomic_write_bytes(
+            args.out, (json.dumps(payload, sort_keys=True) + "\n").encode()
+        )
+        console.info(f"merged report written to {args.out}")
+        console.set("out", args.out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
     cache_dir = args.cache_dir or os.environ.get(
         "REPRO_CACHE_DIR", ""
     ).strip()
@@ -606,6 +811,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "adapt": _cmd_adapt,
     "experiment": _cmd_experiment,
+    "merge-shards": _cmd_merge_shards,
     "conflict": _cmd_conflict,
     "perf": _cmd_perf,
     "serve": _cmd_serve,
@@ -627,6 +833,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         artifact_store.configure(cache_dir=args.cache_dir)
     if hasattr(args, "trace"):
         trace_path = obs.resolve_trace_path(args.trace)
+        if (
+            not trace_path
+            and getattr(args, "shard", None)
+            and getattr(args, "grid_dir", None)
+        ):
+            # Sharded runs trace by default so merge-shards can stitch
+            # one cross-shard trace without per-shard --trace flags.
+            from .shard import ShardSpec
+
+            try:
+                spec = ShardSpec.parse(args.shard)
+            except ValueError:
+                spec = None  # the handler reports the bad spec
+            if spec is not None:
+                trace_path = os.path.join(
+                    args.grid_dir, "traces", f"{spec.label}.jsonl"
+                )
+                os.makedirs(os.path.dirname(trace_path), exist_ok=True)
         if trace_path:
             obs.configure(trace_path)
     try:

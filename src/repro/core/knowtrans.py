@@ -217,7 +217,7 @@ def _report_lambdas(fusion) -> None:
 
 
 def _shadow_task(args):
-    """Build one cross-fit shadow model (worker-pool task).
+    """Fine-tune one cross-fit shadow's adapter (worker-pool task).
 
     A pure function of its picklable arguments: the clone, the fusion
     attachment, and the fine-tune all derive their randomness from
@@ -225,10 +225,16 @@ def _shadow_task(args):
     process yields the same weights as building it inline.  The frozen
     upstream model and patch list arrive as fork-inherited
     :class:`~repro.runtime.SharedRef` tokens — only the half-split
-    few-shot data and config cross the IPC boundary.
+    few-shot data and config cross the IPC boundary — and the *result*
+    is just the fused adapter's trained state (the λ vector and LoRA
+    factors, a few small arrays), never the shadow model itself: its
+    backbone is a byte-exact copy of the upstream weights the parent
+    already holds, so shipping it home would pay megabytes of result
+    transport per fold for nothing.  The parent reattaches the state
+    via the same :func:`_load_fusion_state` path a warm store hit uses.
     """
     model_ref, patches_ref, skc_config, strategy, name, train_half, base_knowledge = args
-    shadow, __fusion = _fused_finetune(
+    __shadow, fusion = _fused_finetune(
         resolve_shared(model_ref),
         resolve_shared(patches_ref),
         skc_config,
@@ -237,7 +243,7 @@ def _shadow_task(args):
         train_half,
         base_knowledge,
     )
-    return shadow
+    return _fusion_state(fusion)
 
 
 class CrossFitScorer:
@@ -538,7 +544,7 @@ class KnowTrans:
             model_ref,
             patches_ref,
         ):
-            shadows = self.pool.map(
+            states = self.pool.map(
                 _shadow_task,
                 [
                     (
@@ -553,4 +559,24 @@ class KnowTrans:
                     for fold, train_half in enumerate(halves)
                 ],
             )
+        # Rebuild each shadow from its compact adapter state — the exact
+        # code path a warm "finetune" store hit takes, so the
+        # reconstruction is bit-identical to the worker's model.
+        shadows = []
+        for fold, state in enumerate(states):
+            shadow, fusion = attach_fusion(
+                self.bundle.upstream_model,
+                patches,
+                self.config.skc,
+                strategy=self.strategy,
+                name=f"shadow{fold}-{few_shot.name}",
+            )
+            if not _load_fusion_state(fusion, state):
+                raise RuntimeError(
+                    f"shadow fold {fold} returned an incompatible fusion "
+                    "state — adapter shapes drifted between parent and "
+                    "worker"
+                )
+            shadow.bump_adapter_version()
+            shadows.append(shadow)
         return CrossFitScorer(shadows, halves, task)

@@ -10,7 +10,7 @@ functions one-to-one; tests run them at the ``quick`` preset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.closed import CLOSED_MODELS, make_closed_model
 from ..baselines.jellyfish import UpstreamBundle, get_bundle
@@ -33,6 +33,9 @@ from . import harness, plots, reporting
 
 __all__ = [
     "ExperimentContext",
+    "GridSpec",
+    "GRIDS",
+    "assemble_grid",
     "table1_dataset_statistics",
     "table2_open_source_comparison",
     "table3_cost_analysis",
@@ -144,6 +147,77 @@ class ExperimentContext:
 
 
 # ---------------------------------------------------------------------------
+# The shardable experiment grid
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridSpec:
+    """One row-per-dataset experiment, described as a shardable grid.
+
+    The table/figure harness and the shard coordinator share this one
+    description: ``row_fn`` computes a single ``(ctx, dataset_id)`` cell
+    (it is the exact worker-pool task the unsharded run maps over), and
+    :func:`assemble_grid` turns any complete set of cell rows — however
+    they were computed — into the final report.  Because both paths run
+    the identical row function and the identical assembly, a merged
+    N-shard run is bit-identical to a single-process run by
+    construction.
+    """
+
+    name: str
+    title: str
+    columns: Tuple[str, ...]
+    dataset_ids: Tuple[str, ...]
+    row_fn: Callable[[Tuple["ExperimentContext", str]], Dict]
+    prewarm: Callable[["ExperimentContext"], None]
+
+
+def _finish_rows(spec: GridSpec, rows: Sequence[Dict]) -> Dict:
+    """Append the averages row and render — the single assembly path."""
+    rows = list(rows)
+    columns = list(spec.columns)
+    rows.append(reporting.averages_row(rows, columns))
+    text = reporting.render_table(spec.title, columns, rows)
+    return {"rows": rows, "text": text}
+
+
+def assemble_grid(name: str, rows_by_dataset: Dict[str, Dict]) -> Dict:
+    """Build an experiment's full report from per-cell rows.
+
+    ``rows_by_dataset`` maps dataset id → the row dict its grid cell
+    produced (typically read back from per-shard result files).  Rows
+    are reassembled in the grid's canonical dataset order regardless of
+    which shard computed them or when, so the output is identical to an
+    unsharded run.  Raises ``ValueError`` when cells are missing — a
+    merge over an incomplete grid must fail loudly, not average fewer
+    datasets.
+    """
+    spec = GRIDS[name]
+    missing = [d for d in spec.dataset_ids if d not in rows_by_dataset]
+    if missing:
+        raise ValueError(
+            f"grid {name!r} is missing {len(missing)} cell(s): "
+            + ", ".join(missing)
+        )
+    return _finish_rows(spec, [rows_by_dataset[d] for d in spec.dataset_ids])
+
+
+def _run_grid(
+    name: str, ctx: "ExperimentContext", dataset_ids: Sequence[str]
+) -> Dict:
+    """Unsharded grid execution: prewarm, map the row fn, assemble."""
+    spec = GRIDS[name]
+    spec.prewarm(ctx)
+    rows = ctx.pool().map(
+        spec.row_fn, [(ctx, dataset_id) for dataset_id in dataset_ids]
+    )
+    return _finish_rows(spec, rows)
+
+
+def _default_prewarm(ctx: "ExperimentContext") -> None:
+    ctx.prewarm()
+
+
+# ---------------------------------------------------------------------------
 # Table I / Table VII — dataset statistics
 # ---------------------------------------------------------------------------
 def table1_dataset_statistics(ctx: ExperimentContext) -> Dict:
@@ -230,27 +304,17 @@ def _table2_row(args) -> Dict:
     return scores
 
 
+def _table2_prewarm(ctx: ExperimentContext) -> None:
+    ctx.prewarm()
+    create_base_model("mistral-7b", seed=ctx.seed)
+    create_base_model("tablellama", seed=ctx.seed)
+
+
 def table2_open_source_comparison(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ALL_DATASETS
 ) -> Dict:
     """Paper Table II: KnowTrans vs open-source DP-LLMs and non-LLMs."""
-    ctx.prewarm()
-    create_base_model("mistral-7b", seed=ctx.seed)
-    create_base_model("tablellama", seed=ctx.seed)
-    rows = ctx.pool().map(
-        _table2_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
-    )
-    columns = [
-        "non_llm", "mistral", "tablellama", "meld",
-        "jellyfish", "jellyfish_icl", "knowtrans",
-    ]
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Table II: open-source DP-LLMs and non-LLM methods (few-shot)",
-        columns,
-        rows,
-    )
-    return {"rows": rows, "text": text}
+    return _run_grid("table2", ctx, dataset_ids)
 
 
 # ---------------------------------------------------------------------------
@@ -325,22 +389,15 @@ def _table4_row(args) -> Dict:
     return scores
 
 
+def _table4_prewarm(ctx: ExperimentContext) -> None:
+    ctx.prewarm([(tier, True) for tier in _TIER_MAP.values()])
+
+
 def table4_closed_source_comparison(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ALL_DATASETS
 ) -> Dict:
     """Paper Table IV: GPT baselines vs KnowTrans-7B/8B/13B."""
-    ctx.prewarm([(tier, True) for tier in _TIER_MAP.values()])
-    rows = ctx.pool().map(
-        _table4_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
-    )
-    columns = ["gpt_3_5", "gpt_4", "gpt_4o", "knowtrans_7b", "knowtrans_8b", "knowtrans_13b"]
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Table IV: closed-source LLMs vs KnowTrans tiers",
-        columns,
-        rows,
-    )
-    return {"rows": rows, "text": text}
+    return _run_grid("table4", ctx, dataset_ids)
 
 
 # ---------------------------------------------------------------------------
@@ -377,16 +434,7 @@ def table5_ablation(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = ABLATION_DATASETS
 ) -> Dict:
     """Paper Table V: removing SKC / AKB / both."""
-    ctx.prewarm()
-    rows = ctx.pool().map(
-        _table5_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
-    )
-    columns = list(_ABLATION_VARIANTS)
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Table V: ablation study", columns, rows
-    )
-    return {"rows": rows, "text": text}
+    return _run_grid("table5", ctx, dataset_ids)
 
 
 # ---------------------------------------------------------------------------
@@ -418,16 +466,7 @@ def table6_weight_strategies(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = STRATEGY_DATASETS
 ) -> Dict:
     """Paper Table VI: single vs uniform vs adaptive vs full KnowTrans."""
-    ctx.prewarm()
-    rows = ctx.pool().map(
-        _table6_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
-    )
-    columns = ["single", "uniform", "adaptive", "knowtrans"]
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Table VI: patch weighting strategies", columns, rows
-    )
-    return {"rows": rows, "text": text}
+    return _run_grid("table6", ctx, dataset_ids)
 
 
 # ---------------------------------------------------------------------------
@@ -530,43 +569,88 @@ def _backbone_row(args) -> Dict:
     return scores
 
 
-def _backbone_rows(
-    ctx: ExperimentContext, dataset_ids: Sequence[str]
-) -> List[Dict]:
+_BACKBONE_COLUMNS = tuple(
+    column for label in _BACKBONES for column in (label, label + "+kt")
+)
+
+
+def _backbone_prewarm(ctx: ExperimentContext) -> None:
     ctx.prewarm(list(_BACKBONES.values()))
-    return ctx.pool().map(
-        _backbone_row, [(ctx, dataset_id) for dataset_id in dataset_ids]
-    )
 
 
 def fig5_backbones_on_datasets(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = NOVEL_DATASET_IDS
 ) -> Dict:
     """Paper Fig. 5: backbones ± KnowTrans on novel datasets."""
-    rows = _backbone_rows(ctx, dataset_ids)
-    columns = [c for c in rows[0] if c != "dataset"]
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Fig. 5: backbones on novel datasets (bare vs +KnowTrans)",
-        columns,
-        rows,
-    )
-    return {"rows": rows, "text": text}
+    return _run_grid("fig5", ctx, dataset_ids)
 
 
 def fig6_backbones_on_tasks(
     ctx: ExperimentContext, dataset_ids: Sequence[str] = NOVEL_TASK_IDS
 ) -> Dict:
     """Paper Fig. 6: backbones ± KnowTrans on novel tasks."""
-    rows = _backbone_rows(ctx, dataset_ids)
-    columns = [c for c in rows[0] if c != "dataset"]
-    rows.append(reporting.averages_row(rows, columns))
-    text = reporting.render_table(
-        "Fig. 6: backbones on novel tasks (bare vs +KnowTrans)",
-        columns,
-        rows,
+    return _run_grid("fig6", ctx, dataset_ids)
+
+
+GRIDS: Dict[str, GridSpec] = {
+    spec.name: spec
+    for spec in (
+        GridSpec(
+            name="table2",
+            title="Table II: open-source DP-LLMs and non-LLM methods (few-shot)",
+            columns=(
+                "non_llm", "mistral", "tablellama", "meld",
+                "jellyfish", "jellyfish_icl", "knowtrans",
+            ),
+            dataset_ids=ALL_DATASETS,
+            row_fn=_table2_row,
+            prewarm=_table2_prewarm,
+        ),
+        GridSpec(
+            name="table4",
+            title="Table IV: closed-source LLMs vs KnowTrans tiers",
+            columns=(
+                "gpt_3_5", "gpt_4", "gpt_4o",
+                "knowtrans_7b", "knowtrans_8b", "knowtrans_13b",
+            ),
+            dataset_ids=ALL_DATASETS,
+            row_fn=_table4_row,
+            prewarm=_table4_prewarm,
+        ),
+        GridSpec(
+            name="table5",
+            title="Table V: ablation study",
+            columns=tuple(_ABLATION_VARIANTS),
+            dataset_ids=ABLATION_DATASETS,
+            row_fn=_table5_row,
+            prewarm=_default_prewarm,
+        ),
+        GridSpec(
+            name="table6",
+            title="Table VI: patch weighting strategies",
+            columns=("single", "uniform", "adaptive", "knowtrans"),
+            dataset_ids=STRATEGY_DATASETS,
+            row_fn=_table6_row,
+            prewarm=_default_prewarm,
+        ),
+        GridSpec(
+            name="fig5",
+            title="Fig. 5: backbones on novel datasets (bare vs +KnowTrans)",
+            columns=_BACKBONE_COLUMNS,
+            dataset_ids=NOVEL_DATASET_IDS,
+            row_fn=_backbone_row,
+            prewarm=_backbone_prewarm,
+        ),
+        GridSpec(
+            name="fig6",
+            title="Fig. 6: backbones on novel tasks (bare vs +KnowTrans)",
+            columns=_BACKBONE_COLUMNS,
+            dataset_ids=NOVEL_TASK_IDS,
+            row_fn=_backbone_row,
+            prewarm=_backbone_prewarm,
+        ),
     )
-    return {"rows": rows, "text": text}
+}
 
 
 # ---------------------------------------------------------------------------

@@ -83,6 +83,8 @@ __all__ = [
     "worker_snapshot",
     "merge_worker",
     "read_trace",
+    "merge_trace_rows",
+    "write_trace_rows",
     "rollup",
     "render_trace",
 ]
@@ -583,6 +585,103 @@ def read_trace(path: os.PathLike) -> List[dict]:
             if isinstance(row, dict):
                 rows.append(row)
     return rows
+
+
+def merge_trace_rows(row_sets: Sequence[Sequence[dict]]) -> List[dict]:
+    """Merge several traces' rows into one coherent row list.
+
+    :meth:`Tracer.merge` folds *snapshots* across a fork boundary — one
+    process tree, shared id counter lineage.  Shard runs are separate
+    trees: their span ids (``pid-counter``) can collide outright when
+    the OS recycles pids, and their metric rows are already aggregated.
+    This merges at the *row* level instead: every span and parent id is
+    namespaced by its shard index (``s0:<id>``), counters sum, gauge
+    series concatenate in shard order, and histogram aggregates
+    count/total-sum and min/max-merge — the same semantics the
+    fork-aware path applies to live buffers.  Returns header-first rows
+    ready for :func:`write_trace_rows`; the header records the merged
+    shard count and each shard's original argv.
+    """
+
+    def _metric_key(row: dict) -> Tuple[str, str]:
+        return (
+            row["name"],
+            json.dumps(row.get("attrs", {}), sort_keys=True),
+        )
+
+    spans: List[dict] = []
+    counters: Dict[Tuple[str, str], dict] = {}
+    gauges: Dict[Tuple[str, str], dict] = {}
+    histograms: Dict[Tuple[str, str], dict] = {}
+    headers: List[dict] = []
+    for shard_index, rows in enumerate(row_sets):
+        prefix = f"s{shard_index}:"
+        for row in rows:
+            kind = row.get("type")
+            if kind == "trace":
+                headers.append(row)
+            elif kind == "span":
+                event = dict(row)
+                event["id"] = prefix + str(event["id"])
+                if event.get("parent") is not None:
+                    event["parent"] = prefix + str(event["parent"])
+                spans.append(event)
+            elif kind == "counter":
+                key = _metric_key(row)
+                slot = counters.get(key)
+                if slot is None:
+                    counters[key] = dict(row)
+                else:
+                    slot["value"] += row["value"]
+            elif kind == "gauge":
+                key = _metric_key(row)
+                slot = gauges.get(key)
+                if slot is None:
+                    gauges[key] = dict(row, values=list(row.get("values", [])))
+                else:
+                    slot["values"].extend(row.get("values", []))
+            elif kind == "histogram":
+                key = _metric_key(row)
+                slot = histograms.get(key)
+                if slot is None:
+                    histograms[key] = dict(row)
+                else:
+                    slot["count"] += row.get("count", 0)
+                    slot["total"] += row.get("total", 0.0)
+                    slot["min"] = min(slot["min"], row.get("min", slot["min"]))
+                    slot["max"] = max(slot["max"], row.get("max", slot["max"]))
+    merged: List[dict] = [
+        {
+            "type": "trace",
+            "version": TRACE_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "started_at": min(
+                (h.get("started_at") for h in headers if h.get("started_at")),
+                default=time.time(),
+            ),
+            "argv": list(sys.argv),
+            "merged_shards": len(list(row_sets)),
+            "shard_argv": [h.get("argv") for h in headers],
+        }
+    ]
+    merged.extend(sorted(spans, key=lambda e: e.get("start", 0.0)))
+    for table in (counters, gauges, histograms):
+        merged.extend(
+            table[key] for key in sorted(table, key=lambda k: (k[0], k[1]))
+        )
+    return merged
+
+
+def write_trace_rows(path: os.PathLike, rows: Sequence[dict]) -> Path:
+    """Atomically write trace rows as JSONL (merged-shard traces)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    os.replace(tmp, path)
+    return path
 
 
 def _metric_label(name: str, attrs: Dict[str, Any]) -> str:

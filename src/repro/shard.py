@@ -1,0 +1,348 @@
+"""Sharded execution of the experiment grid across processes.
+
+``python -m repro experiment table2 --shard 2/4 --grid-dir DIR`` runs one
+of four coordinated invocations; ``python -m repro merge-shards
+--grid-dir DIR`` combines their outputs into the same report a single
+process would have produced.
+
+Coordination protocol
+---------------------
+The grid is the cross product an experiment maps its worker pool over —
+one *cell* per dataset row.  Cells are deterministically partitioned:
+cell ``j`` (0-based position in the grid's canonical dataset order)
+belongs to shard ``i`` of ``N`` (1-based) iff ``j % N == i - 1``, so the
+partition needs no communication and every cell has exactly one owner.
+
+Within a shard the filesystem is the coordinator; there is no server
+and no lock held across work:
+
+* ``claims/<cell>.claim`` — created with ``O_CREAT | O_EXCL``
+  (:func:`repro.store.try_claim`), the lock-free atomic claim.  The
+  payload records the claimant's pid and host.
+* ``cells/<cell>.json`` — the cell's row, written atomically
+  (:func:`repro.store.atomic_write_bytes`).  **Presence of the result
+  file is the done marker**; claims are never trusted as completion.
+* A claim without a result whose pid is dead is an *orphan* (the shard
+  crashed mid-cell).  A re-run unlinks the orphaned claim and re-claims
+  it once — losing the race to another re-run is fine, someone owns it.
+
+Merging reads the manifest (``grid.json``, written once by whichever
+shard gets there first), asserts every cell is present, and reassembles
+rows in canonical order through
+:func:`repro.eval.experiments.assemble_grid` — the same assembly path
+the unsharded run uses, so the merged report is bit-identical by
+construction.  Per-shard perf snapshots fold into the live
+:data:`repro.perf.PERF` registry and per-shard traces merge through
+:func:`repro.obs.merge_trace_rows`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import obs
+from .eval import experiments, reporting
+from .perf import PERF
+from .store import atomic_write_bytes, try_claim
+
+__all__ = [
+    "ShardSpec",
+    "cell_name",
+    "merge_shards",
+    "read_manifest",
+    "run_adapt_shard",
+    "run_experiment_shard",
+]
+
+_MANIFEST = "grid.json"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an ``N``-way grid partition (1-based index)."""
+
+    index: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(f"shard total must be >= 1, got {self.total}")
+        if not 1 <= self.index <= self.total:
+            raise ValueError(
+                f"shard index must be in 1..{self.total}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``i/N`` (e.g. ``--shard 2/4``)."""
+        index, sep, total = text.partition("/")
+        if not sep:
+            raise ValueError(f"bad shard spec {text!r}: expected I/N")
+        try:
+            return cls(index=int(index), total=int(total))
+        except ValueError as err:
+            raise ValueError(f"bad shard spec {text!r}: {err}") from None
+
+    def owns(self, position: int) -> bool:
+        """Whether grid cell at ``position`` belongs to this shard."""
+        return position % self.total == self.index - 1
+
+    @property
+    def label(self) -> str:
+        return f"shard-{self.index}-of-{self.total}"
+
+
+def cell_name(experiment: str, dataset_id: str) -> str:
+    """Filesystem-safe name for one grid cell."""
+    return f"{experiment}__{dataset_id.replace('/', '_')}"
+
+
+def _grid_paths(grid_dir: os.PathLike) -> Dict[str, Path]:
+    root = Path(grid_dir)
+    paths = {
+        "root": root,
+        "cells": root / "cells",
+        "claims": root / "claims",
+        "shards": root / "shards",
+        "traces": root / "traces",
+    }
+    for path in paths.values():
+        path.mkdir(parents=True, exist_ok=True)
+    return paths
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe for a claim's pid (same-host only)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The pid exists but belongs to another user: alive.
+        return True
+    return True
+
+
+def _ensure_manifest(
+    root: Path, experiment: str, dataset_ids: Sequence[str], total: int
+) -> Dict:
+    """Write the grid manifest once; verify agreement on re-entry."""
+    payload = {
+        "experiment": experiment,
+        "datasets": list(dataset_ids),
+        "total": total,
+    }
+    path = root / _MANIFEST
+    if try_claim(path, payload):
+        return payload
+    existing = json.loads(path.read_text())
+    if existing != payload:
+        raise ValueError(
+            f"grid dir {root} was initialised for "
+            f"{existing.get('experiment')!r} x {existing.get('total')} "
+            f"shards over {len(existing.get('datasets', []))} datasets; "
+            f"refusing to mix it with {experiment!r} x {total}"
+        )
+    return existing
+
+
+def read_manifest(grid_dir: os.PathLike) -> Dict:
+    """Load the grid manifest written by the first shard to arrive."""
+    path = Path(grid_dir) / _MANIFEST
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no grid manifest at {path}: run at least one shard first"
+        )
+    return json.loads(path.read_text())
+
+
+def _run_cells(
+    experiment: str,
+    dataset_ids: Sequence[str],
+    spec: ShardSpec,
+    grid_dir: os.PathLike,
+    compute: Callable[[str], Dict],
+) -> Dict:
+    """Claim-and-compute loop shared by experiment and adapt sharding."""
+    paths = _grid_paths(grid_dir)
+    _ensure_manifest(paths["root"], experiment, dataset_ids, spec.total)
+    claim_payload = {
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "shard": spec.index,
+    }
+    computed: List[str] = []
+    skipped: List[str] = []
+    reclaimed: List[str] = []
+    for position, dataset_id in enumerate(dataset_ids):
+        if not spec.owns(position):
+            continue
+        cell = cell_name(experiment, dataset_id)
+        cell_path = paths["cells"] / f"{cell}.json"
+        claim_path = paths["claims"] / f"{cell}.claim"
+        if cell_path.exists():
+            skipped.append(dataset_id)
+            continue
+        if not try_claim(claim_path, claim_payload):
+            if cell_path.exists():
+                skipped.append(dataset_id)
+                continue
+            try:
+                holder = json.loads(claim_path.read_text())
+            except (OSError, ValueError):
+                holder = {}
+            pid = holder.get("pid")
+            if (
+                isinstance(pid, int)
+                and holder.get("host") == claim_payload["host"]
+                and _pid_alive(pid)
+            ):
+                # A live duplicate invocation of this shard owns the
+                # cell; it will finish (or die and be reclaimed later).
+                skipped.append(dataset_id)
+                continue
+            # Orphaned (dead pid, foreign host, or unreadable claim):
+            # take it over, racing at most one other re-run.
+            try:
+                claim_path.unlink()
+            except FileNotFoundError:
+                pass
+            if not try_claim(claim_path, claim_payload):
+                skipped.append(dataset_id)
+                continue
+            reclaimed.append(dataset_id)
+        with obs.span("shard.cell", experiment=experiment, dataset=dataset_id):
+            row = compute(dataset_id)
+        atomic_write_bytes(
+            cell_path,
+            (json.dumps(row, sort_keys=True, default=float) + "\n").encode(),
+        )
+        computed.append(dataset_id)
+        obs.counter("shard.cells_computed")
+    summary = {
+        "experiment": experiment,
+        "shard": spec.index,
+        "total": spec.total,
+        "computed": computed,
+        "skipped": skipped,
+        "reclaimed": reclaimed,
+        "perf": PERF.snapshot(),
+    }
+    atomic_write_bytes(
+        paths["shards"] / f"{spec.label}.json",
+        (json.dumps(summary, sort_keys=True) + "\n").encode(),
+    )
+    return summary
+
+
+def run_experiment_shard(
+    name: str,
+    ctx: "experiments.ExperimentContext",
+    spec: ShardSpec,
+    grid_dir: os.PathLike,
+) -> Dict:
+    """Run this shard's cells of the named experiment grid."""
+    grid = experiments.GRIDS[name]
+    warmed = False
+
+    def compute(dataset_id: str) -> Dict:
+        nonlocal warmed
+        if not warmed:
+            # Prewarm lazily so a fully-complete re-run costs nothing.
+            grid.prewarm(ctx)
+            warmed = True
+        return grid.row_fn((ctx, dataset_id))
+
+    with obs.span("shard.run", experiment=name, shard=spec.label):
+        return _run_cells(name, grid.dataset_ids, spec, grid_dir, compute)
+
+
+def run_adapt_shard(
+    dataset_ids: Sequence[str],
+    spec: ShardSpec,
+    grid_dir: os.PathLike,
+    compute: Callable[[str], Dict],
+) -> Dict:
+    """Run this shard's slice of a dataset list for ``repro adapt``."""
+    with obs.span("shard.run", experiment="adapt", shard=spec.label):
+        return _run_cells("adapt", dataset_ids, spec, grid_dir, compute)
+
+
+def _merge_perf(paths: Dict[str, Path]) -> List[Dict]:
+    """Fold every shard summary's perf snapshot into the live registry."""
+    summaries = []
+    for path in sorted(paths["shards"].glob("*.json")):
+        summary = json.loads(path.read_text())
+        PERF.merge(summary.get("perf", {}))
+        summary.pop("perf", None)
+        summaries.append(summary)
+    return summaries
+
+
+def _merge_traces(
+    paths: Dict[str, Path], trace_out: Optional[os.PathLike]
+) -> Optional[Path]:
+    """Merge per-shard trace files into one cross-tree trace."""
+    trace_files = sorted(paths["traces"].glob("*.jsonl"))
+    if not trace_files:
+        return None
+    row_sets = [obs.read_trace(path) for path in trace_files]
+    merged = obs.merge_trace_rows(row_sets)
+    out = Path(trace_out) if trace_out else paths["root"] / "merged-trace.jsonl"
+    return obs.write_trace_rows(out, merged)
+
+
+def merge_shards(
+    grid_dir: os.PathLike, trace_out: Optional[os.PathLike] = None
+) -> Dict:
+    """Combine a grid dir's shard outputs into the full report.
+
+    Raises ``ValueError`` when any cell is missing — merging an
+    incomplete grid must fail loudly rather than average fewer rows.
+    """
+    manifest = read_manifest(grid_dir)
+    experiment = manifest["experiment"]
+    dataset_ids = manifest["datasets"]
+    paths = _grid_paths(grid_dir)
+    rows_by_dataset: Dict[str, Dict] = {}
+    missing: List[str] = []
+    for dataset_id in dataset_ids:
+        path = paths["cells"] / f"{cell_name(experiment, dataset_id)}.json"
+        if not path.exists():
+            missing.append(dataset_id)
+            continue
+        rows_by_dataset[dataset_id] = json.loads(path.read_text())
+    if missing:
+        raise ValueError(
+            f"grid {experiment!r} in {grid_dir} is missing "
+            f"{len(missing)} cell(s): " + ", ".join(missing)
+        )
+    if experiment in experiments.GRIDS:
+        result = experiments.assemble_grid(experiment, rows_by_dataset)
+    else:
+        # Generic assembly (e.g. sharded `adapt` over a dataset list):
+        # canonical order from the manifest, numeric columns averaged.
+        rows = [rows_by_dataset[dataset_id] for dataset_id in dataset_ids]
+        columns = [
+            key
+            for key, value in rows[0].items()
+            if key != "dataset" and isinstance(value, (int, float))
+        ]
+        rows.append(reporting.averages_row(rows, columns))
+        result = {
+            "rows": rows,
+            "text": reporting.render_table(
+                f"Sharded {experiment} results", columns, rows
+            ),
+        }
+    result["experiment"] = experiment
+    result["shards"] = _merge_perf(paths)
+    merged_trace = _merge_traces(paths, trace_out)
+    if merged_trace is not None:
+        result["merged_trace"] = str(merged_trace)
+    return result

@@ -67,6 +67,8 @@ __all__ = [
     "model_fingerprint",
     "patch_fingerprint",
     "artifact_key",
+    "atomic_write_bytes",
+    "try_claim",
     "configure",
     "active",
     "using_store",
@@ -199,6 +201,53 @@ def artifact_key(kind: str, fields: Dict[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Lock-free filesystem primitives (shared with the shard coordinator)
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + rename).
+
+    Readers never observe a partial file, and concurrent writers of the
+    same path race benignly — last rename wins.  The tmp file lives in
+    the destination directory so the rename stays on one filesystem.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name[:16]}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def try_claim(path: os.PathLike, payload: Dict[str, Any]) -> bool:
+    """Atomically create a claim file; ``False`` if it already exists.
+
+    The ``O_CREAT|O_EXCL`` open is the whole mutual-exclusion protocol:
+    exactly one of any number of concurrent claimants wins, with no
+    locks and no server.  The JSON ``payload`` (owner pid/host) lands in
+    the file so later runs can judge whether the claimant is still
+    alive (see :mod:`repro.shard` orphan reclaim).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w") as handle:
+        json.dump(payload, handle)
+    return True
+
+
+# ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
 class ArtifactStore:
@@ -260,19 +309,7 @@ class ArtifactStore:
             + b"\n"
             + body
         )
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(path, blob)
         PERF.count("store.writes")
         PERF.count("store.bytes_written", len(blob))
         obs.counter("store.write", kind=kind)

@@ -10,6 +10,7 @@ fallback.
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import numpy as np
@@ -75,6 +76,40 @@ def test_pool_clamps_to_cpus():
     assert pool.effective_jobs <= available_cpus()
     unclamped = WorkerPool(jobs=3, clamp=False)
     assert unclamped.effective_jobs == 3
+
+
+def test_pool_clamps_to_scheduler_affinity(monkeypatch):
+    """The clamp honours the cgroup/affinity mask, not the host count.
+
+    In containers ``os.cpu_count()`` reports the host's cores while the
+    scheduler may only grant a subset; the clamp must follow
+    ``sched_getaffinity``, so a 64-core host with a 2-core mask gets 2
+    workers, not 64.
+    """
+    if not hasattr(os, "sched_getaffinity"):  # pragma: no cover - non-Linux
+        pytest.skip("platform has no sched_getaffinity")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5})
+    assert available_cpus() == 2
+    assert WorkerPool(jobs=16).effective_jobs == 2
+
+
+def test_non_fork_start_method_falls_back_to_serial(monkeypatch):
+    """Satellite regression: spawn/forkserver must not reach the pool.
+
+    A spawn-started worker re-imports from a fresh interpreter: it can
+    resolve neither fork-inherited SharedRef tokens nor arena ownership,
+    and its resource tracker would unlink the parent's live segments.
+    The pool must warn loudly and degrade to the (identical) serial
+    path instead.
+    """
+    import repro.runtime as runtime
+
+    monkeypatch.setattr(runtime, "_start_method", lambda: "spawn")
+    with pytest.warns(RuntimeWarning, match="fork"):
+        pool = WorkerPool(jobs=4, clamp=False)
+    assert pool.effective_jobs == 1
+    assert not pool.parallel
+    assert pool.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,258 @@
+"""The shard coordinator: partitioning, claims, crash recovery, merge."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs
+from repro.eval import experiments
+from repro.shard import (
+    ShardSpec,
+    cell_name,
+    merge_shards,
+    read_manifest,
+    run_adapt_shard,
+)
+from repro.store import try_claim
+
+DATASETS = ["t/a", "t/b", "t/c", "t/d", "t/e"]
+
+
+def _row(dataset_id: str) -> dict:
+    # Deterministic fake metric, stable across processes.
+    return {"dataset": dataset_id, "score": float(len(dataset_id) + 0.25)}
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def test_shard_spec_parse():
+    spec = ShardSpec.parse("2/4")
+    assert (spec.index, spec.total) == (2, 4)
+    assert spec.label == "shard-2-of-4"
+
+
+@pytest.mark.parametrize("bad", ["0/2", "3/2", "2", "a/b", "1/0", "-1/3"])
+def test_shard_spec_rejects_bad_specs(bad):
+    with pytest.raises(ValueError):
+        ShardSpec.parse(bad)
+
+
+def test_partition_is_exact_and_disjoint():
+    total = 3
+    positions = range(11)
+    owned = [
+        {p for p in positions if ShardSpec(index=i, total=total).owns(p)}
+        for i in range(1, total + 1)
+    ]
+    assert set().union(*owned) == set(positions)
+    for i in range(total):
+        for j in range(i + 1, total):
+            assert not owned[i] & owned[j]
+
+
+def test_cell_name_is_filesystem_safe():
+    assert cell_name("table2", "em/abt_buy") == "table2__em_abt_buy"
+
+
+# ----------------------------------------------------------------------
+# Claim/compute/merge round trip
+# ----------------------------------------------------------------------
+def test_two_shards_cover_grid_and_merge_matches_serial(tmp_path):
+    grid = tmp_path / "grid"
+    for index in (1, 2):
+        summary = run_adapt_shard(
+            DATASETS, ShardSpec(index=index, total=2), grid, _row
+        )
+        assert not summary["reclaimed"]
+    merged = merge_shards(grid)
+    rows = [r for r in merged["rows"] if r["dataset"] in DATASETS]
+    assert rows == [_row(d) for d in DATASETS]  # canonical order, exact
+    average = merged["rows"][-1]
+    assert average["dataset"] == "average"
+    assert average["score"] == sum(r["score"] for r in rows) / len(rows)
+    assert [s["shard"] for s in merged["shards"]] == [1, 2]
+
+
+def test_rerun_skips_completed_cells(tmp_path):
+    grid = tmp_path / "grid"
+    spec = ShardSpec(index=1, total=2)
+    first = run_adapt_shard(DATASETS, spec, grid, _row)
+    assert len(first["computed"]) == 3  # positions 0, 2, 4
+    second = run_adapt_shard(DATASETS, spec, grid, _row)
+    assert second["computed"] == []
+    assert len(second["skipped"]) == 3
+
+
+def test_live_claim_is_respected(tmp_path):
+    grid = tmp_path / "grid"
+    (grid / "claims").mkdir(parents=True)
+    # Another live process (us) already claimed the first owned cell.
+    import socket
+
+    assert try_claim(
+        grid / "claims" / f"{cell_name('adapt', DATASETS[0])}.claim",
+        {"pid": os.getpid(), "host": socket.gethostname(), "shard": 1},
+    )
+    summary = run_adapt_shard(
+        DATASETS, ShardSpec(index=1, total=2), grid, _row
+    )
+    assert DATASETS[0] in summary["skipped"]
+    assert DATASETS[0] not in summary["computed"]
+
+
+def test_merge_incomplete_grid_fails_loudly(tmp_path):
+    grid = tmp_path / "grid"
+    run_adapt_shard(DATASETS, ShardSpec(index=1, total=2), grid, _row)
+    with pytest.raises(ValueError, match="missing 2 cell"):
+        merge_shards(grid)
+
+
+def test_mismatched_grid_dir_is_rejected(tmp_path):
+    grid = tmp_path / "grid"
+    run_adapt_shard(DATASETS, ShardSpec(index=1, total=2), grid, _row)
+    assert read_manifest(grid)["total"] == 2
+    with pytest.raises(ValueError, match="refusing to mix"):
+        run_adapt_shard(DATASETS, ShardSpec(index=1, total=3), grid, _row)
+
+
+def test_merge_without_manifest_fails(tmp_path):
+    with pytest.raises(FileNotFoundError, match="manifest"):
+        merge_shards(tmp_path / "empty")
+
+
+# ----------------------------------------------------------------------
+# Crash safety (the killed-shard satellite)
+# ----------------------------------------------------------------------
+def _crashing_shard(grid_dir: str) -> None:
+    """Run shard 1/2 but hard-die on its second owned cell."""
+    state = {"cells": 0}
+
+    def compute(dataset_id: str) -> dict:
+        state["cells"] += 1
+        if state["cells"] == 2:
+            os._exit(9)  # simulate a kill mid-grid, claim left behind
+        return _row(dataset_id)
+
+    run_adapt_shard(DATASETS, ShardSpec(index=1, total=2), grid_dir, compute)
+
+
+def test_killed_shard_is_reclaimed_on_rerun(tmp_path):
+    grid = tmp_path / "grid"
+    ctx = multiprocessing.get_context("fork")
+    victim = ctx.Process(target=_crashing_shard, args=(str(grid),))
+    victim.start()
+    victim.join()
+    assert victim.exitcode == 9
+    # The victim completed its first cell, died holding the claim of its
+    # second, and never reached its third.
+    done = {p.name for p in (grid / "cells").glob("*.json")}
+    assert len(done) == 1
+    orphaned = {p.name for p in (grid / "claims").glob("*.claim")}
+    assert len(orphaned) == 2  # completed cell's claim + the orphan
+    # The healthy shard is unaffected.
+    run_adapt_shard(DATASETS, ShardSpec(index=2, total=2), grid, _row)
+    with pytest.raises(ValueError, match="missing"):
+        merge_shards(grid)
+    # Re-running the killed shard reclaims exactly the orphaned cell and
+    # completes the remainder; nothing done is recomputed.
+    rerun = run_adapt_shard(DATASETS, ShardSpec(index=1, total=2), grid, _row)
+    assert len(rerun["skipped"]) == 1  # the cell the victim finished
+    assert len(rerun["computed"]) == 2
+    assert len(rerun["reclaimed"]) == 1  # the orphaned claim was taken over
+    merged = merge_shards(grid)
+    rows = [r for r in merged["rows"] if r["dataset"] in DATASETS]
+    assert rows == [_row(d) for d in DATASETS]  # identical to a clean run
+
+
+# ----------------------------------------------------------------------
+# Grid registry plumbing
+# ----------------------------------------------------------------------
+def test_assemble_grid_reorders_and_validates():
+    spec = experiments.GRIDS["table6"]
+    fake_rows = {
+        dataset_id: {
+            "dataset": dataset_id,
+            **{column: float(i) for i, column in enumerate(spec.columns)},
+        }
+        for dataset_id in spec.dataset_ids
+    }
+    # Feed the cells in reverse order; assembly must restore canonical.
+    shuffled = dict(reversed(list(fake_rows.items())))
+    result = experiments.assemble_grid("table6", shuffled)
+    assert [r["dataset"] for r in result["rows"][:-1]] == list(
+        spec.dataset_ids
+    )
+    assert result["rows"][-1]["dataset"] == "average"
+    assert spec.title in result["text"]
+    incomplete = dict(fake_rows)
+    incomplete.pop(spec.dataset_ids[0])
+    with pytest.raises(ValueError, match="missing"):
+        experiments.assemble_grid("table6", incomplete)
+
+
+def test_grids_registry_covers_row_experiments():
+    assert set(experiments.GRIDS) == {
+        "table2", "table4", "table5", "table6", "fig5", "fig6"
+    }
+    for spec in experiments.GRIDS.values():
+        assert spec.dataset_ids
+        assert spec.columns
+        assert callable(spec.row_fn)
+        assert callable(spec.prewarm)
+
+
+# ----------------------------------------------------------------------
+# Cross-tree trace merge
+# ----------------------------------------------------------------------
+def test_merge_trace_rows_namespaces_ids_and_sums_metrics():
+    def shard_rows(pid, start):
+        return [
+            {
+                "type": "trace", "version": obs.TRACE_SCHEMA_VERSION,
+                "pid": pid, "started_at": start, "argv": ["repro", str(pid)],
+            },
+            {
+                "type": "span", "id": f"{pid}-1", "parent": None,
+                "name": "cli.experiment", "start": start, "end": start + 1.0,
+            },
+            {
+                "type": "span", "id": f"{pid}-2", "parent": f"{pid}-1",
+                "name": "shard.cell", "start": start, "end": start + 0.5,
+            },
+            {
+                "type": "counter",
+                "name": "shard.cells_computed", "attrs": {}, "value": 2,
+            },
+            {
+                "type": "histogram",
+                "name": "trainer.step_loss", "attrs": {},
+                "count": 3, "total": 1.5, "min": 0.25, "max": 0.75,
+            },
+        ]
+
+    # Both shards report pid 1234: ids collide across process trees.
+    merged = obs.merge_trace_rows(
+        [shard_rows(1234, 10.0), shard_rows(1234, 20.0)]
+    )
+    header = merged[0]
+    assert header["merged_shards"] == 2
+    assert header["started_at"] == 10.0
+    assert header["shard_argv"] == [["repro", "1234"], ["repro", "1234"]]
+    spans = [row for row in merged if row["type"] == "span"]
+    assert len(spans) == 4
+    assert len({span["id"] for span in spans}) == 4  # no collisions
+    child = next(s for s in spans if s["name"] == "shard.cell" and
+                 s["id"].startswith("s0:"))
+    assert child["parent"] == "s0:1234-1"
+    counters = [row for row in merged if row["type"] == "counter"]
+    assert len(counters) == 1
+    assert counters[0]["value"] == 4
+    histogram = next(row for row in merged if row["type"] == "histogram")
+    assert histogram["count"] == 6
+    assert histogram["total"] == 3.0
+    assert (histogram["min"], histogram["max"]) == (0.25, 0.75)

@@ -1,0 +1,338 @@
+"""The zero-copy shared-memory layer: arena, codec, slabs, leak safety.
+
+Everything here runs against real ``multiprocessing.shared_memory``
+segments (skipped wholesale where the transport is unavailable), and
+every test asserts the leak invariant both through the runtime's own
+ledger (:func:`live_segments`) and through the kernel's (``/dev/shm``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.perf import PERF
+from repro.runtime import (
+    ResultSlab,
+    ShmArena,
+    WorkerPool,
+    dumps_shared,
+    live_segments,
+    loads_shared,
+    shm_available,
+)
+from repro.tinylm.trainer import Trainer, TrainingExample
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(),
+    reason="needs fork start method + multiprocessing.shared_memory",
+)
+
+
+def _kernel_segments():
+    """``repro-*`` segment files the kernel currently exposes."""
+    shm_root = pathlib.Path("/dev/shm")
+    if not shm_root.is_dir():
+        return []
+    return sorted(p.name for p in shm_root.glob("*repro-*"))
+
+
+def _score_task(item):
+    scores = item["features"] @ item["weights"]
+    order = np.argsort(-scores, kind="stable")[:4]
+    return {"indices": order, "scores": scores[order]}
+
+
+def _crash_task(item):
+    if item.get("crash"):
+        os._exit(13)
+    return _score_task(item)
+
+
+def _array_items(n=6, rows=64, cols=48, seed=7):
+    rng = np.random.default_rng(seed)
+    shared = rng.standard_normal((rows, cols))
+    return [
+        {"features": shared, "weights": rng.standard_normal(cols)}
+        for __ in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Arena: keyed slots, generations, identity memo
+# ----------------------------------------------------------------------
+def test_arena_put_resolves_readonly_view():
+    arr = np.arange(2048, dtype=np.float64).reshape(32, 64)
+    with ShmArena() as arena:
+        block = arena.put("weights", arr)
+        view = block.resolve()
+        assert np.array_equal(view, arr)
+        assert not view.flags.writeable
+        copied = block.resolve(copy=True)
+        assert copied.flags.writeable
+        del view
+    assert not live_segments()
+
+
+def test_arena_overwrite_bumps_generation_and_stales_old_blocks():
+    arr = np.ones((16, 16))
+    with ShmArena() as arena:
+        old = arena.put("w", arr)
+        assert arena.generation("w") == 0
+        new = arena.put("w", arr * 2.0)
+        assert arena.generation("w") == 1
+        assert np.array_equal(new.resolve(), arr * 2.0)
+        with pytest.raises(RuntimeError, match="generation"):
+            old.resolve()
+
+
+def test_arena_overwrite_shape_mismatch_rejected():
+    with ShmArena() as arena:
+        arena.put("w", np.ones((4, 4)))
+        with pytest.raises(ValueError, match="new key"):
+            arena.put("w", np.ones((5, 4)))
+
+
+def test_arena_rejects_object_dtype():
+    with ShmArena() as arena:
+        with pytest.raises(TypeError):
+            arena.put("bad", np.array([object()]))
+
+
+def test_arena_add_memoises_by_identity():
+    arr = np.zeros((64, 64))
+    other = np.zeros((64, 64))
+    with ShmArena() as arena:
+        first = arena.add(arr)
+        again = arena.add(arr)
+        assert again == first  # same segment, placed once
+        assert len(arena) == 1
+        assert arena.add(other) != first  # equal values, distinct object
+        assert len(arena) == 2
+        assert arena.data_bytes == arr.nbytes + other.nbytes
+
+
+def test_arena_close_is_idempotent_and_clears_kernel_segments():
+    before = _kernel_segments()
+    arena = ShmArena()
+    arena.put("w", np.ones((128, 128)))
+    assert len(_kernel_segments()) == len(before) + 1
+    arena.close()
+    arena.close()
+    assert _kernel_segments() == before
+    with pytest.raises(RuntimeError, match="closed"):
+        arena.put("x", np.ones(4))
+
+
+# ----------------------------------------------------------------------
+# Codec: skeleton blobs + mapped arrays
+# ----------------------------------------------------------------------
+def test_codec_round_trip_moves_large_arrays_out_of_band():
+    big = np.arange(4096, dtype=np.float64)
+    frozen = np.arange(4096, dtype=np.float64)
+    frozen.setflags(write=False)
+    small = np.arange(8, dtype=np.int64)
+    payload = {"big": big, "frozen": frozen, "small": small, "tag": "x"}
+    with ShmArena() as arena:
+        blob = dumps_shared(payload, arena)
+        # Only the two large arrays moved to segments; the blob carries
+        # the skeleton plus the small inline array.
+        assert len(arena) == 2
+        assert len(blob) < big.nbytes
+        out = loads_shared(blob)
+        assert out["tag"] == "x"
+        assert np.array_equal(out["small"], small)
+        # Writable-at-sender arrays come back as private writable
+        # copies; frozen arrays stay read-only views.
+        assert np.array_equal(out["big"], big)
+        assert out["big"].flags.writeable
+        assert np.array_equal(out["frozen"], frozen)
+        assert not out["frozen"].flags.writeable
+        del out
+    assert not live_segments()
+
+
+def test_codec_blob_is_plain_pickle_when_arrays_are_small():
+    payload = {"small": np.arange(4), "n": 3}
+    with ShmArena() as arena:
+        blob = dumps_shared(payload, arena)
+        assert len(arena) == 0
+        out = loads_shared(blob)
+    assert np.array_equal(out["small"], payload["small"])
+
+
+# ----------------------------------------------------------------------
+# Result slabs
+# ----------------------------------------------------------------------
+def test_result_slab_append_and_overflow_fallback():
+    slab = ResultSlab(capacity=64 * 1024)
+    try:
+        arr = np.arange(1024, dtype=np.float64)
+        block, cursor = ResultSlab.append(slab.name, 0, arr)
+        assert block is not None
+        assert cursor > 0
+        assert np.array_equal(block.resolve(copy=True), arr)
+        huge = np.zeros(64 * 1024, dtype=np.float64)
+        fallback, unchanged = ResultSlab.append(slab.name, cursor, huge)
+        assert fallback is None  # no room: caller keeps the array inline
+        assert unchanged == cursor
+    finally:
+        slab.destroy()
+    assert not live_segments()
+
+
+def test_result_slab_destroy_is_idempotent():
+    slab = ResultSlab(capacity=4096)
+    slab.destroy()
+    slab.destroy()
+    assert not live_segments()
+
+
+# ----------------------------------------------------------------------
+# Pool transport: identity, accounting, crash safety
+# ----------------------------------------------------------------------
+def test_shm_map_bit_identical_to_serial_and_pickle():
+    items = _array_items()
+    serial = WorkerPool(jobs=1).map(_score_task, items)
+    shm = WorkerPool(jobs=2, clamp=False, payload_mode="shm").map(
+        _score_task, items
+    )
+    legacy = WorkerPool(jobs=2, clamp=False, payload_mode="pickle").map(
+        _score_task, items
+    )
+    for reference, candidate in zip(serial, shm):
+        assert np.array_equal(reference["indices"], candidate["indices"])
+        assert np.array_equal(reference["scores"], candidate["scores"])
+    for reference, candidate in zip(serial, legacy):
+        assert np.array_equal(reference["indices"], candidate["indices"])
+        assert np.array_equal(reference["scores"], candidate["scores"])
+    assert not live_segments()
+
+
+def test_shm_map_payload_is_skeleton_sized():
+    # cols=512 puts the per-task weight vectors (4 KiB) at the inline
+    # threshold, so every array in the payload goes out-of-band.
+    items = _array_items(rows=256, cols=512)
+    array_bytes = sum(
+        item["features"].nbytes + item["weights"].nbytes for item in items
+    )
+    before = PERF.counter("runtime.payload_bytes")
+    before_shm = PERF.counter("runtime.shm_payload_bytes")
+    WorkerPool(jobs=2, clamp=False, payload_mode="shm").map(
+        _score_task, items
+    )
+    skeleton = PERF.counter("runtime.payload_bytes") - before
+    segments = PERF.counter("runtime.shm_payload_bytes") - before_shm
+    assert 0 < skeleton < array_bytes // 100
+    # The shared features matrix lands in one segment, not one per task.
+    assert (
+        segments
+        == items[0]["features"].nbytes
+        + sum(item["weights"].nbytes for item in items)
+    )
+
+
+def test_pickle_map_counts_payload_from_single_serialization():
+    """Satellite regression: payload_bytes is the real IPC byte count.
+
+    The accounting used to run a second ``pickle.dumps`` pass over every
+    argument; now the counter must equal exactly the bytes of the one
+    serialization that crosses the boundary.
+    """
+    items = [{"features": np.arange(2048, dtype=np.float64), "n": i}
+             for i in range(4)]
+    expected = sum(
+        len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+        for item in items
+    )
+    before = PERF.counter("runtime.payload_bytes")
+    WorkerPool(jobs=2, clamp=False, payload_mode="pickle").map(
+        _noop_task, items
+    )
+    assert PERF.counter("runtime.payload_bytes") - before == expected
+
+
+def _noop_task(item):
+    return item["n"]
+
+
+def test_worker_crash_surfaces_and_leaks_nothing():
+    kernel_before = _kernel_segments()
+    items = _array_items(n=4)
+    items[2] = {**items[2], "crash": True}
+    pool = WorkerPool(jobs=2, clamp=False, payload_mode="shm")
+    with pytest.raises(Exception):
+        pool.map(_crash_task, items)
+    assert not live_segments()
+    assert _kernel_segments() == kernel_before
+
+
+def test_env_override_selects_pickle_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_PAYLOAD", "pickle")
+    assert WorkerPool(jobs=2, clamp=False).payload_mode == "pickle"
+    monkeypatch.setenv("REPRO_PAYLOAD", "shm")
+    assert WorkerPool(jobs=2, clamp=False).payload_mode == "shm"
+    monkeypatch.setenv("REPRO_PAYLOAD", "carrier-pigeon")
+    with pytest.raises(ValueError):
+        WorkerPool(jobs=2, clamp=False)
+
+
+# ----------------------------------------------------------------------
+# Hot-array integration: backbone weights in the arena
+# ----------------------------------------------------------------------
+def test_model_export_adopt_round_trip(bundle):
+    model = bundle.base_model.clone()
+    reference = {k: np.copy(v) for k, v in model.weights.items()}
+    arena = ShmArena()
+    try:
+        blocks = model.export_weights(arena, prefix="test")
+        assert len(blocks) == len(reference)
+        adopted = model.clone()
+        adopted.adopt_weights(blocks)
+        for name, expected in reference.items():
+            assert np.array_equal(adopted.weights[name], expected)
+            assert not adopted.weights[name].flags.writeable
+        # Scoring through shm-backed weights matches private weights.
+        prompt, cands = "match these records", ["yes", "no"]
+        assert np.array_equal(
+            model.logits(prompt, cands), adopted.logits(prompt, cands)
+        )
+    finally:
+        # The arena owns the segments the adopted weights view; the
+        # views must be dropped before the owner closes (the documented
+        # lifetime contract for adopt_weights).
+        del adopted, blocks
+        arena.close()
+    assert not live_segments()
+
+
+def test_trainer_refuses_base_updates_on_adopted_weights(bundle):
+    model = bundle.base_model.clone()
+    arena = ShmArena()
+    try:
+        model.adopt_weights(model.export_weights(arena, prefix="guard"))
+        trainer = Trainer(model, train_base=True)
+        example = TrainingExample(
+            prompt="p", candidates=("a", "b"), target=0
+        )
+        with pytest.raises(RuntimeError, match="read-only"):
+            trainer.fit([example])
+    finally:
+        del trainer, model
+        arena.close()
+
+
+def test_adopt_weights_validates_missing_and_mismatched(bundle):
+    model = bundle.base_model.clone()
+    with ShmArena() as arena:
+        blocks = model.export_weights(arena, prefix="v")
+        some_key = next(iter(blocks))
+        incomplete = dict(blocks)
+        del incomplete[some_key]
+        with pytest.raises(KeyError):
+            model.clone().adopt_weights(incomplete)
+        del blocks, incomplete
