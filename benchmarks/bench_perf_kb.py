@@ -1,0 +1,79 @@
+"""Perf gate: a KB-warmed AKB search must beat a cold one ≥ 2×.
+
+Times the full adaptation — ``KnowTrans.fit`` plus test evaluation on a
+target split — twice with no artifact store active:
+
+* cold: no knowledge base; the candidate pool starts from
+  ``generate_pool`` alone and the search grinds refinement rounds
+  toward its plateau;
+* warm: a knowledge base populated by an untimed search over a source
+  split of the same dataset family (same generator rules, different
+  examples, different fingerprint); retrieval seeds the pool with
+  already-optimised knowledge, the best candidate lands in round one
+  and the patience stop ends the search early.
+
+Results are written to ``BENCH_kb.json`` at the repo root and appended
+to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol so retrieve-then-refine health is
+tracked across PRs alongside the other perf gates.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_kb.py
+
+The assertion fails if the warm search is less than 2× faster in
+wall-clock or rounds-to-best, if it retrieved nothing from the bank,
+if its quality (test score or best validation score) regresses below
+cold, or if the forked concurrent-promotion check leaves a single
+corrupt entry behind.
+"""
+
+import pathlib
+
+from repro.perf import Gate, render_kb_benchmark, run_kb_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MIN_KB_SPEEDUP = 2.0
+
+
+def test_kb_warm_search_speedup(record_result):
+    gate = Gate("kb", {}, min_speedup=MIN_KB_SPEEDUP, root=REPO_ROOT)
+    scale = 0.45 if gate.preset == "quick" else 0.6
+    result = run_kb_benchmark(seed=0, scale=scale)
+    gate.result.update(result)
+    gate.write(
+        cold_seconds=result["cold"]["seconds"],
+        warm_seconds=result["warm"]["seconds"],
+        speedup=result["speedup"],
+        rounds_ratio=result["rounds_ratio"],
+        cold_rounds_to_best=result["cold"]["rounds_to_best"],
+        warm_rounds_to_best=result["warm"]["rounds_to_best"],
+        retrieved=result["retrieved"],
+    )
+    record_result("bench_perf_kb", render_kb_benchmark(gate.result))
+
+    gate.require(
+        result["retrieved"] > 0,
+        "warm search retrieved nothing from the populated bank",
+    )
+    gate.require(
+        result["quality_no_worse"],
+        "warm quality regressed below cold "
+        f"(test {result['cold']['score']:.3f} -> "
+        f"{result['warm']['score']:.3f}, best "
+        f"{result['cold']['best_score']:.3f} -> "
+        f"{result['warm']['best_score']:.3f})",
+    )
+    gate.require(
+        result["rounds_ratio"] >= MIN_KB_SPEEDUP,
+        f"rounds-to-best only improved {result['rounds_ratio']:.2f}x "
+        f"(need >= {MIN_KB_SPEEDUP}x)",
+    )
+    gate.require(
+        result["concurrent"]["ok"],
+        "concurrent promotion corrupted the bank: "
+        f"{result['concurrent']}",
+    )
+    gate.require_speedup()
+    gate.check()

@@ -25,6 +25,10 @@ Commands
 ``cache``
     Inspect or maintain the persistent artifact store
     (``stats`` / ``clear`` / ``gc``).
+``kb``
+    Inspect or maintain the persistent cross-dataset knowledge base
+    stored under the artifact store's ``kb/`` namespace
+    (``stats`` / ``export`` / ``import`` / ``prune``).
 ``trace``
     Render a trace JSONL file: span tree, top-N hotspots and metric
     rollups.
@@ -42,7 +46,13 @@ reassembles the full report afterwards.
 ``REPRO_CACHE_DIR`` environment variable) to persist deterministic
 artifacts — pretrained weights, SFT weights, SKC patches, fine-tune
 states, AKB evaluation records — across invocations, and ``--no-cache``
-to bypass the store entirely (reads *and* writes).  They also accept
+to bypass the store entirely (reads *and* writes).  ``adapt``,
+``experiment``, ``perf`` and ``serve`` also accept ``--kb`` /
+``--no-kb`` (or ``REPRO_KB``) to opt the run into the persistent
+cross-dataset knowledge base living inside the store: AKB searches
+seed their candidate pool from nearest-profile knowledge of earlier
+searches and promote their winners back (see
+:mod:`repro.knowledge.kb` and ``docs/performance.md``).  They also accept
 ``--trace PATH`` (or ``REPRO_TRACE``) to record a structured span/metric
 trace of the run (see :mod:`repro.obs` and ``docs/observability.md``);
 render it afterwards with ``python -m repro trace PATH``.
@@ -131,6 +141,19 @@ def _add_cache_args(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kb_args(command: argparse.ArgumentParser) -> None:
+    group = command.add_mutually_exclusive_group()
+    group.add_argument(
+        "--kb", action="store_true", dest="kb",
+        help="enable the persistent cross-dataset knowledge base "
+        "(retrieve-then-refine AKB; needs an active artifact store)",
+    )
+    group.add_argument(
+        "--no-kb", action="store_true", dest="no_kb",
+        help="force the knowledge base off even when REPRO_KB is set",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -163,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_args(adapt)
     _add_output_args(adapt, trace=True)
     _add_cache_args(adapt)
+    _add_kb_args(adapt)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -179,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_args(experiment)
     _add_output_args(experiment, trace=True)
     _add_cache_args(experiment)
+    _add_kb_args(experiment)
 
     merge = commands.add_parser(
         "merge-shards",
@@ -250,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "vs multi-tenant continuous batching through the real server)",
     )
     perf.add_argument(
+        "--kb", action="store_true",
+        help="run the knowledge-base benchmark (cold AKB search vs "
+        "retrieve-then-refine seeded from a populated KB)",
+    )
+    perf.add_argument(
         "--smoke", action="store_true",
         help="fast CI sanity pass: tiny workload, single repeat, "
         "fails on any prediction mismatch",
@@ -304,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_output_args(serve, trace=True)
     _add_cache_args(serve)
+    _add_kb_args(serve)
 
     cache = commands.add_parser(
         "cache", help="inspect or maintain the persistent artifact store"
@@ -317,7 +348,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="gc only: evict oldest entries until the store fits",
     )
+    cache.add_argument(
+        "--kb", action="store_true",
+        help="gc only: also maintain the kb/ namespace (heal corrupt "
+        "entries, compact loose files); by default gc leaves it alone",
+    )
     _add_output_args(cache)
+
+    kb_cmd = commands.add_parser(
+        "kb",
+        help="inspect or maintain the persistent cross-dataset "
+        "knowledge base",
+    )
+    kb_cmd.add_argument(
+        "action", choices=("stats", "export", "import", "prune")
+    )
+    kb_cmd.add_argument(
+        "path", nargs="?", default=None,
+        help="export/import only: JSONL file to write/read",
+    )
+    kb_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store directory holding the kb/ namespace "
+        "(default: REPRO_CACHE_DIR env)",
+    )
+    kb_cmd.add_argument(
+        "--min-score", type=float, default=None,
+        help="prune only: drop entries scoring below this",
+    )
+    kb_cmd.add_argument(
+        "--max-entries", type=int, default=None,
+        help="prune only: keep at most this many best-scoring entries",
+    )
+    kb_cmd.add_argument(
+        "--task", default=None,
+        help="prune only: restrict pruning to one task type",
+    )
+    _add_output_args(kb_cmd)
 
     trace = commands.add_parser(
         "trace", help="render a trace JSONL file (tree, hotspots, metrics)"
@@ -638,6 +705,36 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
         console.set("ok", True)
         return 0
 
+    if args.kb:
+        from .perf import render_kb_benchmark, run_kb_benchmark
+
+        result = run_kb_benchmark(seed=args.seed)
+        console.result(render_kb_benchmark(result))
+        console.set("benchmark", result)
+        failures = [
+            label
+            for label, ok in (
+                ("warm search retrieved nothing", result["retrieved"] > 0),
+                (
+                    "warm quality regressed",
+                    result["warm"]["best_score"]
+                    >= result["cold"]["best_score"],
+                ),
+                (
+                    "KB corrupt after concurrent promotion",
+                    result["concurrent"]["corrupt"] == 0,
+                ),
+            )
+            if not ok
+        ]
+        if failures:
+            console.error("kb benchmark FAILED: " + "; ".join(failures))
+            console.set("ok", False)
+            return 1
+        console.result("kb benchmark OK")
+        console.set("ok", True)
+        return 0
+
     if args.cache:
         from .perf import render_cache_benchmark, run_cache_benchmark
 
@@ -768,12 +865,20 @@ def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
             "no store directory: pass --cache-dir or set REPRO_CACHE_DIR"
         )
         return 2
+    from .knowledge import kb as kb_module
+
     store = artifact_store.ArtifactStore(cache_dir)
     console.set("root", str(store.root))
     console.set("action", args.action)
     if args.action == "stats":
         console.result(store.render_stats())
         console.set("disk", store.disk_stats())
+        # The kb/ namespace is invisible to the store's own entry walk
+        # (it is not a content-addressed kind); report it alongside.
+        bank = kb_module.KnowledgeBase(store.kb_dir)
+        kb_stats = bank.stats()
+        console.result(bank.render_stats())
+        console.set("kb", kb_stats)
     elif args.action == "clear":
         removed = store.clear()
         console.result(
@@ -789,6 +894,70 @@ def _cmd_cache(args: argparse.Namespace, console: Console) -> int:
             f"{report['evicted']} entries"
         )
         console.set("report", report)
+        if getattr(args, "kb", False):
+            bank = kb_module.KnowledgeBase(store.kb_dir)
+            healed = bank.heal()
+            compacted = bank.compact()
+            console.result(
+                f"kb gc: removed {healed['corrupt_removed']} corrupt "
+                f"entries, compacted {compacted['compacted']} entries "
+                f"into {compacted['segments']} segment(s)"
+            )
+            console.set("kb", {"healed": healed, "compacted": compacted})
+    return 0
+
+
+def _cmd_kb(args: argparse.Namespace, console: Console) -> int:
+    from .knowledge import kb as kb_module
+
+    cache_dir = args.cache_dir or os.environ.get(
+        "REPRO_CACHE_DIR", ""
+    ).strip()
+    if not cache_dir:
+        console.error(
+            "no store directory: pass --cache-dir or set REPRO_CACHE_DIR"
+        )
+        return 2
+    store = artifact_store.ArtifactStore(cache_dir)
+    bank = kb_module.KnowledgeBase(store.kb_dir)
+    console.set("root", str(bank.root))
+    console.set("action", args.action)
+    if args.action == "stats":
+        console.result(bank.render_stats())
+        console.set("stats", bank.stats())
+        return 0
+    if args.action in ("export", "import"):
+        if not args.path:
+            console.error(f"kb {args.action} requires a PATH argument")
+            return 2
+        if args.action == "export":
+            count = bank.export_entries(args.path)
+            console.result(f"exported {count} entries to {args.path}")
+            console.set("count", count)
+        else:
+            try:
+                report = bank.import_entries(args.path)
+            except FileNotFoundError as err:
+                console.error(str(err))
+                return 1
+            console.result(
+                f"imported {report['imported']} new entries from "
+                f"{args.path} ({report['skipped']} already present "
+                "or invalid)"
+            )
+            console.set("report", report)
+        console.set("path", args.path)
+        return 0
+    # prune
+    report = bank.prune(
+        min_score=args.min_score,
+        max_entries=args.max_entries,
+        task=args.task,
+    )
+    console.result(
+        f"pruned {report['evicted']} entries; {report['kept']} remain"
+    )
+    console.set("report", report)
     return 0
 
 
@@ -816,6 +985,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
+    "kb": _cmd_kb,
     "trace": _cmd_trace,
 }
 
@@ -829,8 +999,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     # store resolves lazily from REPRO_CACHE_DIR / REPRO_NO_CACHE.
     if getattr(args, "no_cache", False):
         artifact_store.configure(no_cache=True)
-    elif getattr(args, "cache_dir", None) and args.command != "cache":
+    elif getattr(args, "cache_dir", None) and args.command not in (
+        "cache", "kb"
+    ):
         artifact_store.configure(cache_dir=args.cache_dir)
+    # Knowledge-base opt-in/out.  Only the adaptation commands carry the
+    # process-wide toggle: on perf, --kb selects the KB benchmark (which
+    # manages its own bank), and on cache gc it scopes maintenance.
+    if args.command in ("adapt", "experiment", "serve"):
+        from .knowledge import kb as kb_module
+
+        if getattr(args, "no_kb", False):
+            kb_module.configure(False)
+        elif getattr(args, "kb", False):
+            kb_module.configure(True)
     if hasattr(args, "trace"):
         trace_path = obs.resolve_trace_path(args.trace)
         if (

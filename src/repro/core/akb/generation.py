@@ -1,24 +1,29 @@
-"""AKB generation step (paper Eq. 7).
+"""AKB generation step (paper Eq. 7) plus knowledge-base pool seeding.
 
 A subset of the few-shot data is rendered into demonstrations and the
 closed-source LLM produces the initial pool of knowledge candidates.
 The seed knowledge always remains a member of the pool so the search
-can never end below the handcrafted starting point.
+can never end below the handcrafted starting point.  When a persistent
+knowledge base is attached (:mod:`repro.knowledge.kb`), the pool is
+additionally seeded with the top-k nearest-profile entries retrieved
+from previous searches — turning the cold iterative search into
+retrieve-then-refine.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ... import obs
 from ...data.schema import Example
 from ...knowledge.rules import Knowledge
 from ...llm.mockgpt import MockGPT
 from ...tinylm.linalg import rng_for
 from ..config import AKBConfig
 
-__all__ = ["sample_demonstrations", "generate_pool"]
+__all__ = ["sample_demonstrations", "generate_pool", "seeded_pool"]
 
 
 def sample_demonstrations(
@@ -49,4 +54,38 @@ def generate_pool(
     ):
         if candidate not in pool:
             pool.append(candidate)
+    return pool
+
+
+def seeded_pool(
+    mockgpt: MockGPT,
+    task_name: str,
+    examples: Sequence[Example],
+    seed_knowledge: Knowledge,
+    config: AKBConfig,
+    retrieved: Sequence[Tuple[float, "object"]] = (),
+) -> List[Knowledge]:
+    """The initial pool K, extended with KB-retrieved candidates.
+
+    ``retrieved`` is the ``(similarity, KBEntry)`` list a
+    :meth:`repro.knowledge.kb.KnowledgeBase.retrieve` call returned
+    (empty without a KB).  Retrieved knowledge joins the pool *after*
+    the generated candidates, deduplicated against them, so a run
+    without a KB produces a byte-identical pool prefix.  The
+    ``akb.pool_seeded`` counter attributes pool membership to its
+    source so traces can tell a retrieval-driven speedup from a lucky
+    generation.
+    """
+    pool = generate_pool(
+        mockgpt, task_name, examples, seed_knowledge, config
+    )
+    obs.counter("akb.pool_seeded", len(pool), source="generated")
+    added = 0
+    for __similarity, entry in retrieved:
+        candidate = entry.knowledge
+        if candidate not in pool:
+            pool.append(candidate)
+            added += 1
+    if retrieved or added:
+        obs.counter("akb.pool_seeded", added, source="retrieved")
     return pool

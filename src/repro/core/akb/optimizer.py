@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ... import obs
 from ... import store as artifact_store
 from ...data.schema import Dataset, Example
+from ...knowledge import kb as kb_module
 from ...knowledge.rules import Knowledge
 from ...knowledge.seed import seed_knowledge
 from ...llm.mockgpt import MockGPT
@@ -30,7 +31,7 @@ from .evaluation import (
     unpack_score_record,
 )
 from .feedback import make_feedback
-from .generation import generate_pool
+from .generation import seeded_pool
 from .refinement import refine_knowledge
 
 __all__ = ["AKBRound", "AKBResult", "search_knowledge"]
@@ -54,9 +55,24 @@ class AKBResult:
     best_score: float
     rounds: List[AKBRound] = field(default_factory=list)
     trajectory: List[Knowledge] = field(default_factory=list)
+    retrieved: int = 0
+    promoted: int = 0
 
     @property
     def iterations_run(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def rounds_to_best(self) -> int:
+        """1-based index of the first round reaching the final best score.
+
+        The metric the KB perf gate tracks: a retrieval-seeded search
+        should reach its best candidate in round one instead of
+        grinding refinement rounds toward it.
+        """
+        for round_info in self.rounds:
+            if round_info.best_score >= self.best_score:
+                return round_info.iteration + 1
         return len(self.rounds)
 
 
@@ -69,6 +85,8 @@ def search_knowledge(
     initial_knowledge: Optional[Knowledge] = None,
     scorer=None,
     pool_scoring: bool = True,
+    use_kb: Optional[bool] = None,
+    kb: Optional["kb_module.KnowledgeBase"] = None,
 ) -> AKBResult:
     """Run Algorithm 2 and return the optimised dataset knowledge.
 
@@ -86,6 +104,25 @@ def search_knowledge(
     the flag exists so benchmarks can time the legacy per-candidate
     path.  Plain-function scorers without ``score_pool`` always take
     the per-candidate path.
+
+    ``use_kb`` / ``kb`` attach the persistent cross-dataset knowledge
+    base (:mod:`repro.knowledge.kb`): the candidate pool is seeded with
+    the top-k nearest-profile entries of previous searches (same task,
+    *other* datasets — entries promoted from this exact dataset are
+    excluded so a re-run stays bit-identical to its first run), and
+    after the search the best-scoring candidates are promoted back.
+    The default (``use_kb=None``) resolves through
+    :func:`repro.knowledge.kb.active_kb` — off unless ``--kb`` /
+    ``REPRO_KB`` opted the process in and an artifact store is active.
+
+    When the best retrieval is *trusted* — profile similarity at least
+    ``config.kb_trust_similarity`` — and a retrieved candidate scores
+    at least as well as everything generated in round one, the search
+    stops there: the bank already spent its refinement budget on a
+    near-identical profile, so re-running the feedback loop would
+    re-derive what retrieval just supplied.  A generated candidate
+    strictly beating every retrieved one disables the shortcut and the
+    search proceeds normally.
     """
     config = config or AKBConfig()
     mockgpt = mockgpt or MockGPT(temperature=config.temperature, seed=config.seed)
@@ -161,7 +198,29 @@ def search_knowledge(
     else:
         score_pool_fn = getattr(scorer, "score_pool", None)
 
-    pool = generate_pool(mockgpt, dataset.task, validation, seed, config)
+    # Persistent-KB retrieval: seed the pool with the nearest-profile
+    # knowledge of previous searches (retrieve-then-refine).
+    bank = kb_module.resolve_use_kb(use_kb, kb)
+    retrieved: list = []
+    profile_vector = None
+    dataset_fp = None
+    if bank is not None:
+        profile_vector, dataset_fp = kb_module.profile_vector_for(dataset)
+        retrieved = bank.retrieve(
+            profile_vector,
+            task=dataset.task,
+            k=config.kb_top_k,
+            min_similarity=config.kb_min_similarity,
+            exclude_fingerprint=dataset_fp,
+        )
+    pool = seeded_pool(
+        mockgpt, dataset.task, validation, seed, config, retrieved
+    )
+    trusted_candidates = (
+        {entry.knowledge for __similarity, entry in retrieved}
+        if retrieved and retrieved[0][0] >= config.kb_trust_similarity
+        else set()
+    )
     scores: Dict[Knowledge, float] = {}
     errors_by_candidate: Dict[Knowledge, list] = {}
 
@@ -228,6 +287,19 @@ def search_knowledge(
                 result.trajectory.append(best)
                 if not errors:
                     break  # perfect on validation — nothing to refine
+                if (
+                    iteration == 0
+                    and trusted_candidates
+                    and any(
+                        scores[candidate] >= best_score
+                        for candidate in trusted_candidates
+                    )
+                ):
+                    # Trusted retrieval matched or beat everything
+                    # generated — the bank already refined this
+                    # knowledge on a near-identical profile.
+                    obs.counter("akb.kb_early_stop")
+                    break
                 if stale_rounds > config.patience:
                     break
                 for refinement_round in range(
@@ -253,4 +325,29 @@ def search_knowledge(
         final = max(pool, key=lambda candidate: scores[candidate])
     result.knowledge = final
     result.best_score = scores[final]
+    result.retrieved = len(retrieved)
+    # Promote the search's winners back into the bank so the next
+    # near-identical dataset starts from them instead of from cold.
+    if bank is not None:
+        floor = scores.get(seed, float("-inf"))
+        winners = sorted(
+            (
+                candidate
+                for candidate in pool
+                if candidate != seed
+                and candidate
+                and scores[candidate] >= floor
+            ),
+            key=lambda candidate: -scores[candidate],
+        )[: config.kb_promote_top]
+        for candidate in winners:
+            if bank.promote(
+                task=dataset.task,
+                dataset=dataset.name,
+                fingerprint=dataset_fp,
+                vector=profile_vector,
+                knowledge=candidate,
+                score=scores[candidate],
+            ) is not None:
+                result.promoted += 1
     return result

@@ -51,7 +51,21 @@ class SKCConfig:
 
 @dataclass(frozen=True)
 class AKBConfig:
-    """Automatic Knowledge Bridging settings."""
+    """Automatic Knowledge Bridging settings.
+
+    The ``kb_*`` knobs govern the persistent cross-dataset knowledge
+    base (:mod:`repro.knowledge.kb`): how many nearest-profile entries
+    seed the candidate pool, the cosine-similarity floor below which a
+    retrieved entry is ignored, how many of a finished search's
+    best-scoring candidates are promoted back into the bank, and the
+    *trust* threshold — when the best retrieval is at least this
+    similar and scores at least as well as everything generated, the
+    search stops after round one instead of grinding refinement rounds
+    (the bank already refined this knowledge on a near-identical
+    profile).  Measured cross-seed profiles of one dataset family sit
+    above 0.99; profiles of different datasets of the same task fall
+    below it.
+    """
 
     generation_examples: int = 10
     pool_size: int = 5
@@ -62,6 +76,10 @@ class AKBConfig:
     min_improvement: float = 1e-6
     patience: int = 2
     seed: int = 0
+    kb_top_k: int = 3
+    kb_min_similarity: float = 0.1
+    kb_promote_top: int = 3
+    kb_trust_similarity: float = 0.99
 
 
 @dataclass(frozen=True)

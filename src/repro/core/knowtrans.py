@@ -434,6 +434,15 @@ class KnowTrans:
         shadow fold instead of one engine call per candidate.  Same
         floats either way; ``False`` reproduces the legacy per-candidate
         timing for benchmarks.
+    use_kb:
+        Attach the persistent cross-dataset knowledge base
+        (:mod:`repro.knowledge.kb`) to the AKB search: seed the
+        candidate pool with nearest-profile knowledge from previous
+        searches and promote this search's winners back.  ``None``
+        (default) defers to the process-wide ``--kb`` / ``REPRO_KB``
+        opt-in plus an active artifact store; ``False`` forces it off.
+        ``kb`` pins an explicit :class:`~repro.knowledge.kb.
+        KnowledgeBase` instance instead (benchmarks and tests).
     """
 
     def __init__(
@@ -447,6 +456,8 @@ class KnowTrans:
         jobs: Optional[int] = None,
         pool: Optional[WorkerPool] = None,
         pool_scoring: bool = True,
+        use_kb: Optional[bool] = None,
+        kb=None,
     ):
         self.bundle = bundle
         self.config = config or KnowTransConfig()
@@ -457,6 +468,8 @@ class KnowTrans:
         )
         self.pool = pool if pool is not None else WorkerPool(jobs)
         self.pool_scoring = pool_scoring
+        self.use_kb = use_kb
+        self.kb = kb  # explicit KnowledgeBase instance (benchmarks/tests)
 
     def fit(self, splits: DatasetSplits) -> AdaptedModel:
         """Adapt the upstream DP-LLM to one novel dataset (Alg. 1 + 2)."""
@@ -503,6 +516,8 @@ class KnowTrans:
                 initial_knowledge=base_knowledge,
                 scorer=scorer,
                 pool_scoring=self.pool_scoring,
+                use_kb=self.use_kb,
+                kb=self.kb,
             )
             knowledge = akb_result.knowledge
 

@@ -11,14 +11,28 @@ engine will be able to discover — `dominant_validator` and
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..knowledge import validators
 from .schema import Dataset, Example, Record
 
-__all__ = ["AttributeProfile", "DatasetProfile", "profile_dataset"]
+__all__ = [
+    "AttributeProfile",
+    "DatasetProfile",
+    "profile_dataset",
+    "FEATURE_VERSION",
+    "feature_names",
+]
+
+#: Version stamp of the :meth:`DatasetProfile.feature_vector` layout.
+#: Stored alongside every knowledge-base entry so vectors produced by a
+#: different layout are never compared component-wise.
+FEATURE_VERSION = 1
 
 _FORMAT_VALIDATORS = (
     "time_12h", "iso_date", "issn", "flight_code", "pagination",
@@ -50,6 +64,34 @@ class AttributeProfile:
         return self.values.most_common(k)
 
 
+def _feature_basis() -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """The fixed, order-stable basis the feature vector is laid out on."""
+    return tuple(_FORMAT_VALIDATORS), tuple(sorted(validators.BANKS))
+
+
+def feature_names() -> List[str]:
+    """Component names of :meth:`DatasetProfile.feature_vector`, in order."""
+    validator_names, bank_names = _feature_basis()
+    return (
+        [
+            "log_examples",
+            "log_attributes",
+            "missing_rate_mean",
+            "missing_rate_max",
+            "log_distinct_mean",
+            "log_distinct_max",
+            "validator_fraction",
+            "validator_coverage_mean",
+            "bank_fraction",
+            "log_distinct_answers",
+            "log_answer_length",
+            "answer_entropy",
+        ]
+        + [f"validator:{name}" for name in validator_names]
+        + [f"bank:{name}" for name in bank_names]
+    )
+
+
 @dataclass
 class DatasetProfile:
     """The full per-attribute profile of a record dataset."""
@@ -58,6 +100,71 @@ class DatasetProfile:
     task: str
     examples_profiled: int
     attributes: Dict[str, AttributeProfile]
+    distinct_answers: int = 0
+    mean_answer_length: float = 0.0
+    answer_entropy: float = 0.0
+
+    def feature_vector(self) -> np.ndarray:
+        """A fixed-length numeric summary of the profile.
+
+        The vector is the retrieval index of the persistent knowledge
+        base (:mod:`repro.knowledge.kb`): two datasets whose profiles
+        are close in cosine distance are likely to respond to the same
+        dataset-informed knowledge.  The layout is order-stable (see
+        :func:`feature_names`) and independent of how many attributes
+        the dataset happens to have — per-attribute statistics enter
+        only through means/maxima and through fixed histograms over the
+        format-validator and vocabulary-bank inventories.  Every
+        component is finite: empty profiles (CTA/AVE/SM have no record
+        structure) fall back to the answer-distribution features, and
+        divisions guard their denominators, so the result is NaN-free
+        by construction.
+        """
+        attrs = [
+            self.attributes[name] for name in sorted(self.attributes)
+        ]
+        count = len(attrs)
+        missing = [prof.missing_rate for prof in attrs]
+        distinct = [math.log1p(prof.distinct) for prof in attrs]
+        coverage = [prof.validator_coverage for prof in attrs]
+        validator_names, bank_names = _feature_basis()
+
+        def _mean(values: Sequence[float]) -> float:
+            return sum(values) / len(values) if values else 0.0
+
+        def _frac(predicate) -> float:
+            return (
+                sum(1 for prof in attrs if predicate(prof)) / count
+                if count
+                else 0.0
+            )
+
+        base = [
+            math.log1p(max(self.examples_profiled, 0)),
+            math.log1p(count),
+            _mean(missing),
+            max(missing, default=0.0),
+            _mean(distinct),
+            max(distinct, default=0.0),
+            _frac(lambda p: p.dominant_validator is not None),
+            _mean(coverage),
+            _frac(lambda p: p.covering_bank is not None),
+            math.log1p(max(self.distinct_answers, 0)),
+            math.log1p(max(self.mean_answer_length, 0.0)),
+            max(self.answer_entropy, 0.0),
+        ]
+        validator_hist = [
+            _frac(lambda p, n=name: p.dominant_validator == n)
+            for name in validator_names
+        ]
+        bank_hist = [
+            _frac(lambda p, n=name: p.covering_bank == n)
+            for name in bank_names
+        ]
+        vector = np.asarray(
+            base + validator_hist + bank_hist, dtype=np.float64
+        )
+        return np.nan_to_num(vector, nan=0.0, posinf=0.0, neginf=0.0)
 
     def render(self) -> str:
         lines = [
@@ -148,13 +255,30 @@ def profile_dataset(
                     prof.values[value.strip().lower()] += 1
     for prof in profiles.values():
         non_missing = list(prof.values.elements())
-        prof.dominant_validator, prof.validator_coverage = _dominant_validator(
-            non_missing
+        prof.dominant_validator, prof.validator_coverage = (
+            _dominant_validator(non_missing)
         )
         prof.covering_bank = _covering_bank(non_missing)
+    answers = Counter(
+        example.answer.strip().lower() for example in examples
+    )
+    total = sum(answers.values())
+    entropy = 0.0
+    if total:
+        for freq in answers.values():
+            p = freq / total
+            entropy -= p * math.log(p)
     return DatasetProfile(
         dataset_name=dataset.name,
         task=dataset.task,
         examples_profiled=len(examples),
         attributes=profiles,
+        distinct_answers=len(answers),
+        mean_answer_length=(
+            sum(len(answer) * freq for answer, freq in answers.items())
+            / total
+            if total
+            else 0.0
+        ),
+        answer_entropy=entropy,
     )

@@ -1,0 +1,696 @@
+"""Persistent cross-dataset knowledge base — retrieve-then-refine AKB.
+
+Every AKB search used to start from a cold ``generate_pool`` and its
+discovered knowledge died with the run.  This module is the durable
+bank those runs promote into: each entry is a typed
+:class:`~repro.knowledge.rules.Knowledge` candidate plus the score it
+measured on the dataset it was searched for, indexed by that dataset's
+profile feature vector (:meth:`repro.data.profiling.DatasetProfile.
+feature_vector`).  On a new dataset, the optimizer retrieves the top-k
+nearest-profile entries (cosine over normalized vectors, task-type
+filtered) and seeds the candidate pool with them — turning the cold
+iterative search into retrieve-then-refine.  After each search the
+winning candidates are promoted back, so the bank compounds across
+runs, shards and serving tenants.
+
+Storage layout (a versioned ``kb/`` namespace beside the artifact
+store's content-addressed kinds, usually ``<cache-dir>/kb/``)::
+
+    kb/
+      VERSION                  # {"version": KB_VERSION}, written once
+      entries/<id>.json        # loose entries — one atomic file each
+      segments/<digest>.jsonl  # compacted entry batches
+      claims/<id>.claim        # O_CREAT|O_EXCL promotion markers
+
+*Atomic append*: promoting writes one new ``entries/<id>.json`` via
+tmp-file + rename (:func:`repro.store.atomic_write_bytes`), so readers
+never observe a partial entry and any number of forked shard workers
+can promote concurrently with no locks.  The entry id is the content
+address of ``(task, dataset fingerprint, vector, knowledge)``, so
+concurrent promoters of the same discovery race benignly — the claim
+file (the same ``O_CREAT|O_EXCL`` idiom :mod:`repro.shard` uses for
+grid cells) lets the losers skip the write entirely, and a claimant
+that died before writing is healed by checking for the entry's actual
+presence.
+
+*Compaction* folds loose entries into a single ``segments/*.jsonl``
+batch (claim-guarded so only one compactor runs; a dead compactor's
+claim is reclaimed by pid liveness).  *Self-healing*: any entry or
+segment line that fails to parse or validate is dropped on read and
+unlinked by :meth:`KnowledgeBase.heal` — exactly the
+corrupt-entry-behaves-like-a-miss contract of the artifact store.
+
+Observability: ``kb.{hit,miss,promote,evict}`` counters, a
+``kb.retrieval_similarity`` gauge per retrieval and a ``kb.retrieve``
+span around the index scan (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from .rules import Knowledge
+
+__all__ = [
+    "KB_VERSION",
+    "KBEntry",
+    "KnowledgeBase",
+    "active_kb",
+    "configure",
+    "enabled",
+    "profile_vector_for",
+    "resolve_use_kb",
+]
+
+#: Bump to orphan every existing entry (version-mismatched entries are
+#: skipped on read and removed by ``heal``), mirroring the artifact
+#: store's schema-version contract.
+KB_VERSION = 1
+
+_ENTRY_FIELDS = ("id", "task", "dataset", "fingerprint", "vector",
+                 "knowledge", "score", "promoted_at", "version")
+
+
+@dataclass(frozen=True)
+class KBEntry:
+    """One promoted discovery: knowledge plus its measured context."""
+
+    entry_id: str
+    task: str
+    dataset: str
+    fingerprint: str
+    vector: Tuple[float, ...]
+    knowledge: Knowledge
+    score: float
+    promoted_at: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": KB_VERSION,
+            "id": self.entry_id,
+            "task": self.task,
+            "dataset": self.dataset,
+            "fingerprint": self.fingerprint,
+            "vector": list(self.vector),
+            "knowledge": self.knowledge.to_dict(),
+            "score": float(self.score),
+            "promoted_at": float(self.promoted_at),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> Optional["KBEntry"]:
+        """Validated deserialisation; ``None`` on anything unexpected."""
+        if not isinstance(data, dict):
+            return None
+        if data.get("version") != KB_VERSION:
+            return None
+        if any(field not in data for field in _ENTRY_FIELDS):
+            return None
+        try:
+            vector = tuple(float(v) for v in data["vector"])
+            if any(not math.isfinite(v) for v in vector):
+                return None
+            return KBEntry(
+                entry_id=str(data["id"]),
+                task=str(data["task"]),
+                dataset=str(data["dataset"]),
+                fingerprint=str(data["fingerprint"]),
+                vector=vector,
+                knowledge=Knowledge.from_dict(data["knowledge"]),
+                score=float(data["score"]),
+                promoted_at=float(data["promoted_at"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def _entry_id(
+    task: str, fingerprint: str, vector: Sequence[float], knowledge: Knowledge
+) -> str:
+    """Content address of one discovery (score-independent, so a
+    re-promotion of the same knowledge overwrites rather than piles up)."""
+    from .. import store as artifact_store
+
+    return artifact_store.fingerprint(
+        {
+            "kb_version": KB_VERSION,
+            "task": task,
+            "dataset": fingerprint,
+            "vector": [float(v) for v in vector],
+            "knowledge": knowledge,
+        }
+    )
+
+
+#: Fingerprint-keyed memo of computed profile vectors.  Profiling walks
+#: every value of every example through the format validators (~20ms
+#: for a 20-shot split) — pure in the dataset contents, so one
+#: computation per distinct dataset per process is enough.
+_VECTOR_CACHE: Dict[str, Tuple[float, ...]] = {}
+
+
+def profile_vector_for(dataset) -> Tuple[Tuple[float, ...], str]:
+    """``(feature_vector, fingerprint)`` of a dataset, memoised.
+
+    The fingerprint doubles as retrieval's self-exclusion key, so every
+    KB call site needs both anyway.
+    """
+    from .. import store as artifact_store
+    from ..data.profiling import profile_dataset
+
+    fingerprint = artifact_store.fingerprint(dataset)
+    vector = _VECTOR_CACHE.get(fingerprint)
+    if vector is None:
+        vector = tuple(
+            float(v) for v in profile_dataset(dataset).feature_vector()
+        )
+        _VECTOR_CACHE[fingerprint] = vector
+    return vector, fingerprint
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na <= 0.0 or nb <= 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+class KnowledgeBase:
+    """The persistent, profile-indexed bank of searched knowledge."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def entries_dir(self) -> Path:
+        return self.root / "entries"
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / "segments"
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / "claims"
+
+    def _ensure_layout(self) -> None:
+        from ..store import atomic_write_bytes
+
+        for path in (self.entries_dir, self.segments_dir, self.claims_dir):
+            path.mkdir(parents=True, exist_ok=True)
+        version_file = self.root / "VERSION"
+        if not version_file.exists():
+            atomic_write_bytes(
+                version_file,
+                json.dumps({"version": KB_VERSION}).encode("utf-8"),
+            )
+
+    # -- reading --------------------------------------------------------
+    def _iter_raw(self) -> Iterator[Tuple[Path, Optional[int], Dict]]:
+        """Yield ``(path, segment_line, payload_dict)`` for every stored
+        record; unparseable payloads yield an empty dict (corrupt)."""
+        if self.entries_dir.is_dir():
+            for path in sorted(self.entries_dir.glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    payload = {}
+                yield path, None, payload if isinstance(payload, dict) else {}
+        if self.segments_dir.is_dir():
+            for path in sorted(self.segments_dir.glob("*.jsonl")):
+                try:
+                    lines = path.read_text().splitlines()
+                except OSError:
+                    continue
+                for index, line in enumerate(lines):
+                    if not line.strip():
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except ValueError:
+                        payload = {}
+                    yield path, index, (
+                        payload if isinstance(payload, dict) else {}
+                    )
+
+    def entries(self, task: Optional[str] = None) -> List[KBEntry]:
+        """Every valid entry, deduplicated by id (newest promotion wins).
+
+        Invalid records are skipped (a read never fails on corruption);
+        :meth:`heal` removes them from disk.  Ordering is deterministic:
+        sorted by entry id.
+        """
+        by_id: Dict[str, KBEntry] = {}
+        for __path, __line, payload in self._iter_raw():
+            entry = KBEntry.from_dict(payload)
+            if entry is None:
+                continue
+            if task is not None and entry.task != task:
+                continue
+            current = by_id.get(entry.entry_id)
+            if current is None or entry.promoted_at >= current.promoted_at:
+                by_id[entry.entry_id] = entry
+        return [by_id[key] for key in sorted(by_id)]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def has_entry(self, entry_id: str) -> bool:
+        if (self.entries_dir / f"{entry_id}.json").exists():
+            return True
+        return any(entry.entry_id == entry_id for entry in self.entries())
+
+    # -- promotion (atomic append) --------------------------------------
+    def promote(
+        self,
+        task: str,
+        dataset: str,
+        fingerprint: str,
+        vector: Sequence[float],
+        knowledge: Knowledge,
+        score: float,
+    ) -> Optional[KBEntry]:
+        """Append one discovery; concurrency-safe and idempotent.
+
+        The ``O_CREAT|O_EXCL`` claim file is the fast path for the
+        common race (many workers re-discovering the same knowledge):
+        exactly one claimant writes the entry, the rest skip.  A lost
+        claim with no entry on disk (the winner died mid-write) falls
+        through to an unconditional atomic write, so a discovery can
+        never be permanently lost to a crash.
+        """
+        from ..store import atomic_write_bytes, try_claim
+
+        self._ensure_layout()
+        vector = [float(v) for v in vector]
+        entry = KBEntry(
+            entry_id=_entry_id(task, fingerprint, vector, knowledge),
+            task=task,
+            dataset=dataset,
+            fingerprint=fingerprint,
+            vector=tuple(vector),
+            knowledge=knowledge,
+            score=float(score),
+            promoted_at=time.time(),
+        )
+        claim = self.claims_dir / f"{entry.entry_id}.claim"
+        claimed = try_claim(
+            claim, {"pid": os.getpid(), "host": socket.gethostname()}
+        )
+        if not claimed and self.has_entry(entry.entry_id):
+            return None  # already promoted — nothing to write
+        atomic_write_bytes(
+            self.entries_dir / f"{entry.entry_id}.json",
+            (json.dumps(entry.to_dict(), sort_keys=True) + "\n").encode(),
+        )
+        obs.counter("kb.promote", task=task)
+        return entry
+
+    # -- retrieval ------------------------------------------------------
+    def retrieve(
+        self,
+        vector: Sequence[float],
+        task: str,
+        k: int = 3,
+        min_similarity: float = 0.0,
+        exclude_fingerprint: Optional[str] = None,
+    ) -> List[Tuple[float, KBEntry]]:
+        """Top-k nearest-profile entries for one task.
+
+        Similarity is the cosine between normalized feature vectors;
+        entries of a different task, a different vector length (a
+        profile-layout change) or the excluded dataset fingerprint
+        never match.  Results are ordered by ``(-similarity, entry
+        id)`` so retrieval is deterministic across runs and platforms.
+        """
+        query = np.asarray(list(vector), dtype=np.float64)
+        with obs.span("kb.retrieve", task=task, k=k):
+            scored: List[Tuple[float, KBEntry]] = []
+            for entry in self.entries(task=task):
+                if (
+                    exclude_fingerprint is not None
+                    and entry.fingerprint == exclude_fingerprint
+                ):
+                    continue
+                if len(entry.vector) != len(query):
+                    continue
+                similarity = _cosine(
+                    query, np.asarray(entry.vector, dtype=np.float64)
+                )
+                if similarity >= min_similarity:
+                    scored.append((similarity, entry))
+            scored.sort(key=lambda pair: (-pair[0], pair[1].entry_id))
+            top = scored[:k]
+            if top:
+                obs.counter("kb.hit", task=task)
+                obs.gauge("kb.retrieval_similarity", top[0][0], task=task)
+            else:
+                obs.counter("kb.miss", task=task)
+        return top
+
+    # -- maintenance ----------------------------------------------------
+    def heal(self) -> Dict[str, int]:
+        """Drop corrupt/stale records from disk; report what was removed.
+
+        Loose files that fail to parse or validate are unlinked;
+        segments containing bad lines are rewritten without them (or
+        unlinked when nothing valid remains).  Version-mismatched
+        entries count as corrupt — the version bump orphaned them.
+        """
+        from ..store import atomic_write_bytes
+
+        report = {"corrupt_removed": 0, "kept": 0}
+        segment_lines: Dict[Path, List[Tuple[bool, str]]] = {}
+        for path, line, payload in self._iter_raw():
+            valid = KBEntry.from_dict(payload) is not None
+            if line is None:
+                if valid:
+                    report["kept"] += 1
+                else:
+                    report["corrupt_removed"] += 1
+                    obs.counter("kb.evict", reason="corrupt")
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            else:
+                segment_lines.setdefault(path, []).append(
+                    (valid, json.dumps(payload, sort_keys=True))
+                )
+        for path, lines in segment_lines.items():
+            bad = sum(1 for valid, __ in lines if not valid)
+            report["kept"] += len(lines) - bad
+            if not bad:
+                continue
+            report["corrupt_removed"] += bad
+            obs.counter("kb.evict", bad, reason="corrupt")
+            kept = [text for valid, text in lines if valid]
+            if kept:
+                atomic_write_bytes(
+                    path, ("\n".join(kept) + "\n").encode("utf-8")
+                )
+            else:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return report
+
+    def _compaction_claim(self) -> bool:
+        """Win (or reclaim from a dead pid) the single-compactor claim."""
+        from ..store import try_claim
+
+        claim = self.claims_dir / "compact.claim"
+        payload = {"pid": os.getpid(), "host": socket.gethostname()}
+        if try_claim(claim, payload):
+            return True
+        try:
+            owner = json.loads(claim.read_text())
+            pid = int(owner.get("pid", -1))
+            host = str(owner.get("host", ""))
+        except (OSError, ValueError):
+            pid, host = -1, ""
+        if host == socket.gethostname() and pid > 0 and _pid_alive(pid):
+            return False  # a live compactor owns the store
+        try:
+            claim.unlink()
+        except OSError:
+            pass
+        return try_claim(claim, payload)
+
+    def compact(self) -> Dict[str, int]:
+        """Fold loose entries and old segments into one fresh segment.
+
+        Claim-guarded so concurrent compactors cannot interleave
+        deletions; entries promoted *during* a compaction are untouched
+        (only the files enumerated up front are absorbed and removed).
+        """
+        import hashlib
+
+        from ..store import atomic_write_bytes
+
+        self._ensure_layout()
+        if not self._compaction_claim():
+            return {"compacted": 0, "segments": 0, "skipped": 1}
+        try:
+            loose = sorted(self.entries_dir.glob("*.json"))
+            segments = sorted(self.segments_dir.glob("*.jsonl"))
+            entries = self.entries()
+            if not entries or (len(loose) + len(segments)) <= 1:
+                return {
+                    "compacted": 0,
+                    "segments": len(segments),
+                    "skipped": 0,
+                }
+            lines = [
+                json.dumps(entry.to_dict(), sort_keys=True)
+                for entry in entries
+            ]
+            body = ("\n".join(lines) + "\n").encode("utf-8")
+            digest = hashlib.sha256(body).hexdigest()[:16]
+            atomic_write_bytes(self.segments_dir / f"{digest}.jsonl", body)
+            for path in loose + [
+                p for p in segments if p.name != f"{digest}.jsonl"
+            ]:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return {
+                "compacted": len(entries),
+                "segments": 1,
+                "skipped": 0,
+            }
+        finally:
+            try:
+                (self.claims_dir / "compact.claim").unlink()
+            except OSError:
+                pass
+
+    def prune(
+        self,
+        min_score: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        task: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Evict low-value entries; rewrite the survivors compacted.
+
+        ``min_score`` drops entries scoring below the floor;
+        ``max_entries`` keeps only the highest-scored (ties broken by
+        id for determinism); ``task`` restricts eviction to one task's
+        entries.  Safe at any point — the KB is advisory, a pruned
+        entry just means one more cold search somewhere.
+        """
+        from ..store import atomic_write_bytes
+
+        everything = self.entries()
+        keep: List[KBEntry] = []
+        evicted = 0
+        candidates = []
+        for entry in everything:
+            if task is not None and entry.task != task:
+                keep.append(entry)
+            elif min_score is not None and entry.score < min_score:
+                evicted += 1
+            else:
+                candidates.append(entry)
+        if max_entries is not None and len(candidates) > max_entries:
+            candidates.sort(key=lambda e: (-e.score, e.entry_id))
+            evicted += len(candidates) - max_entries
+            candidates = candidates[:max_entries]
+        keep.extend(candidates)
+        if evicted:
+            obs.counter("kb.evict", evicted, reason="prune")
+        self._ensure_layout()
+        keep.sort(key=lambda e: e.entry_id)
+        for path in sorted(self.entries_dir.glob("*.json")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for path in sorted(self.segments_dir.glob("*.jsonl")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if keep:
+            body = (
+                "\n".join(
+                    json.dumps(entry.to_dict(), sort_keys=True)
+                    for entry in keep
+                )
+                + "\n"
+            ).encode("utf-8")
+            atomic_write_bytes(self.segments_dir / "pruned.jsonl", body)
+        return {"evicted": evicted, "kept": len(keep)}
+
+    # -- import/export --------------------------------------------------
+    def export_entries(self, path) -> int:
+        """Write every valid entry as JSONL; returns the count."""
+        from ..store import atomic_write_bytes
+
+        entries = self.entries()
+        body = "".join(
+            json.dumps(entry.to_dict(), sort_keys=True) + "\n"
+            for entry in entries
+        ).encode("utf-8")
+        atomic_write_bytes(path, body)
+        return len(entries)
+
+    def import_entries(self, path) -> Dict[str, int]:
+        """Merge a JSONL export into this KB; invalid lines are skipped."""
+        report = {"imported": 0, "skipped": 0}
+        try:
+            lines = Path(path).read_text().splitlines()
+        except OSError:
+            raise FileNotFoundError(f"cannot read KB export {path!r}")
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                report["skipped"] += 1
+                continue
+            entry = KBEntry.from_dict(payload)
+            if entry is None:
+                report["skipped"] += 1
+                continue
+            if self.promote(
+                entry.task,
+                entry.dataset,
+                entry.fingerprint,
+                entry.vector,
+                entry.knowledge,
+                entry.score,
+            ) is not None:
+                report["imported"] += 1
+            else:
+                report["skipped"] += 1
+        return report
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> Dict:
+        """Entry count, on-disk bytes, last promotion and per-task mix."""
+        entries = self.entries()
+        size = 0
+        if self.root.is_dir():
+            size = sum(
+                path.stat().st_size
+                for path in self.root.rglob("*")
+                if path.is_file()
+            )
+        per_task: Dict[str, int] = {}
+        for entry in entries:
+            per_task[entry.task] = per_task.get(entry.task, 0) + 1
+        return {
+            "entries": len(entries),
+            "bytes": size,
+            "last_promoted": max(
+                (entry.promoted_at for entry in entries), default=None
+            ),
+            "tasks": dict(sorted(per_task.items())),
+            "datasets": len({entry.fingerprint for entry in entries}),
+        }
+
+    def render_stats(self) -> str:
+        stats = self.stats()
+        lines = [f"knowledge base: {self.root}"]
+        if not stats["entries"]:
+            return lines[0] + "\n  empty"
+        last = stats["last_promoted"]
+        lines.append(
+            f"  {stats['entries']} entries over {stats['datasets']} "
+            f"dataset(s), {stats['bytes'] / 1e6:.2f} MB"
+        )
+        if last is not None:
+            age = max(time.time() - last, 0.0)
+            lines.append(f"  last promoted {age:.0f}s ago")
+        for task, count in stats["tasks"].items():
+            lines.append(f"  {task:<6} {count:>5} entries")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KnowledgeBase({str(self.root)!r})"
+
+
+# ----------------------------------------------------------------------
+# Process-wide resolution (mirrors repro.store.active)
+# ----------------------------------------------------------------------
+# KB retrieval deliberately defaults OFF: seeding a pool from whatever a
+# shared store happens to contain would make results depend on run
+# ordering, breaking the serial-vs-parallel and sharded-vs-unsharded
+# bit-identity contracts the perf gates enforce.  ``--kb`` (or
+# REPRO_KB=1) opts a run in; promotion then compounds the bank.
+_ENABLED: Optional[bool] = None
+
+
+def configure(enabled: Optional[bool]) -> None:
+    """Explicitly enable/disable KB use (CLI flags do this);
+    ``None`` restores environment resolution (``REPRO_KB``)."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def enabled() -> bool:
+    if _ENABLED is not None:
+        return _ENABLED
+    return os.environ.get("REPRO_KB", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def active_kb() -> Optional[KnowledgeBase]:
+    """The knowledge base of the active artifact store, if KB use is on."""
+    if not enabled():
+        return None
+    from .. import store as artifact_store
+
+    store = artifact_store.active()
+    if store is None:
+        return None
+    return KnowledgeBase(store.kb_dir)
+
+
+def resolve_use_kb(
+    use_kb: Optional[bool], kb: Optional[KnowledgeBase]
+) -> Optional[KnowledgeBase]:
+    """Resolve the (use_kb, kb) parameter pair callers pass around.
+
+    An explicit ``kb`` instance wins (unless ``use_kb`` is ``False``);
+    ``use_kb=None`` defers to :func:`active_kb` (flag/env + store);
+    ``use_kb=True`` with no explicit instance requires an active store
+    and returns its KB regardless of the enablement flag.
+    """
+    if use_kb is False:
+        return None
+    if kb is not None:
+        return kb
+    if use_kb is True:
+        from .. import store as artifact_store
+
+        store = artifact_store.active()
+        return None if store is None else KnowledgeBase(store.kb_dir)
+    return active_kb()

@@ -33,6 +33,8 @@ __all__ = [
     "render_pipeline_benchmark",
     "run_cache_benchmark",
     "render_cache_benchmark",
+    "run_kb_benchmark",
+    "render_kb_benchmark",
     "run_train_benchmark",
     "render_train_benchmark",
     "run_serve_benchmark",
@@ -654,6 +656,290 @@ def render_cache_benchmark(result: Dict) -> str:
             f"  stored {kind:<17} {slot['entries']:>4} entries "
             f"{slot['bytes'] / 1e6:>8.2f} MB"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Knowledge-base benchmark (shared by ``python -m repro perf --kb`` and
+# ``benchmarks/bench_perf_kb.py``)
+# ----------------------------------------------------------------------
+def _kb_config():
+    """Search-heavy bench configuration with a *live* patience stop.
+
+    A large candidate pool and a deep refinement budget make the
+    search loop (candidate scoring + feedback-driven refinement
+    generation) the dominant cost; ``patience=2`` keeps the plateau
+    stop live, unlike :func:`_pipeline_config` whose ``patience=12``
+    deliberately disables early stopping.  The KB's speedup mechanism
+    is the trusted-retrieval shortcut: a warm search whose retrieved
+    candidate matches everything generated stops after round one,
+    skipping the refinement rounds a cold search must grind through
+    before its patience expires.
+    """
+    from .core.config import AKBConfig, KnowTransConfig, SKCConfig
+
+    return KnowTransConfig(
+        skc=SKCConfig(finetune_epochs=6, patch_epochs=2),
+        akb=AKBConfig(
+            pool_size=10,
+            iterations=12,
+            refinements_per_iteration=16,
+            patience=4,
+        ),
+    )
+
+
+def _kb_search_setup(dataset_id: str, scale: float, seed: int, config):
+    """Untimed shared state for one search arm: model, scorer, splits."""
+    from .baselines.jellyfish import get_bundle
+    from .core.knowtrans import KnowTrans
+    from .eval.harness import load_splits
+
+    bundle = get_bundle(seed=0, scale=scale, skc_config=config.skc)
+    splits = load_splits(dataset_id, seed=seed, scale=scale)
+    adapter = KnowTrans(bundle, config=config, jobs=1, use_akb=False)
+    adapted = adapter.fit(splits)
+    scorer = adapter.cross_fit_scorer(splits)
+    return adapted, scorer, splits
+
+
+def _kb_search(adapted, scorer, splits, config, kb=None) -> Dict:
+    """One arm: the AKB search itself, with/without an attached KB.
+
+    Only the ``search_knowledge`` call is timed — the test-set quality
+    evaluation afterwards is identical in both arms and would dilute
+    the measured ratio.
+    """
+    from .core.akb.optimizer import search_knowledge
+    from .knowledge.seed import seed_knowledge
+    from .llm.mockgpt import MockGPT
+    from .tasks.base import get_task
+
+    start = time.perf_counter()
+    result = search_knowledge(
+        adapted.model,
+        splits.few_shot,
+        splits.validation.examples,
+        mockgpt=MockGPT(
+            temperature=config.akb.temperature, seed=config.seed
+        ),
+        config=config.akb,
+        initial_knowledge=seed_knowledge(splits.task),
+        scorer=scorer,
+        use_kb=False if kb is None else None,
+        kb=kb,
+    )
+    seconds = time.perf_counter() - start
+    task = get_task(splits.task)
+    return {
+        "seconds": seconds,
+        "score": task.evaluate(
+            adapted.model, splits.test.examples, result.knowledge,
+            splits.test,
+        ),
+        "best_score": result.best_score,
+        "rounds": result.iterations_run,
+        "rounds_to_best": result.rounds_to_best,
+        "retrieved": result.retrieved,
+        "promoted": result.promoted,
+        "knowledge": [rule.render() for rule in result.knowledge.rules],
+    }
+
+
+def _kb_promote_worker(args) -> int:
+    """Forked worker: promote ``count`` entries, half shared, half own.
+
+    The shared half makes every worker race for the same entry ids
+    (exercising the claim fast path); the private half interleaves
+    distinct atomic appends.  Module-level so worker pools can ship it.
+    """
+    root, worker, count = args
+    from .knowledge.kb import KnowledgeBase
+    from .knowledge.rules import KeyAttribute, Knowledge
+
+    bank = KnowledgeBase(root)
+    written = 0
+    for index in range(count):
+        shared = index % 2 == 0
+        tag = f"shared-{index}" if shared else f"w{worker}-{index}"
+        knowledge = Knowledge(
+            rules=(KeyAttribute(attribute=f"attr_{tag}"),),
+            notes=f"bench {tag}",
+        )
+        entry = bank.promote(
+            task="em",
+            dataset=f"bench-{tag}",
+            fingerprint=f"fp-{tag}",
+            vector=[float(index), float(worker if not shared else 0)],
+            knowledge=knowledge,
+            score=0.5,
+        )
+        if entry is not None:
+            written += 1
+    return written
+
+
+def _kb_concurrent_check(workers: int = 2, count: int = 24) -> Dict:
+    """Fork ``workers`` concurrent promoters; verify nothing corrupts."""
+    import multiprocessing
+    import tempfile
+
+    from .knowledge.kb import KnowledgeBase
+
+    with tempfile.TemporaryDirectory(prefix="repro-kb-conc-") as tmp:
+        root = tmp + "/kb"
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(workers) as pool:
+            written = pool.map(
+                _kb_promote_worker,
+                [(root, worker, count) for worker in range(workers)],
+            )
+        bank = KnowledgeBase(root)
+        entries = bank.entries()
+        healed = bank.heal()
+        compacted = bank.compact()
+        after = bank.entries()
+        # shared entries dedupe to count/2 ids; private ones are unique
+        shared = (count + 1) // 2
+        expected = shared + workers * (count - shared)
+        return {
+            "workers": workers,
+            "per_worker": count,
+            "written": sum(written),
+            "expected": expected,
+            "entries": len(entries),
+            "corrupt": healed["corrupt_removed"],
+            "entries_after_compact": len(after),
+            "compacted": compacted["compacted"],
+            "ok": (
+                len(entries) == expected
+                and len(after) == expected
+                and healed["corrupt_removed"] == 0
+            ),
+        }
+
+
+def run_kb_benchmark(
+    seed: int = 0,
+    dataset_id: str = "ed/rayyan",
+    scale: float = 0.45,
+) -> Dict:
+    """Time a cold AKB search against a KB-warmed retrieve-then-refine.
+
+    Both arms run the identical search workload on the *target* split
+    (``seed+1``) with the same fine-tuned model and cross-fit scorer
+    (built untimed) and no artifact store active, so nothing memoises
+    across arms.  The only difference is the knowledge base:
+
+    * **cold** — no KB: the pool starts from ``generate_pool`` alone
+      and the search grinds refinement rounds until patience expires.
+    * **warm** — a KB populated by an untimed search over the *source*
+      split (``seed``, same generator, different examples): retrieval
+      seeds the pool with already-optimised knowledge and the
+      trusted-retrieval shortcut ends the search after round one.
+
+    The source and target datasets share latent generator rules but no
+    examples (and therefore different fingerprints — retrieval's
+    same-dataset self-exclusion does not apply).  Quality must not
+    regress: the warm arm's test score and best validation score are
+    gated to be no worse than cold's.  A forked concurrent-promotion
+    check asserts the bank survives parallel writers without a single
+    corrupt entry.
+    """
+    import tempfile
+
+    from . import store as artifact_store
+    from .knowledge.kb import KnowledgeBase
+
+    config = _kb_config()
+    source_seed, target_seed = seed, seed + 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-kb-bench-") as tmp:
+        bank = KnowledgeBase(tmp + "/kb")
+        with artifact_store.using_store(None):
+            # Untimed: model + scorer per split, and a warmup search on
+            # the target so featurization caches are hot for both arms.
+            target_setup = _kb_search_setup(
+                dataset_id, scale, target_seed, config
+            )
+            source_setup = _kb_search_setup(
+                dataset_id, scale, source_seed, config
+            )
+            _kb_search(*target_setup, config)
+
+            PERF.reset()
+            cold = _kb_search(*target_setup, config)
+            cold_seconds = cold["seconds"]
+
+            # Untimed: populate the bank from the source split, then
+            # warm the featurization caches for the retrieved
+            # candidates' prompts too — the cold arm's candidates were
+            # all warmed by the warmup search above, so the warm arm
+            # must not be the only one paying fresh tokenisation.
+            source = _kb_search(*source_setup, config, kb=bank)
+            _kb_search(*target_setup, config, kb=bank)
+
+            warm = _kb_search(*target_setup, config, kb=bank)
+            warm_seconds = warm["seconds"]
+            counters = PERF.snapshot()
+        kb_stats = bank.stats()
+
+    concurrent = _kb_concurrent_check()
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    rounds_ratio = (
+        cold["rounds"] / warm["rounds"] if warm["rounds"] else 0.0
+    )
+    return {
+        "workload": {
+            "dataset": dataset_id,
+            "source_seed": source_seed,
+            "target_seed": target_seed,
+        },
+        "scale": scale,
+        "cold": {"seconds": cold_seconds, **cold},
+        "warm": {"seconds": warm_seconds, **warm},
+        "source": source,
+        "speedup": speedup,
+        "rounds_ratio": rounds_ratio,
+        "retrieved": warm["retrieved"],
+        "quality_no_worse": (
+            warm["score"] >= cold["score"]
+            and warm["best_score"] >= cold["best_score"]
+        ),
+        "concurrent": concurrent,
+        "kb": kb_stats,
+        "perf": counters,
+    }
+
+
+def render_kb_benchmark(result: Dict) -> str:
+    """Format :func:`run_kb_benchmark` output for the terminal."""
+    cold, warm = result["cold"], result["warm"]
+    workload = result["workload"]
+    concurrent = result["concurrent"]
+    lines = [
+        "knowledge-base benchmark — "
+        f"{workload['dataset']} (source seed {workload['source_seed']} "
+        f"-> target seed {workload['target_seed']}, "
+        f"scale {result['scale']})",
+        f"  cold (no KB):        {cold['seconds']:.3f}s, "
+        f"{cold['rounds']} rounds, best at round "
+        f"{cold['rounds_to_best']}, best score {cold['best_score']:.3f}",
+        f"  warm (KB-seeded):    {warm['seconds']:.3f}s, "
+        f"{warm['rounds']} rounds, best at round "
+        f"{warm['rounds_to_best']}, best score {warm['best_score']:.3f}",
+        f"  retrieved/promoted:  {warm['retrieved']} retrieved, "
+        f"{warm['promoted']} promoted back",
+        f"  speedup:             {result['speedup']:.2f}x wall-clock, "
+        f"{result['rounds_ratio']:.2f}x fewer search rounds",
+        f"  quality no worse:    {result['quality_no_worse']} "
+        f"(test {cold['score']:.2f} -> {warm['score']:.2f})",
+        f"  concurrent writers:  {concurrent['workers']} forks, "
+        f"{concurrent['entries']} entries (expected "
+        f"{concurrent['expected']}), {concurrent['corrupt']} corrupt",
+        f"  bank:                {result['kb']['entries']} entries, "
+        f"{result['kb']['bytes'] / 1e3:.1f} kB",
+    ]
     return "\n".join(lines)
 
 

@@ -102,6 +102,11 @@ class TenantEntry:
     backbone: str
     requests: int = 0
     predictions: int = 0
+    # Task knowledge the specialist was registered with.  Normally the
+    # handcrafted seed; a KB-warmed registration substitutes the best
+    # nearest-profile knowledge from earlier AKB searches.
+    knowledge: Optional[Any] = None
+    kb_warmed: bool = False
 
     @property
     def key(self) -> EntryKey:
@@ -116,6 +121,12 @@ class TenantEntry:
             "adapter": type(self.adapter).__name__ if self.adapter else None,
             "requests": self.requests,
             "predictions": self.predictions,
+            "knowledge_rules": (
+                len(self.knowledge.rules)
+                if self.knowledge is not None
+                else None
+            ),
+            "kb_warmed": self.kb_warmed,
         }
 
 
@@ -159,13 +170,18 @@ class TenantRegistry:
         task: str,
         adapter: Optional[Any],
         backbone: str,
+        knowledge: Optional[Any] = None,
+        kb_warmed: bool = False,
     ) -> TenantEntry:
         if backbone not in self.backbones:
             raise KeyError(
                 f"unknown backbone {backbone!r}; known: "
                 f"{sorted(self.backbones)}"
             )
-        entry = TenantEntry(tenant, dataset, task, adapter, backbone)
+        entry = TenantEntry(
+            tenant, dataset, task, adapter, backbone,
+            knowledge=knowledge, kb_warmed=kb_warmed,
+        )
         if entry.key in self.entries:
             raise ValueError(f"entry {entry.key!r} already registered")
         self.entries[entry.key] = entry
@@ -189,11 +205,19 @@ class TenantRegistry:
         on a clone of the upstream model with identical base weights,
         so hot-attaching the returned fusion to the shared backbone
         reproduces the adapted model exactly.
+
+        When the persistent knowledge base is enabled (``--kb`` /
+        ``REPRO_KB``), registration is KB-warmed: the few-shot data is
+        profiled and the best nearest-profile knowledge from earlier
+        AKB searches replaces the handcrafted seed.  Unlike the AKB
+        search path, same-dataset entries are *not* excluded — reusing
+        this exact dataset's own searched knowledge is the point.
         """
         from .baselines.jellyfish import get_bundle
         from .core.config import KnowTransConfig
         from .core.knowtrans import _fused_finetune
         from .eval.harness import load_splits
+        from .knowledge import kb as kb_module
         from .knowledge.seed import seed_knowledge
 
         config = config or KnowTransConfig.fast()
@@ -204,6 +228,22 @@ class TenantRegistry:
         self.add_backbone(backbone_key, bundle.upstream_model)
         splits = load_splits(dataset_id, seed=seed, scale=scale)
         knowledge = seed_knowledge(splits.few_shot.task)
+        kb_warmed = False
+        bank = kb_module.active_kb()
+        if bank is not None:
+            vector, __ = kb_module.profile_vector_for(splits.few_shot)
+            hits = bank.retrieve(
+                vector,
+                task=splits.few_shot.task,
+                k=1,
+                min_similarity=config.akb.kb_min_similarity,
+            )
+            if hits:
+                knowledge = hits[0][1].knowledge
+                kb_warmed = True
+                obs.counter(
+                    "serve.kb_warmed", tenant=tenant, dataset=dataset_id
+                )
         __, fusion = _fused_finetune(
             bundle.upstream_model,
             bundle.ensure_patches(),
@@ -214,7 +254,8 @@ class TenantRegistry:
             knowledge,
         )
         return self.add_entry(
-            tenant, dataset_id, splits.few_shot.task, fusion, backbone_key
+            tenant, dataset_id, splits.few_shot.task, fusion, backbone_key,
+            knowledge=knowledge, kb_warmed=kb_warmed,
         )
 
     # -- serving-time --------------------------------------------------

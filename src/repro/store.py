@@ -268,6 +268,19 @@ class ArtifactStore:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.art"
 
+    @property
+    def kb_dir(self) -> Path:
+        """The persistent knowledge base's namespace inside this store.
+
+        The ``kb/`` directory is *not* a content-addressed kind: its
+        entries are durable discoveries (see
+        :mod:`repro.knowledge.kb`), not recomputable caches, so the
+        maintenance walks below (``clear``/``gc``/``disk_stats``)
+        deliberately skip it — ``python -m repro kb`` and ``cache gc
+        --kb`` manage it explicitly.
+        """
+        return self.root / "kb"
+
     # -- read/write -----------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
         """The stored payload, or ``None`` on miss/corruption."""
@@ -345,7 +358,7 @@ class ArtifactStore:
     # -- maintenance ----------------------------------------------------
     def _entries(self) -> Iterator[Path]:
         for kind_dir in sorted(self.root.iterdir()):
-            if kind_dir.is_dir():
+            if kind_dir.is_dir() and kind_dir.name != "kb":
                 yield from sorted(kind_dir.glob("*/*.art"))
 
     def disk_stats(self) -> Dict[str, Dict[str, int]]:

@@ -1,0 +1,671 @@
+"""Tests for the persistent cross-dataset knowledge base.
+
+The contract under test mirrors the artifact store's: promotion is
+atomic and concurrency-safe, anything corrupt behaves like a miss,
+retrieval is deterministic, and a search on the *same* dataset stays
+bit-identical to a KB-less run (self-exclusion by fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro import store as artifact_store
+from repro.core.akb.optimizer import search_knowledge
+from repro.core.config import AKBConfig
+from repro.data import generators
+from repro.knowledge import kb as kb_module
+from repro.knowledge.kb import KBEntry, KnowledgeBase, profile_vector_for
+from repro.knowledge.rules import IgnoreAttribute, KeyAttribute, Knowledge
+from repro.llm.mockgpt import ErrorCase, MockGPT
+
+
+@pytest.fixture(autouse=True)
+def _restore_kb_state():
+    """Keep per-test configure() calls from leaking across the suite."""
+    enabled = kb_module._ENABLED
+    store_state = (
+        artifact_store._ACTIVE,
+        artifact_store._NO_CACHE,
+        artifact_store._ENV_RESOLVED,
+    )
+    yield
+    kb_module._ENABLED = enabled
+    (
+        artifact_store._ACTIVE,
+        artifact_store._NO_CACHE,
+        artifact_store._ENV_RESOLVED,
+    ) = store_state
+
+
+@pytest.fixture()
+def bank(tmp_path) -> KnowledgeBase:
+    return KnowledgeBase(tmp_path / "kb")
+
+
+def make_knowledge(marker: str) -> Knowledge:
+    return Knowledge(rules=(KeyAttribute(attribute=marker),))
+
+
+def promote(
+    bank: KnowledgeBase,
+    marker: str,
+    vector,
+    task: str = "ed",
+    score: float = 50.0,
+    fingerprint: str = "fp-default",
+):
+    return bank.promote(
+        task=task,
+        dataset=f"ds-{marker}",
+        fingerprint=fingerprint,
+        vector=vector,
+        knowledge=make_knowledge(marker),
+        score=score,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry serialisation: anything unexpected deserialises to None
+# ----------------------------------------------------------------------
+class TestEntrySerialisation:
+    def entry(self) -> KBEntry:
+        return KBEntry(
+            entry_id="abc",
+            task="ed",
+            dataset="ed/beer",
+            fingerprint="fp",
+            vector=(1.0, 2.0, 3.0),
+            knowledge=make_knowledge("abv"),
+            score=87.5,
+            promoted_at=123.0,
+        )
+
+    def test_round_trip(self):
+        entry = self.entry()
+        assert KBEntry.from_dict(entry.to_dict()) == entry
+
+    def test_version_mismatch_is_invalid(self):
+        data = self.entry().to_dict()
+        data["version"] = 999
+        assert KBEntry.from_dict(data) is None
+
+    def test_missing_field_is_invalid(self):
+        for field in ("id", "task", "vector", "knowledge", "score"):
+            data = self.entry().to_dict()
+            del data[field]
+            assert KBEntry.from_dict(data) is None
+
+    def test_non_finite_vector_is_invalid(self):
+        data = self.entry().to_dict()
+        data["vector"] = [1.0, float("nan")]
+        assert KBEntry.from_dict(data) is None
+        data["vector"] = [1.0, float("inf")]
+        assert KBEntry.from_dict(data) is None
+
+    def test_non_dict_is_invalid(self):
+        assert KBEntry.from_dict("garbage") is None
+        assert KBEntry.from_dict(None) is None
+
+
+# ----------------------------------------------------------------------
+# Promotion and retrieval
+# ----------------------------------------------------------------------
+class TestPromoteRetrieve:
+    def test_promoted_entry_is_retrievable(self, bank):
+        entry = promote(bank, "abv", (1.0, 0.0), score=80.0)
+        assert entry is not None
+        hits = bank.retrieve((1.0, 0.0), task="ed")
+        assert len(hits) == 1
+        similarity, hit = hits[0]
+        assert similarity == pytest.approx(1.0)
+        assert hit.knowledge == make_knowledge("abv")
+        assert hit.score == 80.0
+
+    def test_duplicate_promotion_is_idempotent(self, bank):
+        assert promote(bank, "abv", (1.0, 0.0)) is not None
+        assert promote(bank, "abv", (1.0, 0.0)) is None
+        assert len(bank.entries()) == 1
+
+    def test_retrieval_ordered_by_similarity(self, bank):
+        promote(bank, "far", (0.0, 1.0))
+        promote(bank, "near", (1.0, 0.1))
+        promote(bank, "exact", (2.0, 0.0))  # scale-invariant cosine
+        hits = bank.retrieve((1.0, 0.0), task="ed", k=3)
+        markers = [hit.knowledge.rules[0].attribute for __, hit in hits]
+        assert markers == ["exact", "near", "far"]
+        similarities = [s for s, __ in hits]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_task_filter(self, bank):
+        promote(bank, "ed-entry", (1.0, 0.0), task="ed")
+        promote(bank, "em-entry", (1.0, 0.0), task="em")
+        hits = bank.retrieve((1.0, 0.0), task="em")
+        assert [h.task for __, h in hits] == ["em"]
+
+    def test_min_similarity_floor(self, bank):
+        promote(bank, "orthogonal", (0.0, 1.0))
+        assert bank.retrieve((1.0, 0.0), task="ed", min_similarity=0.5) == []
+
+    def test_self_exclusion_by_fingerprint(self, bank):
+        promote(bank, "mine", (1.0, 0.0), fingerprint="self")
+        promote(bank, "other", (1.0, 0.0), fingerprint="other")
+        hits = bank.retrieve(
+            (1.0, 0.0), task="ed", exclude_fingerprint="self"
+        )
+        assert [h.fingerprint for __, h in hits] == ["other"]
+
+    def test_vector_length_mismatch_never_matches(self, bank):
+        promote(bank, "short", (1.0, 0.0))
+        assert bank.retrieve((1.0, 0.0, 0.0), task="ed") == []
+
+    def test_retrieval_is_deterministic(self, bank):
+        for index in range(6):
+            promote(bank, f"m{index}", (1.0, index / 10.0))
+        first = bank.retrieve((1.0, 0.2), task="ed", k=4)
+        second = bank.retrieve((1.0, 0.2), task="ed", k=4)
+        assert first == second
+
+    def test_hit_miss_counters(self, bank):
+        promote(bank, "abv", (1.0, 0.0))
+        tracer = obs.Tracer()
+        with obs.using_tracer(tracer):
+            bank.retrieve((1.0, 0.0), task="ed")
+            bank.retrieve((1.0, 0.0), task="em")
+        counts = {name: n for (name, __), n in tracer.counters.items()}
+        assert counts.get("kb.hit") == 1
+        assert counts.get("kb.miss") == 1
+        span_names = [event["name"] for event in tracer.spans]
+        assert span_names.count("kb.retrieve") == 2
+
+
+# ----------------------------------------------------------------------
+# Corruption, healing, compaction, pruning
+# ----------------------------------------------------------------------
+class TestMaintenance:
+    def test_corrupt_loose_entry_behaves_like_miss(self, bank):
+        promote(bank, "good", (1.0, 0.0))
+        (bank.entries_dir / "zz-bad.json").write_text("{not json")
+        entries = bank.entries()
+        assert len(entries) == 1  # corrupt skipped, read never fails
+        report = bank.heal()
+        assert report == {"corrupt_removed": 1, "kept": 1}
+        assert not (bank.entries_dir / "zz-bad.json").exists()
+
+    def test_corrupt_segment_line_is_healed_in_place(self, bank):
+        promote(bank, "a", (1.0, 0.0))
+        promote(bank, "b", (0.0, 1.0))
+        bank.compact()
+        (segment,) = bank.segments_dir.glob("*.jsonl")
+        segment.write_text(segment.read_text() + "{truncated\n")
+        assert len(bank.entries()) == 2
+        report = bank.heal()
+        assert report["corrupt_removed"] == 1 and report["kept"] == 2
+        # The rewritten segment parses cleanly line by line.
+        for line in segment.read_text().splitlines():
+            json.loads(line)
+
+    def test_version_mismatch_counts_as_corrupt(self, bank):
+        entry = promote(bank, "old", (1.0, 0.0))
+        path = bank.entries_dir / f"{entry.entry_id}.json"
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        assert bank.entries() == []
+        assert bank.heal()["corrupt_removed"] == 1
+
+    def test_compaction_folds_and_preserves(self, bank):
+        for index in range(5):
+            promote(bank, f"m{index}", (1.0, float(index)))
+        before = bank.entries()
+        report = bank.compact()
+        assert report["compacted"] == 5 and report["segments"] == 1
+        assert list(bank.entries_dir.glob("*.json")) == []
+        assert len(list(bank.segments_dir.glob("*.jsonl"))) == 1
+        assert bank.entries() == before
+
+    def test_promotion_after_compaction_coexists(self, bank):
+        promote(bank, "first", (1.0, 0.0))
+        bank.compact()
+        promote(bank, "second", (0.0, 1.0))
+        assert len(bank.entries()) == 2
+
+    def test_prune_by_score_and_count(self, bank):
+        for index in range(6):
+            promote(bank, f"m{index}", (1.0, float(index)), score=10.0 * index)
+        report = bank.prune(min_score=15.0)
+        assert report == {"evicted": 2, "kept": 4}
+        report = bank.prune(max_entries=2)
+        assert report == {"evicted": 2, "kept": 2}
+        scores = sorted(entry.score for entry in bank.entries())
+        assert scores == [40.0, 50.0]  # highest-scored survive
+
+    def test_prune_task_scoped(self, bank):
+        promote(bank, "ed-low", (1.0, 0.0), task="ed", score=1.0)
+        promote(bank, "em-low", (1.0, 0.0), task="em", score=1.0)
+        report = bank.prune(min_score=50.0, task="em")
+        assert report["evicted"] == 1
+        assert [e.task for e in bank.entries()] == ["ed"]
+
+    def test_export_import_round_trip(self, bank, tmp_path):
+        for index in range(3):
+            promote(bank, f"m{index}", (1.0, float(index)), score=index)
+        export = tmp_path / "kb_export.jsonl"
+        assert bank.export_entries(export) == 3
+        other = KnowledgeBase(tmp_path / "kb2")
+        report = other.import_entries(export)
+        assert report == {"imported": 3, "skipped": 0}
+        assert {e.entry_id for e in other.entries()} == {
+            e.entry_id for e in bank.entries()
+        }
+        # Re-import is a no-op: every entry already present.
+        assert other.import_entries(export) == {"imported": 0, "skipped": 3}
+
+    def test_import_missing_file_raises(self, bank, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            bank.import_entries(tmp_path / "nope.jsonl")
+
+    def test_import_skips_invalid_lines(self, bank, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        entry = KBEntry(
+            entry_id="x", task="ed", dataset="d", fingerprint="f",
+            vector=(1.0,), knowledge=make_knowledge("a"), score=1.0,
+            promoted_at=1.0,
+        )
+        path.write_text(
+            json.dumps(entry.to_dict()) + "\n{broken\n\n"
+        )
+        report = bank.import_entries(path)
+        assert report == {"imported": 1, "skipped": 1}
+
+    def test_stats_and_render(self, bank):
+        assert bank.stats()["entries"] == 0
+        assert "empty" in bank.render_stats()
+        promote(bank, "a", (1.0, 0.0), task="ed")
+        promote(bank, "b", (1.0, 0.0), task="em")
+        stats = bank.stats()
+        assert stats["entries"] == 2
+        assert stats["tasks"] == {"ed": 1, "em": 1}
+        assert stats["bytes"] > 0
+        text = bank.render_stats()
+        assert "2 entries" in text and "ed" in text and "em" in text
+
+
+# ----------------------------------------------------------------------
+# Concurrency: forked promoters, O_CREAT|O_EXCL claims
+# ----------------------------------------------------------------------
+def _promote_worker(payload):
+    root, worker, count = payload
+    bank = KnowledgeBase(root)
+    written = 0
+    for index in range(count):
+        # Even indices are the same discovery in every worker (the
+        # common re-discovery race); odd indices are worker-private.
+        marker = (
+            f"shared-{index}" if index % 2 == 0
+            else f"w{worker}-{index}"
+        )
+        if promote(bank, marker, (1.0, float(index))) is not None:
+            written += 1
+    return written
+
+
+class TestConcurrency:
+    def test_forked_promoters_deduplicate(self, bank):
+        workers, count = 3, 8
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(workers) as pool:
+            written = pool.map(
+                _promote_worker,
+                [(bank.root, w, count) for w in range(workers)],
+            )
+        shared = (count + 1) // 2
+        expected = shared + workers * (count - shared)
+        assert len(bank.entries()) == expected
+        # Every private entry lands; shared ones land at least once
+        # (claim losers skip, a lost claim falls through to a write).
+        assert sum(written) >= expected
+        assert bank.heal()["corrupt_removed"] == 0
+        bank.compact()
+        assert len(bank.entries()) == expected
+
+    def test_retrieval_deterministic_after_concurrent_writes(self, bank):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            pool.map(
+                _promote_worker, [(bank.root, w, 6) for w in range(2)]
+            )
+        first = bank.retrieve((1.0, 2.0), task="ed", k=5)
+        second = bank.retrieve((1.0, 2.0), task="ed", k=5)
+        assert first == second and len(first) == 5
+
+
+# ----------------------------------------------------------------------
+# Process-wide resolution (flags, env, store)
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KB", raising=False)
+        kb_module.configure(None)
+        assert not kb_module.enabled()
+        assert kb_module.active_kb() is None
+
+    def test_env_opt_in(self, monkeypatch):
+        kb_module.configure(None)
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv("REPRO_KB", value)
+            assert kb_module.enabled()
+        monkeypatch.setenv("REPRO_KB", "0")
+        assert not kb_module.enabled()
+
+    def test_configure_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KB", "1")
+        kb_module.configure(False)
+        assert not kb_module.enabled()
+        kb_module.configure(True)
+        assert kb_module.enabled()
+
+    def test_active_kb_requires_store(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_KB", raising=False)
+        kb_module.configure(True)
+        with artifact_store.using_store(None):
+            assert kb_module.active_kb() is None
+        store = artifact_store.ArtifactStore(tmp_path / "cache")
+        with artifact_store.using_store(store):
+            bank = kb_module.active_kb()
+            assert bank is not None
+            assert bank.root == store.kb_dir
+
+    def test_resolve_use_kb(self, bank, tmp_path):
+        kb_module.configure(None)
+        # Explicit instance wins, unless use_kb=False vetoes.
+        assert kb_module.resolve_use_kb(None, bank) is bank
+        assert kb_module.resolve_use_kb(False, bank) is None
+        # use_kb=True needs an active store.
+        with artifact_store.using_store(None):
+            assert kb_module.resolve_use_kb(True, None) is None
+        store = artifact_store.ArtifactStore(tmp_path / "cache")
+        with artifact_store.using_store(store):
+            resolved = kb_module.resolve_use_kb(True, None)
+            assert resolved is not None
+            assert resolved.root == store.kb_dir
+
+
+# ----------------------------------------------------------------------
+# Optimizer integration: retrieve-then-refine
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def beer_dataset():
+    return generators.build("ed/beer", count=60, seed=13)
+
+
+def _marker_scorer(best: Knowledge, dataset, score: float = 99.0):
+    """Score `best` highest; errors stay non-empty so no zero-error stop."""
+    residual = [ErrorCase(dataset.examples[0], "wrong")]
+
+    def scorer(candidate: Knowledge):
+        if candidate == best:
+            return score, list(residual)
+        return 10.0 + len(candidate.rules) * 0.1, list(residual)
+
+    return scorer
+
+
+class TestSearchIntegration:
+    def test_retrieved_entries_seed_the_pool(self, bundle, bank, beer_dataset):
+        vector, __fp = profile_vector_for(beer_dataset)
+        planted = make_knowledge("planted")
+        bank.promote(
+            task="ed", dataset="elsewhere", fingerprint="other-fp",
+            vector=vector, knowledge=planted, score=95.0,
+        )
+        config = AKBConfig(pool_size=3, iterations=2, refinements_per_iteration=1)
+        tracer = obs.Tracer()
+        with obs.using_tracer(tracer):
+            result = search_knowledge(
+                bundle.upstream_model,
+                beer_dataset,
+                beer_dataset.examples[:16],
+                mockgpt=MockGPT(seed=1),
+                config=config,
+                scorer=_marker_scorer(planted, beer_dataset),
+                kb=bank,
+            )
+        assert result.retrieved == 1
+        assert result.knowledge == planted
+        seeded = {
+            attrs: n
+            for (name, attrs), n in tracer.counters.items()
+            if name == "akb.pool_seeded"
+        }
+        by_source = {dict(attrs)["source"]: n for attrs, n in seeded.items()}
+        assert by_source.get("retrieved") == 1
+        assert by_source.get("generated", 0) >= 3
+
+    def test_trusted_retrieval_stops_after_round_one(
+        self, bundle, bank, beer_dataset
+    ):
+        vector, __fp = profile_vector_for(beer_dataset)
+        planted = make_knowledge("planted")
+        bank.promote(
+            task="ed", dataset="elsewhere", fingerprint="other-fp",
+            vector=vector, knowledge=planted, score=95.0,
+        )
+        config = AKBConfig(
+            pool_size=3, iterations=5, refinements_per_iteration=2,
+            patience=10,
+        )
+        tracer = obs.Tracer()
+        with obs.using_tracer(tracer):
+            result = search_knowledge(
+                bundle.upstream_model,
+                beer_dataset,
+                beer_dataset.examples[:16],
+                mockgpt=MockGPT(seed=1),
+                config=config,
+                scorer=_marker_scorer(planted, beer_dataset),
+                kb=bank,
+            )
+        assert result.iterations_run == 1
+        counts = {name: n for (name, __), n in tracer.counters.items()}
+        assert counts.get("akb.kb_early_stop") == 1
+
+    def test_generated_winner_disables_trusted_shortcut(
+        self, bundle, bank, beer_dataset
+    ):
+        vector, __fp = profile_vector_for(beer_dataset)
+        planted = make_knowledge("planted")
+        bank.promote(
+            task="ed", dataset="elsewhere", fingerprint="other-fp",
+            vector=vector, knowledge=planted, score=40.0,
+        )
+
+        def scorer(candidate: Knowledge):
+            # A generated candidate strictly beats the retrieval.
+            residual = [ErrorCase(beer_dataset.examples[0], "wrong")]
+            if candidate == planted:
+                return 40.0, residual
+            return 50.0 + len(candidate.rules), residual
+
+        config = AKBConfig(
+            pool_size=3, iterations=3, refinements_per_iteration=1,
+            patience=0,
+        )
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:16],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+            scorer=scorer,
+            kb=bank,
+        )
+        assert result.iterations_run > 1
+
+    def test_winners_promote_back(self, bundle, bank, beer_dataset):
+        config = AKBConfig(pool_size=3, iterations=1, refinements_per_iteration=1)
+        result = search_knowledge(
+            bundle.upstream_model,
+            beer_dataset,
+            beer_dataset.examples[:16],
+            mockgpt=MockGPT(seed=1),
+            config=config,
+            scorer=_marker_scorer(make_knowledge("nobody"), beer_dataset),
+            kb=bank,
+        )
+        assert result.promoted > 0
+        assert len(bank.entries()) == result.promoted
+        __vector, fp = profile_vector_for(beer_dataset)
+        assert all(e.fingerprint == fp for e in bank.entries())
+
+    def test_same_dataset_rerun_is_bit_identical(
+        self, bundle, bank, beer_dataset
+    ):
+        """Self-exclusion: a re-run retrieves nothing from its own
+        promotions, so KB-on matches KB-off exactly."""
+        config = AKBConfig(pool_size=3, iterations=2, refinements_per_iteration=1)
+
+        def run(use_bank):
+            return search_knowledge(
+                bundle.upstream_model,
+                beer_dataset,
+                beer_dataset.examples[:16],
+                mockgpt=MockGPT(seed=1),
+                config=config,
+                scorer=_marker_scorer(make_knowledge("nobody"), beer_dataset),
+                kb=bank if use_bank else None,
+                use_kb=None if use_bank else False,
+            )
+
+        baseline = run(use_bank=False)
+        first = run(use_bank=True)  # populates the bank
+        assert len(bank.entries()) > 0
+        second = run(use_bank=True)  # same dataset: retrieval excluded
+        assert second.retrieved == 0
+        for result in (first, second):
+            assert result.knowledge == baseline.knowledge
+            assert result.best_score == baseline.best_score
+            assert [r.best_score for r in result.rounds] == [
+                r.best_score for r in baseline.rounds
+            ]
+
+
+# ----------------------------------------------------------------------
+# CLI: repro kb {stats,export,import,prune}, cache integration
+# ----------------------------------------------------------------------
+class TestCLI:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        return tmp_path / "cache"
+
+    def _bank(self, cache_dir) -> KnowledgeBase:
+        store = artifact_store.ArtifactStore(cache_dir)
+        return KnowledgeBase(store.kb_dir)
+
+    def test_kb_requires_cache_dir(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["kb", "stats"]) == 2
+
+    def test_kb_stats(self, cache_dir, capsys):
+        from repro.cli import main
+
+        promote(self._bank(cache_dir), "a", (1.0, 0.0))
+        assert main(["kb", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge base" in out and "1 entries" in out
+
+    def test_kb_export_import_prune(self, cache_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        bank = self._bank(cache_dir)
+        promote(bank, "keep", (1.0, 0.0), score=90.0)
+        promote(bank, "drop", (0.0, 1.0), score=5.0)
+        export = tmp_path / "kb.jsonl"
+        assert main(
+            ["kb", "export", str(export), "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert export.exists()
+        other_dir = tmp_path / "cache2"
+        assert main(
+            ["kb", "import", str(export), "--cache-dir", str(other_dir)]
+        ) == 0
+        assert len(self._bank(other_dir).entries()) == 2
+        assert main(
+            [
+                "kb", "prune", "--min-score", "50",
+                "--cache-dir", str(other_dir),
+            ]
+        ) == 0
+        survivors = self._bank(other_dir).entries()
+        assert [e.score for e in survivors] == [90.0]
+
+    def test_kb_import_missing_file_fails(self, cache_dir, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "kb", "import", str(tmp_path / "nope.jsonl"),
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        assert code == 1
+
+    def test_kb_export_requires_path(self, cache_dir):
+        from repro.cli import main
+
+        assert main(["kb", "export", "--cache-dir", str(cache_dir)]) == 2
+
+    def test_cache_stats_reports_kb(self, cache_dir, capsys):
+        from repro.cli import main
+
+        promote(self._bank(cache_dir), "a", (1.0, 0.0))
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge base" in out and "1 entries" in out
+
+    def test_cache_gc_leaves_kb_alone(self, cache_dir, capsys):
+        from repro.cli import main
+
+        bank = self._bank(cache_dir)
+        promote(bank, "a", (1.0, 0.0))
+        bank.entries_dir.mkdir(parents=True, exist_ok=True)
+        (bank.entries_dir / "zz-bad.json").write_text("{corrupt")
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        # Without --kb the corrupt KB file is untouched.
+        assert (bank.entries_dir / "zz-bad.json").exists()
+        assert len(bank.entries()) == 1
+        assert main(
+            ["cache", "gc", "--kb", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert not (bank.entries_dir / "zz-bad.json").exists()
+        assert len(bank.entries()) == 1
+        out = capsys.readouterr().out
+        assert "kb gc" in out
+
+
+# ----------------------------------------------------------------------
+# profile_vector_for memo
+# ----------------------------------------------------------------------
+class TestProfileVectorMemo:
+    def test_memoised_by_fingerprint(self, beer_dataset):
+        vector1, fp1 = profile_vector_for(beer_dataset)
+        vector2, fp2 = profile_vector_for(beer_dataset)
+        assert vector1 == vector2 and fp1 == fp2
+        assert fp1 in kb_module._VECTOR_CACHE
+
+    def test_matches_fresh_profile(self, beer_dataset):
+        from repro.data.profiling import profile_dataset
+
+        vector, __fp = profile_vector_for(beer_dataset)
+        fresh = profile_dataset(beer_dataset).feature_vector()
+        assert np.allclose(np.asarray(vector), fresh)

@@ -1,9 +1,11 @@
 """Tests for dataset profiling."""
 
+import numpy as np
 import pytest
 
 from repro.data import generators
-from repro.data.profiling import profile_dataset
+from repro.data.profiling import feature_names, profile_dataset
+from repro.data.schema import Dataset, Example
 
 
 class TestProfileDataset:
@@ -61,3 +63,82 @@ class TestProfileDataset:
         assert len(top) <= 3
         if len(top) == 2:
             assert top[0][1] >= top[1][1]
+
+
+def _variant(dataset, mutate):
+    """Copy a record dataset with each example's record transformed."""
+    examples = [
+        Example(
+            task=ex.task,
+            inputs={**ex.inputs, "record": mutate(ex.inputs["record"])},
+            answer=ex.answer,
+            meta=dict(ex.meta),
+        )
+        for ex in dataset.examples
+    ]
+    return Dataset(
+        name=dataset.name + "-variant",
+        task=dataset.task,
+        examples=examples,
+        label_set=dataset.label_set,
+    )
+
+
+class TestFeatureVector:
+    """The KB retrieval index: fixed layout, finite, shift-sensitive."""
+
+    @pytest.fixture(scope="class")
+    def beer(self):
+        return generators.build("ed/beer", count=80, seed=3)
+
+    def test_deterministic(self, beer):
+        first = profile_dataset(beer).feature_vector()
+        second = profile_dataset(
+            generators.build("ed/beer", count=80, seed=3)
+        ).feature_vector()
+        assert np.array_equal(first, second)
+
+    def test_fixed_length_matches_names(self, beer):
+        vector = profile_dataset(beer).feature_vector()
+        assert len(vector) == len(feature_names())
+        # Empty profiles (no record structure) share the layout.
+        cta = profile_dataset(generators.build("cta/sotab", count=10, seed=3))
+        assert len(cta.feature_vector()) == len(feature_names())
+
+    def test_nan_free(self, beer):
+        for dataset_id in ("ed/beer", "cta/sotab", "em/abt_buy"):
+            dataset = generators.build(dataset_id, count=20, seed=3)
+            vector = profile_dataset(dataset).feature_vector()
+            assert np.all(np.isfinite(vector))
+
+    def test_sensitive_to_missing_rate(self, beer):
+        base = profile_dataset(beer).feature_vector()
+        blanked = _variant(
+            beer, lambda rec: rec.replace(rec.attributes[0], "")
+        )
+        shifted = profile_dataset(blanked).feature_vector()
+        index = feature_names().index("missing_rate_mean")
+        assert shifted[index] > base[index]
+        assert shifted[feature_names().index("missing_rate_max")] >= 1.0
+
+    def test_sensitive_to_distinct_count(self, beer):
+        base = profile_dataset(beer).feature_vector()
+        constant = _variant(
+            beer, lambda rec: rec.replace(rec.attributes[-1], "same")
+        )
+        shifted = profile_dataset(constant).feature_vector()
+        index = feature_names().index("log_distinct_mean")
+        assert shifted[index] < base[index]
+
+    def test_sensitive_to_validator_shift(self, beer):
+        base_profile = profile_dataset(beer)
+        assert base_profile.attributes["abv"].dominant_validator is not None
+        base = base_profile.feature_vector()
+        garbled = _variant(
+            beer,
+            lambda rec: rec.replace("abv", "~" + rec.get("abv") + "~"),
+        )
+        shifted = profile_dataset(garbled).feature_vector()
+        assert not np.array_equal(shifted, base)
+        index = feature_names().index("validator_coverage_mean")
+        assert shifted[index] < base[index]
