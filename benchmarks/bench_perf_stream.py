@@ -1,0 +1,102 @@
+"""Perf gate: streaming incremental updates must beat refit ≥ 3×.
+
+Runs the corrupted-drift stream scenario (``repro.stream``) four ways:
+
+* frozen — warm-started adapter, never updated after warmup;
+* adaptive — incremental rank-space updates per micro-batch plus the
+  drift detector re-seeding knowledge from a populated KB when the
+  error distribution shifts mid-stream;
+* replay — the adaptive arm re-run on the identical stream, asserted
+  bit-identical (accuracy trajectory, drift firings, holdout score and
+  every adapter parameter);
+* refit — the same event log replayed from scratch on a pristine clone
+  after every micro-batch, the O(stream-so-far) baseline the
+  incremental path must beat ≥ 3× in summed update wall-clock while
+  finishing in the **bit-identical** final state (so "equal final
+  accuracy" is exact, not approximate).
+
+Results are written to ``BENCH_stream.json`` at the repo root and
+appended to ``benchmarks/results/perf_trajectory.jsonl`` via the
+shared :class:`repro.perf.Gate` protocol.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_stream.py
+
+The assertion fails if the incremental arm is less than 3× faster, if
+its final state (holdout accuracy or adapter parameters) diverges from
+the refit arm, if the drift-adaptive arm does not strictly beat the
+frozen arm on post-drift accuracy, if the detector fires more or less
+than exactly once for the single injected shift, if no KB re-seed
+happened, or if the replay is not bit-identical.
+"""
+
+import pathlib
+
+from repro.perf import Gate
+from repro.stream import render_stream_benchmark, run_stream_benchmark
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MIN_STREAM_SPEEDUP = 3.0
+
+
+def test_stream_incremental_speedup(record_result):
+    gate = Gate("stream", {}, min_speedup=MIN_STREAM_SPEEDUP, root=REPO_ROOT)
+    scale = 0.8 if gate.preset == "quick" else 1.0
+    result = run_stream_benchmark(seed=0, scale=scale)
+    gate.result.update(result)
+    arms = result["arms"]
+    gate.write(
+        speedup=result["speedup"],
+        incremental_seconds=result["incremental_seconds"],
+        refit_seconds=result["refit_seconds"],
+        frozen_post_drift=arms["frozen"]["post_drift_accuracy"],
+        adaptive_post_drift=arms["adaptive"]["post_drift_accuracy"],
+        adaptive_holdout=arms["adaptive"]["holdout_accuracy"],
+        drift_fired_batches=result["drift_fired_batches"],
+        replay_identical=result["replay_identical"],
+    )
+    record_result("bench_perf_stream", render_stream_benchmark(result))
+
+    gate.require(
+        result["equal_final_accuracy"],
+        "incremental and refit arms diverged on holdout accuracy "
+        f"({arms['adaptive']['holdout_accuracy']:.3f} vs "
+        f"{arms['refit']['holdout_accuracy']:.3f})",
+    )
+    gate.require(
+        result["refit_state_identical"],
+        "incremental and refit final adapter parameters are not "
+        "bit-identical",
+    )
+    gate.require(
+        arms["adaptive"]["post_drift_accuracy"]
+        > arms["frozen"]["post_drift_accuracy"],
+        "drift-adaptive arm did not beat the frozen arm post-drift "
+        f"({arms['adaptive']['post_drift_accuracy']:.3f} vs "
+        f"{arms['frozen']['post_drift_accuracy']:.3f})",
+    )
+    gate.require(
+        arms["adaptive"]["holdout_accuracy"]
+        > arms["frozen"]["holdout_accuracy"],
+        "drift-adaptive arm did not beat the frozen arm on the "
+        "post-drift holdout "
+        f"({arms['adaptive']['holdout_accuracy']:.3f} vs "
+        f"{arms['frozen']['holdout_accuracy']:.3f})",
+    )
+    gate.require(
+        result["drift_fired_once"],
+        "drift detector must fire exactly once for the single shift "
+        f"(fired at batches {result['drift_fired_batches']})",
+    )
+    gate.require(
+        result["reseeded"],
+        "drift firing did not trigger a KB re-seed",
+    )
+    gate.require(
+        result["replay_identical"],
+        "replaying the identical stream was not bit-identical",
+    )
+    gate.require_speedup()
+    gate.check()

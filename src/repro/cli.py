@@ -14,7 +14,11 @@ Commands
     Print the upstream gradient-conflict diagnostic (paper Fig. 1).
 ``perf``
     Inference / pipeline / warm-start cache / rank-space training /
-    serving benchmarks plus counters.
+    serving / streaming benchmarks plus counters; ``--all`` runs every
+    registered gate in quick preset with one summary table.
+``stream``
+    Streaming online-adaptation demo episode: prequential accuracy per
+    micro-batch, drift-distance trace, KB re-seed on firing.
 ``serve``
     Long-lived multi-tenant adaptation server (line-delimited JSON over
     TCP, continuous batching across tenants sharing a backbone); or
@@ -280,12 +284,42 @@ def build_parser() -> argparse.ArgumentParser:
         "retrieve-then-refine seeded from a populated KB)",
     )
     perf.add_argument(
+        "--stream", action="store_true",
+        help="run the streaming adaptation benchmark (incremental "
+        "rank-space updates + drift-triggered KB re-retrieval vs "
+        "frozen and refit-from-scratch arms)",
+    )
+    perf.add_argument(
+        "--all", action="store_true",
+        help="run every registered perf gate (benchmarks/bench_perf_*) "
+        "in quick preset and print one summary table",
+    )
+    perf.add_argument(
         "--smoke", action="store_true",
         help="fast CI sanity pass: tiny workload, single repeat, "
         "fails on any prediction mismatch",
     )
     _add_output_args(perf, trace=True)
     _add_cache_args(perf)
+
+    stream = commands.add_parser(
+        "stream",
+        help="streaming online-adaptation demo episode "
+        "(prequential accuracy, drift detection, KB re-seed)",
+    )
+    stream.add_argument(
+        "--mode", choices=("incremental", "refit", "frozen"),
+        default="incremental", help="update policy for the episode",
+    )
+    stream.add_argument("--batches", type=int, default=10)
+    stream.add_argument("--batch-size", type=int, default=16)
+    stream.add_argument(
+        "--drift-at", type=int, default=None,
+        help="micro-batch index where the error distribution shifts "
+        "(default: halfway)",
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    _add_output_args(stream, trace=True)
 
     serve = commands.add_parser(
         "serve",
@@ -606,8 +640,75 @@ def _cmd_conflict(args: argparse.Namespace, console: Console) -> int:
     return 0
 
 
+def _run_all_gates(console: Console) -> int:
+    """Run every ``benchmarks/bench_perf_*.py`` gate in quick preset."""
+    import pathlib
+    import subprocess
+    import time
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    gates = sorted(bench_dir.glob("bench_perf_*.py"))
+    if not gates:
+        console.error(f"no perf gates found under {bench_dir}")
+        console.set("ok", False)
+        return 1
+    env = dict(os.environ, REPRO_BENCH_PRESET="quick")
+    src_dir = str(repo_root / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    rows = []
+    for path in gates:
+        name = path.stem.replace("bench_perf_", "")
+        console.info(f"running gate {name} (quick preset)...")
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(path),
+                "-q", "-p", "no:cacheprovider",
+            ],
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        seconds = time.perf_counter() - start
+        rows.append((name, proc.returncode == 0, seconds))
+        if proc.returncode != 0:
+            tail = (proc.stdout + proc.stderr).strip().splitlines()[-12:]
+            console.error(f"gate {name} FAILED:\n" + "\n".join(tail))
+    lines = [
+        "perf gates (quick preset)",
+        f"  {'gate':<12} {'status':>6} {'seconds':>8}",
+    ]
+    for name, ok, seconds in rows:
+        lines.append(
+            f"  {name:<12} {'PASS' if ok else 'FAIL':>6} {seconds:>8.1f}"
+        )
+    failed = [name for name, ok, __ in rows if not ok]
+    lines.append(
+        f"  {len(rows) - len(failed)}/{len(rows)} gates green"
+        + (f"; FAILED: {', '.join(failed)}" if failed else "")
+    )
+    console.result("\n".join(lines))
+    console.set(
+        "gates",
+        [
+            {"gate": name, "ok": ok, "seconds": seconds}
+            for name, ok, seconds in rows
+        ],
+    )
+    console.set("ok", not failed)
+    return 1 if failed else 0
+
+
 def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
     from .perf import PERF, render_benchmark, run_inference_benchmark
+
+    if args.all:
+        return _run_all_gates(console)
 
     if args.smoke:
         result = run_inference_benchmark(
@@ -735,6 +836,43 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
         console.set("ok", True)
         return 0
 
+    if args.stream:
+        from .stream import render_stream_benchmark, run_stream_benchmark
+
+        result = run_stream_benchmark(seed=args.seed, scale=0.8)
+        console.result(render_stream_benchmark(result))
+        console.set("benchmark", result)
+        arms = result["arms"]
+        failures = [
+            label
+            for label, ok in (
+                (
+                    "incremental/refit final state diverged",
+                    result["equal_final_accuracy"]
+                    and result["refit_state_identical"],
+                ),
+                (
+                    "adaptive arm did not beat frozen post-drift",
+                    arms["adaptive"]["post_drift_accuracy"]
+                    > arms["frozen"]["post_drift_accuracy"],
+                ),
+                (
+                    "drift did not fire exactly once",
+                    result["drift_fired_once"],
+                ),
+                ("no KB re-seed on drift", result["reseeded"]),
+                ("replay not bit-identical", result["replay_identical"]),
+            )
+            if not ok
+        ]
+        if failures:
+            console.error("stream benchmark FAILED: " + "; ".join(failures))
+            console.set("ok", False)
+            return 1
+        console.result("stream benchmark OK")
+        console.set("ok", True)
+        return 0
+
     if args.cache:
         from .perf import render_cache_benchmark, run_cache_benchmark
 
@@ -761,6 +899,21 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
     console.result(render_benchmark(result))
     console.info(PERF.report())
     console.set("benchmark", result)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace, console: Console) -> int:
+    from .stream import render_stream_demo, run_stream_demo
+
+    result = run_stream_demo(
+        mode=args.mode,
+        seed=args.seed,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        drift_at=args.drift_at,
+    )
+    console.result(render_stream_demo(result))
+    console.set("episode", result)
     return 0
 
 
@@ -983,6 +1136,7 @@ _COMMANDS = {
     "merge-shards": _cmd_merge_shards,
     "conflict": _cmd_conflict,
     "perf": _cmd_perf,
+    "stream": _cmd_stream,
     "serve": _cmd_serve,
     "cache": _cmd_cache,
     "kb": _cmd_kb,

@@ -84,7 +84,9 @@ def out_of_range(rng: np.random.Generator, value: str) -> Tuple[str, str]:
     except ValueError:
         return "9999", "range"
     factor = 100.0 if rng.integers(2) else 0.0
-    scaled = number * factor if factor else number + 9000.0
+    # Scaling zero keeps it in range; shift instead so the corruption
+    # always escapes any plausible valid interval.
+    scaled = number * factor if factor and number else number + 9000.0
     formatted = f"{scaled:g}"
     return formatted, "range"
 

@@ -152,11 +152,15 @@ def _entry_id(
     )
 
 
-#: Fingerprint-keyed memo of computed profile vectors.  Profiling walks
-#: every value of every example through the format validators (~20ms
-#: for a 20-shot split) — pure in the dataset contents, so one
-#: computation per distinct dataset per process is enough.
-_VECTOR_CACHE: Dict[str, Tuple[float, ...]] = {}
+#: Memo of computed profile vectors, keyed by ``(fingerprint,
+#: FEATURE_VERSION)``.  Profiling walks every value of every example
+#: through the format validators (~20ms for a 20-shot split) — pure in
+#: the dataset contents *and* the feature layout, so one computation per
+#: distinct dataset per layout per process is enough.  Keying by the
+#: layout version means a ``FEATURE_VERSION`` bump (e.g. a test or a
+#: hot-reload swapping the layout) can never serve a stale vector shaped
+#: for the old basis.
+_VECTOR_CACHE: Dict[Tuple[str, int], Tuple[float, ...]] = {}
 
 
 def profile_vector_for(dataset) -> Tuple[Tuple[float, ...], str]:
@@ -166,15 +170,17 @@ def profile_vector_for(dataset) -> Tuple[Tuple[float, ...], str]:
     KB call site needs both anyway.
     """
     from .. import store as artifact_store
+    from ..data import profiling
     from ..data.profiling import profile_dataset
 
     fingerprint = artifact_store.fingerprint(dataset)
-    vector = _VECTOR_CACHE.get(fingerprint)
+    key = (fingerprint, profiling.FEATURE_VERSION)
+    vector = _VECTOR_CACHE.get(key)
     if vector is None:
         vector = tuple(
             float(v) for v in profile_dataset(dataset).feature_vector()
         )
-        _VECTOR_CACHE[fingerprint] = vector
+        _VECTOR_CACHE[key] = vector
     return vector, fingerprint
 
 

@@ -27,8 +27,20 @@ multi-tenant serving) amortise a shared backbone:
   is where the throughput comes from.
 
 Transport is deliberately boring: line-delimited JSON over a TCP
-socket, stdlib ``asyncio`` only.  Ops: ``predict``, ``ping``,
-``stats``, ``shutdown`` (see ``docs/serving.md`` for the wire format).
+socket, stdlib ``asyncio`` only.  Ops: ``predict``, ``stream_update``,
+``ping``, ``stats``, ``shutdown`` (see ``docs/serving.md`` for the
+wire format).
+
+``stream_update`` feeds a live tenant a labelled micro-batch: the
+server trains the entry's adapter **in place** through
+``Trainer.fit_incremental`` on a per-backbone *training replica* (a
+``clone()`` that shares featurization caches but owns no serving
+state), so the serving backbone's effective-weight memo is never
+touched for tenants whose adapter is not resident.  Only when the
+updated adapter *is* the resident one does the server issue a single
+``bump_adapter_version()`` — the minimum invalidation correctness
+requires, since the resident memo was materialised from the
+now-stale parameters.
 
 Determinism contract: a coalesced dispatch is bit-identical to
 dispatching each request alone — ``predict_batch`` scores every prompt
@@ -72,6 +84,7 @@ from .tinylm.linalg import rng_for
 from .tinylm.lora import LoRAPatch
 from .tinylm.model import ModelConfig, ScoringLM
 from .tinylm.registry import TIERS, create_base_model
+from .tinylm.trainer import TrainConfig, Trainer, TrainingExample
 
 __all__ = [
     "TenantEntry",
@@ -342,6 +355,12 @@ class AdaptationServer:
         self.batches = 0
         self.batched_requests = 0
         self.swaps = 0  # swaps performed by *this* server's dispatches
+        self.stream_updates = 0
+        # Streaming-adaptation state: one training replica per backbone
+        # (clone sharing featurization caches) and one Trainer per entry
+        # (private Adam moments + activation sidecar).
+        self._stream_replicas: Dict[str, ScoringLM] = {}
+        self._stream_trainers: Dict[EntryKey, Trainer] = {}
         self._queue: Optional["asyncio.Queue[_Pending]"] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -441,7 +460,116 @@ class AdaptationServer:
             return {"ok": True, "op": "shutdown"}
         if op == "predict":
             return await self._submit(message, accepted)
+        if op == "stream_update":
+            return self._stream_update(message)
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _stream_update(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Train a tenant's adapter in place on one labelled micro-batch.
+
+        The update runs through :meth:`Trainer.fit_incremental` on a
+        per-backbone training replica, so cost is ``O(batch)`` and the
+        serving backbone's weight memo survives untouched unless the
+        trained adapter is currently resident (in which case one
+        version bump forces the memo to re-materialise from the new
+        parameters on the next dispatch).
+        """
+        key = (
+            str(message.get("tenant", "")),
+            str(message.get("dataset", "")),
+            str(message.get("task", "")),
+        )
+        entry = self.registry.entries.get(key)
+        if entry is None:
+            known = sorted(":".join(k) for k in self.registry.entries)
+            return {
+                "ok": False,
+                "error": f"unknown entry {':'.join(key)!r}; "
+                f"registered: {known}",
+            }
+        if entry.adapter is None:
+            return {
+                "ok": False,
+                "error": "entry serves the frozen base tier; "
+                "there is no adapter to stream-update",
+            }
+        prompts = message.get("prompts")
+        pools = message.get("pools")
+        targets = message.get("targets")
+        if (
+            not isinstance(prompts, list)
+            or not isinstance(pools, list)
+            or not isinstance(targets, list)
+            or len(prompts) != len(pools)
+            or len(prompts) != len(targets)
+            or not prompts
+            or not all(isinstance(p, str) for p in prompts)
+            or not all(isinstance(pool, list) and pool for pool in pools)
+            or not all(isinstance(t, int) for t in targets)
+        ):
+            return {
+                "ok": False,
+                "error": "stream_update needs parallel non-empty "
+                "'prompts' (strings), 'pools' (non-empty string lists) "
+                "and 'targets' (ints)",
+            }
+        for pool, target in zip(pools, targets):
+            if not 0 <= target < len(pool):
+                return {
+                    "ok": False,
+                    "error": f"target {target} out of range for a "
+                    f"{len(pool)}-candidate pool",
+                }
+        examples = [
+            TrainingExample(prompt, tuple(pool), target)
+            for prompt, pool, target in zip(prompts, pools, targets)
+        ]
+        with obs.span(
+            "serve.stream_update",
+            tenant=entry.tenant,
+            dataset=entry.dataset,
+            examples=len(examples),
+        ):
+            trainer = self._stream_trainers.get(key)
+            if trainer is None:
+                replica = self._stream_replicas.get(entry.backbone)
+                if replica is None:
+                    replica = self.registry.backbones[entry.backbone].clone()
+                    self._stream_replicas[entry.backbone] = replica
+                config = TrainConfig(
+                    learning_rate=float(message.get("learning_rate", 6e-3)),
+                    batch_size=int(message.get("batch_size", 4)),
+                    epochs=int(message.get("epochs", 2)),
+                    seed=int(message.get("seed", 0)),
+                )
+                trainer = Trainer(replica, config, train_base=False)
+                self._stream_trainers[key] = trainer
+            if trainer.model.adapter is not entry.adapter:
+                trainer.model.attach(entry.adapter)
+            try:
+                report = trainer.fit_incremental(examples)
+            except (RuntimeError, ValueError) as exc:
+                return {"ok": False, "error": str(exc)}
+            serving = self.registry.backbones[entry.backbone]
+            resident = serving.adapter is entry.adapter
+            if resident:
+                # The resident memo was materialised from the old
+                # parameters; one bump is the minimum invalidation.
+                serving.bump_adapter_version()
+            self.stream_updates += 1
+            PERF.count("serve.stream_updates")
+            obs.counter("serve.stream_updates", tenant=entry.tenant)
+        state = trainer.stream_state
+        return {
+            "ok": True,
+            "op": "stream_update",
+            "examples": len(examples),
+            "steps": len(report.step_losses),
+            "final_epoch_loss": report.epoch_losses[-1],
+            "stream_rows": state.examples_seen if state else 0,
+            "stream_batches": state.batches if state else 0,
+            "resident_memo_invalidated": resident,
+        }
 
     async def _submit(
         self, message: Dict[str, Any], accepted: float
@@ -606,6 +734,7 @@ class AdaptationServer:
             "batches": self.batches,
             "mean_batch_size": mean_batch,
             "adapter_swaps": self.swaps,
+            "stream_updates": self.stream_updates,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait * 1000.0,
         }
@@ -729,6 +858,32 @@ class ServeClient:
         )
         if not response.get("ok"):
             raise RuntimeError(response.get("error", "predict failed"))
+        return response
+
+    def stream_update(
+        self,
+        tenant: str,
+        dataset: str,
+        task: str,
+        prompts: Sequence[str],
+        pools: Sequence[Sequence[str]],
+        targets: Sequence[int],
+        **options: Any,
+    ) -> Dict[str, Any]:
+        response = self.request(
+            {
+                "op": "stream_update",
+                "tenant": tenant,
+                "dataset": dataset,
+                "task": task,
+                "prompts": list(prompts),
+                "pools": [list(pool) for pool in pools],
+                "targets": [int(t) for t in targets],
+                **options,
+            }
+        )
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "stream_update failed"))
         return response
 
     def ping(self) -> bool:

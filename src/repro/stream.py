@@ -1,0 +1,931 @@
+"""Streaming online adaptation: incremental updates plus drift response.
+
+Real data-preparation traffic arrives as a *stream* whose distribution
+drifts (ROADMAP item 2): a feed that was full of typos and missing
+markers starts shipping slashed dates and out-of-range numerics after an
+upstream schema change.  This module turns the batch adaptation pipeline
+into an online engine with three cooperating layers:
+
+* **Incremental training** — each micro-batch extends the frozen
+  activation sidecar in place (:meth:`FrozenActivations.append`) and
+  resumes the adapter's Adam moments
+  (:meth:`~repro.tinylm.trainer.Trainer.fit_incremental`), so a stream
+  update costs ``O(batch)`` GEMMs instead of the ``O(stream-so-far)`` of
+  a refit-from-scratch.
+* **Drift detection** — a rolling window of recent examples is profiled
+  (:func:`repro.data.profiling.profile_dataset`) and its feature vector
+  compared, by cosine distance, against the adaptation-time reference
+  profile.  :class:`DriftDetector` applies hysteresis (``patience``
+  consecutive over-threshold batches) so one noisy micro-batch never
+  thrashes, and rebaselines after firing so each injected shift fires
+  exactly once.
+* **Knowledge response** — a fired detector re-retrieves from the
+  persistent knowledge base (:mod:`repro.knowledge.kb`) using the live
+  window's profile, adopting the nearest entry's knowledge; when the
+  bank has nothing close, an optional fresh AKB round
+  (:func:`repro.core.akb.optimizer.search_knowledge`) over the live
+  window re-derives it.
+
+Evaluation is prequential (test-then-train): every batch is scored with
+the current model *before* it is trained on, which is the standard
+honest accuracy-over-stream curve.  Everything is deterministic in the
+stream content and seed — replaying the identical stream is
+bit-identical, which `benchmarks/bench_perf_stream.py` enforces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import obs
+from .data.corruption import (
+    CorruptionPlan,
+    add_percent_sign,
+    missing_marker,
+    out_of_range,
+    slash_date,
+    typo,
+)
+from .data.profiling import profile_dataset
+from .data.schema import Dataset, Example, Record
+from .knowledge.kb import KnowledgeBase
+from .knowledge.rules import (
+    FormatConstraint,
+    Knowledge,
+    MissingValuePolicy,
+    ValueRange,
+)
+from .tasks.base import Task, get_task
+from .tinylm.lora import LoRAPatch
+from .tinylm.model import ModelConfig, ScoringLM
+from .tinylm.trainer import TrainConfig, Trainer, TrainingExample
+
+__all__ = [
+    "DriftDetector",
+    "DriftUpdate",
+    "StreamConfig",
+    "StreamBatchRecord",
+    "StreamResult",
+    "StreamEngine",
+    "build_drift_scenario",
+    "DriftScenario",
+    "run_stream_benchmark",
+    "render_stream_benchmark",
+    "run_stream_demo",
+    "render_stream_demo",
+]
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+def cosine_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """``1 - cos(a, b)`` with zero-vector guards (0 when both are zero)."""
+    va = np.asarray(list(a), dtype=np.float64)
+    vb = np.asarray(list(b), dtype=np.float64)
+    na = float(np.linalg.norm(va))
+    nb = float(np.linalg.norm(vb))
+    if na == 0.0 or nb == 0.0:
+        return 0.0 if na == nb else 1.0
+    return 1.0 - float(np.dot(va, vb) / (na * nb))
+
+
+@dataclass(frozen=True)
+class DriftUpdate:
+    """Outcome of feeding one window profile to the detector."""
+
+    distance: float
+    fired: bool
+    over_threshold: bool
+
+
+class DriftDetector:
+    """Cosine-distance drift detector with hysteresis.
+
+    The detector holds the *reference* profile vector (captured at
+    adaptation time) and compares each live-window vector against it.
+    A batch whose distance exceeds ``threshold`` arms the detector; only
+    ``patience`` **consecutive** over-threshold batches fire it — a
+    single noisy batch resets nothing but also triggers nothing.  On
+    firing, the reference rebaselines to the live vector and the
+    consecutive counter clears, so one sustained shift fires exactly
+    once and the detector is immediately ready for the *next* shift.
+    """
+
+    def __init__(
+        self,
+        reference: Sequence[float],
+        threshold: float = 0.003,
+        patience: int = 2,
+    ):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.reference = np.asarray(list(reference), dtype=np.float64)
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self.fired_total = 0
+        self._consecutive = 0
+
+    def update(self, vector: Sequence[float]) -> DriftUpdate:
+        """Score one live-window vector; fire on sustained drift."""
+        distance = cosine_distance(vector, self.reference)
+        over = distance > self.threshold
+        fired = False
+        if over:
+            self._consecutive += 1
+            if self._consecutive >= self.patience:
+                fired = True
+                self.fired_total += 1
+                self.rebaseline(vector)
+        else:
+            self._consecutive = 0
+        return DriftUpdate(distance=distance, fired=fired, over_threshold=over)
+
+    def rebaseline(self, vector: Sequence[float]) -> None:
+        """Adopt ``vector`` as the new reference and clear hysteresis."""
+        self.reference = np.asarray(list(vector), dtype=np.float64)
+        self._consecutive = 0
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of one streaming episode.
+
+    ``mode`` selects the update policy per micro-batch:
+
+    * ``"incremental"`` — ``fit_incremental`` on the new rows only
+      (``O(batch)``; the production path);
+    * ``"refit"`` — rebuild the model from its pristine state and replay
+      the whole history through the same entry point (``O(stream)``; the
+      honest from-scratch baseline, bit-identical final state);
+    * ``"frozen"`` — never update after warm start (the no-serving-cost
+      baseline drift is supposed to beat).
+
+    ``window_batches`` sizes the rolling profile window in micro-batches;
+    ``drift_threshold`` / ``drift_patience`` parameterise
+    :class:`DriftDetector`.  ``kb_min_similarity`` floors re-retrieval —
+    below it the bank is treated as a miss and the optional AKB round
+    (``akb_on_drift``) runs instead.
+    """
+
+    mode: str = "incremental"
+    window_batches: int = 2
+    drift_threshold: float = 0.003
+    drift_patience: int = 2
+    detect_drift: bool = True
+    kb_min_similarity: float = 0.1
+    akb_on_drift: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("incremental", "refit", "frozen"):
+            raise ValueError(f"unknown stream mode {self.mode!r}")
+        if self.window_batches < 1:
+            raise ValueError("window_batches must be >= 1")
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be >= 0")
+        if self.drift_patience < 1:
+            raise ValueError("drift_patience must be >= 1")
+
+
+@dataclass
+class StreamBatchRecord:
+    """Prequential measurements of one observed micro-batch."""
+
+    index: int
+    size: int
+    accuracy: float
+    drift_distance: float
+    drift_fired: bool
+    reseeded: bool
+    update_mode: str
+    update_seconds: float
+
+
+@dataclass
+class StreamResult:
+    """The full trajectory of one streaming episode."""
+
+    mode: str
+    records: List[StreamBatchRecord] = field(default_factory=list)
+    drift_batches: List[int] = field(default_factory=list)
+    reseed_batches: List[int] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [record.accuracy for record in self.records]
+
+    @property
+    def update_seconds(self) -> float:
+        return sum(record.update_seconds for record in self.records)
+
+    def mean_accuracy(self, start: int = 0) -> float:
+        window = [r.accuracy for r in self.records if r.index >= start]
+        return sum(window) / len(window) if window else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "batches": len(self.records),
+            "mean_accuracy": self.mean_accuracy(),
+            "update_seconds": self.update_seconds,
+            "drift_batches": list(self.drift_batches),
+            "reseed_batches": list(self.reseed_batches),
+            "accuracies": [round(a, 6) for a in self.accuracies],
+        }
+
+
+class StreamEngine:
+    """Online adaptation over a micro-batch stream.
+
+    The engine owns a trained clone of ``model`` (the pristine original
+    is kept untouched so ``"refit"`` mode can rebuild from scratch) and
+    an ``adapter_factory`` that deterministically constructs the
+    trainable patch for any model instance.  Clones share featurization
+    caches with the pristine model, so a refit pays for GEMMs and
+    optimiser steps — never for re-hashing strings — which keeps the
+    incremental-vs-refit comparison honest.
+
+    :meth:`warm_start` runs the initial adaptation and captures the
+    reference profile; :meth:`observe` then handles one micro-batch:
+    prequential evaluation → drift check (+ optional KB re-retrieval /
+    AKB round) → policy update.
+    """
+
+    def __init__(
+        self,
+        model: ScoringLM,
+        task: str,
+        train_config: Optional[TrainConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+        *,
+        adapter_factory: Optional[Callable[[ScoringLM], object]] = None,
+        knowledge: Optional[Knowledge] = None,
+        kb: Optional[KnowledgeBase] = None,
+        dataset_name: str = "stream",
+    ):
+        self.config = stream_config or StreamConfig()
+        self.train_config = train_config or TrainConfig()
+        self.task: Task = get_task(task) if isinstance(task, str) else task
+        self.knowledge = knowledge or Knowledge.empty()
+        self.kb = kb
+        self.dataset_name = dataset_name
+        self._adapter_factory = adapter_factory or (
+            lambda m: LoRAPatch(
+                "stream-patch",
+                m.config.target_shapes(),
+                rank=8,
+                seed=self.config.seed,
+            )
+        )
+        self._pristine = model
+        self.model = model.clone()
+        self.model.attach(self._adapter_factory(self.model))
+        self.trainer = Trainer(
+            self.model, self.train_config, train_base=False
+        )
+        # Replayable event log: ("fit", batch) and ("reset", None).
+        # "refit" mode re-runs it verbatim on a pristine clone, which is
+        # what makes the two arms' final states bit-identical.
+        self._history: List[
+            Tuple[str, Optional[List[TrainingExample]]]
+        ] = []
+        self._window: List[Example] = []
+        self._batch_index = 0
+        self.detector: Optional[DriftDetector] = None
+        self.result = StreamResult(mode=self.config.mode)
+
+    # -- internals ------------------------------------------------------
+    def _training_examples(
+        self, examples: Sequence[Example]
+    ) -> List[TrainingExample]:
+        return [
+            self.task.training_example(ex, self.knowledge)
+            for ex in examples
+        ]
+
+    def _window_dataset(self) -> Dataset:
+        return Dataset(
+            name=f"{self.dataset_name}-window",
+            task=self.task.name,
+            examples=list(self._window),
+        )
+
+    def _window_vector(self) -> np.ndarray:
+        return profile_dataset(self._window_dataset()).feature_vector()
+
+    def accuracy(self, examples: Sequence[Example]) -> float:
+        """Fraction of exact-match predictions under current knowledge."""
+        predictions = self.task.predict_batch(
+            self.model, list(examples), self.knowledge
+        )
+        golds = [ex.answer for ex in examples]
+        return sum(
+            1 for p, g in zip(predictions, golds) if p == g
+        ) / max(len(golds), 1)
+
+    def _reset_adapter(self, model: ScoringLM) -> None:
+        """Swap in a freshly initialised adapter (regime re-adaptation).
+
+        The factory is deterministic, so every arm that replays the same
+        event log lands on the same post-reset initialisation; the
+        trainer notices the identity change and clears its Adam moments.
+        """
+        model.attach(self._adapter_factory(model))
+        obs.counter("stream.adapter_reset")
+
+    def _refit_from_scratch(self) -> None:
+        """Rebuild model + trainer and replay the entire event log.
+
+        Uses the same ``fit_incremental`` entry point batch by batch, so
+        the final state is bit-identical to the incremental arm's — the
+        two differ only in wall-clock (``O(stream)`` vs ``O(batch)``).
+        """
+        fresh = self._pristine.clone()
+        fresh.attach(self._adapter_factory(fresh))
+        trainer = Trainer(fresh, self.train_config, train_base=False)
+        for kind, batch in self._history:
+            if kind == "reset":
+                self._reset_adapter(fresh)
+            else:
+                trainer.fit_incremental(batch)
+        self.model = fresh
+        self.trainer = trainer
+
+    def _reseed(self) -> bool:
+        """Re-retrieve knowledge for the live window; True on adoption."""
+        window_ds = self._window_dataset()
+        if self.kb is not None:
+            from .knowledge.kb import profile_vector_for
+
+            vector, fingerprint = profile_vector_for(window_ds)
+            hits = self.kb.retrieve(
+                vector,
+                self.task.name,
+                k=1,
+                min_similarity=self.config.kb_min_similarity,
+                exclude_fingerprint=fingerprint,
+            )
+            if hits:
+                similarity, entry = hits[0]
+                self.knowledge = entry.knowledge
+                obs.counter("stream.kb_reseed", task=self.task.name)
+                obs.gauge("stream.reseed_similarity", similarity)
+                return True
+        if self.config.akb_on_drift:
+            from .core.akb.optimizer import search_knowledge
+            from .core.config import AKBConfig
+            from .llm.mockgpt import MockGPT
+
+            akb = search_knowledge(
+                self.model,
+                window_ds,
+                list(self._window),
+                mockgpt=MockGPT(seed=self.config.seed),
+                config=AKBConfig(
+                    iterations=1, pool_size=3, seed=self.config.seed
+                ),
+                initial_knowledge=self.knowledge,
+                use_kb=False,
+            )
+            self.knowledge = akb.knowledge
+            obs.counter("stream.akb_round", task=self.task.name)
+            return True
+        obs.counter("stream.reseed_miss", task=self.task.name)
+        return False
+
+    # -- public protocol ------------------------------------------------
+    def warm_start(self, examples: Sequence[Example]) -> None:
+        """Initial adaptation: fit the warmup set, capture the profile."""
+        if self.detector is not None:
+            raise RuntimeError("warm_start may only be called once")
+        with obs.span(
+            "stream.warm_start", examples=len(examples), mode=self.config.mode
+        ):
+            batch = self._training_examples(examples)
+            self._history.append(("fit", batch))
+            self.trainer.fit_incremental(batch)
+            self._window = list(examples)
+            self.detector = DriftDetector(
+                self._window_vector(),
+                threshold=self.config.drift_threshold,
+                patience=self.config.drift_patience,
+            )
+
+    def observe(self, examples: Sequence[Example]) -> StreamBatchRecord:
+        """Process one micro-batch: evaluate, detect drift, update."""
+        if self.detector is None:
+            raise RuntimeError("call warm_start before observe")
+        examples = list(examples)
+        if not examples:
+            raise ValueError("cannot observe an empty micro-batch")
+        config = self.config
+        index = self._batch_index
+        self._batch_index += 1
+        with obs.span(
+            "stream.batch", index=index, size=len(examples), mode=config.mode
+        ):
+            # 1. prequential (test-then-train) accuracy
+            accuracy = self.accuracy(examples)
+            obs.gauge("stream.accuracy", accuracy, batch=index)
+
+            # 2. rolling window + drift check
+            self._window.extend(examples)
+            keep = config.window_batches * len(examples)
+            if len(self._window) > keep:
+                self._window = self._window[-keep:]
+            fired = False
+            reseeded = False
+            distance = 0.0
+            if config.detect_drift:
+                update = self.detector.update(self._window_vector())
+                distance = update.distance
+                fired = update.fired
+                obs.gauge("drift.distance", distance, batch=index)
+                if fired:
+                    obs.counter("drift.fired")
+                    self.result.drift_batches.append(index)
+                    if config.mode != "frozen":
+                        reseeded = self._reseed()
+                        if reseeded:
+                            self.result.reseed_batches.append(index)
+
+            # 3. policy update.  A reseed is a regime change: the
+            # adapter and its Adam moments restart fresh, then the live
+            # window is re-rendered under the adopted knowledge and
+            # trained on — new rules only help once their markers have
+            # been seen, and the old regime's moments would fight them.
+            start = time.perf_counter()
+            if config.mode != "frozen":
+                events: List[
+                    Tuple[str, Optional[List[TrainingExample]]]
+                ] = []
+                if reseeded:
+                    events.append(("reset", None))
+                    events.append(
+                        ("fit", self._training_examples(self._window))
+                    )
+                events.append(("fit", self._training_examples(examples)))
+                self._history.extend(events)
+                if config.mode == "incremental":
+                    for kind, batch in events:
+                        if kind == "reset":
+                            self._reset_adapter(self.model)
+                        else:
+                            self.trainer.fit_incremental(batch)
+                    obs.counter("stream.incremental_update")
+                else:
+                    self._refit_from_scratch()
+                    obs.counter("stream.refit")
+            update_seconds = (
+                time.perf_counter() - start
+                if config.mode != "frozen"
+                else 0.0
+            )
+
+            record = StreamBatchRecord(
+                index=index,
+                size=len(examples),
+                accuracy=accuracy,
+                drift_distance=distance,
+                drift_fired=fired,
+                reseeded=reseeded,
+                update_mode=config.mode,
+                update_seconds=update_seconds,
+            )
+            self.result.records.append(record)
+        return record
+
+    def run(self, batches: Sequence[Sequence[Example]]) -> StreamResult:
+        """Observe every micro-batch in order; return the trajectory."""
+        for batch in batches:
+            self.observe(batch)
+        return self.result
+
+
+# ----------------------------------------------------------------------
+# Corrupted-drift scenario (benchmark + demo fixture)
+# ----------------------------------------------------------------------
+_STYLES = (
+    "pale ale", "stout", "porter", "lager", "pilsner",
+    "saison", "amber ale", "wheat beer",
+)
+_WORDS = (
+    "river", "ridge", "harbor", "cedar", "granite", "willow",
+    "summit", "prairie", "copper", "juniper",
+)
+
+#: Error menu before the shift: the classic dirty-feed families.
+PRE_DRIFT_MENU = ((typo, 0.6), (missing_marker, 0.4))
+#: Error menu after the shift: format and range violations only.
+POST_DRIFT_MENU = (
+    (add_percent_sign, 0.4),
+    (slash_date, 0.35),
+    (out_of_range, 0.25),
+)
+
+#: Attributes each menu's injectors are pointed at.
+_PRE_ATTRS = ("name", "style")
+_POST_ATTRS = ("abv", "brewed", "rating")
+
+
+@dataclass
+class DriftScenario:
+    """A deterministic corrupted-drift stream for ED.
+
+    ``warmup`` is the adaptation split (pre-drift distribution);
+    ``batches`` is the micro-batch stream whose error distribution
+    switches from :data:`PRE_DRIFT_MENU` to :data:`POST_DRIFT_MENU` at
+    ``drift_at``; ``holdout`` is a final post-drift test split.
+    ``post_knowledge`` is the dataset-informed knowledge that explains
+    the post-drift error families — the benchmark promotes it into a
+    knowledge base under the post-drift profile so the drift response
+    has something real to retrieve.
+    """
+
+    warmup: List[Example]
+    batches: List[List[Example]]
+    holdout: List[Example]
+    drift_at: int
+    pre_knowledge: Knowledge
+    post_knowledge: Knowledge
+
+
+def _clean_record(rng: np.random.Generator) -> Record:
+    style = _STYLES[int(rng.integers(len(_STYLES)))]
+    name = (
+        f"{_WORDS[int(rng.integers(len(_WORDS)))]} "
+        f"{_WORDS[int(rng.integers(len(_WORDS)))]}"
+    )
+    abv = f"{4 + rng.integers(8) + rng.integers(10) / 10:.1f}"
+    brewed = (
+        f"{2015 + int(rng.integers(9)):04d}-"
+        f"{1 + int(rng.integers(12)):02d}-"
+        f"{1 + int(rng.integers(28)):02d}"
+    )
+    rating = str(60 + int(rng.integers(40)))
+    return Record.from_dict(
+        {
+            "name": name,
+            "style": style,
+            "abv": abv,
+            "brewed": brewed,
+            "rating": rating,
+        }
+    )
+
+
+def _stream_examples(
+    rng: np.random.Generator,
+    count: int,
+    plan: CorruptionPlan,
+    attrs: Tuple[str, ...],
+    error_rate: float = 0.5,
+    background_rate: float = 0.9,
+) -> List[Example]:
+    """ED examples under one error regime.
+
+    The highlighted cell is corrupted with ``error_rate`` (that is the
+    label); every *other* attribute of the regime's family additionally
+    carries unlabeled background dirt with ``background_rate`` — the
+    part that moves the dataset profile when the regime shifts, exactly
+    like a real feed going bad upstream.
+    """
+    examples = []
+    for __ in range(count):
+        record = _clean_record(rng)
+        attribute = attrs[int(rng.integers(len(attrs)))]
+        corrupt = bool(rng.random() < error_rate)
+        for other in attrs:
+            if other != attribute and rng.random() < background_rate:
+                dirty, __etype = plan.inject(rng, record.get(other))
+                record = record.replace(other, dirty)
+        if corrupt:
+            dirty, __etype = plan.inject(rng, record.get(attribute))
+            record = record.replace(attribute, dirty)
+        examples.append(
+            Example(
+                task="ed",
+                inputs={"record": record, "attribute": attribute},
+                answer="yes" if corrupt else "no",
+            )
+        )
+    return examples
+
+
+def build_drift_scenario(
+    batches: int = 10,
+    batch_size: int = 16,
+    drift_at: int = 5,
+    warmup: int = 48,
+    holdout: int = 64,
+    seed: int = 0,
+) -> DriftScenario:
+    """Build the corrupted-drift ED stream (deterministic in ``seed``)."""
+    if not 0 < drift_at < batches:
+        raise ValueError(
+            f"drift_at must fall inside the stream, got {drift_at}/{batches}"
+        )
+    rng = np.random.default_rng(seed)
+    pre_plan = CorruptionPlan(list(PRE_DRIFT_MENU))
+    post_plan = CorruptionPlan(list(POST_DRIFT_MENU))
+    warmup_examples = _stream_examples(rng, warmup, pre_plan, _PRE_ATTRS)
+    stream = []
+    for index in range(batches):
+        if index < drift_at:
+            stream.append(
+                _stream_examples(rng, batch_size, pre_plan, _PRE_ATTRS)
+            )
+        else:
+            stream.append(
+                _stream_examples(rng, batch_size, post_plan, _POST_ATTRS)
+            )
+    holdout_examples = _stream_examples(rng, holdout, post_plan, _POST_ATTRS)
+    pre_knowledge = Knowledge(rules=(MissingValuePolicy(),))
+    post_knowledge = Knowledge(
+        rules=(
+            FormatConstraint("brewed", "iso_date"),
+            FormatConstraint("abv", "numeric"),
+            ValueRange("rating", 0.0, 100.0),
+        )
+    )
+    return DriftScenario(
+        warmup=warmup_examples,
+        batches=stream,
+        holdout=holdout_examples,
+        drift_at=drift_at,
+        pre_knowledge=pre_knowledge,
+        post_knowledge=post_knowledge,
+    )
+
+
+# ----------------------------------------------------------------------
+# Benchmark
+# ----------------------------------------------------------------------
+def _scenario_model(seed: int) -> ScoringLM:
+    return ScoringLM(
+        ModelConfig(
+            name="stream-bench",
+            feature_dim=512,
+            hidden_dim=32,
+            seed=seed,
+        )
+    )
+
+
+def _seed_bank(
+    root, scenario: DriftScenario, seed: int
+) -> KnowledgeBase:
+    """A bank holding the post-drift knowledge under its live profile."""
+    from .knowledge.kb import profile_vector_for
+
+    bank = KnowledgeBase(root)
+    post_ds = Dataset(
+        name="stream-post-source",
+        task="ed",
+        examples=scenario.holdout,
+    )
+    vector, fingerprint = profile_vector_for(post_ds)
+    bank.promote(
+        task="ed",
+        dataset=post_ds.name,
+        fingerprint=fingerprint,
+        vector=vector,
+        knowledge=scenario.post_knowledge,
+        score=1.0,
+    )
+    return bank
+
+
+def _run_arm(
+    mode: str,
+    scenario: DriftScenario,
+    bank: Optional[KnowledgeBase],
+    seed: int,
+    stream_overrides: Optional[Dict] = None,
+) -> Tuple[StreamEngine, StreamResult, float]:
+    """One full episode; returns (engine, trajectory, holdout accuracy)."""
+    overrides = dict(stream_overrides or {})
+    engine = StreamEngine(
+        _scenario_model(seed),
+        "ed",
+        TrainConfig(epochs=6, batch_size=8, seed=seed, learning_rate=2e-2),
+        StreamConfig(mode=mode, seed=seed, **overrides),
+        knowledge=scenario.pre_knowledge,
+        kb=bank,
+        dataset_name="stream-bench",
+    )
+    engine.warm_start(scenario.warmup)
+    result = engine.run(scenario.batches)
+    holdout = engine.accuracy(scenario.holdout)
+    return engine, result, holdout
+
+
+def run_stream_benchmark(seed: int = 0, scale: float = 1.0) -> Dict:
+    """Measure the three streaming arms on the corrupted-drift scenario.
+
+    Returns a result dict with, per arm, the accuracy trajectory,
+    post-drift accuracy, holdout accuracy and summed update seconds —
+    plus the incremental-vs-refit ``speedup``, the equality of their
+    final accuracies, and the bit-identity of a full replay of the
+    drift-adaptive arm.
+    """
+    batches = max(8, int(round(10 * scale)))
+    batch_size = max(10, int(round(16 * scale)))
+    drift_at = max(2, batches // 2)
+    scenario = build_drift_scenario(
+        batches=batches,
+        batch_size=batch_size,
+        drift_at=drift_at,
+        warmup=max(24, int(round(48 * scale))),
+        holdout=max(32, int(round(64 * scale))),
+        seed=seed,
+    )
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-stream-kb-") as kb_root:
+        bank = _seed_bank(kb_root, scenario, seed)
+
+        __, frozen, frozen_holdout = _run_arm(
+            "frozen", scenario, None, seed
+        )
+        adaptive_engine, adaptive, adaptive_holdout = _run_arm(
+            "incremental", scenario, bank, seed
+        )
+        replay_engine, replay, replay_holdout = _run_arm(
+            "incremental", scenario, bank, seed
+        )
+        refit_engine, refit, refit_holdout = _run_arm(
+            "refit", scenario, bank, seed
+        )
+
+    incremental_seconds = adaptive.update_seconds
+    refit_seconds = refit.update_seconds
+    speedup = refit_seconds / max(incremental_seconds, 1e-12)
+
+    post = drift_at
+    adaptive_params = {
+        key: value.copy()
+        for key, value in adaptive_engine.model.adapter.parameters().items()
+    }
+    replay_params = replay_engine.model.adapter.parameters()
+    replay_identical = (
+        adaptive.accuracies == replay.accuracies
+        and adaptive.drift_batches == replay.drift_batches
+        and adaptive_holdout == replay_holdout
+        and all(
+            np.array_equal(value, replay_params[key])
+            for key, value in adaptive_params.items()
+        )
+    )
+    refit_params = refit_engine.model.adapter.parameters()
+    refit_state_identical = all(
+        np.array_equal(value, refit_params[key])
+        for key, value in adaptive_params.items()
+    )
+
+    return {
+        "batches": batches,
+        "batch_size": batch_size,
+        "drift_at": drift_at,
+        "speedup": speedup,
+        "incremental_seconds": incremental_seconds,
+        "refit_seconds": refit_seconds,
+        "replay_identical": replay_identical,
+        "refit_state_identical": refit_state_identical,
+        "equal_final_accuracy": adaptive_holdout == refit_holdout,
+        "drift_fired_batches": list(adaptive.drift_batches),
+        "drift_fired_once": len(adaptive.drift_batches) == 1,
+        "reseeded": bool(adaptive.reseed_batches),
+        "arms": {
+            "frozen": {
+                **frozen.to_dict(),
+                "post_drift_accuracy": frozen.mean_accuracy(post),
+                "holdout_accuracy": frozen_holdout,
+            },
+            "adaptive": {
+                **adaptive.to_dict(),
+                "post_drift_accuracy": adaptive.mean_accuracy(post),
+                "holdout_accuracy": adaptive_holdout,
+            },
+            "refit": {
+                **refit.to_dict(),
+                "post_drift_accuracy": refit.mean_accuracy(post),
+                "holdout_accuracy": refit_holdout,
+            },
+        },
+    }
+
+
+def render_stream_benchmark(result: Dict) -> str:
+    """Human-readable summary of :func:`run_stream_benchmark`."""
+    arms = result["arms"]
+    lines = [
+        "streaming adaptation benchmark "
+        f"({result['batches']} batches x {result['batch_size']}, "
+        f"drift at batch {result['drift_at']})",
+        f"  {'arm':<12} {'mean acc':>9} {'post-drift':>11} "
+        f"{'holdout':>8} {'update s':>9}",
+    ]
+    for name in ("frozen", "adaptive", "refit"):
+        arm = arms[name]
+        lines.append(
+            f"  {name:<12} {arm['mean_accuracy']:>9.3f} "
+            f"{arm['post_drift_accuracy']:>11.3f} "
+            f"{arm['holdout_accuracy']:>8.3f} "
+            f"{arm['update_seconds']:>9.3f}"
+        )
+    lines.append(
+        f"  incremental vs refit speedup: {result['speedup']:.2f}x "
+        f"(equal final accuracy: {result['equal_final_accuracy']})"
+    )
+    lines.append(
+        f"  drift fired at {result['drift_fired_batches']} "
+        f"(reseeded: {result['reseeded']}); "
+        f"replay bit-identical: {result['replay_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def run_stream_demo(
+    mode: str = "incremental",
+    seed: int = 0,
+    batches: int = 10,
+    batch_size: int = 16,
+    drift_at: Optional[int] = None,
+) -> Dict:
+    """One streaming episode for the ``repro stream`` CLI demo.
+
+    Builds the corrupted-drift scenario, seeds a throwaway KB with the
+    post-drift knowledge (so the drift firing has something real to
+    retrieve), runs a single arm in ``mode`` and returns the per-batch
+    trajectory plus the post-drift holdout accuracy.
+    """
+    import tempfile
+
+    drift_at = drift_at if drift_at is not None else max(2, batches // 2)
+    scenario = build_drift_scenario(
+        batches=batches,
+        batch_size=batch_size,
+        drift_at=drift_at,
+        seed=seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-stream-demo-") as root:
+        bank = _seed_bank(root, scenario, seed) if mode != "frozen" else None
+        __, result, holdout = _run_arm(mode, scenario, bank, seed)
+    demo = result.to_dict()
+    demo.update(
+        drift_at=drift_at,
+        batch_size=batch_size,
+        post_drift_accuracy=result.mean_accuracy(drift_at),
+        holdout_accuracy=holdout,
+        records=[
+            {
+                "index": r.index,
+                "size": r.size,
+                "accuracy": r.accuracy,
+                "drift_distance": r.drift_distance,
+                "drift_fired": r.drift_fired,
+                "reseeded": r.reseeded,
+                "update_mode": r.update_mode,
+                "update_seconds": r.update_seconds,
+            }
+            for r in result.records
+        ],
+    )
+    return demo
+
+
+def render_stream_demo(result: Dict) -> str:
+    """Per-batch table of :func:`run_stream_demo` for the terminal."""
+    lines = [
+        f"streaming episode (mode={result['mode']}, "
+        f"{result['batches']} batches x {result['batch_size']}, "
+        f"drift injected at batch {result['drift_at']})",
+        f"  {'batch':>5} {'size':>4} {'acc':>6} {'drift dist':>10} "
+        f"{'fired':>5} {'reseed':>6} {'update':>12} {'ms':>7}",
+    ]
+    for record in result["records"]:
+        lines.append(
+            f"  {record['index']:>5} {record['size']:>4} "
+            f"{record['accuracy']:>6.3f} "
+            f"{record['drift_distance']:>10.5f} "
+            f"{'yes' if record['drift_fired'] else '-':>5} "
+            f"{'yes' if record['reseeded'] else '-':>6} "
+            f"{record['update_mode']:>12} "
+            f"{record['update_seconds'] * 1000.0:>7.1f}"
+        )
+    lines.append(
+        f"  mean accuracy {result['mean_accuracy']:.3f} | "
+        f"post-drift {result['post_drift_accuracy']:.3f} | "
+        f"holdout {result['holdout_accuracy']:.3f} | "
+        f"update total {result['update_seconds']:.3f}s"
+    )
+    return "\n".join(lines)

@@ -207,29 +207,77 @@ class FrozenActivations:
     def __init__(self, model: "ScoringLM", examples: Sequence[EncodedExample]):
         if not examples:
             raise ValueError("empty dataset")
+        self._model = model
         with PERF.timer("model.frozen_activations"):
-            W1 = model.weights["encoder.W1"]
-            V = model.weights["answer.V"]
-            b = model.weights["answer.b"]
-            self.X = np.stack([ex.prompt for ex in examples])
-            self.Y = np.concatenate([ex.candidates for ex in examples])
-            sizes = np.asarray(
-                [ex.candidates.shape[0] for ex in examples], dtype=np.intp
+            (
+                self.X,
+                self.Y,
+                self.pool_sizes,
+                self.targets,
+                self.weights,
+                self.XW1b,
+                self.YV,
+                self.yb,
+                self.overlap,
+            ) = self._project(examples)
+            self.flat_offsets = np.zeros(
+                self.pool_sizes.size + 1, dtype=np.intp
             )
-            self.pool_sizes = sizes
-            self.flat_offsets = np.zeros(sizes.size + 1, dtype=np.intp)
-            np.cumsum(sizes, out=self.flat_offsets[1:])
-            self.targets = np.asarray(
-                [ex.target for ex in examples], dtype=np.intp
-            )
-            self.weights = np.asarray([ex.weight for ex in examples])
-            self.XW1b = self.X @ W1.T + model.weights["encoder.b1"]
-            self.YV = self.Y @ V.T
-            self.yb = self.Y @ b
-            rows_all = np.repeat(np.arange(sizes.size), sizes)
-            self.overlap = np.einsum("md,md->m", self.Y, self.X[rows_all])
+            np.cumsum(self.pool_sizes, out=self.flat_offsets[1:])
         PERF.count("train.frozen_builds")
         obs.counter("train.frozen_builds")
+
+    def _project(self, examples: Sequence[EncodedExample]) -> Tuple[
+        np.ndarray, ...
+    ]:
+        """Frozen-backbone projections of ``examples`` alone."""
+        model = self._model
+        W1 = model.weights["encoder.W1"]
+        V = model.weights["answer.V"]
+        b = model.weights["answer.b"]
+        X = np.stack([ex.prompt for ex in examples])
+        Y = np.concatenate([ex.candidates for ex in examples])
+        sizes = np.asarray(
+            [ex.candidates.shape[0] for ex in examples], dtype=np.intp
+        )
+        targets = np.asarray([ex.target for ex in examples], dtype=np.intp)
+        weights = np.asarray([ex.weight for ex in examples])
+        XW1b = X @ W1.T + model.weights["encoder.b1"]
+        YV = Y @ V.T
+        yb = Y @ b
+        rows = np.repeat(np.arange(sizes.size), sizes)
+        overlap = np.einsum("md,md->m", Y, X[rows])
+        return X, Y, sizes, targets, weights, XW1b, YV, yb, overlap
+
+    def append(self, examples: Sequence[EncodedExample]) -> None:
+        """Extend the sidecar with freshly arrived (already encoded) rows.
+
+        Only the new rows are projected — ``O(batch·D·k)`` GEMMs — while
+        every prior row's projections are reused untouched, which is what
+        makes a streaming micro-batch update ``O(batch)`` instead of
+        ``O(stream-so-far)``.  Same contract as the constructor: only
+        valid while the base weights stay frozen.
+        """
+        if not examples:
+            return
+        with PERF.timer("model.frozen_append"):
+            X, Y, sizes, targets, weights, XW1b, YV, yb, overlap = (
+                self._project(examples)
+            )
+            self.X = np.concatenate([self.X, X])
+            self.Y = np.concatenate([self.Y, Y])
+            self.pool_sizes = np.concatenate([self.pool_sizes, sizes])
+            tail = self.flat_offsets[-1] + np.cumsum(sizes)
+            self.flat_offsets = np.concatenate([self.flat_offsets, tail])
+            self.targets = np.concatenate([self.targets, targets])
+            self.weights = np.concatenate([self.weights, weights])
+            self.XW1b = np.concatenate([self.XW1b, XW1b])
+            self.YV = np.concatenate([self.YV, YV])
+            self.yb = np.concatenate([self.yb, yb])
+            self.overlap = np.concatenate([self.overlap, overlap])
+        PERF.count("train.frozen_appends")
+        PERF.count("train.frozen_rows_appended", len(examples))
+        obs.counter("train.frozen_appends", rows=len(examples))
 
     @property
     def n(self) -> int:

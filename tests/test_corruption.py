@@ -59,6 +59,53 @@ class TestFormatInjectors:
         assert corruption.out_of_range(rng, "abc") == ("9999", "range")
 
 
+INJECTOR_LABELS = [
+    (corruption.typo, "typo"),
+    (corruption.missing_marker, "missing"),
+    (corruption.add_percent_sign, "format"),
+    (corruption.slash_date, "format"),
+    (corruption.out_of_range, "range"),
+]
+
+
+class TestInjectorContract:
+    """Direct contract coverage for every injector."""
+
+    @pytest.mark.parametrize(
+        "injector", [fn for fn, __ in INJECTOR_LABELS],
+        ids=[fn.__name__ for fn, __ in INJECTOR_LABELS],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 7, 123])
+    def test_per_seed_determinism(self, injector, seed):
+        for value in ("portland", "5.9", "2019-04-12", "72", "x", ""):
+            first = injector(np.random.default_rng(seed), value)
+            second = injector(np.random.default_rng(seed), value)
+            assert first == second
+
+    @pytest.mark.parametrize(
+        "injector,label", INJECTOR_LABELS,
+        ids=[fn.__name__ for fn, __ in INJECTOR_LABELS],
+    )
+    def test_documented_error_type_label(self, injector, label):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            for value in ("portland", "5.9", "2019-04-12", "72"):
+                __, kind = injector(rng, value)
+                assert kind == label
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize(
+        "value,low,high",
+        [("72", 0.0, 100.0), ("5.9", 0.0, 15.0), ("0", 0.0, 100.0)],
+    )
+    def test_out_of_range_leaves_valid_range(self, seed, value, low, high):
+        rng = np.random.default_rng(seed)
+        corrupted, kind = corruption.out_of_range(rng, value)
+        assert kind == "range"
+        number = float(corrupted)
+        assert not low <= number <= high
+
+
 class TestCorruptionPlan:
     def test_empty_menu_rejected(self):
         with pytest.raises(ValueError):
@@ -79,3 +126,22 @@ class TestCorruptionPlan:
         )
         kinds = {plan.inject(rng, "1.0")[1] for __ in range(20)}
         assert kinds == {"format"}
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_inject_per_seed_determinism(self, seed):
+        menu = [
+            (corruption.typo, 0.5),
+            (corruption.missing_marker, 0.3),
+            (corruption.out_of_range, 0.2),
+        ]
+        first = [
+            corruption.CorruptionPlan(menu).inject(rng, value)
+            for rng in [np.random.default_rng(seed)]
+            for value in ("portland", "5.9", "72", "stout") * 3
+        ]
+        second = [
+            corruption.CorruptionPlan(menu).inject(rng, value)
+            for rng in [np.random.default_rng(seed)]
+            for value in ("portland", "5.9", "72", "stout") * 3
+        ]
+        assert first == second

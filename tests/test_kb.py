@@ -658,10 +658,36 @@ class TestCLI:
 # ----------------------------------------------------------------------
 class TestProfileVectorMemo:
     def test_memoised_by_fingerprint(self, beer_dataset):
+        from repro.data import profiling
+
         vector1, fp1 = profile_vector_for(beer_dataset)
         vector2, fp2 = profile_vector_for(beer_dataset)
         assert vector1 == vector2 and fp1 == fp2
-        assert fp1 in kb_module._VECTOR_CACHE
+        assert (fp1, profiling.FEATURE_VERSION) in kb_module._VECTOR_CACHE
+
+    def test_feature_version_bump_invalidates_memo(
+        self, beer_dataset, monkeypatch
+    ):
+        from repro.data import profiling
+
+        vector1, fp1 = profile_vector_for(beer_dataset)
+        # Poison the cached entry, then bump the layout version: the
+        # stale vector must not be served under the new basis.
+        kb_module._VECTOR_CACHE[(fp1, profiling.FEATURE_VERSION)] = (
+            -1.0,
+        ) * len(vector1)
+        monkeypatch.setattr(
+            profiling, "FEATURE_VERSION", profiling.FEATURE_VERSION + 1
+        )
+        vector2, fp2 = profile_vector_for(beer_dataset)
+        assert fp2 == fp1
+        assert vector2 == vector1  # recomputed, not the poisoned entry
+        kb_module._VECTOR_CACHE.pop(
+            (fp1, profiling.FEATURE_VERSION), None
+        )
+        kb_module._VECTOR_CACHE.pop(
+            (fp1, profiling.FEATURE_VERSION - 1), None
+        )
 
     def test_matches_fresh_profile(self, beer_dataset):
         from repro.data.profiling import profile_dataset

@@ -259,3 +259,124 @@ class TestServeTracing:
                 "127.0.0.1", server.port, workload[:2], clients=1
             )
         assert all(r["ok"] for r in responses)
+
+
+# ----------------------------------------------------------------------
+# Streaming updates
+# ----------------------------------------------------------------------
+class TestStreamUpdate:
+    """The stream_update op: in-place online training of live tenants."""
+
+    def _fresh(self):
+        # stream_update mutates adapters in place; never share the
+        # module-scoped registry.
+        return build_demo_registry(tenants=2, seed=7, n_patches=2, rank=4)
+
+    @staticmethod
+    def _workload(n=6):
+        prompts = [f"match record {i} color red" for i in range(n)]
+        pools = [["yes", "no"] for _ in range(n)]
+        return prompts, pools
+
+    def test_update_trains_resident_adapter_in_place(self):
+        registry = self._fresh()
+        prompts, pools = self._workload()
+        with ServerThread(registry, max_batch=8) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            client.predict("tenant0", "em/abt_buy", "em", prompts, pools)
+            response = client.stream_update(
+                "tenant0", "em/abt_buy", "em", prompts, pools, [0] * 6,
+                epochs=4, learning_rate=5e-2,
+            )
+            assert response["resident_memo_invalidated"] is True
+            assert response["stream_rows"] == 6
+            assert response["stream_batches"] == 1
+            after = client.predict(
+                "tenant0", "em/abt_buy", "em", prompts, pools
+            )["predictions"]
+            assert after == [0] * 6
+            assert client.stats()["stream_updates"] == 1
+            client.shutdown()
+            client.close()
+
+    def test_non_resident_update_preserves_memo(self):
+        registry = self._fresh()
+        prompts, pools = self._workload()
+        backbone = registry.backbones["serve-demo"]
+        with ServerThread(registry, max_batch=8) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            # make tenant1 resident, then train tenant0 behind its back
+            before = client.predict(
+                "tenant1", "em/abt_buy", "em", prompts, pools
+            )["predictions"]
+            version = backbone._adapter_version
+            response = client.stream_update(
+                "tenant0", "em/abt_buy", "em", prompts, pools, [0] * 6
+            )
+            assert response["resident_memo_invalidated"] is False
+            assert backbone._adapter_version == version
+            assert backbone.adapter is registry.entries[
+                ("tenant1", "em/abt_buy", "em")
+            ].adapter
+            again = client.predict(
+                "tenant1", "em/abt_buy", "em", prompts, pools
+            )["predictions"]
+            assert again == before
+            client.shutdown()
+            client.close()
+
+    def test_updates_accumulate_stream_state(self):
+        registry = self._fresh()
+        prompts, pools = self._workload()
+        with ServerThread(registry, max_batch=8) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            first = client.stream_update(
+                "tenant0", "em/abt_buy", "em", prompts, pools, [0] * 6
+            )
+            second = client.stream_update(
+                "tenant0", "em/abt_buy", "em",
+                prompts[:3], pools[:3], [1, 1, 1],
+            )
+            assert (first["stream_rows"], first["stream_batches"]) == (6, 1)
+            assert (second["stream_rows"], second["stream_batches"]) == (9, 2)
+            assert client.stats()["stream_updates"] == 2
+            client.shutdown()
+            client.close()
+
+    def test_error_paths(self):
+        registry = self._fresh()
+        registry.add_entry(
+            tenant="base", dataset="d", task="t",
+            adapter=None, backbone="serve-demo",
+        )
+        prompts, pools = self._workload(2)
+        with ServerThread(registry, max_batch=8) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            unknown = client.request({
+                "op": "stream_update", "tenant": "nope", "dataset": "d",
+                "task": "t", "prompts": prompts, "pools": pools,
+                "targets": [0, 0],
+            })
+            assert not unknown["ok"] and "unknown entry" in unknown["error"]
+            base_tier = client.request({
+                "op": "stream_update", "tenant": "base", "dataset": "d",
+                "task": "t", "prompts": prompts, "pools": pools,
+                "targets": [0, 0],
+            })
+            assert not base_tier["ok"]
+            assert "no adapter" in base_tier["error"]
+            ragged = client.request({
+                "op": "stream_update", "tenant": "tenant0",
+                "dataset": "em/abt_buy", "task": "em",
+                "prompts": prompts, "pools": pools, "targets": [0],
+            })
+            assert not ragged["ok"] and "parallel" in ragged["error"]
+            out_of_range = client.request({
+                "op": "stream_update", "tenant": "tenant0",
+                "dataset": "em/abt_buy", "task": "em",
+                "prompts": prompts, "pools": pools, "targets": [0, 9],
+            })
+            assert not out_of_range["ok"]
+            assert "out of range" in out_of_range["error"]
+            client.shutdown()
+            client.close()

@@ -1,0 +1,241 @@
+"""Tests for repro.stream — incremental fits, drift detection, replay."""
+
+import numpy as np
+import pytest
+
+from repro.perf import PERF
+from repro.stream import (
+    DriftDetector,
+    StreamConfig,
+    build_drift_scenario,
+    cosine_distance,
+    run_stream_demo,
+)
+from repro.tinylm.lora import LoRAPatch
+from repro.tinylm.model import ModelConfig, ScoringLM
+from repro.tinylm.trainer import TrainConfig, Trainer, TrainingExample
+
+
+def _examples(seed: int, n: int = 12, tag: str = "a"):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        warm = int(rng.integers(2))
+        color = "red" if warm else "blue"
+        out.append(
+            TrainingExample(
+                f"stream-test-{tag}-{seed}-{i} color {color}",
+                ("warm", "cold"),
+                0 if warm else 1,
+            )
+        )
+    return out
+
+
+def _model(seed: int = 5) -> ScoringLM:
+    return ScoringLM(
+        ModelConfig(
+            name="stream-test", feature_dim=256, hidden_dim=24, seed=seed
+        )
+    )
+
+
+def _trainer(model: ScoringLM, seed: int = 0) -> Trainer:
+    model.attach(LoRAPatch("p", model.config.target_shapes(), rank=2, seed=1))
+    return Trainer(
+        model,
+        TrainConfig(epochs=2, batch_size=4, seed=seed),
+        train_base=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trainer.fit_incremental / FrozenActivations.append
+# ----------------------------------------------------------------------
+class TestFitIncremental:
+    def test_replay_matches_within_documented_tolerance(self):
+        batches = [_examples(s, tag="replay") for s in (0, 1, 2)]
+
+        def run():
+            model = _model()
+            trainer = _trainer(model)
+            losses = []
+            for batch in batches:
+                losses.extend(trainer.fit_incremental(batch).step_losses)
+            return losses, model.adapter.parameters()
+
+        losses_a, params_a = run()
+        losses_b, params_b = run()
+        np.testing.assert_allclose(losses_a, losses_b, rtol=1e-9)
+        assert losses_a == losses_b  # same shapes -> bit-identical
+        for key, value in params_a.items():
+            assert np.array_equal(value, params_b[key])
+
+    def test_append_never_refeaturizes_prior_rows(self):
+        model = _model()
+        trainer = _trainer(model)
+        encoded_first = trainer._encode(_examples(0, tag="append-a"))
+        frozen = model.frozen_activations(encoded_first)
+        encoded_second = trainer._encode(_examples(1, tag="append-b"))
+        before = (
+            PERF.counter("model.prompt_misses"),
+            PERF.counter("model.candidate_misses"),
+        )
+        appends_before = PERF.counter("train.frozen_appends")
+        frozen.append(encoded_second)
+        after = (
+            PERF.counter("model.prompt_misses"),
+            PERF.counter("model.candidate_misses"),
+        )
+        assert after == before  # projection only, zero featurizer work
+        assert PERF.counter("train.frozen_appends") == appends_before + 1
+        assert frozen.X.shape[0] == len(encoded_first) + len(encoded_second)
+
+    def test_incremental_featurizes_only_the_new_batch(self):
+        model = _model()
+        trainer = _trainer(model)
+        first = _examples(0, tag="only-new-a")
+        second = _examples(1, tag="only-new-b")
+        trainer.fit_incremental(first)
+        builds_before = PERF.counter("train.frozen_builds")
+        misses_before = PERF.counter("model.prompt_misses")
+        trainer.fit_incremental(second)
+        assert (
+            PERF.counter("model.prompt_misses") - misses_before
+            == len(second)
+        )
+        # the sidecar grows in place: no second frozen build
+        assert PERF.counter("train.frozen_builds") == builds_before
+        assert trainer.stream_state.examples_seen == len(first) + len(second)
+        assert trainer.stream_state.batches == 2
+
+    def test_adam_state_resumes_across_calls(self):
+        # Warm moments must carry over: the second batch's first step on
+        # a warm trainer differs from the same step on a cold trainer.
+        batch_a = _examples(0, tag="adam-a")
+        batch_b = _examples(1, tag="adam-b")
+        warm_model = _model()
+        warm = _trainer(warm_model)
+        warm.fit_incremental(batch_a)
+        warm_losses = warm.fit_incremental(batch_b).step_losses
+
+        cold_model = _model()
+        cold = _trainer(cold_model)
+        cold_losses = cold.fit_incremental(batch_b).step_losses
+        assert warm_losses != cold_losses
+
+    def test_empty_batch_rejected(self):
+        trainer = _trainer(_model())
+        with pytest.raises(ValueError):
+            trainer.fit_incremental([])
+
+    def test_requires_rank_space_path(self):
+        model = _model()
+        model.attach(
+            LoRAPatch("p", model.config.target_shapes(), rank=2, seed=1)
+        )
+        dense = Trainer(model, TrainConfig(epochs=1), train_base=True)
+        with pytest.raises(RuntimeError):
+            dense.fit_incremental(_examples(0, tag="dense"))
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+class TestDriftDetector:
+    REF = (1.0, 0.0, 0.0)
+    NEAR = (1.0, 0.01, 0.0)  # distance ~5e-5
+    FAR = (0.0, 1.0, 0.0)  # distance 1.0
+
+    def _detector(self):
+        return DriftDetector(self.REF, threshold=0.1, patience=2)
+
+    def test_cosine_distance_basics(self):
+        assert cosine_distance(self.REF, self.REF) == pytest.approx(0.0)
+        assert cosine_distance(self.REF, self.FAR) == pytest.approx(1.0)
+        assert cosine_distance((0.0, 0.0), (0.0, 0.0)) == 0.0
+
+    def test_no_fire_in_regime(self):
+        detector = self._detector()
+        for __ in range(10):
+            assert not detector.update(self.NEAR).fired
+        assert detector.fired_total == 0
+
+    def test_single_noisy_batch_does_not_fire(self):
+        detector = self._detector()
+        update = detector.update(self.FAR)
+        assert update.over_threshold and not update.fired
+        # hysteresis: dropping back in-regime resets the streak
+        assert not detector.update(self.NEAR).fired
+        assert not detector.update(self.FAR).fired
+        assert detector.fired_total == 0
+
+    def test_sustained_shift_fires_exactly_once(self):
+        detector = self._detector()
+        assert not detector.update(self.FAR).fired
+        assert detector.update(self.FAR).fired  # patience reached
+        # re-baselined onto the new regime: no re-fire while it holds
+        for __ in range(10):
+            assert not detector.update(self.FAR).fired
+        assert detector.fired_total == 1
+
+    def test_second_shift_fires_again(self):
+        detector = self._detector()
+        detector.update(self.FAR)
+        detector.update(self.FAR)
+        third = (0.0, 0.0, 1.0)
+        assert not detector.update(third).fired
+        assert detector.update(third).fired
+        assert detector.fired_total == 2
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+class TestStreamConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(mode="clairvoyant")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(window_batches=0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(drift_threshold=-0.1)
+
+
+# ----------------------------------------------------------------------
+# End-to-end episodes (small scale)
+# ----------------------------------------------------------------------
+class TestStreamEpisode:
+    def test_scenario_shapes(self):
+        scenario = build_drift_scenario(
+            batches=4, batch_size=6, drift_at=2, warmup=8, holdout=8, seed=0
+        )
+        assert len(scenario.batches) == 4
+        assert all(len(batch) == 6 for batch in scenario.batches)
+        assert scenario.drift_at == 2
+        assert scenario.pre_knowledge is not None
+        assert scenario.post_knowledge is not None
+
+    def test_drift_fires_once_and_reseeds(self):
+        demo = run_stream_demo(batches=6, batch_size=12, seed=0)
+        assert len(demo["drift_batches"]) == 1
+        assert demo["drift_batches"][0] >= demo["drift_at"]
+        assert demo["reseed_batches"] == demo["drift_batches"]
+        assert demo["holdout_accuracy"] > 0.5
+
+    def test_replay_is_bit_identical(self):
+        first = run_stream_demo(batches=5, batch_size=10, seed=1)
+        second = run_stream_demo(batches=5, batch_size=10, seed=1)
+        assert first["accuracies"] == second["accuracies"]
+        assert first["drift_batches"] == second["drift_batches"]
+        assert first["holdout_accuracy"] == second["holdout_accuracy"]
+
+    def test_frozen_mode_never_updates(self):
+        demo = run_stream_demo(mode="frozen", batches=4, batch_size=10, seed=0)
+        assert all(r["update_mode"] == "frozen" for r in demo["records"])
+        assert all(r["update_seconds"] == 0.0 for r in demo["records"])
+        assert demo["reseed_batches"] == []
