@@ -1,0 +1,110 @@
+"""Perf gate: the ~100x table-QA workload must hold the batched floor.
+
+Builds the ``qa/products`` large-scale generator (50k rows at the paper
+preset — roughly 100x the discriminative generators' base sizes) and
+gates three properties of the stack at that volume:
+
+* the batched engine stays ≥ 3x faster than the per-example path even
+  though the candidate pools are full column vocabularies (mean pool
+  size gated ≥ 100 — an order of magnitude past the discriminative
+  shortlist cap), with bit-identical predictions;
+* KB profile retrieval still indexes the new QA datasets: promoting
+  both ``qa/products`` and ``qa/beers`` profiles and retrieving with
+  the products vector (self excluded by fingerprint) must return the
+  sibling QA entry;
+* entity augmentation does not wreck the discriminative workloads: a
+  few-shot adapted EM model scored on an entity-augmented test split
+  stays within a documented band of its unaugmented score (the band is
+  recorded in ``docs/workloads.md``).
+
+Results are written to ``BENCH_workload.json`` at the repo root and
+appended to ``benchmarks/results/perf_trajectory.jsonl`` via the shared
+:class:`repro.perf.Gate` protocol.
+
+CI smoke target::
+
+    REPRO_BENCH_PRESET=quick python -m pytest benchmarks/bench_perf_workload.py
+"""
+
+import pathlib
+
+from repro.data.augment import AugmentConfig
+from repro.eval.harness import adapt_single, evaluate_method, load_splits
+from repro.perf import (
+    Gate,
+    render_workload_benchmark,
+    run_workload_benchmark,
+)
+from repro.tinylm.model import ModelConfig, ScoringLM
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MIN_SPEEDUP = 3.0
+MIN_MEAN_POOL = 100.0
+
+#: Maximum allowed drop (in metric points) of the augmented EM score
+#: relative to the unaugmented run — documented in docs/workloads.md.
+AUGMENT_BAND = 15.0
+
+
+def test_workload_gate(record_result):
+    gate = Gate("workload", {}, min_speedup=MIN_SPEEDUP, root=REPO_ROOT)
+    if gate.preset == "quick":
+        count, eval_count, repeats = 6_000, 200, 2
+    else:
+        count, eval_count, repeats = 50_000, 400, 3
+    result = run_workload_benchmark(
+        count=count, eval_count=eval_count, seed=0, repeats=repeats
+    )
+    gate.result.update(result)
+    gate.write(
+        rows=result["rows"],
+        mean_pool_size=result["mean_pool_size"],
+        per_example_seconds=result["per_example"]["seconds"],
+        batched_seconds=result["batched"]["seconds"],
+        speedup=result["speedup"],
+        kb_retrieved=result["kb"]["retrieved"],
+    )
+    record_result("bench_perf_workload", render_workload_benchmark(gate.result))
+
+    gate.require(
+        result["predictions_identical"],
+        "batched and per-example predictions diverged",
+    )
+    gate.require(
+        result["mean_pool_size"] >= MIN_MEAN_POOL,
+        f"mean pool size {result['mean_pool_size']:.0f} below "
+        f"{MIN_MEAN_POOL:.0f} — the workload no longer stresses large pools",
+    )
+    gate.require(
+        result["kb"]["retrieved"] >= 1
+        and "qa/beers" in result["kb"]["retrieved_datasets"],
+        "KB retrieval did not surface the sibling QA dataset profile",
+    )
+    gate.require_speedup()
+    gate.check()
+
+
+def test_augmented_em_within_band(record_result):
+    """Entity augmentation must stay within the documented EM band."""
+    seed = 0
+    base = ScoringLM(ModelConfig(name="aug-smoke", seed=seed))
+    plain = load_splits("em/abt_buy", count=160, seed=seed)
+    augmented = load_splits(
+        "em/abt_buy", count=160, seed=seed, augment=AugmentConfig(seed=seed)
+    )
+    adapted = adapt_single(base, plain.few_shot)
+    plain_score = evaluate_method(adapted, plain.test.examples, "em")
+    augmented_score = evaluate_method(adapted, augmented.test.examples, "em")
+    drop = plain_score - augmented_score
+    record_result(
+        "bench_perf_workload",
+        "augmented EM smoke — plain "
+        f"{plain_score:.2f}, augmented {augmented_score:.2f}, "
+        f"drop {drop:.2f} (band {AUGMENT_BAND})",
+    )
+    assert drop <= AUGMENT_BAND, (
+        f"augmented EM dropped {drop:.2f} points "
+        f"({plain_score:.2f} -> {augmented_score:.2f}); "
+        f"allowed band is {AUGMENT_BAND} — see docs/workloads.md"
+    )

@@ -184,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--no-skc", action="store_true", help="ablate SKC")
     adapt.add_argument("--no-akb", action="store_true", help="ablate AKB")
     adapt.add_argument(
+        "--augment", default=None, metavar="SPEC",
+        help="entity-augmentation spec, e.g. 'seed=0,rate=0.5,"
+        "languages=xx-el|xx-ka' (empty string for defaults); applies "
+        "aliased/pseudo-translated surface forms to EM/DI/ED datasets",
+    )
+    adapt.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: REPRO_JOBS env, then 1)",
     )
@@ -288,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the streaming adaptation benchmark (incremental "
         "rank-space updates + drift-triggered KB re-retrieval vs "
         "frozen and refit-from-scratch arms)",
+    )
+    perf.add_argument(
+        "--workload", action="store_true",
+        help="run the large-workload benchmark (~100x table-QA rows: "
+        "batched engine at full-column-vocabulary pools + KB profile "
+        "retrieval over the QA datasets)",
     )
     perf.add_argument(
         "--all", action="store_true",
@@ -439,17 +451,62 @@ def _cmd_list(args: argparse.Namespace, console: Console) -> int:
     datasets = list(generators.downstream_ids())
     tiers = sorted(TIERS)
     names = sorted(_EXPERIMENTS)
-    console.result("downstream datasets:")
+    workload = [
+        name
+        for name in generators.generator_names()
+        if name not in set(datasets)
+    ]
+    console.result("downstream datasets (paper Table I):")
     for dataset_id in datasets:
-        console.result(f"  {dataset_id}")
+        spec = generators.get_generator(dataset_id)
+        console.result(
+            f"  {dataset_id:<20} task={spec.task} lang={spec.language} "
+            f"scale={spec.scale} base={spec.base_count}"
+        )
+    if workload:
+        console.result("workload datasets:")
+        for dataset_id in workload:
+            spec = generators.get_generator(dataset_id)
+            console.result(
+                f"  {dataset_id:<20} task={spec.task} lang={spec.language} "
+                f"scale={spec.scale} base={spec.base_count}"
+            )
     console.result("model tiers:")
     for tier in tiers:
         console.result(f"  {tier}")
     console.result("experiments:")
     for name in names:
         console.result(f"  {name}")
-    console.update({"datasets": datasets, "tiers": tiers, "experiments": names})
+    console.update(
+        {
+            "datasets": datasets,
+            "generators": [
+                {
+                    "name": spec.name,
+                    "task": spec.task,
+                    "language": spec.language,
+                    "scale": spec.scale,
+                    "base_count": spec.base_count,
+                }
+                for spec in (
+                    generators.get_generator(name)
+                    for name in generators.generator_names()
+                )
+            ],
+            "tiers": tiers,
+            "experiments": names,
+        }
+    )
     return 0
+
+
+def _augment_config(args: argparse.Namespace):
+    """The parsed ``--augment`` spec, or ``None`` when not requested."""
+    from .data.augment import AugmentConfig
+
+    if args.augment is None:
+        return None
+    return AugmentConfig.parse(args.augment)
 
 
 def _shard_spec(args: argparse.Namespace, console: Console):
@@ -485,7 +542,10 @@ def _cmd_adapt_shard(args: argparse.Namespace, console: Console) -> int:
             console.info(f"building upstream bundle ({args.tier}) ...")
             bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
         console.info(f"adapting to {dataset_id} ...")
-        splits = load_splits(dataset_id, count=args.count, seed=args.seed)
+        splits = load_splits(
+            dataset_id, count=args.count, seed=args.seed,
+            augment=_augment_config(args),
+        )
         adapter = KnowTrans(
             bundle,
             config=KnowTransConfig.fast(),
@@ -524,7 +584,10 @@ def _cmd_adapt(args: argparse.Namespace, console: Console) -> int:
         return _cmd_adapt_shard(args, console)
     console.info(f"building upstream bundle ({args.tier}) ...")
     bundle = get_bundle(args.tier, seed=args.seed, scale=args.scale)
-    splits = load_splits(args.dataset, count=args.count, seed=args.seed)
+    splits = load_splits(
+        args.dataset, count=args.count, seed=args.seed,
+        augment=_augment_config(args),
+    )
     adapter = KnowTrans(
         bundle,
         config=KnowTransConfig.fast(),
@@ -870,6 +933,40 @@ def _cmd_perf(args: argparse.Namespace, console: Console) -> int:
             console.set("ok", False)
             return 1
         console.result("stream benchmark OK")
+        console.set("ok", True)
+        return 0
+
+    if args.workload:
+        from .perf import (
+            render_workload_benchmark,
+            run_workload_benchmark,
+        )
+
+        result = run_workload_benchmark(
+            count=max(args.count, 2000), seed=args.seed, repeats=args.repeats
+        )
+        console.result(render_workload_benchmark(result))
+        console.set("benchmark", result)
+        failures = [
+            label
+            for label, ok in (
+                ("predictions diverged", result["predictions_identical"]),
+                (
+                    "mean pool below 100 candidates",
+                    result["mean_pool_size"] >= 100,
+                ),
+                (
+                    "KB retrieval missed the QA profiles",
+                    result["kb"]["retrieved"] > 0,
+                ),
+            )
+            if not ok
+        ]
+        if failures:
+            console.error("workload benchmark FAILED: " + "; ".join(failures))
+            console.set("ok", False)
+            return 1
+        console.result("workload benchmark OK")
         console.set("ok", True)
         return 0
 

@@ -192,7 +192,10 @@ def task_metric(
 
     A thin delegate to :func:`repro.tasks.metrics.score_predictions` —
     the single scoring call path shared with ``Task.evaluate`` and
-    ``harness.evaluate_method``.
+    ``harness.evaluate_method``, which in turn dispatches through the
+    registry's :meth:`repro.tasks.base.Task.score` hook, so AKB scores
+    generative families (``answer_mode="generate"``) with their own
+    metric and no special-casing here.
     """
     return metrics.score_predictions(task.name, golds, preds, examples)
 

@@ -1,0 +1,331 @@
+"""Entity augmentation: aliased and pseudo-translated surface forms.
+
+LEIA-style (SNIPPETS §2) scenario diversification for the EM/DI/ED
+workloads: a deterministic per-seed alias table rewrites entity surface
+forms — catalogue abbreviations, word drops, initialisms — and a
+pseudo-translation cipher maps words into synthetic "languages"
+(deterministic consonant/vowel substitution keyed by a language code),
+so one English dataset yields multilingual-looking variants without any
+external resources.  The point is the same as LEIA's: force knowledge
+learned on canonical surface forms to transfer across surface
+variation.
+
+Safety invariant: augmentation **never rewrites answer-bearing text**.
+
+* EM — only the non-key descriptive attributes of the *right* record
+  are rewritten (match/mismatch is decided by key identifiers and the
+  gold label is untouched);
+* ED — only attributes other than the cell under question;
+* DI — only attributes other than the imputed one whose value does not
+  contain the gold answer as a substring (the gold brand recurring
+  inside name/description must survive verbatim).
+
+Other tasks pass through :func:`augment_dataset` unchanged.
+
+Everything is deterministic in ``(config.seed, dataset.name)``: the
+same seed always produces the same alias table and the same choice of
+augmented examples — the property the workload tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..obs import counter
+from .schema import Dataset, Example, MISSING_MARKERS, Record
+
+__all__ = [
+    "AugmentConfig",
+    "AliasTable",
+    "AUGMENTABLE_TASKS",
+    "alias_form",
+    "pseudo_translate",
+    "augment_dataset",
+]
+
+#: Tasks whose examples the augmentation pass may rewrite.
+AUGMENTABLE_TASKS: Tuple[str, ...] = ("em", "di", "ed")
+
+_VOWELS = "aeiou"
+_CONSONANTS = "bcdfghjklmnpqrstvwxyz"
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a — deterministic across processes, unlike ``hash()``."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) % (1 << 64)
+    return value
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Knobs of the entity-augmentation pass.
+
+    ``rate`` is the fraction of examples rewritten; among those,
+    ``alias_rate`` selects aliasing and the rest are pseudo-translated
+    into one of ``languages`` (synthetic ``xx-*`` codes — each keys its
+    own substitution cipher).
+    """
+
+    seed: int = 0
+    rate: float = 0.35
+    alias_rate: float = 0.5
+    languages: Tuple[str, ...] = ("xx-el", "xx-ka")
+
+    @classmethod
+    def parse(cls, spec: str) -> "AugmentConfig":
+        """Parse a CLI spec such as ``seed=3,rate=0.5,languages=xx-a|xx-b``.
+
+        An empty string yields the defaults.
+        """
+        config = cls()
+        spec = spec.strip()
+        if not spec:
+            return config
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ValueError(
+                    f"bad augment spec fragment {part!r}; expected key=value"
+                )
+            key, value = (s.strip() for s in part.split("=", 1))
+            if key == "seed":
+                config = dc_replace(config, seed=int(value))
+            elif key == "rate":
+                config = dc_replace(config, rate=float(value))
+            elif key == "alias_rate":
+                config = dc_replace(config, alias_rate=float(value))
+            elif key == "languages":
+                languages = tuple(
+                    lang for lang in value.split("|") if lang
+                )
+                if not languages:
+                    raise ValueError("augment spec needs >= 1 language")
+                config = dc_replace(config, languages=languages)
+            else:
+                raise ValueError(
+                    f"unknown augment spec key {key!r}; "
+                    "known: seed, rate, alias_rate, languages"
+                )
+        return config
+
+    def describe(self) -> str:
+        """A canonical string form — used in memo keys and dataset meta."""
+        return (
+            f"seed={self.seed},rate={self.rate},"
+            f"alias_rate={self.alias_rate},"
+            f"languages={'|'.join(self.languages)}"
+        )
+
+
+@lru_cache(maxsize=32)
+def _cipher(language: str) -> Dict[str, str]:
+    """The substitution table of one pseudo-language.
+
+    Vowels map to vowels and consonants to consonants (rotations keyed
+    by the language code), so translated words stay pronounceable and
+    word shape survives — the property that makes pseudo-translation a
+    meaningful stand-in for transliterated entity names.
+    """
+    key = _stable_hash(language)
+    vowel_shift = 1 + key % (len(_VOWELS) - 1)
+    consonant_shift = 1 + (key // 7) % (len(_CONSONANTS) - 1)
+    table = {}
+    for i, ch in enumerate(_VOWELS):
+        table[ch] = _VOWELS[(i + vowel_shift) % len(_VOWELS)]
+    for i, ch in enumerate(_CONSONANTS):
+        table[ch] = _CONSONANTS[(i + consonant_shift) % len(_CONSONANTS)]
+    return table
+
+
+def pseudo_translate(text: str, language: str) -> str:
+    """Deterministically map ``text`` into a synthetic language.
+
+    Only ASCII letters are substituted; digits, punctuation, and
+    whitespace pass through, so model numbers and prices — the
+    answer-adjacent tokens — keep their exact surface form.
+    """
+    table = _cipher(language)
+    return "".join(table.get(ch, ch) for ch in text)
+
+
+def _drop_vowels(word: str) -> str:
+    if len(word) < 4:
+        return word
+    head, rest = word[0], word[1:]
+    stripped = head + "".join(ch for ch in rest if ch not in _VOWELS)
+    return stripped if len(stripped) >= 2 else word
+
+
+def alias_form(form: str, seed: int) -> str:
+    """One deterministic alias of an entity surface form.
+
+    Three catalogue-style strategies, chosen by a stable hash of
+    ``(seed, form)``: vowel-dropped abbreviation, initialism of the
+    leading words, or dropping the final word of a multi-word form.
+    The alias of a given form under a given seed never changes — the
+    alias-table determinism the tests pin.
+    """
+    words = form.split()
+    if not words:
+        return form
+    strategy = _stable_hash(f"{seed}/{form}") % 3
+    if strategy == 0:
+        return " ".join(_drop_vowels(w) for w in words)
+    if strategy == 1 and len(words) > 1:
+        initials = [w[0] + "." for w in words[:-1] if w]
+        return " ".join(initials + [words[-1]])
+    if len(words) > 2:
+        return " ".join(words[:-1])
+    return " ".join(_drop_vowels(w) for w in words)
+
+
+class AliasTable:
+    """A memoised, seed-deterministic surface-form → alias mapping."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._table: Dict[str, str] = {}
+
+    def alias(self, form: str) -> str:
+        if form not in self._table:
+            self._table[form] = alias_form(form, self.seed)
+        return self._table[form]
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def _rewritable(value: str) -> bool:
+    """Whether a cell value is sensible augmentation material."""
+    lowered = value.strip().lower()
+    if lowered in MISSING_MARKERS:
+        return False
+    return any(ch.isalpha() for ch in value)
+
+
+def _em_targets(example: Example) -> Tuple[str, Tuple[str, ...]]:
+    """EM: descriptive attributes of the right record (keys excluded)."""
+    record = example.inputs["right"]
+    keyish = ("modelno", "model_number", "capacity")
+    attrs = tuple(
+        attr
+        for attr in record.attributes
+        if attr not in keyish and _rewritable(record.get(attr))
+    )
+    return "right", attrs
+
+
+def _cell_targets(example: Example) -> Tuple[str, Tuple[str, ...]]:
+    """ED/DI: every attribute except the one under question."""
+    record = example.inputs["record"]
+    questioned = example.inputs["attribute"]
+    gold = example.answer
+    attrs = []
+    for attr in record.attributes:
+        if attr == questioned:
+            continue
+        value = record.get(attr)
+        if not _rewritable(value):
+            continue
+        # DI recovers the gold from other cells (brand inside the
+        # product name); those occurrences must survive verbatim.
+        if example.task == "di" and gold and gold.lower() in value.lower():
+            continue
+        attrs.append(attr)
+    return "record", tuple(attrs)
+
+
+def _rewrite(
+    example: Example,
+    aliases: AliasTable,
+    config: AugmentConfig,
+    rng: np.random.Generator,
+) -> Optional[Example]:
+    """One augmented copy of ``example``, or ``None`` if untouchable."""
+    if example.task == "em":
+        input_key, attrs = _em_targets(example)
+    else:
+        input_key, attrs = _cell_targets(example)
+    if not attrs:
+        return None
+    attribute = attrs[int(rng.integers(len(attrs)))]
+    record: Record = example.inputs[input_key]
+    value = record.get(attribute)
+    if rng.random() < config.alias_rate:
+        mode, language = "alias", ""
+        new_value = aliases.alias(value)
+        counter("augment.aliased", attribute=attribute, task=example.task)
+    else:
+        mode = "translate"
+        language = config.languages[int(rng.integers(len(config.languages)))]
+        new_value = pseudo_translate(value, language)
+        counter(
+            "augment.translated",
+            language=language,
+            attribute=attribute,
+            task=example.task,
+        )
+    if new_value == value:
+        return None
+    inputs = dict(example.inputs)
+    inputs[input_key] = record.replace(attribute, new_value)
+    meta = dict(example.meta)
+    meta["augment"] = {
+        "mode": mode,
+        "language": language,
+        "attribute": attribute,
+        "original": value,
+    }
+    return Example(
+        task=example.task,
+        inputs=inputs,
+        answer=example.answer,
+        meta=meta,
+    )
+
+
+def augment_dataset(dataset: Dataset, config: AugmentConfig) -> Dataset:
+    """Apply the entity-augmentation pass to one dataset.
+
+    Non-augmentable tasks (everything outside EM/DI/ED) pass through
+    unchanged.  Output is deterministic in ``(config.seed,
+    dataset.name)``; examples keep their order and count — a rewritten
+    example *replaces* its original, so split boundaries and label
+    balance are unchanged.
+    """
+    if dataset.task not in AUGMENTABLE_TASKS:
+        counter("augment.skipped", len(dataset.examples), task=dataset.task)
+        return dataset
+    rng = np.random.default_rng(
+        _stable_hash(f"augment/{config.seed}/{dataset.name}") % (1 << 32)
+    )
+    aliases = AliasTable(config.seed)
+    examples = []
+    rewritten = 0
+    for example in dataset.examples:
+        counter("augment.examples", task=dataset.task)
+        candidate = None
+        if rng.random() < config.rate:
+            candidate = _rewrite(example, aliases, config, rng)
+        if candidate is None:
+            examples.append(example)
+        else:
+            examples.append(candidate)
+            rewritten += 1
+    meta = dict(dataset.meta)
+    meta["augment"] = config.describe()
+    meta["augment_rewritten"] = rewritten
+    return Dataset(
+        name=dataset.name,
+        task=dataset.task,
+        examples=examples,
+        label_set=dataset.label_set,
+        latent_rules=dataset.latent_rules,
+        meta=meta,
+    )

@@ -107,3 +107,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "nan descriptions mean: compare the other attributes",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "em/abt_buy",
+    generate,
+    task="em",
+    base_count=300,
+    description="consumer-electronics offers keyed by model number",
+)

@@ -81,3 +81,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "answer n/a when the title does not mention the attribute",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "ave/ae110k",
+    generate,
+    task="ave",
+    base_count=280,
+    description="sports/apparel titles for attribute value extraction",
+)

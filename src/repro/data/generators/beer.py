@@ -168,3 +168,21 @@ def generate_cleaning(count: int, seed: int = 0) -> Dataset:
         examples=_build(count, seed, "dc"),
         latent_rules=_LATENT_RULES,
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "ed/beer",
+    generate,
+    task="ed",
+    base_count=300,
+    description="craft-beer catalogue with the no-percent ABV rule",
+)
+register_generator(
+    "dc/beer",
+    generate_cleaning,
+    task="dc",
+    base_count=280,
+    description="cleaning view of the dirty beer catalogue",
+)

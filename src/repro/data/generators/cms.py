@@ -156,3 +156,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "start/end dates and diagnosis/procedure codes are distinct concepts",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "sm/cms",
+    generate,
+    task="sm",
+    base_count=320,
+    description="Medicare-claims column pairs for schema matching",
+)

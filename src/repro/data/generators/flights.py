@@ -121,3 +121,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "flight codes are dash-separated airline-number-origin-destination",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "ed/flights",
+    generate,
+    task="ed",
+    base_count=300,
+    description="flight status table with strict time and flight-code formats",
+)

@@ -75,3 +75,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "the description usually repeats the brand",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "di/flipkart",
+    generate,
+    task="di",
+    base_count=280,
+    description="e-commerce listings with missing brand cells",
+)

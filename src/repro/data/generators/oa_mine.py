@@ -80,3 +80,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "absent attributes map to n/a",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "ave/oa_mine",
+    generate,
+    task="ave",
+    base_count=280,
+    description="grocery titles for attribute value extraction",
+)

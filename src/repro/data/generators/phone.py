@@ -71,3 +71,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "a quarter of names lead with marketing noise",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "di/phone",
+    generate,
+    task="di",
+    base_count=280,
+    description="unlocked-mobile listings with missing brand cells",
+)

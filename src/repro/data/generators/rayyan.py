@@ -178,3 +178,21 @@ def generate_cleaning(count: int, seed: int = 0) -> Dataset:
         examples=_build(count, seed, "dc"),
         latent_rules=_LATENT_RULES,
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "ed/rayyan",
+    generate,
+    task="ed",
+    base_count=300,
+    description="bibliographic records with date/ISSN/abbreviation errors",
+)
+register_generator(
+    "dc/rayyan",
+    generate_cleaning,
+    task="dc",
+    base_count=280,
+    description="cleaning view of the dirty Rayyan bibliography",
+)

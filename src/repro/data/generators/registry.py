@@ -1,0 +1,136 @@
+"""The generator registry: one metadata-bearing entry per dataset.
+
+Mirrors :func:`repro.tasks.base.register_task`: each generator module
+self-registers a :class:`GeneratorSpec` at import time, and everything
+that used to hard-code the per-module builder functions (the package's
+``build``/``downstream_ids``, the CLI's dataset resolution, the perf
+gates) resolves names through :func:`get_generator` instead.
+
+A spec carries the knobs workload tooling filters on:
+
+* ``task`` — which task family the dataset exercises (``"em"``,
+  ``"qa"``, ...);
+* ``language`` — the entity surface-form language of the *unaugmented*
+  dataset.  Every built-in generator emits English (``"en"``);
+  multilingual variation is layered on by
+  :mod:`repro.data.augment`, not baked into generators;
+* ``scale`` — ``"standard"`` for the paper-sized datasets (a few
+  hundred rows) or ``"large"`` for the ~100x stress generators that
+  exist to exercise the batched engine, artifact store, and KB
+  profiling at volume.
+
+This module deliberately imports no sibling generator modules, so
+generators can import it freely without cycles; the package
+``__init__`` imports the modules (triggering registration) exactly the
+way ``tasks/__init__`` imports the task modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..schema import Dataset
+
+__all__ = [
+    "GeneratorSpec",
+    "register_generator",
+    "get_generator",
+    "generator_names",
+    "GENERATOR_SCALES",
+]
+
+#: The recognised ``scale`` classes.
+GENERATOR_SCALES: Tuple[str, ...] = ("standard", "large")
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """One registered dataset generator plus its workload metadata."""
+
+    name: str
+    build: Callable[[int, int], Dataset] = field(repr=False)
+    task: str
+    base_count: int
+    language: str = "en"
+    scale: str = "standard"
+    description: str = ""
+
+    def generate(self, count: Optional[int] = None, seed: int = 0,
+                 scale: float = 1.0) -> Dataset:
+        """Build the dataset; ``count=None`` uses ``base_count * scale``."""
+        if count is None:
+            count = max(40, int(round(self.base_count * scale)))
+        return self.build(count, seed)
+
+
+_REGISTRY: Dict[str, GeneratorSpec] = {}
+
+
+def register_generator(
+    name: str,
+    build: Callable[[int, int], Dataset],
+    *,
+    task: str,
+    base_count: int,
+    language: str = "en",
+    scale: str = "standard",
+    description: str = "",
+) -> GeneratorSpec:
+    """Register a dataset generator under its ``task/name`` id."""
+    if not name or "/" not in name:
+        raise ValueError(
+            f"generator name must look like 'task/name', got {name!r}"
+        )
+    if scale not in GENERATOR_SCALES:
+        raise ValueError(
+            f"generator {name!r} declares scale={scale!r}; "
+            f"must be one of {GENERATOR_SCALES}"
+        )
+    if base_count <= 0:
+        raise ValueError(f"generator {name!r} needs a positive base_count")
+    spec = GeneratorSpec(
+        name=name,
+        build=build,
+        task=task,
+        base_count=base_count,
+        language=language,
+        scale=scale,
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    if not _REGISTRY:  # pragma: no cover - defensive import ordering
+        from . import build  # noqa: F401 - package import registers all
+
+
+def get_generator(name: str) -> GeneratorSpec:
+    """Look up a generator spec by dataset id."""
+    _ensure_registered()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown dataset id {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def generator_names(
+    task: Optional[str] = None,
+    language: Optional[str] = None,
+    scale: Optional[str] = None,
+) -> List[str]:
+    """Registered dataset ids, optionally filtered by metadata."""
+    _ensure_registered()
+    names = []
+    for name, spec in sorted(_REGISTRY.items()):
+        if task is not None and spec.task != task:
+            continue
+        if language is not None and spec.language != language:
+            continue
+        if scale is not None and spec.scale != scale:
+            continue
+        names.append(name)
+    return names

@@ -108,3 +108,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "$-runs indicate a price range",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "cta/sotab",
+    generate,
+    task="cta",
+    base_count=260,
+    description="web-table columns for semantic type annotation",
+)

@@ -1,0 +1,231 @@
+"""Table-QA datasets: generative lookup over serialized rows.
+
+Two datasets for the ``qa`` family (KBLaM-style, SNIPPETS §1):
+
+* ``qa/products`` — a synthetic product catalogue.  This is the repo's
+  **large-scale stress generator** (``scale="large"``): its paper-preset
+  row count is ~100x the discriminative datasets (50k rows) and its
+  attribute banks are built programmatically so that full column
+  vocabularies — the QA answer pools — land in the 100–1000 candidate
+  range the family exists to exercise.
+* ``qa/beers`` — a standard-sized QA view over the same clean
+  craft-beer rows the ED/DC generators corrupt, so the QA family shares
+  an entity space with the discriminative tasks.
+
+Each example asks ``what is the {attribute} of {entity}`` about one
+row.  The generator computes ``answer_pools`` (attribute → sorted
+distinct column values over the whole dataset), stores them in
+``dataset.meta["answer_pools"]``, and stamps the matching pool tuple on
+every ``example.meta["pool"]`` (a shared reference, so the per-example
+cost is one pointer) for call paths that do not thread the dataset —
+the stream engine's training and accuracy loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...obs import counter
+from ..schema import Dataset, Example, Record
+from . import beer
+from .common import make_rng, model_number
+from .registry import register_generator
+
+__all__ = ["generate", "generate_beers", "PRODUCT_ATTRIBUTES", "BEER_ATTRIBUTES"]
+
+
+def _bank(parts_a: Sequence[str], parts_b: Sequence[str]) -> Tuple[str, ...]:
+    """The cross product of two word lists — a large, deterministic bank."""
+    return tuple(f"{a} {b}" for a in parts_a for b in parts_b)
+
+
+# Programmatic banks: sized so full column vocabularies reach the
+# 100-1000 candidate range once the row count saturates them.
+_BRANDS = _bank(
+    (
+        "acme", "nova", "zenith", "apex", "orion", "vertex", "lumen",
+        "quasar", "borealis", "solstice", "meridian", "cascade", "summit",
+        "atlas", "pioneer", "beacon", "harbor", "crestline", "ridgeway",
+        "stellar",
+    ),
+    (
+        "labs", "works", "industries", "dynamics", "systems", "gear",
+        "craft", "forge", "supply", "collective", "union", "corp",
+    ),
+)
+
+_LINES = _bank(
+    (
+        "ultra", "pro", "classic", "compact", "prime", "elite", "sport",
+        "urban", "alpine", "coastal", "heritage", "fusion", "quantum",
+        "aero", "terra", "polar",
+    ),
+    (
+        "series", "edition", "line", "wave", "pulse", "core", "flex",
+        "shift", "drift", "spark", "trail", "craft", "motion", "current",
+    ),
+)
+
+_CATEGORIES = (
+    "headphones", "speaker", "keyboard", "mouse", "monitor", "charger",
+    "backpack", "jacket", "lantern", "tent", "blender", "kettle",
+    "camera", "tripod", "router", "drone", "scooter", "helmet",
+    "wristwatch", "thermostat", "projector", "microphone", "turntable",
+    "binoculars",
+)
+
+_COLORS = _bank(
+    (
+        "midnight", "arctic", "forest", "ember", "dusty", "pale",
+        "electric", "deep", "matte", "glacier", "sunset", "storm",
+    ),
+    (
+        "black", "white", "blue", "green", "red", "grey", "silver",
+        "gold", "copper", "teal", "violet", "amber",
+    ),
+)
+
+_MATERIALS = _bank(
+    (
+        "brushed", "anodized", "recycled", "woven", "polished",
+        "hammered", "reinforced", "laminated", "waxed", "coated",
+    ),
+    (
+        "aluminum", "steel", "titanium", "walnut", "bamboo", "canvas",
+        "leather", "nylon", "carbon", "ceramic", "cork", "wool",
+    ),
+)
+
+_ORIGINS = _bank(
+    (
+        "north", "south", "east", "west", "port", "lake", "fort",
+        "mount", "new", "old",
+    ),
+    (
+        "haven", "field", "bridge", "harbor", "ridge", "dale", "grove",
+        "crossing", "junction", "falls", "mills", "hollow",
+    ),
+)
+
+#: The attributes a ``qa/products`` question may target.
+PRODUCT_ATTRIBUTES: Tuple[str, ...] = (
+    "brand", "line", "category", "color", "material", "origin", "price",
+)
+
+#: The attributes a ``qa/beers`` question may target.
+BEER_ATTRIBUTES: Tuple[str, ...] = (
+    "style", "city", "state", "brewery_name",
+)
+
+_LATENT_RULES: Tuple[str, ...] = (
+    "every answer is the exact cell value of the questioned attribute",
+    "answer pools are full column vocabularies, not curated shortlists",
+)
+
+
+def _pick(rng: np.random.Generator, bank: Sequence[str]) -> str:
+    return bank[int(rng.integers(len(bank)))]
+
+
+def _product_record(rng: np.random.Generator) -> Tuple[Record, str]:
+    """One clean catalogue row plus its entity surface form."""
+    brand = _pick(rng, _BRANDS)
+    line = _pick(rng, _LINES)
+    name = f"{brand} {line} {model_number(rng)}"
+    record = Record.from_dict(
+        {
+            "name": name,
+            "brand": brand,
+            "line": line,
+            "category": _pick(rng, _CATEGORIES),
+            "color": _pick(rng, _COLORS),
+            "material": _pick(rng, _MATERIALS),
+            "origin": _pick(rng, _ORIGINS),
+            "price": str(int(rng.integers(19, 999))),
+        }
+    )
+    return record, name
+
+
+def _assemble(
+    name: str,
+    rows: List[Tuple[Record, str]],
+    attributes: Tuple[str, ...],
+    rng: np.random.Generator,
+) -> Dataset:
+    """Two-pass build: collect column vocabularies, then emit examples."""
+    vocabularies: Dict[str, set] = {attr: set() for attr in attributes}
+    for record, __entity in rows:
+        for attr in attributes:
+            vocabularies[attr].add(record.get(attr))
+    pools: Dict[str, Tuple[str, ...]] = {
+        attr: tuple(sorted(values)) for attr, values in vocabularies.items()
+    }
+    examples: List[Example] = []
+    for i, (record, entity) in enumerate(rows):
+        attribute = attributes[int(rng.integers(len(attributes)))]
+        pool = pools[attribute]
+        examples.append(
+            Example(
+                task="qa",
+                inputs={
+                    "record": record,
+                    "attribute": attribute,
+                    "entity": entity,
+                },
+                answer=record.get(attribute),
+                meta={"id": f"{name}/{i}", "pool": pool},
+            )
+        )
+    counter("qa.rows", len(examples), dataset=name)
+    counter(
+        "qa.pool_vocab",
+        sum(len(pool) for pool in pools.values()),
+        dataset=name,
+    )
+    return Dataset(
+        name=name,
+        task="qa",
+        examples=examples,
+        latent_rules=_LATENT_RULES,
+        meta={"answer_pools": pools},
+    )
+
+
+def generate(count: int, seed: int = 0) -> Dataset:
+    """``qa/products`` — the ~100x-scale catalogue QA dataset."""
+    rng = make_rng(seed, "qa/products")
+    rows = [_product_record(rng) for __ in range(count)]
+    return _assemble("qa/products", rows, PRODUCT_ATTRIBUTES, rng)
+
+
+def generate_beers(count: int, seed: int = 0) -> Dataset:
+    """``qa/beers`` — QA over the clean craft-beer catalogue rows."""
+    rng = make_rng(seed, "qa/beers")
+    rows = []
+    for __ in range(count):
+        record = beer.clean_record(rng)
+        rows.append((record, record.get("beer_name")))
+    return _assemble("qa/beers", rows, BEER_ATTRIBUTES, rng)
+
+
+register_generator(
+    "qa/products",
+    generate,
+    task="qa",
+    base_count=500,
+    scale="large",
+    description=(
+        "synthetic product catalogue; paper preset runs ~100x rows to "
+        "stress the batched engine, artifact store, and KB profiling"
+    ),
+)
+register_generator(
+    "qa/beers",
+    generate_beers,
+    task="qa",
+    base_count=280,
+    description="QA view over the clean craft-beer catalogue rows",
+)

@@ -102,3 +102,14 @@ def generate(count: int, seed: int = 0) -> Dataset:
             "prices vary between marketplaces",
         ),
     )
+
+
+from .registry import register_generator  # noqa: E402 - registration idiom
+
+register_generator(
+    "em/walmart_amazon",
+    generate,
+    task="em",
+    base_count=300,
+    description="marketplace offers keyed by modelno and capacity",
+)

@@ -98,6 +98,7 @@ class Example:
     * DC:  ``{"record": Record, "attribute": str}``
     * CTA: ``{"values": tuple of cell strings}``
     * AVE: ``{"text": str, "attribute": str}``
+    * QA:  ``{"record": Record, "attribute": str, "entity": str}``
     """
 
     task: str

@@ -16,6 +16,7 @@ from ..core.knowtrans import AdaptedModel
 from ..core.skc.finetune import few_shot_finetune
 from ..core.skc.fusion import attach_fusion
 from ..data import generators
+from ..data.augment import AugmentConfig
 from ..data.schema import Dataset, Example
 from ..data.splits import DatasetSplits, split_dataset
 from ..knowledge.seed import seed_knowledge
@@ -30,7 +31,7 @@ __all__ = [
     "clear_split_cache",
 ]
 
-_SPLITS: Dict[Tuple[str, int, int, int, float], DatasetSplits] = {}
+_SPLITS: Dict[Tuple[str, int, int, int, float, str], DatasetSplits] = {}
 
 
 def load_splits(
@@ -39,11 +40,21 @@ def load_splits(
     seed: int = 0,
     few_shot: int = 20,
     scale: float = 1.0,
+    augment: Optional["AugmentConfig"] = None,
 ) -> DatasetSplits:
-    """Generate and split a downstream dataset (memoised)."""
-    key = (dataset_id, count or -1, seed, few_shot, scale)
+    """Generate and split a downstream dataset (memoised).
+
+    ``augment`` optionally applies the entity-augmentation pass
+    (:mod:`repro.data.augment`) before splitting; its canonical
+    ``describe()`` string participates in the memo key so augmented and
+    unaugmented splits never collide.
+    """
+    augment_key = augment.describe() if augment is not None else ""
+    key = (dataset_id, count or -1, seed, few_shot, scale, augment_key)
     if key not in _SPLITS:
-        dataset = generators.build(dataset_id, count=count, seed=seed, scale=scale)
+        dataset = generators.build(
+            dataset_id, count=count, seed=seed, scale=scale, augment=augment
+        )
         _SPLITS[key] = split_dataset(dataset, few_shot=few_shot, seed=seed)
     return _SPLITS[key]
 

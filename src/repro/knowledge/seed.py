@@ -42,6 +42,7 @@ _TASK_SEEDS: Dict[str, Knowledge] = {
     "di": Knowledge(),
     "cta": Knowledge(),
     "ave": Knowledge(),
+    "qa": Knowledge(),
 }
 
 

@@ -396,6 +396,7 @@ _INDUCERS = {
     "ave": _induce_extraction_rules,
     "cta": _induce_column_rules,
     "sm": lambda examples: [],  # schema semantics resist rule induction
+    "qa": lambda examples: [],  # generative lookup carries no latent rules
 }
 
 

@@ -41,6 +41,8 @@ __all__ = [
     "render_serve_benchmark",
     "run_shm_benchmark",
     "render_shm_benchmark",
+    "run_workload_benchmark",
+    "render_workload_benchmark",
 ]
 
 
@@ -1595,5 +1597,171 @@ def render_shm_benchmark(result: Dict) -> str:
         f"  leaked segments: {len(result['leaked_segments'])} clean / "
         f"{len(result['crash_leaked_segments'])} after crash "
         f"(crash surfaced: {result['crash_raised']})",
+    ]
+    return "\n".join(lines)
+
+# ----------------------------------------------------------------------
+# Large-workload benchmark: the ~100x table-QA generator (shared by
+# ``python -m repro perf --workload`` and
+# ``benchmarks/bench_perf_workload.py``)
+# ----------------------------------------------------------------------
+def run_workload_benchmark(
+    count: int = 50_000,
+    eval_count: int = 400,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict:
+    """Stress the stack with the ``qa/products`` large-scale generator.
+
+    Three things are measured/verified on one build of the ~100x table-QA
+    dataset (``count`` rows; the paper preset uses 50k — about 100x the
+    discriminative generators' base sizes):
+
+    * **generation + profiling cost** — rows/sec of the generator and of
+      dataset profiling at volume, reported for trend tracking;
+    * **batched engine at large pools** — per-example vs batched
+      prediction over an ``eval_count``-example slice whose candidate
+      pools are full column vocabularies (mean pool size is gated to be
+      ≥ 100 — roughly an order of magnitude past the discriminative
+      shortlist cap); the ≥3x warm speedup floor must hold here exactly
+      as it does on the small-pool inference gate;
+    * **KB profile retrieval** — both QA datasets are profiled and
+      promoted into a throwaway :class:`~repro.knowledge.kb.
+      KnowledgeBase`; retrieval with ``qa/products``'s own vector (self
+      excluded by fingerprint) must surface the sibling QA entry, proving
+      the 42-dim profile layout and cosine index absorb the new family.
+    """
+    import tempfile
+
+    from . import store as artifact_store
+    from .data import generators
+    from .data.profiling import profile_dataset
+    from .knowledge.kb import KnowledgeBase, profile_vector_for
+    from .knowledge.seed import seed_knowledge
+    from .tasks.base import get_task
+    from .tinylm.model import ModelConfig, ScoringLM
+    from .tinylm.tokenizer import HashedFeaturizer
+
+    build_start = time.perf_counter()
+    dataset = generators.build("qa/products", count=count, seed=seed)
+    build_seconds = time.perf_counter() - build_start
+
+    profile_start = time.perf_counter()
+    profile_dataset(dataset)
+    profile_seconds = time.perf_counter() - profile_start
+
+    task = get_task(dataset.task)
+    knowledge = seed_knowledge(dataset.task)
+    model = ScoringLM(ModelConfig(name="bench", seed=seed))
+
+    examples = dataset.examples[: min(eval_count, len(dataset.examples))]
+    prompts = [task.prompt(ex, knowledge) for ex in examples]
+    pools = [task.candidates(ex, knowledge, dataset) for ex in examples]
+    n = len(examples)
+    mean_pool = sum(len(pool) for pool in pools) / n if n else 0.0
+
+    def clear_caches() -> None:
+        HashedFeaturizer.clear_shared_caches()
+        model._candidate_cache.clear()
+        model._prompt_cache.clear()
+
+    def run_per_example() -> List[int]:
+        return [model.predict(p, pool) for p, pool in zip(prompts, pools)]
+
+    def run_batched() -> List[int]:
+        return model.predict_batch(prompts, pools)
+
+    clear_caches()
+    cold_per_example, __ = _best_of(1, run_per_example)
+    clear_caches()
+    cold_batched, __ = _best_of(1, run_batched)
+
+    per_example_seconds, per_example_preds = _best_of(repeats, run_per_example)
+    PERF.reset()
+    batched_seconds, batched_preds = _best_of(repeats, run_batched)
+    counters = PERF.snapshot()
+    speedup = per_example_seconds / batched_seconds if batched_seconds else 0.0
+
+    # KB retrieval over the new QA profiles, in a throwaway bank.
+    with tempfile.TemporaryDirectory(prefix="repro-workload-bench-") as tmp:
+        bank = KnowledgeBase(tmp + "/kb")
+        with artifact_store.using_store(None):
+            beers = generators.build("qa/beers", seed=seed)
+            vectors = {}
+            for qa_dataset in (dataset, beers):
+                vector, fingerprint = profile_vector_for(qa_dataset)
+                vectors[qa_dataset.name] = (vector, fingerprint)
+                bank.promote(
+                    task="qa",
+                    dataset=qa_dataset.name,
+                    fingerprint=fingerprint,
+                    vector=vector,
+                    knowledge=knowledge,
+                    score=0.0,
+                )
+            vector, fingerprint = vectors[dataset.name]
+            retrieve_start = time.perf_counter()
+            hits = bank.retrieve(
+                vector, task="qa", k=3, exclude_fingerprint=fingerprint
+            )
+            retrieve_seconds = time.perf_counter() - retrieve_start
+        kb_stats = bank.stats()
+
+    return {
+        "workload": "qa/products",
+        "rows": len(dataset),
+        "build": {
+            "seconds": build_seconds,
+            "rows_per_sec": len(dataset) / build_seconds,
+        },
+        "profile_seconds": profile_seconds,
+        "examples": n,
+        "mean_pool_size": mean_pool,
+        "candidates": sum(len(pool) for pool in pools),
+        "repeats": repeats,
+        "per_example": {
+            "seconds": per_example_seconds,
+            "examples_per_sec": n / per_example_seconds,
+        },
+        "batched": {
+            "seconds": batched_seconds,
+            "examples_per_sec": n / batched_seconds,
+        },
+        "cold": {
+            "per_example_seconds": cold_per_example,
+            "batched_seconds": cold_batched,
+        },
+        "speedup": speedup,
+        "predictions_identical": batched_preds == per_example_preds,
+        "kb": {
+            "entries": kb_stats["entries"],
+            "retrieved": len(hits),
+            "retrieved_datasets": [entry.dataset for __sim, entry in hits],
+            "retrieve_seconds": retrieve_seconds,
+        },
+        "perf": counters,
+    }
+
+
+def render_workload_benchmark(result: Dict) -> str:
+    """Format :func:`run_workload_benchmark` output for the terminal."""
+    kb = result["kb"]
+    lines = [
+        f"workload benchmark — {result['workload']} "
+        f"({result['rows']} rows, preset {result.get('preset', 'ad-hoc')})",
+        f"  generation:          {result['build']['seconds']:.3f}s "
+        f"({result['build']['rows_per_sec']:.0f} rows/sec), "
+        f"profiling {result['profile_seconds']:.3f}s",
+        f"  eval slice:          {result['examples']} examples, "
+        f"mean pool {result['mean_pool_size']:.0f} candidates",
+        f"  per-example (warm):  {result['per_example']['seconds']:.3f}s "
+        f"({result['per_example']['examples_per_sec']:.0f} ex/sec)",
+        f"  batched (warm):      {result['batched']['seconds']:.3f}s "
+        f"({result['batched']['examples_per_sec']:.0f} ex/sec)",
+        f"  speedup:             {result['speedup']:.2f}x "
+        f"(identical: {result['predictions_identical']})",
+        f"  kb retrieval:        {kb['retrieved']} hits "
+        f"{kb['retrieved_datasets']} from {kb['entries']} entries "
+        f"in {kb['retrieve_seconds'] * 1e3:.1f}ms",
     ]
     return "\n".join(lines)

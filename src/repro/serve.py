@@ -126,10 +126,13 @@ class TenantEntry:
         return (self.tenant, self.dataset, self.task)
 
     def describe(self) -> Dict[str, Any]:
+        from .tasks.base import get_task
+
         return {
             "tenant": self.tenant,
             "dataset": self.dataset,
             "task": self.task,
+            "answer_mode": get_task(self.task).answer_mode,
             "backbone": self.backbone,
             "adapter": type(self.adapter).__name__ if self.adapter else None,
             "requests": self.requests,

@@ -1,7 +1,16 @@
-"""Task definitions: the seven data preparation tasks of the paper."""
+"""Task definitions: the paper's seven discriminative data preparation
+tasks plus the generative table-QA family (``answer_mode="generate"``).
+"""
 
-from . import ave, cta, dc, di, ed, em, sm  # noqa: F401 - registration
-from .base import Task, get_task, task_names
+from . import ave, cta, dc, di, ed, em, qa, sm  # noqa: F401 - registration
+from .base import ANSWER_MODES, Task, get_task, task_names
 from .metrics import METRIC_NAMES, score
 
-__all__ = ["Task", "get_task", "task_names", "score", "METRIC_NAMES"]
+__all__ = [
+    "ANSWER_MODES",
+    "Task",
+    "get_task",
+    "task_names",
+    "score",
+    "METRIC_NAMES",
+]

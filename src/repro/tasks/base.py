@@ -5,6 +5,35 @@ payloads into ``(prompt, candidates, target)`` triples for training and
 drives prediction at inference.  Knowledge enters through both paths —
 prompt text + derived markers, and candidate-pool shaping — matching
 how the paper's knowledge operates purely through the prompt.
+
+The protocol
+------------
+Every task declares:
+
+* ``name`` — its registry key (``"em"``, ``"qa"``, ...);
+* ``metric`` — the human label of its paper metric;
+* ``answer_mode`` — ``"rank"`` for the discriminative candidate-ranking
+  families (the paper's seven tasks: the reference answer is one of a
+  small curated pool and scoring is exact candidate match) or
+  ``"generate"`` for generative families (table QA: the answer is free
+  text judged by normalized EM/F1, and the pool — when one exists at
+  all — is a full column vocabulary, not a shortlist);
+* ``prompt(example, knowledge)`` — required for every task;
+* ``candidates(example, knowledge, dataset, gold)`` — required for
+  ``"rank"`` tasks.  Generative tasks may omit it when they decode
+  free-form; the base implementation raises ``NotImplementedError``
+  with the contract spelled out.  Generative tasks that *do* implement
+  it (table QA draws its pool from the full column vocabulary) flow
+  through the shared ranking machinery unchanged;
+* ``score(golds, preds, examples)`` — the task's paper metric over
+  aligned gold/prediction lists.  The base implementation dispatches to
+  :func:`repro.tasks.metrics.score` by task name; tasks with a scoring
+  wrinkle (DC needs the dirty originals, QA normalizes surface forms)
+  override it.  Every scoring path in the system
+  (:func:`repro.tasks.metrics.score_predictions`, the harness, AKB's
+  ``task_metric``, serve dispatch, the stream engine) routes through
+  this hook via the registry, so a new family needs no call-site
+  special-casing.
 """
 
 from __future__ import annotations
@@ -17,15 +46,27 @@ from ..tinylm.model import ScoringLM
 from ..tinylm.trainer import TrainingExample
 from . import metrics
 
-__all__ = ["Task", "register_task", "get_task", "task_names"]
+__all__ = [
+    "Task",
+    "ANSWER_MODES",
+    "register_task",
+    "get_task",
+    "task_names",
+]
+
+#: The two answer modes of the task protocol.
+ANSWER_MODES: Tuple[str, ...] = ("rank", "generate")
 
 
 class Task:
-    """Base class for the seven data preparation tasks."""
+    """Base class for the data preparation task families."""
 
     name: str = ""
     metric: str = ""
     answer_prefix: str = "answer"
+    #: "rank" — discriminative candidate ranking over a curated pool;
+    #: "generate" — generative answering judged by normalized EM/F1.
+    answer_mode: str = "rank"
 
     # ------------------------------------------------------------------
     # To be implemented per task
@@ -42,12 +83,39 @@ class Task:
         gold: Optional[str] = None,
     ) -> Tuple[str, ...]:
         """Candidate responses; training passes ``gold`` to guarantee
-        the reference answer is scoreable."""
-        raise NotImplementedError
+        the reference answer is scoreable.
+
+        Required for ``answer_mode == "rank"`` tasks.  Generative tasks
+        may leave it unimplemented when they have no enumerable answer
+        pool — callers that need a pool must then check ``answer_mode``
+        first.
+        """
+        raise NotImplementedError(
+            f"task {self.name or type(self).__name__!r} "
+            f"(answer_mode={self.answer_mode!r}) does not define a "
+            "candidate pool; candidates() is required for 'rank' tasks "
+            "and optional for 'generate' tasks"
+        )
 
     # ------------------------------------------------------------------
     # Shared machinery
     # ------------------------------------------------------------------
+    def score(
+        self,
+        golds: Sequence[str],
+        preds: Sequence[str],
+        examples: Optional[Sequence[Example]] = None,
+    ) -> float:
+        """The task's paper metric over aligned gold/prediction lists.
+
+        The base implementation dispatches by task name through
+        :func:`repro.tasks.metrics.score`; tasks whose metric needs
+        per-example context (DC) or answer normalization (QA) override
+        it.  ``examples`` are the scored examples and may be ``None``
+        when the metric does not need them.
+        """
+        return metrics.score(self.name, golds, preds)
+
     def training_example(
         self,
         example: Example,
@@ -56,7 +124,18 @@ class Task:
     ) -> TrainingExample:
         """Build the supervised instance for Eq. 3 / Eq. 5 training."""
         pool = self.candidates(example, knowledge, dataset, gold=example.answer)
-        target = pool.index(example.answer)
+        try:
+            target = pool.index(example.answer)
+        except ValueError:
+            dataset_name = dataset.name if dataset is not None else "<none>"
+            example_id = example.meta.get("id", "<unknown>")
+            raise ValueError(
+                f"gold answer {example.answer!r} missing from the "
+                f"{len(pool)}-candidate pool (task={self.name!r}, "
+                f"dataset={dataset_name!r}, example id={example_id!r}); "
+                "candidates(..., gold=...) must keep the reference "
+                "answer scoreable"
+            ) from None
         return TrainingExample(
             prompt=self.prompt(example, knowledge),
             candidates=pool,
@@ -108,20 +187,40 @@ def register_task(task: Task) -> Task:
     """Register a task singleton under its name."""
     if not task.name:
         raise ValueError("task must define a name")
+    if task.answer_mode not in ANSWER_MODES:
+        raise ValueError(
+            f"task {task.name!r} declares answer_mode="
+            f"{task.answer_mode!r}; must be one of {ANSWER_MODES}"
+        )
     _REGISTRY[task.name] = task
     return task
 
 
+def _ensure_registered() -> None:
+    if not _REGISTRY:  # pragma: no cover - defensive import ordering
+        from . import ave, cta, dc, di, ed, em, qa, sm  # noqa: F401
+
+
 def get_task(name: str) -> Task:
     """Look up a task by name (imports the task package on demand)."""
-    if not _REGISTRY:  # pragma: no cover - defensive import ordering
-        from . import ave, cta, dc, di, ed, em, sm  # noqa: F401
+    _ensure_registered()
     if name not in _REGISTRY:
         raise KeyError(f"unknown task {name!r}; known: {sorted(_REGISTRY)}")
     return _REGISTRY[name]
 
 
-def task_names() -> List[str]:
-    if not _REGISTRY:  # pragma: no cover
-        from . import ave, cta, dc, di, ed, em, sm  # noqa: F401
-    return sorted(_REGISTRY)
+def task_names(mode: Optional[str] = None) -> List[str]:
+    """Registered task names, optionally filtered by ``answer_mode``.
+
+    ``task_names(mode="rank")`` is the paper's seven discriminative
+    tasks — the surface the parity suites and most perf gates iterate;
+    ``task_names(mode="generate")`` is the generative QA family.
+    """
+    _ensure_registered()
+    if mode is None:
+        return sorted(_REGISTRY)
+    if mode not in ANSWER_MODES:
+        raise ValueError(f"unknown answer mode {mode!r}; known: {ANSWER_MODES}")
+    return sorted(
+        name for name, task in _REGISTRY.items() if task.answer_mode == mode
+    )

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..data.schema import Dataset, Example
 from ..data.serialization import serialize_record
 from ..knowledge.apply import cell_markers, transform_record
 from ..knowledge.rules import Knowledge
+from . import metrics
 from .base import Task, register_task
 from .candidates import correction_candidates
 from .prompts import compose
@@ -51,6 +52,20 @@ class DataCleaning(Task):
             knowledge,
             gold=gold,
         )
+
+    def score(
+        self,
+        golds: Sequence[str],
+        preds: Sequence[str],
+        examples: Optional[Sequence[Example]] = None,
+    ) -> float:
+        """Repair F1 needs each example's dirty original value."""
+        if examples is None:
+            raise ValueError("dc scoring requires the scored examples")
+        originals = [
+            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
+        ]
+        return metrics.repair_f1(golds, preds, originals)
 
 
 register_task(DataCleaning())

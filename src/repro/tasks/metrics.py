@@ -8,11 +8,17 @@
   from the dirty value), recall over all cells needing repair.
 * AVE: extraction F1 — ``n/a`` is the null class; precision over
   non-null predictions, recall over non-null references.
+* QA: normalized exact match — answers are lowercased, punctuation and
+  the articles a/an/the stripped, whitespace collapsed before
+  comparison (the SQuAD/LEIA idiom), so aliased and pseudo-translated
+  surface forms that normalize identically still count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import re
+import string
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "accuracy",
@@ -20,6 +26,9 @@ __all__ = [
     "micro_f1",
     "repair_f1",
     "extraction_f1",
+    "normalize_answer",
+    "normalized_em",
+    "token_f1",
     "score",
     "score_predictions",
     "METRIC_NAMES",
@@ -108,6 +117,62 @@ def extraction_f1(
     return _f1(tp, fp, fn)
 
 
+_ARTICLE_RE = re.compile(r"\b(a|an|the)\b")
+_PUNCT_TABLE = str.maketrans("", "", string.punctuation)
+
+
+def normalize_answer(text: str) -> str:
+    """Canonicalise a free-text answer for generative scoring.
+
+    Lowercase, remove punctuation, strip the English articles
+    ``a``/``an``/``the``, and collapse runs of whitespace — the
+    SQuAD-style normalization LEIA uses for cross-lingual EM/F1.
+    """
+    text = text.lower()
+    text = text.translate(_PUNCT_TABLE)
+    text = _ARTICLE_RE.sub(" ", text)
+    return " ".join(text.split())
+
+
+def normalized_em(golds: Sequence[str], preds: Sequence[str]) -> float:
+    """Exact match after :func:`normalize_answer`, on the 100 scale."""
+    _check_lengths(golds, preds)
+    hits = sum(
+        1
+        for g, p in zip(golds, preds)
+        if normalize_answer(g) == normalize_answer(p)
+    )
+    return 100.0 * hits / len(golds)
+
+
+def _answer_tokens(text: str) -> List[str]:
+    return normalize_answer(text).split()
+
+
+def token_f1(golds: Sequence[str], preds: Sequence[str]) -> float:
+    """Mean per-example token-overlap F1 over normalized answers."""
+    _check_lengths(golds, preds)
+    total = 0.0
+    for gold, pred in zip(golds, preds):
+        gold_tokens = _answer_tokens(gold)
+        pred_tokens = _answer_tokens(pred)
+        if not gold_tokens or not pred_tokens:
+            total += 100.0 if gold_tokens == pred_tokens else 0.0
+            continue
+        common = 0
+        remaining = list(gold_tokens)
+        for token in pred_tokens:
+            if token in remaining:
+                remaining.remove(token)
+                common += 1
+        if common == 0:
+            continue
+        precision = common / len(pred_tokens)
+        recall = common / len(gold_tokens)
+        total += 200.0 * precision * recall / (precision + recall)
+    return total / len(golds)
+
+
 #: task -> metric label used in reports
 METRIC_NAMES: Dict[str, str] = {
     "em": "F1",
@@ -117,6 +182,7 @@ METRIC_NAMES: Dict[str, str] = {
     "cta": "micro-F1",
     "dc": "repair-F1",
     "ave": "extraction-F1",
+    "qa": "norm-EM",
 }
 
 
@@ -126,7 +192,7 @@ def score(
     preds: Sequence[str],
     originals: Optional[Sequence[str]] = None,
 ) -> float:
-    """Dispatch to the task's paper metric."""
+    """Dispatch to the task's paper metric by task name."""
     if task in ("em", "ed", "sm"):
         return binary_f1(golds, preds)
     if task == "di":
@@ -135,6 +201,8 @@ def score(
         return micro_f1(golds, preds)
     if task == "ave":
         return extraction_f1(golds, preds)
+    if task == "qa":
+        return normalized_em(golds, preds)
     if task == "dc":
         if originals is None:
             raise ValueError("dc scoring requires the dirty original values")
@@ -151,16 +219,14 @@ def score_predictions(
     """The single task-metric entry point for scored predictions.
 
     Every scoring path (``Task.evaluate``, ``harness.evaluate_method``,
-    AKB's ``task_metric``) routes through here so the one task-specific
-    wrinkle — DC needs each example's dirty original value — lives in
-    exactly one place.  ``examples`` must be the scored examples
-    (anything exposing ``.inputs``) whenever the task is ``dc``.
+    AKB's ``task_metric``, serve dispatch, the stream engine) routes
+    through here, and this function routes through the task registry's
+    :meth:`~repro.tasks.base.Task.score` hook — so task-specific
+    scoring wrinkles (DC needs each example's dirty original value, QA
+    normalizes surface forms) live on the task classes rather than in
+    call sites.  ``examples`` must be the scored examples (anything
+    exposing ``.inputs``) whenever the task's metric needs them (dc).
     """
-    originals = None
-    if task == "dc":
-        if examples is None:
-            raise ValueError("dc scoring requires the scored examples")
-        originals = [
-            ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
-        ]
-    return score(task, golds, preds, originals)
+    from .base import get_task  # local import: base imports this module
+
+    return get_task(task).score(golds, preds, examples)

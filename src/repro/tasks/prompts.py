@@ -42,6 +42,10 @@ TASK_INSTRUCTIONS = {
         "task attribute value extraction. extract the value of the "
         "target attribute from the text."
     ),
+    "qa": (
+        "task table question answering. answer the question about the "
+        "entity using the serialized table row."
+    ),
 }
 
 

@@ -1,0 +1,100 @@
+"""Generative table question answering over serialized rows.
+
+The first ``answer_mode == "generate"`` task family (KBLaM-style, see
+SNIPPETS §1): questions of the form ``What is the {attribute} of
+{entity}?`` asked over one serialized table row.  Unlike the seven
+discriminative families, the answer pool is not a hand-curated
+shortlist — it is the *full column vocabulary* of the dataset
+(hundreds to a thousand distinct values), stored by the generator in
+``dataset.meta["answer_pools"]`` and mirrored per-example in
+``example.meta["pool"]`` so dataset-free call paths (the stream
+engine's training/accuracy loops) still resolve a pool.
+
+Scoring uses normalized exact match (:func:`metrics.normalized_em`):
+answers are lowercased, punctuation/article-stripped, and
+whitespace-collapsed before comparison, so aliased or pseudo-translated
+surface forms that normalize identically still count as correct.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..data.schema import Dataset, Example
+from ..data.serialization import serialize_record
+from ..knowledge.rules import Knowledge
+from ..obs import counter
+from . import metrics
+from .base import Task, register_task
+from .prompts import compose
+
+__all__ = ["TableQA"]
+
+
+class TableQA(Task):
+    """QA: ``f(question, row) -> answer`` over full column vocabularies."""
+
+    name = "qa"
+    metric = "norm-EM"
+    answer_mode = "generate"
+
+    def prompt(self, example: Example, knowledge: Knowledge) -> str:
+        record = example.inputs["record"]
+        attribute = example.inputs["attribute"]
+        entity = example.inputs["entity"]
+        body = serialize_record(record, highlight=attribute)
+        return compose(
+            "qa",
+            knowledge.render(),
+            (),
+            body,
+            f"question what is the {attribute} of {entity}",
+        )
+
+    def candidates(
+        self,
+        example: Example,
+        knowledge: Knowledge,
+        dataset: Optional[Dataset] = None,
+        gold: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        """The full column vocabulary for the questioned attribute.
+
+        Resolution order: ``dataset.meta["answer_pools"]`` (authored by
+        the tableqa generators), then ``example.meta["pool"]`` (a shared
+        tuple reference the generators stamp on every example, covering
+        call paths that do not thread a dataset).  Pools are *not*
+        capped at the discriminative shortlist size — exercising the
+        engine at 100–1000 candidates is the point of this family.
+        """
+        attribute = example.inputs["attribute"]
+        pool: Optional[Tuple[str, ...]] = None
+        if dataset is not None:
+            pools = dataset.meta.get("answer_pools")
+            if pools and attribute in pools:
+                pool = tuple(pools[attribute])
+        if pool is None:
+            pool = example.meta.get("pool")
+        if pool is None:
+            raise ValueError(
+                f"qa example for attribute {attribute!r} has no answer "
+                "pool: expected dataset.meta['answer_pools'] or "
+                "example.meta['pool'] (stamped by the tableqa generators)"
+            )
+        if gold is not None and gold not in pool:
+            pool = pool + (gold,)
+        counter("qa.pool_size", len(pool), attribute=attribute)
+        return pool
+
+    def score(
+        self,
+        golds: Sequence[str],
+        preds: Sequence[str],
+        examples: Optional[Sequence[Example]] = None,
+    ) -> float:
+        """Normalized exact match (surface-form tolerant)."""
+        del examples  # QA scoring needs only the aligned strings
+        return metrics.normalized_em(golds, preds)
+
+
+register_task(TableQA())

@@ -161,6 +161,26 @@ class RaggedBatch:
         return self.offsets[:-1] + self.targets
 
 
+def _shared_pool_groups(rb: RaggedBatch) -> Optional[List[List[int]]]:
+    """Rows grouped by identical candidate pool, or ``None``.
+
+    Returns the groups only when pools are heavily shared (at least 8
+    prompts per distinct pool on average) — the shape where scoring each
+    distinct pool once with a grouped GEMM beats the per-slot gathered
+    einsums.  Per-example pools (DI/DC/AVE proposals) never qualify, so
+    those workloads keep their existing path untouched.
+    """
+    if rb.n < 16:
+        return None
+    groups: Dict[bytes, List[int]] = {}
+    for i in range(rb.n):
+        signature = rb.cand_index[rb.offsets[i] : rb.offsets[i + 1]].tobytes()
+        groups.setdefault(signature, []).append(i)
+    if len(groups) * 8 > rb.n:
+        return None
+    return list(groups.values())
+
+
 @dataclass
 class _Cache:
     """Intermediate activations needed for the backward pass."""
@@ -757,6 +777,33 @@ class ScoringLM:
             S = self._scale * (U @ Vy_u.T) + gamma * P + yb_u
             logits = S[rb.rows, rb.cand_index]
             overlap = P[rb.rows, rb.cand_index]
+            Vy = Vy_u[rb.cand_index]
+        elif (groups := _shared_pool_groups(rb)) is not None:
+            # Grouped shared-pool GEMMs: a few large pools repeated
+            # across many prompts (the table-QA full-column-vocabulary
+            # shape, where ``u·n ≫ m`` rules the dense path out).  Each
+            # distinct pool is scored for all its prompts in one GEMM
+            # pair, with the same FLOP count as the gathered einsums
+            # below but none of their ``(M, D)`` materialisations —
+            # which at D=2048 dominate wall-clock through memory
+            # traffic, not arithmetic.
+            logits = np.empty(m)
+            overlap = np.empty(m)
+            for row_ids in groups:
+                first = row_ids[0]
+                slots = rb.cand_index[
+                    rb.offsets[first] : rb.offsets[first + 1]
+                ]
+                idx = np.asarray(row_ids, dtype=np.intp)
+                P_g = rb.X[idx] @ rb.Yu[slots].T  # (n_g, u_g)
+                S_g = (
+                    self._scale * (U[idx] @ Vy_u[slots].T)
+                    + gamma * P_g
+                    + yb_u[slots]
+                )
+                for pos, i in enumerate(row_ids):
+                    logits[rb.offsets[i] : rb.offsets[i + 1]] = S_g[pos]
+                    overlap[rb.offsets[i] : rb.offsets[i + 1]] = P_g[pos]
             Vy = Vy_u[rb.cand_index]
         else:
             Vy = Vy_u[rb.cand_index]  # (M, k)

@@ -1,0 +1,183 @@
+"""Tests for the entity-augmentation pass (alias table + pseudo-translation)."""
+
+import pytest
+
+from repro.data import generators
+from repro.data.augment import (
+    AUGMENTABLE_TASKS,
+    AliasTable,
+    AugmentConfig,
+    alias_form,
+    augment_dataset,
+    pseudo_translate,
+)
+
+
+class TestAliasTable:
+    def test_same_seed_same_alias(self):
+        for form in ("acme labs ultra series", "sharp", "western digital"):
+            assert alias_form(form, 7) == alias_form(form, 7)
+
+    def test_table_memoises_deterministically(self):
+        a, b = AliasTable(3), AliasTable(3)
+        forms = ["canon powershot", "philips norelco", "tdk"]
+        assert [a.alias(f) for f in forms] == [b.alias(f) for f in forms]
+        assert len(a) == 3
+        # repeated lookups hit the memo, not a new derivation
+        assert a.alias("tdk") == a.alias("tdk")
+        assert len(a) == 3
+
+    def test_seed_changes_some_aliases(self):
+        forms = [f"brand {i} super line" for i in range(20)]
+        one = [alias_form(f, 1) for f in forms]
+        two = [alias_form(f, 2) for f in forms]
+        assert one != two
+
+    def test_alias_differs_from_original(self):
+        # multi-word catalogue names always get a visible rewrite
+        for form in ("acme labs ultra series", "canon powershot elph"):
+            assert alias_form(form, 0) != form
+
+    def test_empty_form_passes_through(self):
+        assert alias_form("", 0) == ""
+        assert alias_form("   ", 0) == "   "
+
+
+class TestPseudoTranslate:
+    def test_deterministic(self):
+        assert pseudo_translate("acme labs", "xx-el") == pseudo_translate(
+            "acme labs", "xx-el"
+        )
+
+    def test_languages_differ(self):
+        text = "portable bluetooth speaker"
+        assert pseudo_translate(text, "xx-el") != pseudo_translate(text, "xx-ka")
+
+    def test_digits_and_punctuation_pass_through(self):
+        out = pseudo_translate("model x-200, rev 3.5!", "xx-el")
+        for ch in "-200, 3.5!":
+            assert ch in out
+        # every digit/punct char survives at its original position
+        src = "model x-200, rev 3.5!"
+        for i, ch in enumerate(src):
+            if not ch.isalpha():
+                assert out[i] == ch
+
+    def test_word_shape_survives(self):
+        src = "canon eos"
+        out = pseudo_translate(src, "xx-ka")
+        assert len(out) == len(src)
+        assert out.count(" ") == src.count(" ")
+
+
+class TestAugmentConfig:
+    def test_parse_empty_is_default(self):
+        assert AugmentConfig.parse("") == AugmentConfig()
+
+    def test_parse_round_trip(self):
+        config = AugmentConfig(
+            seed=3, rate=0.5, alias_rate=0.25, languages=("xx-a", "xx-b")
+        )
+        assert AugmentConfig.parse(config.describe()) == config
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown augment spec key"):
+            AugmentConfig.parse("seed=1,bogus=2")
+
+    def test_parse_rejects_bare_fragment(self):
+        with pytest.raises(ValueError, match="key=value"):
+            AugmentConfig.parse("seed")
+
+    def test_parse_rejects_empty_languages(self):
+        with pytest.raises(ValueError, match="language"):
+            AugmentConfig.parse("languages=|")
+
+
+class TestAugmentDataset:
+    def test_deterministic_across_rebuilds(self):
+        config = AugmentConfig(seed=0)
+        a = augment_dataset(generators.build("em/abt_buy", count=80, seed=0), config)
+        b = augment_dataset(generators.build("em/abt_buy", count=80, seed=0), config)
+        assert [e.inputs for e in a.examples] == [e.inputs for e in b.examples]
+        assert a.meta["augment_rewritten"] == b.meta["augment_rewritten"]
+
+    def test_order_count_and_answers_preserved(self):
+        base = generators.build("em/walmart_amazon", count=80, seed=1)
+        out = augment_dataset(base, AugmentConfig(seed=1))
+        assert len(out.examples) == len(base.examples)
+        assert [e.answer for e in out.examples] == [e.answer for e in base.examples]
+
+    def test_some_examples_rewritten_at_default_rate(self):
+        base = generators.build("em/abt_buy", count=120, seed=0)
+        out = augment_dataset(base, AugmentConfig(seed=0))
+        assert out.meta["augment_rewritten"] > 0
+        rewritten = [e for e in out.examples if "augment" in e.meta]
+        assert len(rewritten) == out.meta["augment_rewritten"]
+
+    def test_rate_zero_rewrites_nothing(self):
+        base = generators.build("ed/flights", count=60, seed=0)
+        out = augment_dataset(base, AugmentConfig(seed=0, rate=0.0))
+        assert out.meta["augment_rewritten"] == 0
+        assert [e.inputs for e in out.examples] == [e.inputs for e in base.examples]
+
+    def test_non_augmentable_task_passes_through(self):
+        base = generators.build("cta/sotab", count=40, seed=0)
+        assert base.task not in AUGMENTABLE_TASKS
+        out = augment_dataset(base, AugmentConfig(seed=0))
+        assert out is base
+
+    def test_ed_never_touches_questioned_cell(self):
+        base = generators.build("ed/rayyan", count=200, seed=2)
+        out = augment_dataset(base, AugmentConfig(seed=2, rate=1.0))
+        for before, after in zip(base.examples, out.examples):
+            attribute = before.inputs["attribute"]
+            assert after.inputs["record"].get(attribute) == before.inputs[
+                "record"
+            ].get(attribute)
+            if "augment" in after.meta:
+                assert after.meta["augment"]["attribute"] != attribute
+
+    def test_di_gold_substring_cells_survive(self):
+        base = generators.build("di/flipkart", count=200, seed=3)
+        out = augment_dataset(base, AugmentConfig(seed=3, rate=1.0))
+        for before, after in zip(base.examples, out.examples):
+            gold = before.answer.lower()
+            if not gold:
+                continue
+            for attr in before.inputs["record"].attributes:
+                if gold in before.inputs["record"].get(attr).lower():
+                    assert after.inputs["record"].get(attr) == before.inputs[
+                        "record"
+                    ].get(attr)
+
+    def test_em_left_record_untouched(self):
+        base = generators.build("em/abt_buy", count=120, seed=4)
+        out = augment_dataset(base, AugmentConfig(seed=4, rate=1.0))
+        for before, after in zip(base.examples, out.examples):
+            assert after.inputs["left"] is before.inputs["left"]
+
+    def test_meta_records_config(self):
+        config = AugmentConfig(seed=5, rate=0.4)
+        out = augment_dataset(
+            generators.build("em/abt_buy", count=40, seed=5), config
+        )
+        assert out.meta["augment"] == config.describe()
+
+
+class TestHarnessIntegration:
+    def test_load_splits_augment_key_separates_memo(self):
+        from repro.eval.harness import load_splits
+
+        plain = load_splits("em/abt_buy", count=60, seed=0)
+        augmented = load_splits(
+            "em/abt_buy", count=60, seed=0, augment=AugmentConfig(seed=0)
+        )
+        assert plain is not augmented
+        assert [e.answer for e in plain.test.examples] == [
+            e.answer for e in augmented.test.examples
+        ]
+        # memoised: same call returns the same object
+        again = load_splits(
+            "em/abt_buy", count=60, seed=0, augment=AugmentConfig(seed=0)
+        )
+        assert again is augmented

@@ -130,4 +130,66 @@ class TestScoreDispatch:
             metrics.score("xx", ["a"], ["a"])
 
     def test_metric_names_cover_tasks(self):
-        assert set(metrics.METRIC_NAMES) == {"em", "ed", "sm", "di", "cta", "dc", "ave"}
+        assert set(metrics.METRIC_NAMES) == {
+            "em", "ed", "sm", "di", "cta", "dc", "ave", "qa",
+        }
+
+
+class TestAnswerNormalization:
+    def test_lowercases(self):
+        assert metrics.normalize_answer("Sierra Nevada") == "sierra nevada"
+
+    def test_strips_punctuation(self):
+        assert metrics.normalize_answer("st. john's!") == "st johns"
+
+    def test_strips_articles(self):
+        assert metrics.normalize_answer("The Answer") == "answer"
+        assert metrics.normalize_answer("a pale ale") == "pale ale"
+        assert metrics.normalize_answer("an old ale") == "old ale"
+
+    def test_articles_inside_words_survive(self):
+        # "the" embedded in a token is not an article
+        assert metrics.normalize_answer("theater") == "theater"
+        assert metrics.normalize_answer("anchor") == "anchor"
+
+    def test_collapses_whitespace(self):
+        assert metrics.normalize_answer("  pale \t ale  ") == "pale ale"
+
+    def test_empty_string(self):
+        assert metrics.normalize_answer("") == ""
+        assert metrics.normalize_answer("the a an") == ""
+
+
+class TestNormalizedEM:
+    def test_exact_after_normalization(self):
+        assert metrics.normalized_em(["The Answer"], ["answer!"]) == 100.0
+
+    def test_mismatch(self):
+        assert metrics.normalized_em(["pale ale"], ["stout"]) == 0.0
+
+    def test_mixed(self):
+        score = metrics.normalized_em(
+            ["Pale Ale", "stout"], ["pale ale", "porter"]
+        )
+        assert score == 50.0
+
+    def test_qa_dispatch(self):
+        assert metrics.score("qa", ["The Answer"], ["answer"]) == 100.0
+
+
+class TestTokenF1:
+    def test_perfect(self):
+        assert metrics.token_f1(["pale ale"], ["The Pale Ale"]) == 100.0
+
+    def test_partial_overlap(self):
+        # one shared token of two on each side -> F1 = 50
+        assert metrics.token_f1(["pale ale"], ["pale stout"]) == 50.0
+
+    def test_no_overlap(self):
+        assert metrics.token_f1(["pale ale"], ["brown porter"]) == 0.0
+
+    def test_both_empty_after_normalization(self):
+        assert metrics.token_f1(["the"], ["an"]) == 100.0
+
+    def test_one_empty_after_normalization(self):
+        assert metrics.token_f1(["the"], ["stout"]) == 0.0

@@ -12,8 +12,22 @@ ALL_IDS = list(generators.downstream_ids())
 
 
 class TestRegistry:
-    def test_seven_tasks(self):
-        assert task_names() == ["ave", "cta", "dc", "di", "ed", "em", "sm"]
+    def test_eight_tasks(self):
+        assert task_names() == [
+            "ave", "cta", "dc", "di", "ed", "em", "qa", "sm",
+        ]
+
+    def test_rank_mode_is_the_paper_seven(self):
+        assert task_names(mode="rank") == [
+            "ave", "cta", "dc", "di", "ed", "em", "sm",
+        ]
+
+    def test_generate_mode(self):
+        assert task_names(mode="generate") == ["qa"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            task_names(mode="oracle")
 
     def test_unknown_task_rejected(self):
         with pytest.raises(KeyError):
@@ -22,6 +36,23 @@ class TestRegistry:
     def test_register_requires_name(self):
         with pytest.raises(ValueError):
             register_task(Task())
+
+    def test_register_rejects_bad_answer_mode(self):
+        class Broken(Task):
+            name = "broken"
+            answer_mode = "oracle"
+
+        with pytest.raises(ValueError):
+            register_task(Broken())
+        assert "broken" not in task_names()
+
+    def test_base_candidates_contract(self):
+        class PoolLess(Task):
+            name = "poolless"
+            answer_mode = "generate"
+
+        with pytest.raises(NotImplementedError, match="poolless"):
+            PoolLess().candidates(None, Knowledge())
 
 
 class TestPrompts:

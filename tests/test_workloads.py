@@ -1,0 +1,258 @@
+"""Workload-surface tests: Task protocol, scoring parity, generator registry.
+
+Pins the api-redesign invariants:
+
+* the registry ``score_predictions`` route produces the exact same
+  numbers as the legacy name-dispatch ``metrics.score`` for all seven
+  discriminative tasks (bit-identical preservation);
+* every generator — the 13 paper datasets plus the QA workloads —
+  round-trips through :func:`repro.data.generators.get_generator`;
+* the QA task family resolves pools from dataset meta and the
+  per-example fallback, and the training-example contract errors are
+  descriptive.
+"""
+
+import pytest
+
+from repro.data import generators
+from repro.data.generators import (
+    GeneratorSpec,
+    generator_names,
+    get_generator,
+    register_generator,
+)
+from repro.data.schema import Dataset, Example
+from repro.knowledge.rules import Knowledge
+from repro.tasks import metrics
+from repro.tasks.base import Task, get_task, task_names
+from repro.tinylm.model import ModelConfig, ScoringLM
+
+#: One representative dataset per discriminative task.
+RANK_DATASETS = {
+    "ed": "ed/flights",
+    "di": "di/flipkart",
+    "sm": "sm/cms",
+    "em": "em/abt_buy",
+    "cta": "cta/sotab",
+    "ave": "ave/ae110k",
+    "dc": "dc/rayyan",
+}
+
+
+class TestScoringParity:
+    """The registry score route matches the legacy name dispatch exactly."""
+
+    @pytest.mark.parametrize("task_name", sorted(RANK_DATASETS))
+    def test_registry_route_matches_legacy_metric(self, task_name):
+        dataset = generators.build(RANK_DATASETS[task_name], count=60, seed=0)
+        task = get_task(task_name)
+        model = ScoringLM(ModelConfig(name=f"parity-{task_name}", seed=0))
+        knowledge = Knowledge()
+        examples = dataset.examples[:40]
+        golds = [ex.answer for ex in examples]
+        preds = task.predict_batch(model, examples, knowledge, dataset)
+
+        via_registry = metrics.score_predictions(task_name, golds, preds, examples)
+
+        if task_name == "dc":
+            originals = [
+                ex.inputs["record"].get(ex.inputs["attribute"]) for ex in examples
+            ]
+            legacy = metrics.repair_f1(golds, preds, originals)
+        else:
+            legacy = metrics.score(task_name, golds, preds)
+        assert via_registry == legacy
+
+    @pytest.mark.parametrize("task_name", sorted(RANK_DATASETS))
+    def test_evaluate_matches_score_predictions(self, task_name):
+        dataset = generators.build(RANK_DATASETS[task_name], count=60, seed=1)
+        task = get_task(task_name)
+        model = ScoringLM(ModelConfig(name=f"parity2-{task_name}", seed=1))
+        knowledge = Knowledge()
+        examples = dataset.examples[:30]
+        golds = [ex.answer for ex in examples]
+        preds = task.predict_batch(model, examples, knowledge, dataset)
+        assert task.evaluate(model, examples, knowledge, dataset) == (
+            metrics.score_predictions(task_name, golds, preds, examples)
+        )
+
+    def test_dc_score_requires_examples(self):
+        with pytest.raises(ValueError, match="examples"):
+            get_task("dc").score(["a"], ["b"], None)
+
+    def test_qa_score_normalizes(self):
+        assert get_task("qa").score(["The Beatles"], ["beatles!"]) == 100.0
+
+
+class TestGeneratorRegistry:
+    def test_fifteen_generators(self):
+        names = generator_names()
+        assert len(names) == 15
+        assert set(generators.downstream_ids()) < set(names)
+        assert {"qa/products", "qa/beers"} < set(names)
+
+    @pytest.mark.parametrize("name", sorted(generator_names()))
+    def test_round_trip_matches_build(self, name):
+        spec = get_generator(name)
+        assert isinstance(spec, GeneratorSpec)
+        assert spec.name == name
+        assert spec.task == name.split("/")[0]
+        via_spec = spec.generate(count=30, seed=0)
+        via_build = generators.build(name, count=30, seed=0)
+        assert [e.inputs for e in via_spec.examples] == [
+            e.inputs for e in via_build.examples
+        ]
+        assert [e.answer for e in via_spec.examples] == [
+            e.answer for e in via_build.examples
+        ]
+
+    def test_default_count_from_base_and_scale(self):
+        spec = get_generator("em/abt_buy")
+        assert len(spec.generate(seed=0)) == spec.base_count
+        assert len(spec.generate(seed=0, scale=0.5)) == round(spec.base_count * 0.5)
+
+    def test_metadata_filters(self):
+        assert generator_names(task="qa") == ["qa/beers", "qa/products"]
+        assert "qa/products" in generator_names(scale="large")
+        assert "em/abt_buy" not in generator_names(scale="large")
+        assert set(generator_names(language="en")) == set(generator_names())
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_generator("qa/nonexistent")
+
+    def test_register_validates(self):
+        build = lambda count, seed: None  # noqa: E731
+        with pytest.raises(ValueError):
+            register_generator(
+                "noslash", build, task="qa", base_count=10, language="en"
+            )
+        with pytest.raises(ValueError):
+            register_generator(
+                "qa/bad-scale",
+                build,
+                task="qa",
+                base_count=10,
+                language="en",
+                scale="huge",
+            )
+        with pytest.raises(ValueError):
+            register_generator(
+                "qa/bad-count", build, task="qa", base_count=0, language="en"
+            )
+
+    def test_paper_order_unchanged(self):
+        assert generators.downstream_ids() == generators.PAPER_ORDER
+        assert len(generators.PAPER_ORDER) == 13
+        assert generators.PAPER_ORDER[0] == "ed/flights"
+
+
+class TestAnswerModes:
+    def test_eight_tasks_total(self):
+        assert len(task_names()) == 8
+
+    def test_rank_mode_is_the_paper_seven(self):
+        assert task_names(mode="rank") == sorted(RANK_DATASETS)
+
+    def test_generate_mode(self):
+        assert task_names(mode="generate") == ["qa"]
+
+    def test_all_registered_generators_target_known_tasks(self):
+        known = set(task_names())
+        for name in generator_names():
+            assert get_generator(name).task in known
+
+
+class TestTableQATask:
+    def test_pool_from_dataset_meta(self):
+        dataset = generators.build("qa/beers", count=60, seed=0)
+        task = get_task("qa")
+        example = dataset.examples[0]
+        pool = task.candidates(example, Knowledge(), dataset)
+        attribute = example.inputs["attribute"]
+        assert pool == tuple(dataset.meta["answer_pools"][attribute]) or (
+            example.answer in pool
+        )
+        assert example.answer in pool
+
+    def test_pool_fallback_without_dataset(self):
+        dataset = generators.build("qa/beers", count=60, seed=0)
+        task = get_task("qa")
+        example = dataset.examples[0]
+        pool = task.candidates(example, Knowledge(), None)
+        assert example.answer in pool
+        assert len(pool) > 1
+
+    def test_pool_missing_is_an_error(self):
+        task = get_task("qa")
+        bare = Example(
+            task="qa",
+            inputs={
+                "record": generators.build("qa/beers", count=40, seed=0)
+                .examples[0]
+                .inputs["record"],
+                "attribute": "style",
+                "entity": "x",
+            },
+            answer="ipa",
+            meta={},
+        )
+        with pytest.raises(ValueError):
+            task.candidates(bare, Knowledge(), None)
+
+    def test_pools_are_large(self):
+        dataset = generators.build("qa/products", count=400, seed=0)
+        task = get_task("qa")
+        sizes = [
+            len(task.candidates(ex, Knowledge(), dataset))
+            for ex in dataset.examples[:50]
+        ]
+        assert sum(sizes) / len(sizes) >= 24  # past the discriminative cap
+
+    def test_training_example_works_dataset_free(self):
+        dataset = generators.build("qa/beers", count=40, seed=0)
+        task = get_task("qa")
+        te = task.training_example(dataset.examples[0], Knowledge())
+        assert te.candidates[te.target] == dataset.examples[0].answer
+
+
+class TestTrainingExampleContract:
+    def test_missing_gold_error_is_descriptive(self):
+        class Narrow(Task):
+            name = "narrow"
+            metric = "accuracy"
+
+            def prompt(self, example, knowledge):
+                return "prompt"
+
+            def candidates(self, example, knowledge, dataset=None, gold=None):
+                return ("yes", "no")
+
+        example = Example(
+            task="narrow", inputs={}, answer="maybe", meta={"id": "narrow/7"}
+        )
+        dataset = Dataset(
+            name="narrow/test", task="narrow", examples=(example,),
+            label_set=("yes", "no"), latent_rules=(),
+        )
+        with pytest.raises(ValueError) as err:
+            Narrow().training_example(example, Knowledge(), dataset)
+        message = str(err.value)
+        assert "narrow" in message
+        assert "narrow/test" in message
+        assert "narrow/7" in message
+        assert "'maybe'" in message
+
+    def test_missing_gold_error_without_dataset(self):
+        class Narrow(Task):
+            name = "narrow"
+
+            def prompt(self, example, knowledge):
+                return "prompt"
+
+            def candidates(self, example, knowledge, dataset=None, gold=None):
+                return ("yes", "no")
+
+        example = Example(task="narrow", inputs={}, answer="maybe", meta={})
+        with pytest.raises(ValueError, match="<none>"):
+            Narrow().training_example(example, Knowledge())
